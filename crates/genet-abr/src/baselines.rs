@@ -1,0 +1,372 @@
+//! Rule-based ABR baselines.
+//!
+//! * [`Bba`] — buffer-based adaptation (Huang et al., SIGCOMM'14),
+//! * [`RobustMpc`] — model-predictive control with robust throughput
+//!   discounting (Yin et al., SIGCOMM'15), the paper's default ABR baseline,
+//! * [`RateBased`] — classic harmonic-mean throughput rule,
+//! * [`NaiveHighestOnRebuffer`] — the deliberately unreasonable baseline of
+//!   §5.4 ("choosing the highest bitrate when rebuffer"), used to show what
+//!   happens when Genet is guided by a baseline that is too weak.
+
+use crate::sim::{AbrContext, AbrSim, ChunkOutcome, REBUF_PENALTY, SMOOTH_PENALTY};
+use crate::video::{BITRATES_KBPS, N_LEVELS};
+
+/// A rule-based ABR algorithm: picks the next chunk's level from the
+/// decision context. Stateful (throughput predictors carry history).
+pub trait AbrAlgorithm {
+    /// Chooses the level of the next chunk.
+    fn choose(&mut self, ctx: &AbrContext) -> usize;
+
+    /// Resets internal state for a new session.
+    fn reset(&mut self) {}
+}
+
+/// Runs an algorithm over a whole session, returning every chunk outcome.
+pub fn run_abr(sim: &mut AbrSim, algo: &mut dyn AbrAlgorithm) -> Vec<ChunkOutcome> {
+    algo.reset();
+    let mut outcomes = Vec::with_capacity(sim.video().n_chunks());
+    while !sim.finished() {
+        let ctx = sim.context();
+        let level = algo.choose(&ctx).min(N_LEVELS - 1);
+        outcomes.push(sim.download(level));
+    }
+    outcomes
+}
+
+/// Mean per-chunk reward of an algorithm on a session.
+pub fn eval_abr(sim: &mut AbrSim, algo: &mut dyn AbrAlgorithm) -> f64 {
+    let outs = run_abr(sim, algo);
+    genet_math::mean(&outs.iter().map(|o| o.reward).collect::<Vec<_>>())
+}
+
+/// Buffer-based adaptation: a reservoir below which the lowest level is
+/// requested, a cushion across which the level rises linearly, and the top
+/// level above the cushion.
+#[derive(Debug, Clone, Default)]
+pub struct Bba;
+
+impl AbrAlgorithm for Bba {
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        let reservoir = (0.2 * ctx.buffer_max_s).clamp(1.0, 8.0);
+        let upper = (0.9 * ctx.buffer_max_s).max(reservoir + 1e-6);
+        if ctx.buffer_s <= reservoir {
+            0
+        } else if ctx.buffer_s >= upper {
+            N_LEVELS - 1
+        } else {
+            let frac = (ctx.buffer_s - reservoir) / (upper - reservoir);
+            ((frac * (N_LEVELS - 1) as f64).floor() as usize).min(N_LEVELS - 1)
+        }
+    }
+}
+
+/// Harmonic-mean rate rule: highest bitrate below 90% of the harmonic mean
+/// of the last five throughput samples.
+#[derive(Debug, Clone, Default)]
+pub struct RateBased;
+
+/// Harmonic mean of the last `k` entries (Mbps); conservative small value
+/// when no history exists yet.
+fn harmonic_mean_recent(history: &[f64], k: usize) -> f64 {
+    let tail = &history[history.len().saturating_sub(k)..];
+    if tail.is_empty() {
+        return 0.5;
+    }
+    let denom: f64 = tail.iter().map(|&t| 1.0 / t.max(1e-6)).sum();
+    tail.len() as f64 / denom
+}
+
+impl AbrAlgorithm for RateBased {
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        let est = 0.9 * harmonic_mean_recent(&ctx.throughput_history, 5);
+        let mut level = 0;
+        for (l, &kbps) in BITRATES_KBPS.iter().enumerate() {
+            if kbps / 1000.0 <= est {
+                level = l;
+            }
+        }
+        level
+    }
+}
+
+/// RobustMPC: plans `horizon` chunks ahead by exhaustive search, using the
+/// harmonic-mean throughput estimate discounted by the maximum recent
+/// prediction error (the "robust" correction of Yin et al.).
+#[derive(Debug, Clone)]
+pub struct RobustMpc {
+    /// Lookahead horizon in chunks.
+    pub horizon: usize,
+    /// Past prediction errors `|pred − actual| / actual`.
+    errors: Vec<f64>,
+    /// Throughput predicted at the previous decision, to be scored against
+    /// the next observed throughput.
+    last_prediction: Option<f64>,
+}
+
+impl Default for RobustMpc {
+    fn default() -> Self {
+        Self { horizon: 5, errors: Vec::new(), last_prediction: None }
+    }
+}
+
+impl RobustMpc {
+    /// MPC with a custom horizon.
+    pub fn with_horizon(horizon: usize) -> Self {
+        assert!(horizon >= 1);
+        Self { horizon, ..Self::default() }
+    }
+
+    /// Evaluates the best reward achievable from `(buffer, last_level)` over
+    /// the remaining horizon via depth-first enumeration; returns
+    /// `(best_reward, best_first_action)`.
+    #[allow(clippy::too_many_arguments)]
+    fn plan(
+        &self,
+        ctx: &AbrContext,
+        pred_mbps: f64,
+        depth: usize,
+        buffer: f64,
+        last_level: Option<usize>,
+    ) -> (f64, usize) {
+        let mut best = (f64::NEG_INFINITY, 0usize);
+        for level in 0..N_LEVELS {
+            let size_bits = if depth == 0 {
+                ctx.next_chunk_bits[level]
+            } else {
+                BITRATES_KBPS[level] * 1000.0 * ctx.chunk_len_s
+            };
+            let dt = size_bits / (pred_mbps.max(1e-3) * 1e6);
+            let rebuf = (dt - buffer).max(0.0);
+            let mut buf = (buffer - dt).max(0.0) + ctx.chunk_len_s;
+            buf = buf.min(ctx.buffer_max_s);
+            let bitrate = BITRATES_KBPS[level] / 1000.0;
+            let change = match last_level {
+                Some(prev) => (bitrate - BITRATES_KBPS[prev] / 1000.0).abs(),
+                None => 0.0,
+            };
+            let mut reward =
+                bitrate - REBUF_PENALTY * rebuf - SMOOTH_PENALTY * change;
+            if depth + 1 < self.horizon.min(ctx.chunks_remaining) {
+                let (future, _) = self.plan(ctx, pred_mbps, depth + 1, buf, Some(level));
+                reward += future;
+            }
+            if reward > best.0 {
+                best = (reward, level);
+            }
+        }
+        best
+    }
+}
+
+impl AbrAlgorithm for RobustMpc {
+    fn reset(&mut self) {
+        self.errors.clear();
+        self.last_prediction = None;
+    }
+
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        // Score the previous prediction against what actually happened.
+        if let (Some(pred), Some(&actual)) =
+            (self.last_prediction, ctx.throughput_history.last())
+        {
+            self.errors.push((pred - actual).abs() / actual.max(1e-6));
+            if self.errors.len() > 5 {
+                self.errors.remove(0);
+            }
+        }
+        let raw = harmonic_mean_recent(&ctx.throughput_history, 5);
+        let max_err = self.errors.iter().cloned().fold(0.0f64, f64::max);
+        let pred = raw / (1.0 + max_err);
+        self.last_prediction = Some(pred);
+        if ctx.chunks_remaining == 0 {
+            return 0;
+        }
+        let (_, action) = self.plan(ctx, pred, 0, ctx.buffer_s, ctx.last_level);
+        action
+    }
+}
+
+/// Oboe (Akhtar et al., SIGCOMM'18, as characterized in the paper's §2
+/// footnote): auto-tunes MPC's conservatism to the network conditions —
+/// here, the throughput prediction is discounted by the observed
+/// coefficient of variation of the session's throughput instead of
+/// RobustMPC's max-recent-error rule.
+#[derive(Debug, Clone)]
+pub struct Oboe {
+    inner: RobustMpc,
+}
+
+impl Default for Oboe {
+    fn default() -> Self {
+        Self { inner: RobustMpc::default() }
+    }
+}
+
+impl AbrAlgorithm for Oboe {
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        let h = &ctx.throughput_history;
+        let (mean_t, cv) = if h.len() >= 2 {
+            let m = genet_math::mean(h);
+            (m, genet_math::std_dev(h) / m.max(1e-9))
+        } else {
+            (harmonic_mean_recent(h, 5), 0.3)
+        };
+        // Conservatism scales with observed variability: calm networks use
+        // the mean almost directly, bursty ones discount hard.
+        let pred = mean_t / (1.0 + cv.clamp(0.0, 2.0));
+        if ctx.chunks_remaining == 0 {
+            return 0;
+        }
+        let (_, action) = self.inner.plan(ctx, pred, 0, ctx.buffer_s, ctx.last_level);
+        action
+    }
+}
+
+/// The naive §5.4 baseline: the highest level right after a rebuffering
+/// event, the lowest otherwise. Deliberately unreasonable.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveHighestOnRebuffer;
+
+impl AbrAlgorithm for NaiveHighestOnRebuffer {
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        if ctx.rebuffered_last {
+            N_LEVELS - 1
+        } else {
+            0
+        }
+    }
+}
+
+/// Constructs a baseline by its paper name.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn baseline_by_name(name: &str) -> Box<dyn AbrAlgorithm> {
+    match name {
+        "mpc" => Box::new(RobustMpc::default()),
+        "bba" => Box::new(Bba),
+        "rate" => Box::new(RateBased),
+        "oboe" => Box::new(Oboe::default()),
+        "naive" => Box::new(NaiveHighestOnRebuffer),
+        other => panic!("unknown ABR baseline: {other}"),
+    }
+}
+
+/// Names accepted by [`baseline_by_name`].
+pub const BASELINE_NAMES: &[&str] = &["mpc", "bba", "rate", "oboe", "naive"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::VideoModel;
+    use genet_traces::BandwidthTrace;
+
+    fn session(bw: f64) -> AbrSim {
+        AbrSim::new(
+            BandwidthTrace::constant(bw, 200.0),
+            VideoModel::new(120.0, 4.0, 3),
+            0.08,
+            30.0,
+        )
+    }
+
+    #[test]
+    fn bba_ramps_with_buffer() {
+        let mut algo = Bba;
+        let low = algo.choose(&ctx_with_buffer(1.0));
+        let mid = algo.choose(&ctx_with_buffer(15.0));
+        let high = algo.choose(&ctx_with_buffer(29.0));
+        assert_eq!(low, 0);
+        assert!(mid > 0 && mid < N_LEVELS - 1, "mid level {mid}");
+        assert_eq!(high, N_LEVELS - 1);
+    }
+
+    fn ctx_with_buffer(buffer_s: f64) -> AbrContext {
+        AbrContext {
+            buffer_s,
+            buffer_max_s: 30.0,
+            chunk_len_s: 4.0,
+            last_level: Some(0),
+            throughput_history: vec![3.0],
+            last_download_s: 1.0,
+            rebuffered_last: false,
+            next_chunk_bits: [1e6, 2e6, 4e6, 6e6, 9e6, 14e6],
+            chunks_remaining: 10,
+            chunks_total: 30,
+        }
+    }
+
+    #[test]
+    fn rate_based_tracks_throughput() {
+        let mut algo = RateBased;
+        let mut ctx = ctx_with_buffer(10.0);
+        ctx.throughput_history = vec![10.0, 10.0, 10.0];
+        assert_eq!(algo.choose(&ctx), N_LEVELS - 1, "10 Mbps supports top level");
+        ctx.throughput_history = vec![0.4, 0.4, 0.4];
+        assert_eq!(algo.choose(&ctx), 0, "0.4 Mbps supports only the lowest");
+        ctx.throughput_history = vec![1.5, 1.5, 1.5];
+        let l = algo.choose(&ctx);
+        assert!(BITRATES_KBPS[l] / 1000.0 <= 1.35, "safety factor respected");
+    }
+
+    #[test]
+    fn mpc_beats_naive_on_plentiful_bandwidth() {
+        let mpc = eval_abr(&mut session(6.0), &mut RobustMpc::default());
+        let naive = eval_abr(&mut session(6.0), &mut NaiveHighestOnRebuffer);
+        assert!(mpc > naive, "mpc {mpc} vs naive {naive}");
+    }
+
+    #[test]
+    fn mpc_is_reasonable_on_low_bandwidth() {
+        // On a 0.6 Mbps link the only safe level is the lowest (0.3 Mbps);
+        // MPC must avoid heavy rebuffering.
+        let r = eval_abr(&mut session(0.6), &mut RobustMpc::default());
+        assert!(r > 0.0, "mpc should stay positive on a starving link, got {r}");
+    }
+
+    #[test]
+    fn mpc_uses_high_bitrate_when_safe() {
+        let outs = run_abr(&mut session(20.0), &mut RobustMpc::default());
+        let mean_level =
+            outs.iter().map(|o| o.level as f64).sum::<f64>() / outs.len() as f64;
+        assert!(mean_level > 3.5, "mean level {mean_level} too conservative");
+    }
+
+    #[test]
+    fn naive_oscillates_and_scores_poorly() {
+        let naive = eval_abr(&mut session(1.5), &mut NaiveHighestOnRebuffer);
+        let bba = eval_abr(&mut session(1.5), &mut Bba);
+        assert!(bba > naive, "bba {bba} should beat naive {naive}");
+    }
+
+    #[test]
+    fn all_named_baselines_run() {
+        for name in BASELINE_NAMES {
+            let mut algo = baseline_by_name(name);
+            let r = eval_abr(&mut session(3.0), algo.as_mut());
+            assert!(r.is_finite(), "{name} produced {r}");
+        }
+    }
+
+    #[test]
+    fn oboe_is_competitive_with_mpc() {
+        // On a calm link Oboe should be at least as aggressive as
+        // RobustMPC (its conservatism tracks the low variance), and it must
+        // stay positive on a starving link.
+        let oboe_hi = eval_abr(&mut session(8.0), &mut Oboe::default());
+        let mpc_hi = eval_abr(&mut session(8.0), &mut RobustMpc::default());
+        assert!(oboe_hi > mpc_hi - 0.3, "oboe {oboe_hi} vs mpc {mpc_hi}");
+        let oboe_lo = eval_abr(&mut session(0.6), &mut Oboe::default());
+        assert!(oboe_lo > 0.0, "oboe on a starving link: {oboe_lo}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown ABR baseline")]
+    fn unknown_baseline_panics() {
+        let _ = baseline_by_name("bogus");
+    }
+}

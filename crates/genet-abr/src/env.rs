@@ -1,0 +1,168 @@
+//! RL environment adapter for the ABR simulator.
+//!
+//! Observation layout (all features scaled to O(1), Pensieve-style):
+//!
+//! | idx   | feature                                        |
+//! |-------|------------------------------------------------|
+//! | 0     | last selected level / (levels − 1)             |
+//! | 1     | playback buffer (s) / 30                       |
+//! | 2–7   | last six measured throughputs (Mbps)/10, newest first |
+//! | 8     | last download time (s) / 10                    |
+//! | 9     | fraction of chunks remaining                   |
+//! | 10–15 | next chunk size per level (bits) / 8e6         |
+
+use crate::sim::{AbrSim, ChunkOutcome};
+use crate::video::N_LEVELS;
+use genet_env::{Env, StepOutcome};
+
+/// Throughput-history length in the observation (Pensieve uses a similar
+/// multi-chunk history; a reactive policy needs enough samples to estimate
+/// the mean bandwidth instead of hedging toward low bitrates).
+pub const TPUT_HISTORY: usize = 6;
+
+/// Observation dimensionality of [`AbrEnv`].
+pub const ABR_OBS_DIM: usize = 4 + TPUT_HISTORY + N_LEVELS;
+
+/// The ABR simulator wrapped as a `genet_env::Env`.
+#[derive(Debug, Clone)]
+pub struct AbrEnv {
+    sim: AbrSim,
+}
+
+impl AbrEnv {
+    /// Wraps a fresh session.
+    pub fn new(sim: AbrSim) -> Self {
+        assert!(!sim.finished(), "cannot wrap a finished session");
+        Self { sim }
+    }
+
+    /// Read access to the underlying simulator.
+    pub fn sim(&self) -> &AbrSim {
+        &self.sim
+    }
+
+    /// The outcome-producing step, exposed for reward-breakdown experiments
+    /// (Figure 16 / Table 6 need bitrate / rebuffer / change components).
+    pub fn step_detailed(&mut self, action: usize) -> ChunkOutcome {
+        self.sim.download(action)
+    }
+}
+
+impl Env for AbrEnv {
+    fn obs_dim(&self) -> usize {
+        ABR_OBS_DIM
+    }
+
+    fn action_count(&self) -> usize {
+        N_LEVELS
+    }
+
+    fn observe(&self, out: &mut [f32]) {
+        let ctx = self.sim.context();
+        let h = &ctx.throughput_history;
+        out[0] = ctx.last_level.map(|l| l as f32 / (N_LEVELS - 1) as f32).unwrap_or(0.0);
+        out[1] = (ctx.buffer_s / 30.0).min(4.0) as f32;
+        for k in 0..TPUT_HISTORY {
+            out[2 + k] = if h.len() > k {
+                (h[h.len() - 1 - k] / 10.0).min(4.0) as f32
+            } else {
+                0.0
+            };
+        }
+        out[2 + TPUT_HISTORY] = (ctx.last_download_s / 10.0).min(4.0) as f32;
+        out[3 + TPUT_HISTORY] =
+            ctx.chunks_remaining as f32 / ctx.chunks_total.max(1) as f32;
+        for l in 0..N_LEVELS {
+            out[4 + TPUT_HISTORY + l] = (ctx.next_chunk_bits[l] / 8e6).min(4.0) as f32;
+        }
+    }
+
+    fn step(&mut self, action: usize) -> StepOutcome {
+        let out = self.sim.download(action);
+        StepOutcome { reward: out.reward, done: out.finished }
+    }
+}
+
+/// Drives a whole session with a `genet_env::Policy`, returning every chunk
+/// outcome — the reward-breakdown twin of `baselines::run_abr` (used by the
+/// Figure-16 / Table-6 experiments).
+pub fn run_abr_policy(
+    sim: AbrSim,
+    policy: &dyn genet_env::Policy,
+    seed: u64,
+) -> Vec<ChunkOutcome> {
+    use rand::SeedableRng;
+    let mut env = AbrEnv::new(sim);
+    let mut rng =
+        rand::rngs::StdRng::seed_from_u64(genet_math::derive_seed(seed, 0xAB9));
+    let mut obs = vec![0.0f32; env.obs_dim()];
+    let mut outs = Vec::new();
+    loop {
+        env.observe(&mut obs);
+        let action = policy.act(&obs, &mut rng);
+        let out = env.step_detailed(action);
+        let finished = out.finished;
+        outs.push(out);
+        if finished {
+            break;
+        }
+    }
+    outs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::VideoModel;
+    use genet_traces::BandwidthTrace;
+
+    fn env() -> AbrEnv {
+        AbrEnv::new(AbrSim::new(
+            BandwidthTrace::constant(3.0, 100.0),
+            VideoModel::new(40.0, 4.0, 0),
+            0.08,
+            30.0,
+        ))
+    }
+
+    #[test]
+    fn obs_is_bounded_and_sized() {
+        let mut e = env();
+        let mut obs = vec![0.0f32; e.obs_dim()];
+        loop {
+            e.observe(&mut obs);
+            assert_eq!(obs.len(), ABR_OBS_DIM);
+            for (i, v) in obs.iter().enumerate() {
+                assert!(v.is_finite() && (-0.01..=4.01).contains(v), "obs[{i}] = {v}");
+            }
+            if e.step(1).done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn episode_length_equals_chunk_count() {
+        let mut e = env();
+        let n = e.sim().video().n_chunks();
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            if e.step(0).done {
+                break;
+            }
+        }
+        assert_eq!(steps, n);
+    }
+
+    #[test]
+    fn remaining_fraction_decreases() {
+        let mut e = env();
+        let mut obs = vec![0.0f32; e.obs_dim()];
+        e.observe(&mut obs);
+        let first = obs[3 + TPUT_HISTORY];
+        e.step(0);
+        e.observe(&mut obs);
+        assert!(obs[3 + TPUT_HISTORY] < first);
+    }
+}

@@ -1,0 +1,28 @@
+//! # genet-abr
+//!
+//! Adaptive bitrate (ABR) streaming: a chunk-level video streaming simulator
+//! in the style of Pensieve's, the rule-based baselines the paper uses (BBA,
+//! RobustMPC, a rate-based rule, and the deliberately-naive rule from §5.4),
+//! an offline dynamic-programming oracle, and the [`AbrScenario`] adapter
+//! that plugs all of it into Genet's training framework.
+//!
+//! Decisions happen at chunk boundaries: the policy observes throughput
+//! history, buffer level and upcoming chunk sizes, picks the next chunk's
+//! bitrate, and earns the Table-1 reward
+//! `bitrate − 10·rebuffer − |Δbitrate|` (Mbps, seconds, Mbps).
+
+pub mod baselines;
+pub mod env;
+pub mod oracle;
+pub mod scenario;
+pub mod sim;
+pub mod space;
+pub mod video;
+
+pub use baselines::{AbrAlgorithm, Bba, NaiveHighestOnRebuffer, RateBased, RobustMpc};
+pub use env::{run_abr_policy, AbrEnv};
+pub use oracle::oracle_reward;
+pub use scenario::AbrScenario;
+pub use sim::{AbrContext, AbrSim, ChunkOutcome};
+pub use space::{abr_space, AbrParams};
+pub use video::VideoModel;

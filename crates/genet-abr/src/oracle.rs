@@ -1,0 +1,185 @@
+//! Offline oracle: near-optimal bitrate plan with ground-truth bandwidth.
+//!
+//! The paper's "Strawman 3" / CL3 comparators need the performance gap
+//! between the current RL policy and the optimum, "obtained by using
+//! ground-truth bandwidth as the bandwidth prediction" (§3). Exact dynamic
+//! programming over a continuous (time, buffer) state is intractable, so we
+//! use a wide beam search over per-chunk states — with the beam deduplicated
+//! on quantized (level, buffer) — which is the standard way Pensieve-style
+//! evaluations approximate the offline optimum.
+
+use crate::sim::{transfer_time, MAX_DOWNLOAD_S, REBUF_PENALTY, SMOOTH_PENALTY};
+use crate::video::{VideoModel, N_LEVELS};
+use genet_traces::BandwidthTrace;
+use std::collections::HashMap;
+
+/// One partial plan in the beam.
+#[derive(Debug, Clone, Copy)]
+struct PlanState {
+    t: f64,
+    buffer_s: f64,
+    last_level: usize,
+    total_reward: f64,
+}
+
+/// Mean per-chunk reward of the (approximately) optimal plan for a session
+/// defined by `(trace, video, rtt_s, buffer_max_s)`.
+///
+/// `beam_width` trades accuracy for time; 64 is enough for the
+/// correlation experiments of Figure 6.
+pub fn oracle_reward(
+    trace: &BandwidthTrace,
+    video: &VideoModel,
+    rtt_s: f64,
+    buffer_max_s: f64,
+    beam_width: usize,
+) -> f64 {
+    assert!(beam_width >= 1);
+    let n = video.n_chunks();
+    let mut beam: Vec<PlanState> = Vec::with_capacity(beam_width * N_LEVELS);
+    // Chunk 0 from the empty-buffer start; no smoothness penalty.
+    for level in 0..N_LEVELS {
+        beam.push(advance(
+            PlanState { t: 0.0, buffer_s: 0.0, last_level: level, total_reward: 0.0 },
+            trace,
+            video,
+            rtt_s,
+            buffer_max_s,
+            0,
+            level,
+            true,
+        ));
+    }
+    for chunk in 1..n {
+        let mut candidates: Vec<PlanState> = Vec::with_capacity(beam.len() * N_LEVELS);
+        for &st in &beam {
+            for level in 0..N_LEVELS {
+                candidates.push(advance(
+                    st,
+                    trace,
+                    video,
+                    rtt_s,
+                    buffer_max_s,
+                    chunk,
+                    level,
+                    false,
+                ));
+            }
+        }
+        // Deduplicate on quantized (level, buffer): keep the best reward in
+        // each bucket, then keep the top `beam_width` overall.
+        let mut buckets: HashMap<(usize, i64), PlanState> = HashMap::new();
+        for c in candidates {
+            let key = (c.last_level, (c.buffer_s / 0.25) as i64);
+            let entry = buckets.entry(key).or_insert(c);
+            if c.total_reward > entry.total_reward {
+                *entry = c;
+            }
+        }
+        beam = buckets.into_values().collect();
+        beam.sort_by(|a, b| {
+            b.total_reward.partial_cmp(&a.total_reward).expect("finite rewards")
+        });
+        beam.truncate(beam_width);
+    }
+    let best = beam
+        .iter()
+        .map(|s| s.total_reward)
+        .fold(f64::NEG_INFINITY, f64::max);
+    best / n as f64
+}
+
+#[allow(clippy::too_many_arguments)]
+fn advance(
+    st: PlanState,
+    trace: &BandwidthTrace,
+    video: &VideoModel,
+    rtt_s: f64,
+    buffer_max_s: f64,
+    chunk: usize,
+    level: usize,
+    first: bool,
+) -> PlanState {
+    let size_bits = video.chunk_size_bits(chunk, level);
+    let download_s = (rtt_s + transfer_time(trace, st.t + rtt_s, size_bits)).min(MAX_DOWNLOAD_S);
+    // First chunk: startup delay, not rebuffering (matches `AbrSim`).
+    let rebuffer = if first { 0.0 } else { (download_s - st.buffer_s).max(0.0) };
+    let mut buffer = (st.buffer_s - download_s).max(0.0) + video.chunk_len_s();
+    let mut t = st.t + download_s;
+    if buffer > buffer_max_s {
+        t += buffer - buffer_max_s;
+        buffer = buffer_max_s;
+    }
+    let bitrate = video.bitrate_mbps(level);
+    let change = if first {
+        0.0
+    } else {
+        (bitrate - video.bitrate_mbps(st.last_level)).abs()
+    };
+    PlanState {
+        t,
+        buffer_s: buffer,
+        last_level: level,
+        total_reward: st.total_reward + bitrate
+            - REBUF_PENALTY * rebuffer
+            - SMOOTH_PENALTY * change,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{eval_abr, RobustMpc};
+    use crate::sim::AbrSim;
+
+    #[test]
+    fn oracle_upper_bounds_mpc() {
+        for seed in 0..3u64 {
+            let trace = genet_traces::gen_abr_trace(
+                &genet_traces::AbrTraceParams {
+                    min_bw_mbps: 0.5,
+                    max_bw_mbps: 4.0,
+                    change_interval_s: 5.0,
+                    duration_s: 200.0,
+                },
+                &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed),
+            );
+            let video = VideoModel::new(120.0, 4.0, seed);
+            let oracle = oracle_reward(&trace, &video, 0.08, 30.0, 64);
+            let mpc = eval_abr(
+                &mut AbrSim::new(trace, video, 0.08, 30.0),
+                &mut RobustMpc::default(),
+            );
+            assert!(
+                oracle >= mpc - 0.05,
+                "seed {seed}: oracle {oracle} should be ≥ mpc {mpc}"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_on_fat_link_is_top_bitrate() {
+        let trace = genet_traces::BandwidthTrace::constant(50.0, 100.0);
+        let video = VideoModel::new(80.0, 4.0, 1);
+        let r = oracle_reward(&trace, &video, 0.02, 30.0, 64);
+        // Top bitrate 4.3 Mbps, near-zero rebuffering, one ramp-up cost.
+        assert!(r > 3.8, "{r}");
+    }
+
+    #[test]
+    fn wider_beam_never_hurts() {
+        let trace = genet_traces::gen_abr_trace(
+            &genet_traces::AbrTraceParams {
+                min_bw_mbps: 0.3,
+                max_bw_mbps: 3.0,
+                change_interval_s: 3.0,
+                duration_s: 150.0,
+            },
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9),
+        );
+        let video = VideoModel::new(100.0, 4.0, 9);
+        let narrow = oracle_reward(&trace, &video, 0.08, 30.0, 4);
+        let wide = oracle_reward(&trace, &video, 0.08, 30.0, 128);
+        assert!(wide >= narrow - 1e-9, "wide {wide} vs narrow {narrow}");
+    }
+}

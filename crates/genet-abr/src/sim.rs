@@ -1,0 +1,332 @@
+//! The chunk-level streaming simulator.
+//!
+//! Faithful to the Pensieve simulator's mechanics: each decision downloads
+//! one chunk over the bandwidth trace (plus one RTT of request latency),
+//! drains the playback buffer during the download, accounts rebuffering when
+//! the buffer empties, and pauses the download loop when the buffer would
+//! exceed its maximum.
+
+use crate::video::{VideoModel, N_LEVELS};
+use genet_traces::BandwidthTrace;
+
+/// Reward weights from Table 1 (ABR row): `β·bitrate − α·rebuffer − γ·|Δ|`.
+pub const REBUF_PENALTY: f64 = 10.0;
+/// Smoothness penalty weight (per Mbps of bitrate change).
+pub const SMOOTH_PENALTY: f64 = 1.0;
+
+/// Hard cap on one chunk's download time; a trace can contain near-zero
+/// bandwidth, and an unbounded integral would stall the simulation. The cap
+/// manifests as (heavy) rebuffering, exactly like a player giving up on a
+/// stalled chunk.
+pub const MAX_DOWNLOAD_S: f64 = 120.0;
+
+/// Result of downloading one chunk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkOutcome {
+    /// Level that was downloaded.
+    pub level: usize,
+    /// Bitrate of that level (Mbps).
+    pub bitrate_mbps: f64,
+    /// Download time including request RTT (seconds).
+    pub download_s: f64,
+    /// Rebuffering incurred (seconds).
+    pub rebuffer_s: f64,
+    /// Absolute bitrate change vs the previous chunk (Mbps; 0 for the first).
+    pub bitrate_change_mbps: f64,
+    /// Measured throughput of the transfer (Mbps).
+    pub throughput_mbps: f64,
+    /// Table-1 reward of this chunk.
+    pub reward: f64,
+    /// True when this was the final chunk.
+    pub finished: bool,
+}
+
+/// Decision context handed to ABR algorithms (rule-based and RL alike).
+#[derive(Debug, Clone)]
+pub struct AbrContext {
+    /// Current playback buffer (seconds).
+    pub buffer_s: f64,
+    /// Maximum playback buffer (seconds).
+    pub buffer_max_s: f64,
+    /// Chunk length (seconds).
+    pub chunk_len_s: f64,
+    /// Level of the previously downloaded chunk (`None` before the first).
+    pub last_level: Option<usize>,
+    /// Measured throughputs of past chunks, most recent last (Mbps).
+    pub throughput_history: Vec<f64>,
+    /// Download time of the last chunk (seconds; 0 before the first).
+    pub last_download_s: f64,
+    /// Whether the last chunk caused rebuffering.
+    pub rebuffered_last: bool,
+    /// Sizes in bits of the next chunk at each level.
+    pub next_chunk_bits: [f64; N_LEVELS],
+    /// Chunks remaining including the next one.
+    pub chunks_remaining: usize,
+    /// Total chunks in the video.
+    pub chunks_total: usize,
+}
+
+/// The streaming session state.
+#[derive(Debug, Clone)]
+pub struct AbrSim {
+    trace: BandwidthTrace,
+    video: VideoModel,
+    rtt_s: f64,
+    buffer_max_s: f64,
+    /// Wall-clock time within the (looping) trace.
+    t: f64,
+    buffer_s: f64,
+    next_chunk: usize,
+    last_level: Option<usize>,
+    throughput_history: Vec<f64>,
+    last_download_s: f64,
+    rebuffered_last: bool,
+}
+
+impl AbrSim {
+    /// Starts a session at time 0 with an empty buffer.
+    pub fn new(trace: BandwidthTrace, video: VideoModel, rtt_s: f64, buffer_max_s: f64) -> Self {
+        assert!(rtt_s >= 0.0 && buffer_max_s > 0.0);
+        Self {
+            trace,
+            video,
+            rtt_s,
+            buffer_max_s,
+            t: 0.0,
+            buffer_s: 0.0,
+            next_chunk: 0,
+            last_level: None,
+            throughput_history: Vec::new(),
+            last_download_s: 0.0,
+            rebuffered_last: false,
+        }
+    }
+
+    /// The video being streamed.
+    pub fn video(&self) -> &VideoModel {
+        &self.video
+    }
+
+    /// True when every chunk has been downloaded.
+    pub fn finished(&self) -> bool {
+        self.next_chunk >= self.video.n_chunks()
+    }
+
+    /// Current decision context.
+    pub fn context(&self) -> AbrContext {
+        let mut next_chunk_bits = [0.0; N_LEVELS];
+        if !self.finished() {
+            for (l, b) in next_chunk_bits.iter_mut().enumerate() {
+                *b = self.video.chunk_size_bits(self.next_chunk, l);
+            }
+        }
+        AbrContext {
+            buffer_s: self.buffer_s,
+            buffer_max_s: self.buffer_max_s,
+            chunk_len_s: self.video.chunk_len_s(),
+            last_level: self.last_level,
+            throughput_history: self.throughput_history.clone(),
+            last_download_s: self.last_download_s,
+            rebuffered_last: self.rebuffered_last,
+            next_chunk_bits,
+            chunks_remaining: self.video.n_chunks() - self.next_chunk,
+            chunks_total: self.video.n_chunks(),
+        }
+    }
+
+    /// Downloads the next chunk at `level`.
+    ///
+    /// # Panics
+    /// Panics if the session is finished or the level is out of range.
+    pub fn download(&mut self, level: usize) -> ChunkOutcome {
+        assert!(!self.finished(), "download() after the last chunk");
+        assert!(level < N_LEVELS, "level {level} out of range");
+        let size_bits = self.video.chunk_size_bits(self.next_chunk, level);
+        let transfer_s = transfer_time(&self.trace, self.t + self.rtt_s, size_bits);
+        let download_s = (self.rtt_s + transfer_s).min(MAX_DOWNLOAD_S);
+        let throughput_mbps = size_bits / 1e6 / download_s.max(1e-9);
+
+        // The first chunk's download is startup delay, not a stall —
+        // playback has not begun yet (same convention as the Pensieve
+        // simulator).
+        let rebuffer_s = if self.next_chunk == 0 {
+            0.0
+        } else {
+            (download_s - self.buffer_s).max(0.0)
+        };
+        self.buffer_s = (self.buffer_s - download_s).max(0.0) + self.video.chunk_len_s();
+        self.t += download_s;
+        // If the buffer would overflow, the player pauses requests until
+        // there is room; wall-clock advances, buffer drains.
+        if self.buffer_s > self.buffer_max_s {
+            let wait = self.buffer_s - self.buffer_max_s;
+            self.t += wait;
+            self.buffer_s = self.buffer_max_s;
+        }
+
+        let bitrate_mbps = self.video.bitrate_mbps(level);
+        let bitrate_change_mbps = match self.last_level {
+            Some(prev) => (bitrate_mbps - self.video.bitrate_mbps(prev)).abs(),
+            None => 0.0,
+        };
+        let reward = bitrate_mbps
+            - REBUF_PENALTY * rebuffer_s
+            - SMOOTH_PENALTY * bitrate_change_mbps;
+
+        self.last_level = Some(level);
+        self.throughput_history.push(throughput_mbps);
+        self.last_download_s = download_s;
+        self.rebuffered_last = rebuffer_s > 0.0;
+        self.next_chunk += 1;
+
+        ChunkOutcome {
+            level,
+            bitrate_mbps,
+            download_s,
+            rebuffer_s,
+            bitrate_change_mbps,
+            throughput_mbps,
+            reward,
+            finished: self.finished(),
+        }
+    }
+}
+
+/// Time to push `size_bits` through the trace starting at absolute time
+/// `start`, honouring segment boundaries and looping, capped at
+/// [`MAX_DOWNLOAD_S`]. Public because the offline oracle replays the same
+/// physics over candidate plans.
+pub fn transfer_time(trace: &BandwidthTrace, start: f64, size_bits: f64) -> f64 {
+    let mut remaining = size_bits;
+    let mut t = start;
+    let mut elapsed = 0.0;
+    // Walk in slices no longer than the trace's median segment so bandwidth
+    // changes are honoured without a full segment-boundary search.
+    let slice = 0.25f64.min(trace.duration().max(0.05) / 4.0).max(0.01);
+    while remaining > 0.0 && elapsed < MAX_DOWNLOAD_S {
+        let bw_mbps = trace.bw_at(t).max(1e-3);
+        let bits_in_slice = bw_mbps * 1e6 * slice;
+        if bits_in_slice >= remaining {
+            let dt = remaining / (bw_mbps * 1e6);
+            return elapsed + dt;
+        }
+        remaining -= bits_in_slice;
+        t += slice;
+        elapsed += slice;
+    }
+    elapsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(bw_mbps: f64) -> AbrSim {
+        AbrSim::new(
+            BandwidthTrace::constant(bw_mbps, 100.0),
+            VideoModel::new(40.0, 4.0, 0),
+            0.08,
+            60.0,
+        )
+    }
+
+    #[test]
+    fn download_time_matches_constant_bandwidth() {
+        let mut s = sim(2.0);
+        let size = s.video().chunk_size_bits(0, 2);
+        let out = s.download(2);
+        let expect = 0.08 + size / 2e6;
+        assert!((out.download_s - expect).abs() < 0.02, "{} vs {expect}", out.download_s);
+    }
+
+    #[test]
+    fn first_chunk_is_startup_not_rebuffering() {
+        let mut s = sim(5.0);
+        let out = s.download(0);
+        assert_eq!(out.rebuffer_s, 0.0, "startup delay must not count as a stall");
+        // But an over-ambitious second chunk on a slow link does stall.
+        let mut slow = sim(0.3);
+        slow.download(0);
+        let out2 = slow.download(5);
+        assert!(out2.rebuffer_s > 0.0);
+    }
+
+    #[test]
+    fn buffer_grows_when_bandwidth_ample() {
+        let mut s = sim(50.0);
+        let mut last_buffer = 0.0;
+        for _ in 0..5 {
+            s.download(0);
+            let b = s.context().buffer_s;
+            assert!(b >= last_buffer, "buffer should grow");
+            last_buffer = b;
+        }
+        assert!(last_buffer > 10.0);
+    }
+
+    #[test]
+    fn buffer_never_exceeds_max() {
+        let mut s = AbrSim::new(
+            BandwidthTrace::constant(100.0, 100.0),
+            VideoModel::new(200.0, 4.0, 0),
+            0.02,
+            8.0,
+        );
+        while !s.finished() {
+            s.download(0);
+            assert!(s.context().buffer_s <= 8.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn low_bandwidth_high_level_rebuffers() {
+        let mut s = sim(0.3);
+        s.download(0); // warm up
+        let out = s.download(5); // 4.3 Mbps chunk on 0.3 Mbps link
+        assert!(out.rebuffer_s > 10.0, "rebuffer {}", out.rebuffer_s);
+        assert!(out.reward < -50.0);
+    }
+
+    #[test]
+    fn smoothness_penalty_applies() {
+        let mut s = sim(50.0);
+        s.download(0);
+        let out = s.download(5);
+        let expect_change = (4.3 - 0.3f64).abs();
+        assert!((out.bitrate_change_mbps - expect_change).abs() < 1e-9);
+    }
+
+    #[test]
+    fn session_finishes_after_all_chunks() {
+        let mut s = sim(10.0);
+        let n = s.video().n_chunks();
+        for i in 0..n {
+            assert!(!s.finished());
+            let out = s.download(1);
+            assert_eq!(out.finished, i == n - 1);
+        }
+        assert!(s.finished());
+    }
+
+    #[test]
+    fn zero_bandwidth_is_capped_not_hung() {
+        let mut s = AbrSim::new(
+            BandwidthTrace::constant(0.0, 100.0),
+            VideoModel::new(40.0, 4.0, 0),
+            0.08,
+            60.0,
+        );
+        let out = s.download(0);
+        assert!(out.download_s <= MAX_DOWNLOAD_S + 1e-9);
+    }
+
+    #[test]
+    fn throughput_history_accumulates() {
+        let mut s = sim(5.0);
+        s.download(0);
+        s.download(1);
+        let ctx = s.context();
+        assert_eq!(ctx.throughput_history.len(), 2);
+        assert!(ctx.throughput_history.iter().all(|&t| t > 0.0));
+    }
+}

@@ -1,0 +1,127 @@
+//! The video being streamed: bitrate ladder and per-chunk sizes.
+//!
+//! The ladder is Pensieve's "EnvivioDash3" six-level ladder. Chunk sizes are
+//! `bitrate × chunk length` with deterministic per-chunk variable-bitrate
+//! (VBR) jitter so two chunks at the same level differ in size, as real
+//! encodings do.
+
+use genet_math::derive_seed;
+
+/// The six-level bitrate ladder (kbps) used by Pensieve and by the paper's
+/// ABR experiments.
+pub const BITRATES_KBPS: [f64; 6] = [300.0, 750.0, 1200.0, 1850.0, 2850.0, 4300.0];
+
+/// Number of bitrate levels (= the RL action count for ABR).
+pub const N_LEVELS: usize = BITRATES_KBPS.len();
+
+/// VBR jitter amplitude: chunk sizes vary ±15% around nominal.
+const VBR_JITTER: f64 = 0.15;
+
+/// A video: ladder + chunk length + chunk count + deterministic sizes.
+#[derive(Debug, Clone)]
+pub struct VideoModel {
+    chunk_len_s: f64,
+    n_chunks: usize,
+    /// Multiplicative VBR factor per chunk (shared across levels, as size
+    /// variation comes from scene complexity).
+    vbr: Vec<f64>,
+}
+
+impl VideoModel {
+    /// Builds a video of `video_len_s` seconds in chunks of `chunk_len_s`
+    /// seconds, with VBR jitter derived from `seed`.
+    ///
+    /// # Panics
+    /// Panics on non-positive lengths.
+    pub fn new(video_len_s: f64, chunk_len_s: f64, seed: u64) -> Self {
+        assert!(video_len_s > 0.0 && chunk_len_s > 0.0, "lengths must be positive");
+        let n_chunks = (video_len_s / chunk_len_s).round().max(1.0) as usize;
+        let vbr = (0..n_chunks)
+            .map(|i| {
+                // Map a derived seed to a factor in [1−j, 1+j].
+                let u = derive_seed(seed, i as u64) as f64 / u64::MAX as f64;
+                1.0 - VBR_JITTER + 2.0 * VBR_JITTER * u
+            })
+            .collect();
+        Self { chunk_len_s, n_chunks, vbr }
+    }
+
+    /// Chunk length in seconds.
+    pub fn chunk_len_s(&self) -> f64 {
+        self.chunk_len_s
+    }
+
+    /// Number of chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.n_chunks
+    }
+
+    /// Nominal bitrate of a level in Mbps.
+    pub fn bitrate_mbps(&self, level: usize) -> f64 {
+        BITRATES_KBPS[level] / 1000.0
+    }
+
+    /// Size in bits of chunk `idx` at `level`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range chunk or level.
+    pub fn chunk_size_bits(&self, idx: usize, level: usize) -> f64 {
+        assert!(idx < self.n_chunks, "chunk {idx} out of range {}", self.n_chunks);
+        BITRATES_KBPS[level] * 1000.0 * self.chunk_len_s * self.vbr[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_count() {
+        let v = VideoModel::new(196.0, 4.0, 0);
+        assert_eq!(v.n_chunks(), 49);
+        let w = VideoModel::new(40.0, 10.0, 0);
+        assert_eq!(w.n_chunks(), 4);
+    }
+
+    #[test]
+    fn sizes_scale_with_level_and_length() {
+        let v = VideoModel::new(100.0, 4.0, 1);
+        for i in 0..v.n_chunks() {
+            for l in 1..N_LEVELS {
+                assert!(
+                    v.chunk_size_bits(i, l) > v.chunk_size_bits(i, l - 1),
+                    "chunk {i}: level {l} should be larger"
+                );
+            }
+        }
+        let long = VideoModel::new(100.0, 8.0, 1);
+        assert!(long.chunk_size_bits(0, 0) > v.chunk_size_bits(0, 0) * 1.5);
+    }
+
+    #[test]
+    fn vbr_jitter_is_bounded_and_deterministic() {
+        let a = VideoModel::new(200.0, 4.0, 7);
+        let b = VideoModel::new(200.0, 4.0, 7);
+        for i in 0..a.n_chunks() {
+            assert_eq!(a.chunk_size_bits(i, 3), b.chunk_size_bits(i, 3));
+            let nominal = BITRATES_KBPS[3] * 1000.0 * 4.0;
+            let ratio = a.chunk_size_bits(i, 3) / nominal;
+            assert!((0.85..=1.15).contains(&ratio), "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = VideoModel::new(200.0, 4.0, 7);
+        let b = VideoModel::new(200.0, 4.0, 8);
+        let same = (0..a.n_chunks())
+            .all(|i| a.chunk_size_bits(i, 0) == b.chunk_size_bits(i, 0));
+        assert!(!same);
+    }
+
+    #[test]
+    fn tiny_video_has_one_chunk() {
+        let v = VideoModel::new(1.0, 10.0, 0);
+        assert_eq!(v.n_chunks(), 1);
+    }
+}

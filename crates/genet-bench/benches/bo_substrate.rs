@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the Bayesian-optimization substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genet::bo::gp::{GaussianProcess, GpParams};
+use genet::bo::{BayesOpt, Proposer};
+use genet::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn space5() -> ParamSpace {
+    ParamSpace::new(vec![
+        ParamDim::log_scale("a", 0.1, 100.0),
+        ParamDim::new("b", 0.0, 30.0),
+        ParamDim::new("c", 0.0, 0.05),
+        ParamDim::log_scale("d", 10.0, 400.0),
+        ParamDim::log_int("e", 2.0, 200.0),
+    ])
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let space = space5();
+    let x: Vec<Vec<f64>> =
+        (0..15).map(|_| space.normalize(&space.sample(&mut rng))).collect();
+    let y: Vec<f64> = (0..15).map(|i| (i as f64).sin()).collect();
+    c.bench_function("gp_fit_15_points_5d", |b| {
+        b.iter(|| black_box(GaussianProcess::fit(&x, &y, GpParams::default())))
+    });
+    let gp = GaussianProcess::fit(&x, &y, GpParams::default());
+    let q = space.normalize(&space.midpoint());
+    c.bench_function("gp_predict", |b| b.iter(|| black_box(gp.predict(&q))));
+}
+
+fn bench_bo_round(c: &mut Criterion) {
+    // One full 15-trial BO round on a cheap synthetic objective — the
+    // sequencing-module cost per Genet round, minus the env evaluations.
+    c.bench_function("bo_round_15_trials", |b| {
+        b.iter(|| {
+            let mut bo = BayesOpt::new(space5());
+            let mut rng = StdRng::seed_from_u64(1);
+            for _ in 0..15 {
+                let cfg = bo.propose(&mut rng);
+                let y = cfg.values().iter().sum::<f64>().sin();
+                bo.observe(cfg, y);
+            }
+            black_box(bo.best().map(|(_, v)| v))
+        })
+    });
+}
+
+criterion_group!(benches, bench_gp, bench_bo_round);
+criterion_main!(benches);

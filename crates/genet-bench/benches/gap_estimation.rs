@@ -1,0 +1,36 @@
+//! Criterion benchmark of the gap-to-baseline estimate — the objective the
+//! BO sequencing module evaluates `bo_trials` times per Genet round; this
+//! dominates Genet's overhead over traditional training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genet::prelude::*;
+use std::hint::black_box;
+
+fn bench_gap(c: &mut Criterion) {
+    let lb = LbScenario;
+    let agent = make_agent(&lb, 0);
+    let policy = agent.policy(PolicyMode::Greedy);
+    let cfg = genet::lb::scenario::default_config();
+    c.bench_function("gap_to_baseline_lb_k4", |b| {
+        b.iter(|| black_box(gap_to_baseline(&lb, &policy, "llf", &cfg, 4, 0)))
+    });
+
+    let cc = CcScenario::new();
+    let cc_agent = make_agent(&cc, 0);
+    let cc_policy = cc_agent.policy(PolicyMode::Greedy);
+    let cc_cfg = genet::cc::scenario::default_config();
+    c.bench_function("gap_to_baseline_cc_k4", |b| {
+        b.iter(|| black_box(gap_to_baseline(&cc, &cc_policy, "bbr", &cc_cfg, 4, 0)))
+    });
+
+    let abr = AbrScenario::new();
+    let abr_agent = make_agent(&abr, 0);
+    let abr_policy = abr_agent.policy(PolicyMode::Greedy);
+    let abr_cfg = genet::abr::scenario::default_config();
+    c.bench_function("gap_to_baseline_abr_k4", |b| {
+        b.iter(|| black_box(gap_to_baseline(&abr, &abr_policy, "mpc", &abr_cfg, 4, 0)))
+    });
+}
+
+criterion_group!(benches, bench_gap);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the hand-rolled RL substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genet::rl::{Mlp, PpoAgent, PpoConfig, RolloutBuffer, Transition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_mlp(c: &mut Criterion) {
+    let mlp = Mlp::new(&[20, 32, 16, 9], 0);
+    let mut scratch = mlp.scratch();
+    let input = vec![0.3f32; 20];
+    c.bench_function("mlp_forward_20x32x16x9", |b| {
+        b.iter(|| {
+            let out = mlp.forward(black_box(&input), &mut scratch);
+            black_box(out[0])
+        })
+    });
+    let mut grads = vec![0.0f32; mlp.param_count()];
+    c.bench_function("mlp_forward_backward", |b| {
+        b.iter(|| {
+            let out = mlp.forward(black_box(&input), &mut scratch).to_vec();
+            mlp.backward(&out, &mut scratch, &mut grads);
+            black_box(grads[0])
+        })
+    });
+}
+
+fn bench_ppo_update(c: &mut Criterion) {
+    c.bench_function("ppo_update_1024_transitions", |b| {
+        let mut agent = PpoAgent::new(20, 9, PpoConfig::default(), 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| {
+            let mut buffer = RolloutBuffer::new();
+            for i in 0..1024usize {
+                buffer.push(Transition {
+                    obs: vec![(i % 17) as f32 * 0.05; 20],
+                    action: i % 9,
+                    log_prob: -2.2,
+                    value: 0.1,
+                    reward: ((i % 5) as f32 - 2.0) * 0.3,
+                    done: i % 128 == 127,
+                });
+            }
+            black_box(agent.update(&mut buffer, &mut rng))
+        })
+    });
+}
+
+criterion_group!(benches, bench_mlp, bench_ppo_update);
+criterion_main!(benches);

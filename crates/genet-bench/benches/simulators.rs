@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of the three simulators — the substrate every
+//! figure's wall-clock rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genet::abr::{AbrSim, VideoModel};
+use genet::cc::{CcPath, CcSim};
+use genet::lb::sim::LbSim;
+use genet::lb::space::LbParams;
+use genet::prelude::*;
+use std::hint::black_box;
+
+fn bench_abr(c: &mut Criterion) {
+    c.bench_function("abr_full_session_49_chunks", |b| {
+        let trace = BandwidthTrace::constant(3.0, 200.0);
+        let video = VideoModel::new(196.0, 4.0, 0);
+        b.iter(|| {
+            let mut sim = AbrSim::new(trace.clone(), video.clone(), 0.08, 60.0);
+            let mut total = 0.0;
+            while !sim.finished() {
+                total += sim.download(black_box(2)).reward;
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_cc(c: &mut Criterion) {
+    c.bench_function("cc_full_connection_30s", |b| {
+        let path = CcPath {
+            trace: BandwidthTrace::constant(4.0, 30.0),
+            base_rtt_s: 0.1,
+            queue_cap_pkts: 30.0,
+            loss_rate: 0.01,
+            delay_noise_s: 0.0,
+            duration_s: 30.0,
+        };
+        b.iter(|| {
+            let mut sim = CcSim::new(path.clone(), 0);
+            sim.set_rate_mbps(3.0);
+            while !sim.finished() {
+                black_box(sim.run_mi());
+            }
+            black_box(sim.episode_reward())
+        })
+    });
+}
+
+fn bench_lb(c: &mut Criterion) {
+    c.bench_function("lb_episode_1000_jobs", |b| {
+        let params = LbParams {
+            service_rate: 1.0,
+            job_size_kb: 2000.0,
+            job_interval_ms: 700.0,
+            num_jobs: 1000,
+            shuffle_prob: 0.5,
+        };
+        b.iter(|| {
+            let mut sim = LbSim::new(params, 0);
+            let mut i = 0usize;
+            while !sim.finished() {
+                black_box(sim.dispatch(i % 3));
+                i += 1;
+            }
+            black_box(sim.episode_reward())
+        })
+    });
+}
+
+criterion_group!(benches, bench_abr, bench_cc, bench_lb);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 2: the two challenges of traditional RL training.
+//!
+//! (a) The RL policy's performance gain over the rule-based baseline
+//!     shrinks as the training/test distribution widens (RL1 → RL3).
+//! (b) Even when RL wins on average, it loses to the baseline on a
+//!     substantial fraction of test environments, growing with the range.
+//!
+//! Each `RLk` policy is trained *and* tested on its own range level.
+//!
+//! ```sh
+//! cargo run --release -p genet-bench --bin fig02_motivation [-- --full]
+//! ```
+
+use genet::prelude::*;
+use genet_bench::harness::{self, Args};
+use genet::math::fraction_below;
+
+fn main() {
+    let args = Args::parse();
+    let mut out = harness::tsv("fig02_motivation");
+    out.header(&[
+        "scenario",
+        "range",
+        "rl_mean",
+        "baseline_mean",
+        "gain",
+        "frac_envs_rl_worse",
+    ]);
+
+    let scenarios: Vec<Box<dyn Scenario>> = vec![
+        Box::new(CcScenario::new()),
+        Box::new(AbrScenario::new()),
+        Box::new(LbScenario),
+    ];
+    for scenario in &scenarios {
+        let s = scenario.as_ref();
+        let baseline = s.default_baseline();
+        for level in RangeLevel::all() {
+            let space = s.space(level);
+            let test =
+                test_configs(&space, harness::test_env_count(args.full), args.seed ^ 0x21);
+            let agent = harness::cached_traditional(s, level, &args);
+            let rl = eval_policy_many(s, &agent.policy(PolicyMode::Greedy), &test, args.seed);
+            let base = eval_baseline_many(s, baseline, &test, args.seed);
+            out.row(&vec![
+                s.name().into(),
+                level.label().into(),
+                fmt(mean(&rl)),
+                fmt(mean(&base)),
+                fmt(mean(&rl) - mean(&base)),
+                fmt(fraction_below(&rl, &base)),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 3: generalization issues of traditionally trained RL-based CC.
+//!
+//! (a) An RL policy trained on the original synthetic range (our CC RL1 =
+//!     the Aurora training range) validates fine on held-out synthetic
+//!     environments but falls behind BBR on the Cellular and Ethernet trace
+//!     corpora.
+//! (b) A policy trained on Cellular traces degrades on Ethernet, and vice
+//!     versa, again relative to BBR.
+//!
+//! ```sh
+//! cargo run --release -p genet-bench --bin fig03_generalization_cc [-- --full]
+//! ```
+
+use genet::prelude::*;
+use genet_bench::harness::{self, Args};
+
+/// Trains a CC policy on trace-driven environments from a corpus train
+/// split (bandwidth from the corpus, other path parameters default).
+fn train_on_corpus(kind: CorpusKind, args: &Args) -> PpoAgent {
+    let cc = CcScenario::new();
+    let cfg = harness::genet_config(&cc, args.full);
+    let tag = format!("cc_corpus_{}_it{}_s{}", kind.name(), cfg.total_iters(), args.seed);
+    harness::cached_agent(&tag, &cc, args.fresh, || {
+        let (count, dur) = kind.split_shape(Split::Train);
+        let corpus = kind.generate_sized(Split::Train, 1, count, dur);
+        let pool = std::sync::Arc::new(TraceIndex::new(corpus.traces));
+        let scenario = CcScenario::new().with_trace_pool(pool, 1.0);
+        let mut agent = make_agent(&scenario, args.seed);
+        // Non-bandwidth parameters still vary (the paper varies queue
+        // length etc. "to increase its robustness") — sample configs from
+        // the medium range while the bandwidth comes from the corpus.
+        let src = UniformSource(scenario.space(RangeLevel::Rl2));
+        train_rl(&mut agent, &scenario, &src, cfg.train, cfg.total_iters(), args.seed);
+        agent
+    })
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut out = harness::tsv("fig03_generalization_cc");
+    out.header(&["panel", "trained_on", "tested_on", "policy", "mean_reward"]);
+    let n = harness::corpus_eval_count(args.full);
+    let cc = CcScenario::new();
+
+    // ---- (a) synthetic-trained vs BBR on synthetic / Cellular / Ethernet.
+    let synth_agent = harness::cached_traditional(&cc, RangeLevel::Rl1, &args);
+    let synth_test = test_configs(&cc.space(RangeLevel::Rl1), 60, args.seed ^ 0x31);
+    let rl = eval_policy_many(&cc, &synth_agent.policy(PolicyMode::Greedy), &synth_test, 3);
+    let bbr = eval_baseline_many(&cc, "bbr", &synth_test, 3);
+    out.row(&vec!["a".into(), "synthetic".into(), "synthetic".into(), "rl".into(), fmt(mean(&rl))]);
+    out.row(&vec!["a".into(), "-".into(), "synthetic".into(), "bbr".into(), fmt(mean(&bbr))]);
+    for kind in [CorpusKind::Cellular, CorpusKind::Ethernet] {
+        let (replay, cfgs) = harness::cc_corpus_eval(kind, Split::Test, n, 1);
+        let rl =
+            eval_policy_many(&replay, &synth_agent.policy(PolicyMode::Greedy), &cfgs, 3);
+        let bbr = eval_baseline_many(&replay, "bbr", &cfgs, 3);
+        out.row(&vec![
+            "a".into(),
+            "synthetic".into(),
+            kind.name().into(),
+            "rl".into(),
+            fmt(mean(&rl)),
+        ]);
+        out.row(&vec![
+            "a".into(),
+            "-".into(),
+            kind.name().into(),
+            "bbr".into(),
+            fmt(mean(&bbr)),
+        ]);
+    }
+
+    // ---- (b) cross-corpus training.
+    let cellular_agent = train_on_corpus(CorpusKind::Cellular, &args);
+    let ethernet_agent = train_on_corpus(CorpusKind::Ethernet, &args);
+    for (test_kind, agents) in [
+        (CorpusKind::Ethernet, [("cellular-trained", &cellular_agent), ("ethernet-trained", &ethernet_agent)]),
+        (CorpusKind::Cellular, [("cellular-trained", &cellular_agent), ("ethernet-trained", &ethernet_agent)]),
+    ] {
+        let (replay, cfgs) = harness::cc_corpus_eval(test_kind, Split::Test, n, 1);
+        for (label, agent) in agents {
+            let scores =
+                eval_policy_many(&replay, &agent.policy(PolicyMode::Greedy), &cfgs, 3);
+            out.row(&vec![
+                "b".into(),
+                label.into(),
+                test_kind.name().into(),
+                "rl".into(),
+                fmt(mean(&scores)),
+            ]);
+        }
+        let bbr = eval_baseline_many(&replay, "bbr", &cfgs, 3);
+        out.row(&vec![
+            "b".into(),
+            "-".into(),
+            test_kind.name().into(),
+            "bbr".into(),
+            fmt(mean(&bbr)),
+        ]);
+    }
+}

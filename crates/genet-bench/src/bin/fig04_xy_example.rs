@@ -1,0 +1,94 @@
+//! Figures 4 & 5: the motivating X-vs-Y example. Two ABR trace-set
+//! configurations (§A.3):
+//!
+//! * X — bandwidth 0–5 Mbps changing every 0–2 s (fast, small-magnitude
+//!   fluctuation → intrinsically hard),
+//! * Y — bandwidth 0–10 Mbps changing every 4–15 s (slow, large-magnitude
+//!   fluctuation → improvable).
+//!
+//! A pretrained policy performs poorly on both; its gap-to-*optimum* is
+//! larger on X (Strawman 3 would pick X), but adding X to training barely
+//! helps X and hurts Y, whereas adding Y helps both.
+//!
+//! ```sh
+//! cargo run --release -p genet-bench --bin fig04_xy_example [-- --full]
+//! ```
+
+use genet::abr::space::names;
+use genet::prelude::*;
+use genet_bench::harness::{self, Args};
+
+/// The two §A.3 configurations, as points in the ABR space.
+fn xy_configs(space: &ParamSpace) -> (EnvConfig, EnvConfig) {
+    let d = genet::abr::scenario::default_config();
+    let bw = space.index_of(names::MAX_BW).unwrap();
+    let iv = space.index_of(names::BW_INTERVAL).unwrap();
+    let fr = space.index_of(names::MIN_BW_FRAC).unwrap();
+    // X: 0–5 Mbps, changing every ~0–2 s.
+    let x = space.clamp(d.with_value(bw, 5.0).with_value(iv, 2.0).with_value(fr, 0.2).values());
+    // Y: 0–10 Mbps, changing every ~4–15 s.
+    let y = space.clamp(d.with_value(bw, 10.0).with_value(iv, 9.0).with_value(fr, 0.2).values());
+    (x, y)
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut out = harness::tsv("fig04_xy_example");
+    out.header(&["variant", "iterations", "reward_on_X", "reward_on_Y"]);
+
+    let abr = AbrScenario::new();
+    let space = abr.space(RangeLevel::Rl3);
+    let (x, y) = xy_configs(&space);
+    let k = if args.full { 20 } else { 10 };
+    let xs = vec![x.clone(); k];
+    let ys = vec![y.clone(); k];
+
+    // Pretrain a policy that is poor on both sets.
+    let cfg = harness::genet_config(&abr, args.full);
+    let mut base_agent = make_agent(&abr, args.seed);
+    let src = UniformSource(space.clone());
+    train_rl(&mut base_agent, &abr, &src, cfg.train, cfg.initial_iters, args.seed);
+
+    let eval_xy = |agent: &PpoAgent| {
+        let p = agent.policy(PolicyMode::Greedy);
+        (
+            mean(&eval_policy_many(&abr, &p, &xs, 5)),
+            mean(&eval_policy_many(&abr, &p, &ys, 5)),
+        )
+    };
+    let p0 = base_agent.policy(PolicyMode::Greedy);
+    let gap_opt_x = gap_to_optimum(&abr, &p0, &x, k, 7);
+    let gap_opt_y = gap_to_optimum(&abr, &p0, &y, k, 7);
+    println!("# gap-to-optimum: X {gap_opt_x:.3}  Y {gap_opt_y:.3} (Strawman 3 picks the larger)");
+    let (rx0, ry0) = eval_xy(&base_agent);
+    out.row(&vec!["pretrained".into(), "0".into(), fmt(rx0), fmt(ry0)]);
+
+    // Figure 5's per-trace contrast: the rule-based baseline beats the
+    // current model on Y (improvable) but not by much on X (hard).
+    let mpc_x = mean(&eval_baseline_many(&abr, "mpc", &xs, 5));
+    let mpc_y = mean(&eval_baseline_many(&abr, "mpc", &ys, 5));
+    println!("# gap-to-baseline: X {:.3}  Y {:.3} (Genet picks the larger)", mpc_x - rx0, mpc_y - ry0);
+
+    let phases = if args.full { 15 } else { 8 };
+    let per_phase = 10;
+    for (variant, added) in [("add_X", &x), ("add_Y", &y)] {
+        let mut agent = base_agent.clone();
+        for phase in 1..=phases {
+            // "Adding to training": 30% of training environments come from
+            // the added set, like Genet's promotion weight.
+            let mix = MixtureSource {
+                a: FixedSetSource(vec![added.clone()]),
+                b: UniformSource(space.clone()),
+                p_a: 0.3,
+            };
+            train_rl(&mut agent, &abr, &mix, cfg.train, per_phase, args.seed ^ phase as u64);
+            let (rx, ry) = eval_xy(&agent);
+            out.row(&vec![
+                variant.into(),
+                (phase * per_phase).to_string(),
+                fmt(rx),
+                fmt(ry),
+            ]);
+        }
+    }
+}

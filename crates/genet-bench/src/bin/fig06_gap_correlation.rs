@@ -1,0 +1,93 @@
+//! Figure 6: the current model's gap-to-baseline in an environment
+//! configuration predicts how much training there will improve the model —
+//! and predicts it better than the gap-to-optimum (Strawman 3).
+//!
+//! For each of N random configurations: measure gap-to-baseline and
+//! gap-to-optimum of an intermediate model, clone the model, train the
+//! clone briefly on that configuration alone, and record the reward
+//! improvement on that configuration. Report both Pearson correlations
+//! (ABR and CC).
+//!
+//! Paper numbers: ABR r = 0.49 (optimum) vs 0.85 (baseline);
+//! CC r = 0.49 vs 0.88.
+//!
+//! ```sh
+//! cargo run --release -p genet-bench --bin fig06_gap_correlation [-- --full]
+//! ```
+
+use genet::prelude::*;
+use genet_bench::harness::{self, Args};
+
+fn run_for(scenario: &dyn Scenario, args: &Args, out: &mut TsvWriter) {
+    let cfg = harness::genet_config(scenario, args.full);
+    let n_configs = if args.full { 60 } else { 20 };
+    let probe_iters = if args.full { 15 } else { 8 };
+    let k = if args.full { 8 } else { 4 };
+
+    // Intermediate model (mirrors the paper: "intermediate models during
+    // Genet-based training").
+    let mut agent = make_agent(scenario, args.seed);
+    let src = UniformSource(scenario.space(RangeLevel::Rl3));
+    train_rl(&mut agent, scenario, &src, cfg.train, cfg.initial_iters, args.seed);
+    let policy = agent.policy(PolicyMode::Greedy);
+    let baseline = scenario.default_baseline();
+
+    let space = scenario.space(RangeLevel::Rl3);
+    let configs = test_configs(&space, n_configs, args.seed ^ 0x66);
+
+    let mut gaps_base = Vec::new();
+    let mut gaps_opt = Vec::new();
+    let mut improvements = Vec::new();
+    for (i, cfgp) in configs.iter().enumerate() {
+        let seed = args.seed ^ ((i as u64) << 20);
+        let gb = gap_to_baseline(scenario, &policy, baseline, cfgp, k, seed);
+        let go = gap_to_optimum(scenario, &policy, cfgp, k, seed);
+        // Train a clone on this configuration alone.
+        let mut clone = agent.clone();
+        let one = FixedSetSource(vec![cfgp.clone()]);
+        train_rl(&mut clone, scenario, &one, cfg.train, probe_iters, seed);
+        let before = mean(&eval_policy_many(
+            scenario,
+            &policy,
+            &vec![cfgp.clone(); k],
+            seed ^ 1,
+        ));
+        let after = mean(&eval_policy_many(
+            scenario,
+            &clone.policy(PolicyMode::Greedy),
+            &vec![cfgp.clone(); k],
+            seed ^ 1,
+        ));
+        gaps_base.push(gb);
+        gaps_opt.push(go);
+        improvements.push(after - before);
+        out.row(&vec![
+            scenario.name().into(),
+            "point".into(),
+            fmt(gb),
+            fmt(go),
+            fmt(after - before),
+        ]);
+    }
+    let r_base = pearson(&gaps_base, &improvements);
+    let r_opt = pearson(&gaps_opt, &improvements);
+    out.row(&vec![
+        scenario.name().into(),
+        "pearson".into(),
+        fmt(r_base),
+        fmt(r_opt),
+        String::new(),
+    ]);
+    println!(
+        "# {}: corr(gap-to-baseline, improvement) = {r_base:.3}; corr(gap-to-optimum, improvement) = {r_opt:.3}",
+        scenario.name()
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut out = harness::tsv("fig06_gap_correlation");
+    out.header(&["scenario", "kind", "gap_to_baseline", "gap_to_optimum", "improvement"]);
+    run_for(&AbrScenario::new(), &args, &mut out);
+    run_for(&CcScenario::new(), &args, &mut out);
+}

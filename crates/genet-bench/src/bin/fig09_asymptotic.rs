@@ -1,0 +1,56 @@
+//! Figure 9: asymptotic performance of Genet-trained CC/ABR/LB policies vs
+//! RL1/RL2/RL3 traditional training, tested on unseen environments drawn
+//! from the full-range (RL3) training distribution.
+//!
+//! Paper result shape: Genet > {RL1, RL2, RL3} on every use case, with no
+//! consistent ordering among the traditional three.
+//!
+//! ```sh
+//! cargo run --release -p genet-bench --bin fig09_asymptotic [-- --full]
+//! ```
+
+use genet::prelude::*;
+use genet_bench::harness::{self, Args};
+
+fn main() {
+    let args = Args::parse();
+    let mut out = harness::tsv("fig09_asymptotic");
+    out.header(&["scenario", "policy", "mean_reward", "p50", "p90_low", "n_envs"]);
+
+    let scenarios: Vec<Box<dyn Scenario>> = vec![
+        Box::new(CcScenario::new()),
+        Box::new(AbrScenario::new()),
+        Box::new(LbScenario),
+    ];
+    for scenario in &scenarios {
+        let s = scenario.as_ref();
+        let space = s.space(RangeLevel::Rl3);
+        let test = test_configs(&space, harness::test_env_count(args.full), args.seed ^ 0x97);
+
+        let mut report = |label: &str, scores: &[f64]| {
+            let sum = Summary::of(scores);
+            out.row(&vec![
+                s.name().into(),
+                label.into(),
+                fmt(sum.mean),
+                fmt(sum.p50),
+                fmt(percentile(scores, 10.0)),
+                test.len().to_string(),
+            ]);
+        };
+
+        for level in RangeLevel::all() {
+            let agent = harness::cached_traditional(s, level, &args);
+            let scores =
+                eval_policy_many(s, &agent.policy(PolicyMode::Greedy), &test, args.seed);
+            report(level.label(), &scores);
+        }
+        let genet_agent = harness::cached_genet(s, space.clone(), &args, None, "");
+        let scores =
+            eval_policy_many(s, &genet_agent.policy(PolicyMode::Greedy), &test, args.seed);
+        report("Genet", &scores);
+        let base = s.default_baseline();
+        let scores = eval_baseline_many(s, base, &test, args.seed);
+        report(base, &scores);
+    }
+}

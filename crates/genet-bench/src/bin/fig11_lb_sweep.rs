@@ -1,0 +1,55 @@
+//! Figure 11: LB test reward along individual environment parameters (job
+//! size and job inter-arrival), others at defaults. Series: Genet, RL1,
+//! RL2, RL3 (+ LLF for reference).
+//!
+//! ```sh
+//! cargo run --release -p genet-bench --bin fig11_lb_sweep [-- --full]
+//! ```
+
+use genet::lb::space::names;
+use genet::prelude::*;
+use genet_bench::harness::{self, Args};
+
+fn main() {
+    let args = Args::parse();
+    let mut out = harness::tsv("fig11_lb_sweep");
+    out.header(&["param", "value", "Genet", "RL1", "RL2", "RL3", "llf"]);
+
+    let lb = LbScenario;
+    let space = lb.space(RangeLevel::Rl3);
+    let defaults = genet::lb::scenario::default_config();
+    let seeds_per_point = if args.full { 20 } else { 8 };
+
+    let agents: Vec<(String, PpoAgent)> = vec![
+        ("Genet".into(), harness::cached_genet(&lb, space.clone(), &args, None, "")),
+        ("RL1".into(), harness::cached_traditional(&lb, RangeLevel::Rl1, &args)),
+        ("RL2".into(), harness::cached_traditional(&lb, RangeLevel::Rl2, &args)),
+        ("RL3".into(), harness::cached_traditional(&lb, RangeLevel::Rl3, &args)),
+    ];
+
+    let sweeps: &[(&str, &[f64])] = &[
+        (names::JOB_SIZE, &[100.0, 500.0, 1000.0, 2000.0, 3000.0, 5000.0]),
+        (names::JOB_INTERVAL, &[200.0, 350.0, 500.0, 700.0, 1200.0, 2000.0]),
+    ];
+
+    for (param, values) in sweeps {
+        let idx = space.index_of(param).expect("known param");
+        for &v in *values {
+            let cfg = space.clamp(defaults.with_value(idx, v).values());
+            let configs = vec![cfg; seeds_per_point];
+            let mut row = vec![param.to_string(), fmt(v)];
+            for (_, agent) in &agents {
+                let scores = eval_policy_many(
+                    &lb,
+                    &agent.policy(PolicyMode::Greedy),
+                    &configs,
+                    args.seed ^ 0x11,
+                );
+                row.push(fmt(mean(&scores)));
+            }
+            let llf = eval_baseline_many(&lb, "llf", &configs, args.seed ^ 0x11);
+            row.push(fmt(mean(&llf)));
+            out.row(&row);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 12: asymptotic performance when real traces are available for
+//! training. Traditional RL mixes trace-driven and synthetic environments
+//! at ratios {5, 10, 20, 50, 100}%; Genet uses its own trace augmentation
+//! (w = 0.3). Everyone is tested on held-out trace-driven environments.
+//!
+//! Paper result shape: Genet beats every mixing ratio by ~17–18%.
+//!
+//! ```sh
+//! cargo run --release -p genet-bench --bin fig12_trace_mix [-- --full]
+//! ```
+
+use genet::prelude::*;
+use genet_bench::harness::{self, Args};
+use std::sync::Arc;
+
+fn train_pool(kinds: &[CorpusKind]) -> Arc<TraceIndex> {
+    let mut traces = Vec::new();
+    for kind in kinds {
+        let (count, dur) = kind.split_shape(Split::Train);
+        traces.extend(kind.generate_sized(Split::Train, 1, count, dur).traces);
+    }
+    Arc::new(TraceIndex::new(traces))
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut out = harness::tsv("fig12_trace_mix");
+    out.header(&["scenario", "method", "real_ratio", "test_reward"]);
+    let n = harness::corpus_eval_count(args.full);
+
+    // (scenario kinds, test corpora)
+    let cc_pool = train_pool(&[CorpusKind::Cellular, CorpusKind::Ethernet]);
+    let abr_pool = train_pool(&[CorpusKind::Fcc, CorpusKind::Norway]);
+
+    // ---- CC ----
+    {
+        let cfg = harness::genet_config(&CcScenario::new(), args.full);
+        let space = CcScenario::new().space(RangeLevel::Rl3);
+        // Held-out trace-driven test environments.
+        let (cel, cel_cfgs) = harness::cc_corpus_eval(CorpusKind::Cellular, Split::Test, n, 1);
+        let (eth, eth_cfgs) = harness::cc_corpus_eval(CorpusKind::Ethernet, Split::Test, n, 1);
+        let eval = |agent: &PpoAgent| {
+            let p = agent.policy(PolicyMode::Greedy);
+            let mut scores = eval_policy_many(&cel, &p, &cel_cfgs, 3);
+            scores.extend(eval_policy_many(&eth, &p, &eth_cfgs, 3));
+            mean(&scores)
+        };
+        for ratio in [0.05, 0.1, 0.2, 0.5, 1.0] {
+            let tag = format!("cc_mix{}_it{}_s{}", (ratio * 100.0) as u32, cfg.total_iters(), args.seed);
+            let scenario = CcScenario::new().with_trace_pool(cc_pool.clone(), ratio);
+            let agent = harness::cached_agent(&tag, &scenario, args.fresh, || {
+                let mut agent = make_agent(&scenario, args.seed);
+                let src = UniformSource(space.clone());
+                train_rl(&mut agent, &scenario, &src, cfg.train, cfg.total_iters(), args.seed);
+                agent
+            });
+            out.row(&vec![
+                "cc".into(),
+                "traditional".into(),
+                format!("{}%", (ratio * 100.0) as u32),
+                fmt(eval(&agent)),
+            ]);
+        }
+        // Genet with trace augmentation at the paper's w = 0.3.
+        let scenario = CcScenario::new().with_trace_pool(cc_pool.clone(), 0.3);
+        let tag = format!("cc_genet_mix_it{}_s{}", cfg.total_iters(), args.seed);
+        let agent = harness::cached_agent(&tag, &scenario, args.fresh, || {
+            genet_train(&scenario, space.clone(), &cfg, args.seed).agent
+        });
+        out.row(&vec!["cc".into(), "genet".into(), "30%".into(), fmt(eval(&agent))]);
+    }
+
+    // ---- ABR ----
+    {
+        let base = AbrScenario::new();
+        let cfg = harness::genet_config(&base, args.full);
+        let space = base.space(RangeLevel::Rl3);
+        let (fcc, fcc_cfgs) = harness::abr_corpus_eval(CorpusKind::Fcc, Split::Test, n, 1);
+        let (nor, nor_cfgs) = harness::abr_corpus_eval(CorpusKind::Norway, Split::Test, n, 1);
+        let eval = |agent: &PpoAgent| {
+            let p = agent.policy(PolicyMode::Greedy);
+            let mut scores = eval_policy_many(&fcc, &p, &fcc_cfgs, 3);
+            scores.extend(eval_policy_many(&nor, &p, &nor_cfgs, 3));
+            mean(&scores)
+        };
+        for ratio in [0.05, 0.1, 0.2, 0.5, 1.0] {
+            let tag = format!("abr_mix{}_it{}_s{}", (ratio * 100.0) as u32, cfg.total_iters(), args.seed);
+            let scenario = AbrScenario::new().with_trace_pool(abr_pool.clone(), ratio);
+            let agent = harness::cached_agent(&tag, &scenario, args.fresh, || {
+                let mut agent = make_agent(&scenario, args.seed);
+                let src = UniformSource(space.clone());
+                train_rl(&mut agent, &scenario, &src, cfg.train, cfg.total_iters(), args.seed);
+                agent
+            });
+            out.row(&vec![
+                "abr".into(),
+                "traditional".into(),
+                format!("{}%", (ratio * 100.0) as u32),
+                fmt(eval(&agent)),
+            ]);
+        }
+        let scenario = AbrScenario::new().with_trace_pool(abr_pool.clone(), 0.3);
+        let tag = format!("abr_genet_mix_it{}_s{}", cfg.total_iters(), args.seed);
+        let agent = harness::cached_agent(&tag, &scenario, args.fresh, || {
+            genet_train(&scenario, space.clone(), &cfg, args.seed).agent
+        });
+        out.row(&vec!["abr".into(), "genet".into(), "30%".into(), fmt(eval(&agent))]);
+    }
+}

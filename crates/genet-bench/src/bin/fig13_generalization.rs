@@ -1,0 +1,85 @@
+//! Figure 13: generalization test — policies trained entirely on synthetic
+//! environments (RL1/RL2/RL3 traditional, Genet) evaluated on the four
+//! trace corpora (Cellular/Ethernet for CC, FCC/Norway for ABR).
+//!
+//! Paper result shape: Genet > RL1/RL2/RL3 on every corpus.
+//!
+//! ```sh
+//! cargo run --release -p genet-bench --bin fig13_generalization [-- --full]
+//! ```
+
+use genet::prelude::*;
+use genet_bench::harness::{self, Args};
+
+fn main() {
+    let args = Args::parse();
+    let mut out = harness::tsv("fig13_generalization");
+    out.header(&["scenario", "corpus", "policy", "mean_reward", "n_traces"]);
+    let n = harness::corpus_eval_count(args.full);
+
+    // --- CC ---
+    let cc = CcScenario::new();
+    let mut cc_agents: Vec<(String, PpoAgent)> = RangeLevel::all()
+        .into_iter()
+        .map(|l| (l.label().to_string(), harness::cached_traditional(&cc, l, &args)))
+        .collect();
+    cc_agents.push((
+        "Genet".into(),
+        harness::cached_genet(&cc, cc.space(RangeLevel::Rl3), &args, None, ""),
+    ));
+    for kind in [CorpusKind::Cellular, CorpusKind::Ethernet] {
+        let (replay, cfgs) = harness::cc_corpus_eval(kind, Split::Test, n, 1);
+        for (label, agent) in &cc_agents {
+            let scores =
+                eval_policy_many(&replay, &agent.policy(PolicyMode::Greedy), &cfgs, args.seed);
+            out.row(&vec![
+                "cc".into(),
+                kind.name().into(),
+                label.clone(),
+                fmt(mean(&scores)),
+                cfgs.len().to_string(),
+            ]);
+        }
+        let bbr = eval_baseline_many(&replay, "bbr", &cfgs, args.seed);
+        out.row(&vec![
+            "cc".into(),
+            kind.name().into(),
+            "bbr".into(),
+            fmt(mean(&bbr)),
+            cfgs.len().to_string(),
+        ]);
+    }
+
+    // --- ABR ---
+    let abr = AbrScenario::new();
+    let mut abr_agents: Vec<(String, PpoAgent)> = RangeLevel::all()
+        .into_iter()
+        .map(|l| (l.label().to_string(), harness::cached_traditional(&abr, l, &args)))
+        .collect();
+    abr_agents.push((
+        "Genet".into(),
+        harness::cached_genet(&abr, abr.space(RangeLevel::Rl3), &args, None, ""),
+    ));
+    for kind in [CorpusKind::Fcc, CorpusKind::Norway] {
+        let (replay, cfgs) = harness::abr_corpus_eval(kind, Split::Test, n, 1);
+        for (label, agent) in &abr_agents {
+            let scores =
+                eval_policy_many(&replay, &agent.policy(PolicyMode::Greedy), &cfgs, args.seed);
+            out.row(&vec![
+                "abr".into(),
+                kind.name().into(),
+                label.clone(),
+                fmt(mean(&scores)),
+                cfgs.len().to_string(),
+            ]);
+        }
+        let mpc = eval_baseline_many(&replay, "mpc", &cfgs, args.seed);
+        out.row(&vec![
+            "abr".into(),
+            kind.name().into(),
+            "mpc".into(),
+            fmt(mean(&mpc)),
+            cfgs.len().to_string(),
+        ]);
+    }
+}

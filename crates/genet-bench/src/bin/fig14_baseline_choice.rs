@@ -1,0 +1,52 @@
+//! Figure 14: the impact of the rule-based baseline Genet trains against.
+//!
+//! For each baseline (MPC, BBA for ABR; BBR, Cubic for CC), a Genet run
+//! guided by that baseline must outperform it on held-out environments.
+//! Also reproduces the §5.4 naive-baseline study: guiding Genet with the
+//! deliberately unreasonable rule ("highest bitrate on rebuffer" for ABR,
+//! "most-loaded-first" for LB) degrades Genet to roughly traditional RL,
+//! because the BO search stops finding useful environments.
+//!
+//! ```sh
+//! cargo run --release -p genet-bench --bin fig14_baseline_choice [-- --full]
+//! ```
+
+use genet::prelude::*;
+use genet_bench::harness::{self, Args};
+
+fn main() {
+    let args = Args::parse();
+    let mut out = harness::tsv("fig14_baseline_choice");
+    out.header(&["scenario", "guiding_baseline", "genet_mean", "baseline_mean", "beats_it"]);
+
+    let pairs: Vec<(Box<dyn Scenario>, &str)> = vec![
+        (Box::new(AbrScenario::new()), "mpc"),
+        (Box::new(AbrScenario::new()), "bba"),
+        (Box::new(CcScenario::new()), "bbr"),
+        (Box::new(CcScenario::new()), "cubic"),
+        // §5.4 naive baselines:
+        (Box::new(AbrScenario::new()), "naive"),
+        (Box::new(LbScenario), "naive"),
+    ];
+    for (scenario, baseline) in &pairs {
+        let s = scenario.as_ref();
+        let space = s.space(RangeLevel::Rl3);
+        let agent = harness::cached_genet(
+            s,
+            space.clone(),
+            &args,
+            Some(SelectionCriterion::GapToBaseline { baseline: baseline.to_string() }),
+            &format!("_{baseline}"),
+        );
+        let test = test_configs(&space, harness::test_env_count(args.full), args.seed ^ 0x14);
+        let rl = eval_policy_many(s, &agent.policy(PolicyMode::Greedy), &test, args.seed);
+        let base = eval_baseline_many(s, baseline, &test, args.seed);
+        out.row(&vec![
+            s.name().into(),
+            baseline.to_string(),
+            fmt(mean(&rl)),
+            fmt(mean(&base)),
+            (mean(&rl) > mean(&base)).to_string(),
+        ]);
+    }
+}

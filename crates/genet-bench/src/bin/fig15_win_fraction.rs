@@ -1,0 +1,109 @@
+//! Figure 15: the fraction of real(-like) traces where the RL policy beats
+//! the rule-based baseline used to train it — Genet's deployment-safety
+//! pitch. Compared against RL1/RL2/RL3, which are unaware of any baseline.
+//!
+//! ABR: baselines MPC and BBA on FCC+Norway test traces.
+//! CC: baselines BBR and Cubic on Cellular+Ethernet test traces.
+//!
+//! ```sh
+//! cargo run --release -p genet-bench --bin fig15_win_fraction [-- --full]
+//! ```
+
+use genet::prelude::*;
+use genet_bench::harness::{self, Args};
+
+fn win_frac(rl: &[f64], base: &[f64]) -> f64 {
+    rl.iter().zip(base).filter(|(a, b)| a > b).count() as f64 / rl.len().max(1) as f64
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut out = harness::tsv("fig15_win_fraction");
+    out.header(&["scenario", "baseline", "policy", "win_fraction", "n_traces"]);
+    let n = harness::corpus_eval_count(args.full);
+
+    // ---- ABR ----
+    let abr = AbrScenario::new();
+    let abr_space = abr.space(RangeLevel::Rl3);
+    let mut abr_policies: Vec<(String, PpoAgent)> = RangeLevel::all()
+        .into_iter()
+        .map(|l| (l.label().into(), harness::cached_traditional(&abr, l, &args)))
+        .collect();
+    for b in ["mpc", "bba"] {
+        abr_policies.push((
+            format!("Genet({b})"),
+            harness::cached_genet(
+                &abr,
+                abr_space.clone(),
+                &args,
+                Some(SelectionCriterion::GapToBaseline { baseline: b.into() }),
+                &format!("_{b}"),
+            ),
+        ));
+    }
+    // Pool both ABR corpora like the paper's "fraction of real traces".
+    let (fcc, fcc_cfgs) = harness::abr_corpus_eval(CorpusKind::Fcc, Split::Test, n, 1);
+    let (nor, nor_cfgs) = harness::abr_corpus_eval(CorpusKind::Norway, Split::Test, n, 1);
+    for baseline in ["mpc", "bba"] {
+        let mut base_scores = eval_baseline_many(&fcc, baseline, &fcc_cfgs, 3);
+        base_scores.extend(eval_baseline_many(&nor, baseline, &nor_cfgs, 3));
+        for (label, agent) in &abr_policies {
+            // Figure 15 compares each Genet variant only against the
+            // baseline it trained with; RL1-3 are compared against both.
+            if label.starts_with("Genet(") && !label.contains(baseline) {
+                continue;
+            }
+            let p = agent.policy(PolicyMode::Greedy);
+            let mut rl = eval_policy_many(&fcc, &p, &fcc_cfgs, 3);
+            rl.extend(eval_policy_many(&nor, &p, &nor_cfgs, 3));
+            out.row(&vec![
+                "abr".into(),
+                baseline.into(),
+                label.clone(),
+                fmt(win_frac(&rl, &base_scores)),
+                rl.len().to_string(),
+            ]);
+        }
+    }
+
+    // ---- CC ----
+    let cc = CcScenario::new();
+    let cc_space = cc.space(RangeLevel::Rl3);
+    let mut cc_policies: Vec<(String, PpoAgent)> = RangeLevel::all()
+        .into_iter()
+        .map(|l| (l.label().into(), harness::cached_traditional(&cc, l, &args)))
+        .collect();
+    for b in ["bbr", "cubic"] {
+        cc_policies.push((
+            format!("Genet({b})"),
+            harness::cached_genet(
+                &cc,
+                cc_space.clone(),
+                &args,
+                Some(SelectionCriterion::GapToBaseline { baseline: b.into() }),
+                &format!("_{b}"),
+            ),
+        ));
+    }
+    let (cel, cel_cfgs) = harness::cc_corpus_eval(CorpusKind::Cellular, Split::Test, n, 1);
+    let (eth, eth_cfgs) = harness::cc_corpus_eval(CorpusKind::Ethernet, Split::Test, n, 1);
+    for baseline in ["bbr", "cubic"] {
+        let mut base_scores = eval_baseline_many(&cel, baseline, &cel_cfgs, 3);
+        base_scores.extend(eval_baseline_many(&eth, baseline, &eth_cfgs, 3));
+        for (label, agent) in &cc_policies {
+            if label.starts_with("Genet(") && !label.contains(baseline) {
+                continue;
+            }
+            let p = agent.policy(PolicyMode::Greedy);
+            let mut rl = eval_policy_many(&cel, &p, &cel_cfgs, 3);
+            rl.extend(eval_policy_many(&eth, &p, &eth_cfgs, 3));
+            out.row(&vec![
+                "cc".into(),
+                baseline.into(),
+                label.clone(),
+                fmt(win_frac(&rl, &base_scores)),
+                rl.len().to_string(),
+            ]);
+        }
+    }
+}

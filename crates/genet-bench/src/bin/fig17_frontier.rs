@@ -1,0 +1,142 @@
+//! Figure 17: metric-breakdown frontier — RL-based ABR/CC vs the full set
+//! of rule-based baselines on the trace corpora.
+//!
+//! CC: mean throughput vs 90th-percentile latency (Cellular and Ethernet).
+//! ABR: mean bitrate vs 90th-percentile rebuffering ratio (FCC and Norway).
+//!
+//! Paper result shape: the Genet policy sits on the frontier (high
+//! throughput / bitrate at low tail latency / rebuffering).
+//!
+//! ```sh
+//! cargo run --release -p genet-bench --bin fig17_frontier [-- --full]
+//! ```
+
+use genet::abr::baselines::{baseline_by_name as abr_baseline, run_abr};
+use genet::abr::{run_abr_policy, AbrScenario, AbrSim, VideoModel};
+use genet::cc::baselines::{baseline_by_name as cc_baseline, run_cc};
+use genet::cc::{CcEnv, CcPath, CcScenario, CcSim};
+use genet::prelude::*;
+use genet_bench::harness::{self, Args};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let n = harness::corpus_eval_count(args.full);
+    let mut out = harness::tsv("fig17_frontier");
+    out.header(&["scenario", "corpus", "algorithm", "x_metric", "y_metric"]);
+
+    // ---------------- CC ----------------
+    let cc = CcScenario::new();
+    let cc_agent = harness::cached_genet(&cc, cc.space(RangeLevel::Rl3), &args, None, "");
+    let cc_genet = cc_agent.policy(PolicyMode::Greedy);
+    let cc_rl: Vec<(String, PpoAgent)> = RangeLevel::all()
+        .into_iter()
+        .map(|l| (l.label().into(), harness::cached_traditional(&cc, l, &args)))
+        .collect();
+    for kind in [CorpusKind::Cellular, CorpusKind::Ethernet] {
+        let (count, dur) = kind.split_shape(Split::Test);
+        let corpus = kind.generate_sized(Split::Test, 1, count.min(n), dur);
+        let mut algos: Vec<(String, Option<&PpoPolicy>)> = vec![
+            ("bbr".into(), None),
+            ("cubic".into(), None),
+            ("vivace".into(), None),
+            ("copa".into(), None),
+            ("Genet".into(), Some(&cc_genet)),
+        ];
+        let rl_policies: Vec<(String, PpoPolicy)> = cc_rl
+            .iter()
+            .map(|(l, a)| (l.clone(), a.policy(PolicyMode::Greedy)))
+            .collect();
+        for (l, p) in &rl_policies {
+            algos.push((l.clone(), Some(p)));
+        }
+        for (name, policy) in algos {
+            let mut tputs = Vec::new();
+            let mut lats = Vec::new();
+            for (i, trace) in corpus.traces.iter().enumerate() {
+                let path = CcPath {
+                    trace: trace.clone(),
+                    base_rtt_s: 0.08,
+                    queue_cap_pkts: 50.0,
+                    loss_rate: 0.0,
+                    delay_noise_s: 0.0,
+                    duration_s: 30.0,
+                };
+                let mut sim = CcSim::new(path, i as u64);
+                match policy {
+                    Some(p) => {
+                        let mut env = CcEnv::new(sim);
+                        let mut rng = StdRng::seed_from_u64(i as u64);
+                        genet::env::rollout_policy(&mut env, p, &mut rng);
+                        sim = env.sim().clone();
+                    }
+                    None => {
+                        let mut algo = cc_baseline(&name);
+                        run_cc(&mut sim, algo.as_mut());
+                    }
+                }
+                let mis = sim.completed_mis();
+                tputs.push(mean(&mis.iter().map(|m| m.throughput_mbps).collect::<Vec<_>>()));
+                lats.extend(mis.iter().map(|m| m.avg_latency_s * 1000.0));
+            }
+            out.row(&vec![
+                "cc".into(),
+                kind.name().into(),
+                name.clone(),
+                fmt(mean(&tputs)),
+                fmt(percentile(&lats, 90.0)),
+            ]);
+        }
+    }
+
+    // ---------------- ABR ----------------
+    let abr = AbrScenario::new();
+    let abr_agent = harness::cached_genet(&abr, abr.space(RangeLevel::Rl3), &args, None, "");
+    let abr_genet = abr_agent.policy(PolicyMode::Greedy);
+    let abr_rl: Vec<(String, PpoAgent)> = RangeLevel::all()
+        .into_iter()
+        .map(|l| (l.label().into(), harness::cached_traditional(&abr, l, &args)))
+        .collect();
+    for kind in [CorpusKind::Fcc, CorpusKind::Norway] {
+        let (count, dur) = kind.split_shape(Split::Test);
+        let corpus = kind.generate_sized(Split::Test, 1, count.min(n), dur);
+        let rl_policies: Vec<(String, PpoPolicy)> = abr_rl
+            .iter()
+            .map(|(l, a)| (l.clone(), a.policy(PolicyMode::Greedy)))
+            .collect();
+        let mut algos: Vec<(String, Option<&PpoPolicy>)> =
+            vec![("mpc".into(), None), ("bba".into(), None), ("rate".into(), None)];
+        algos.push(("Genet".into(), Some(&abr_genet)));
+        for (l, p) in &rl_policies {
+            algos.push((l.clone(), Some(p)));
+        }
+        for (name, policy) in algos {
+            let mut bitrates = Vec::new();
+            let mut rebuf_ratios = Vec::new();
+            for (i, trace) in corpus.traces.iter().enumerate() {
+                let video = VideoModel::new(196.0, 4.0, i as u64);
+                let mut sim = AbrSim::new(trace.clone(), video, 0.08, 60.0);
+                let outs = match policy {
+                    Some(p) => run_abr_policy(sim.clone(), p, i as u64),
+                    None => {
+                        let mut algo = abr_baseline(&name);
+                        run_abr(&mut sim, algo.as_mut())
+                    }
+                };
+                let nl = outs.len() as f64;
+                bitrates.push(outs.iter().map(|o| o.bitrate_mbps).sum::<f64>() / nl);
+                let total_rebuf: f64 = outs.iter().map(|o| o.rebuffer_s).sum();
+                let total_time: f64 = outs.iter().map(|o| o.download_s).sum();
+                rebuf_ratios.push(total_rebuf / total_time.max(1e-9));
+            }
+            out.row(&vec![
+                "abr".into(),
+                kind.name().into(),
+                name.clone(),
+                fmt(mean(&bitrates)),
+                fmt(percentile(&rebuf_ratios, 90.0)),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 19: Genet vs the "Robustifying" adversarial-trace approach and
+//! vs Genet variants whose BO maximizes the Robustify objective
+//! (gap-to-optimum − ρ·non-smoothness, ρ ∈ {0.1, 0.5, 1}). ABR, evaluated
+//! on the Figure-10-style synthetic default-config environments.
+//!
+//! Paper result shape: MPC < Robustify < robustify-objective variants <
+//! Genet.
+//!
+//! ```sh
+//! cargo run --release -p genet-bench --bin fig19_robustify [-- --full]
+//! ```
+
+use genet::prelude::*;
+use genet_bench::harness::{self, Args};
+
+fn main() {
+    let args = Args::parse();
+    let mut out = harness::tsv("fig19_robustify");
+    out.header(&["method", "test_reward"]);
+
+    let abr = AbrScenario::new();
+    let space = abr.space(RangeLevel::Rl3);
+    let gcfg = harness::genet_config(&abr, args.full);
+    // Test set: like Fig. 10, synthetic environments around the defaults
+    // with every parameter drawn from the full box.
+    let test = test_configs(&space, harness::test_env_count(args.full), args.seed ^ 0x19);
+
+    let eval = |agent: &PpoAgent| {
+        mean(&eval_policy_many(
+            &abr,
+            &agent.policy(PolicyMode::Greedy),
+            &test,
+            args.seed,
+        ))
+    };
+
+    // MPC reference.
+    let mpc = mean(&eval_baseline_many(&abr, "mpc", &test, args.seed));
+    out.row(&vec!["mpc".into(), fmt(mpc)]);
+
+    // Robustify proper (adversarial trace search, ρ = 1 as in [19]).
+    let rcfg = RobustifyConfig {
+        rounds: gcfg.rounds,
+        iters_per_round: gcfg.iters_per_round,
+        initial_iters: gcfg.initial_iters,
+        candidates: gcfg.bo_trials,
+        rho: 1.0,
+        adv_prob: 0.3,
+        train: gcfg.train,
+    };
+    let tag = format!("abr_robustify_it{}_s{}", gcfg.total_iters(), args.seed);
+    let robustify_agent = harness::cached_agent(&tag, &abr, args.fresh, || {
+        robustify_abr_train(&rcfg, args.seed).agent
+    });
+    out.row(&vec!["robustify".into(), fmt(eval(&robustify_agent))]);
+
+    // Genet with the Robustify BO objective at each ρ.
+    for rho in [0.1, 0.5, 1.0] {
+        let agent = harness::cached_genet(
+            &abr,
+            space.clone(),
+            &args,
+            Some(SelectionCriterion::RobustifyReward { rho }),
+            &format!("_rob{rho}"),
+        );
+        out.row(&vec![format!("bo_robustify_rho{rho}"), fmt(eval(&agent))]);
+    }
+
+    // Genet proper.
+    let genet_agent = harness::cached_genet(&abr, space.clone(), &args, None, "");
+    out.row(&vec!["genet".into(), fmt(eval(&genet_agent))]);
+}

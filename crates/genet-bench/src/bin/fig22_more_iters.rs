@@ -1,0 +1,108 @@
+//! Figure 22 (Appendix A.8): giving the traditional RL and curriculum
+//! baselines twice Genet's training iterations still does not catch Genet.
+//!
+//! ```sh
+//! cargo run --release -p genet-bench --bin fig22_more_iters [-- --full]
+//! ```
+
+use genet::prelude::*;
+use genet_bench::harness::{self, Args};
+
+fn run_for(scenario: &dyn Scenario, args: &Args, out: &mut TsvWriter) {
+    let space = scenario.space(RangeLevel::Rl3);
+    let cfg = harness::genet_config(scenario, args.full);
+    let test = test_configs(&space, harness::test_env_count(args.full), args.seed ^ 0x22);
+    let eval = |agent: &PpoAgent| {
+        mean(&eval_policy_many(
+            scenario,
+            &agent.policy(PolicyMode::Greedy),
+            &test,
+            args.seed,
+        ))
+    };
+
+    // Genet at 1× budget (shared cache with fig09).
+    let genet_agent = harness::cached_genet(scenario, space.clone(), &args, None, "");
+    out.row(&vec![
+        scenario.name().into(),
+        "Genet(1x)".into(),
+        cfg.total_iters().to_string(),
+        fmt(eval(&genet_agent)),
+    ]);
+
+    // RL3 at 2× budget.
+    let tag = format!("{}_rl3_2x_it{}_s{}", scenario.name(), 2 * cfg.total_iters(), args.seed);
+    let rl3_2x = harness::cached_agent(&tag, scenario, args.fresh, || {
+        harness::train_traditional(
+            scenario,
+            RangeLevel::Rl3,
+            2 * cfg.total_iters(),
+            cfg.train,
+            args.seed,
+        )
+    });
+    out.row(&vec![
+        scenario.name().into(),
+        "RL3(2x)".into(),
+        (2 * cfg.total_iters()).to_string(),
+        fmt(eval(&rl3_2x)),
+    ]);
+
+    // CL1 (hand-crafted schedule) at 2× budget.
+    {
+        let mut cl_cfg = cfg.clone();
+        cl_cfg.iters_per_round *= 2;
+        cl_cfg.initial_iters *= 2;
+        let tag = format!("{}_cl1_2x_it{}_s{}", scenario.name(), cl_cfg.total_iters(), args.seed);
+        let agent = harness::cached_agent(&tag, scenario, args.fresh, || {
+            let schedule = IntrinsicSchedule::default_for(scenario.name());
+            cl1_train(scenario, space.clone(), &schedule, &cl_cfg, args.seed).agent
+        });
+        out.row(&vec![
+            scenario.name().into(),
+            "CL1(2x)".into(),
+            cl_cfg.total_iters().to_string(),
+            fmt(eval(&agent)),
+        ]);
+    }
+
+    // CL2 / CL3 at 2× budget.
+    for (label, criterion) in [
+        (
+            "CL2(2x)",
+            SelectionCriterion::BaselineBadness {
+                baseline: scenario.default_baseline().into(),
+            },
+        ),
+        ("CL3(2x)", SelectionCriterion::GapToOptimum),
+    ] {
+        let mut cl_cfg = cfg.clone();
+        cl_cfg.iters_per_round *= 2;
+        cl_cfg.initial_iters *= 2;
+        cl_cfg.criterion = criterion;
+        let tag = format!(
+            "{}_{}_it{}_s{}",
+            scenario.name(),
+            label.replace(['(', ')'], ""),
+            cl_cfg.total_iters(),
+            args.seed
+        );
+        let agent = harness::cached_agent(&tag, scenario, args.fresh, || {
+            genet_train(scenario, space.clone(), &cl_cfg, args.seed).agent
+        });
+        out.row(&vec![
+            scenario.name().into(),
+            label.into(),
+            cl_cfg.total_iters().to_string(),
+            fmt(eval(&agent)),
+        ]);
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut out = harness::tsv("fig22_more_iters");
+    out.header(&["scenario", "method", "iterations", "test_reward"]);
+    run_for(&CcScenario::new(), &args, &mut out);
+    run_for(&AbrScenario::new(), &args, &mut out);
+}

@@ -1,0 +1,212 @@
+//! Shared plumbing for the per-figure experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--seed <u64>` — master seed (default 42),
+//! * `--full` — paper-scale budgets (default is a quick mode that keeps the
+//!   qualitative shape while finishing in minutes),
+//! * `--fresh` — ignore cached trained models.
+//!
+//! Trained policies are cached under `bench_out/models/` keyed by a tag, so
+//! figure binaries that share a policy (fig09/fig10/fig13/fig15/…) train it
+//! once.
+
+use genet::prelude::*;
+use std::path::PathBuf;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Master seed.
+    pub seed: u64,
+    /// Paper-scale budgets.
+    pub full: bool,
+    /// Ignore the model cache.
+    pub fresh: bool,
+}
+
+impl Args {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Self {
+        let mut args = Args { seed: 42, full: false, fresh: false };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" | "full" => args.full = true,
+                "--fresh" => args.fresh = true,
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs a u64 value");
+                }
+                other => eprintln!("ignoring unknown argument {other}"),
+            }
+        }
+        args
+    }
+}
+
+/// Training budget for one policy, scaled by `--full`.
+pub fn genet_config(scenario: &dyn Scenario, full: bool) -> GenetConfig {
+    let mut cfg = GenetConfig::defaults_for(scenario);
+    if full {
+        // Paper defaults for the curriculum structure; iteration counts
+        // sized so each phase converges at our PPO's speed.
+        cfg.rounds = 9;
+        cfg.iters_per_round = 60;
+        cfg.initial_iters = 120;
+        cfg.bo_trials = 15;
+        cfg.k_envs = 10;
+    } else {
+        cfg.rounds = 5;
+        cfg.iters_per_round = 30;
+        cfg.initial_iters = 60;
+        cfg.bo_trials = 8;
+        cfg.k_envs = 4;
+    }
+    cfg
+}
+
+/// Number of held-out test environments per distribution.
+pub fn test_env_count(full: bool) -> usize {
+    if full {
+        200
+    } else {
+        60
+    }
+}
+
+/// Where cached models live.
+pub fn model_dir() -> PathBuf {
+    let dir = bench_out_dir().join("models");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Loads a cached agent or trains it with `train` and caches the result.
+/// The cache key must uniquely describe the training recipe.
+pub fn cached_agent<F>(tag: &str, scenario: &dyn Scenario, fresh: bool, train: F) -> PpoAgent
+where
+    F: FnOnce() -> PpoAgent,
+{
+    let path = model_dir().join(format!("{tag}.model"));
+    if !fresh && path.exists() {
+        let mut agent = make_agent(scenario, 0);
+        if agent.load(&path).is_ok() {
+            eprintln!("[cache] loaded {tag}");
+            return agent;
+        }
+        eprintln!("[cache] {tag} exists but failed to load; retraining");
+    }
+    let t0 = std::time::Instant::now();
+    let agent = train();
+    eprintln!("[train] {tag} took {:.1}s", t0.elapsed().as_secs_f64());
+    let _ = agent.save(&path);
+    agent
+}
+
+/// Trains a traditional (Algorithm 1) policy on a range level.
+pub fn train_traditional(
+    scenario: &dyn Scenario,
+    level: RangeLevel,
+    iters: usize,
+    train: TrainConfig,
+    seed: u64,
+) -> PpoAgent {
+    let mut agent = make_agent(scenario, seed);
+    let src = UniformSource(scenario.space(level));
+    train_rl(&mut agent, scenario, &src, train, iters, seed);
+    agent
+}
+
+/// Convenience: traditional policy with caching.
+pub fn cached_traditional(
+    scenario: &dyn Scenario,
+    level: RangeLevel,
+    args: &Args,
+) -> PpoAgent {
+    let cfg = genet_config(scenario, args.full);
+    let tag = format!(
+        "{}_{}_it{}_s{}",
+        scenario.name(),
+        level.label().to_lowercase(),
+        cfg.total_iters(),
+        args.seed
+    );
+    cached_agent(&tag, scenario, args.fresh, || {
+        train_traditional(scenario, level, cfg.total_iters(), cfg.train, args.seed)
+    })
+}
+
+/// Convenience: Genet-trained policy with caching (criterion taggable).
+pub fn cached_genet(
+    scenario: &dyn Scenario,
+    space: ParamSpace,
+    args: &Args,
+    criterion: Option<SelectionCriterion>,
+    tag_suffix: &str,
+) -> PpoAgent {
+    let mut cfg = genet_config(scenario, args.full);
+    if let Some(c) = criterion {
+        cfg.criterion = c;
+    }
+    let tag = format!(
+        "{}_genet{}_it{}_s{}",
+        scenario.name(),
+        tag_suffix,
+        cfg.total_iters(),
+        args.seed
+    );
+    cached_agent(&tag, scenario, args.fresh, || {
+        genet_train(scenario, space.clone(), &cfg, args.seed).agent
+    })
+}
+
+/// Opens the TSV sink for a figure.
+pub fn tsv(name: &str) -> TsvWriter {
+    TsvWriter::create(&bench_out_dir(), name)
+}
+
+/// Builds a scenario that replays a corpus split's traces verbatim
+/// (trace-probability 1) plus the matching per-trace default
+/// configurations, for CC.
+pub fn cc_corpus_eval(
+    kind: CorpusKind,
+    split: Split,
+    n: usize,
+    seed: u64,
+) -> (CcScenario, Vec<EnvConfig>) {
+    let (count, dur) = kind.split_shape(split);
+    let corpus = kind.generate_sized(split, seed, count.min(n), dur);
+    let len = corpus.len();
+    let pool = std::sync::Arc::new(TraceIndex::new(corpus.traces));
+    let scenario = CcScenario::new().with_trace_pool(pool, 1.0);
+    let cfgs = vec![genet::cc::scenario::default_config(); len];
+    (scenario, cfgs)
+}
+
+/// Same for ABR.
+pub fn abr_corpus_eval(
+    kind: CorpusKind,
+    split: Split,
+    n: usize,
+    seed: u64,
+) -> (AbrScenario, Vec<EnvConfig>) {
+    let (count, dur) = kind.split_shape(split);
+    let corpus = kind.generate_sized(split, seed, count.min(n), dur);
+    let len = corpus.len();
+    let pool = std::sync::Arc::new(TraceIndex::new(corpus.traces));
+    let scenario = AbrScenario::new().with_trace_pool(pool, 1.0);
+    let cfgs = vec![genet::abr::scenario::default_config(); len];
+    (scenario, cfgs)
+}
+
+/// How many corpus traces to evaluate on, by budget.
+pub fn corpus_eval_count(full: bool) -> usize {
+    if full {
+        120
+    } else {
+        30
+    }
+}

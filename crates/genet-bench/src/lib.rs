@@ -1,0 +1,7 @@
+//! # genet-bench
+//!
+//! Benchmark harness: one binary per table/figure of the paper (see
+//! DESIGN.md's experiment index) plus Criterion micro-benchmarks of the
+//! substrate. Shared plumbing lives in [`harness`].
+
+pub mod harness;

@@ -1,0 +1,59 @@
+//! Acquisition functions for Bayesian optimization.
+
+use genet_math::{normal_cdf, normal_pdf};
+
+/// Expected improvement of a Gaussian posterior `(mean, var)` over the
+/// current best observed value `best`, with exploration jitter `xi`.
+///
+/// `EI = (μ − best − ξ)·Φ(z) + σ·φ(z)` with `z = (μ − best − ξ)/σ`.
+/// Degenerates gracefully to `max(0, μ − best − ξ)` as `σ → 0`.
+pub fn expected_improvement(mean: f64, var: f64, best: f64, xi: f64) -> f64 {
+    let sigma = var.max(0.0).sqrt();
+    let delta = mean - best - xi;
+    if sigma < 1e-12 {
+        return delta.max(0.0);
+    }
+    let z = delta / sigma;
+    (delta * normal_cdf(z) + sigma * normal_pdf(z)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ei_is_nonnegative() {
+        for &(m, v, b) in &[(0.0, 1.0, 5.0), (-3.0, 0.1, 0.0), (2.0, 0.0, 2.0)] {
+            assert!(expected_improvement(m, v, b, 0.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn higher_mean_gives_higher_ei() {
+        let lo = expected_improvement(0.0, 1.0, 1.0, 0.0);
+        let hi = expected_improvement(2.0, 1.0, 1.0, 0.0);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn uncertainty_adds_value_below_best() {
+        // Mean below best: only variance creates improvement hope.
+        let certain = expected_improvement(0.0, 1e-12, 1.0, 0.0);
+        let uncertain = expected_improvement(0.0, 4.0, 1.0, 0.0);
+        assert_eq!(certain, 0.0);
+        assert!(uncertain > 0.0);
+    }
+
+    #[test]
+    fn zero_variance_is_relu() {
+        assert_eq!(expected_improvement(3.0, 0.0, 1.0, 0.0), 2.0);
+        assert_eq!(expected_improvement(0.5, 0.0, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn known_closed_form_value() {
+        // mean=best, sigma=1, xi=0 → EI = φ(0) = 0.3989…
+        let ei = expected_improvement(1.0, 1.0, 1.0, 0.0);
+        assert!((ei - 0.398_942_28).abs() < 1e-6, "{ei}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Gaussian-process regression with an isotropic RBF kernel.
+//!
+//! Inputs are expected in unit-cube coordinates (`ParamSpace::normalize`),
+//! which makes a single shared length scale reasonable across heterogeneous
+//! environment parameters. Targets are standardized internally. The noise
+//! term absorbs the sampling variance of `Gap(p)` estimates (each objective
+//! value is a mean over only `k = 10` random environments, so it is noisy by
+//! construction — §4.2).
+
+use genet_math::{Cholesky, Matrix};
+
+/// Hyperparameters of the RBF kernel `σ_f² · exp(−‖a−b‖² / (2ℓ²)) + σ_n²·δ`.
+#[derive(Debug, Clone, Copy)]
+pub struct GpParams {
+    /// Length scale ℓ in unit-cube coordinates.
+    pub length_scale: f64,
+    /// Signal variance σ_f².
+    pub signal_var: f64,
+    /// Noise variance σ_n² (on standardized targets).
+    pub noise_var: f64,
+}
+
+impl Default for GpParams {
+    fn default() -> Self {
+        Self { length_scale: 0.3, signal_var: 1.0, noise_var: 0.05 }
+    }
+}
+
+/// A fitted Gaussian process.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    params: GpParams,
+    x: Vec<Vec<f64>>,
+    /// Standardization of targets.
+    y_mean: f64,
+    y_std: f64,
+    /// `K⁻¹ (y − μ)` in standardized space.
+    alpha: Vec<f64>,
+    chol: Cholesky,
+}
+
+impl GaussianProcess {
+    /// Fits a GP to `(x, y)` pairs. `x[i]` must all share one dimensionality.
+    ///
+    /// # Panics
+    /// Panics on empty data or ragged inputs.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: GpParams) -> Self {
+        assert!(!x.is_empty(), "GP needs at least one observation");
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        let d = x[0].len();
+        assert!(x.iter().all(|p| p.len() == d), "ragged GP inputs");
+
+        let y_mean = genet_math::mean(y);
+        let y_std = genet_math::std_dev(y).max(1e-9);
+        let ys: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+
+        let n = x.len();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rbf(&x[i], &x[j], &params);
+                k.set(i, j, v);
+                k.set(j, i, v);
+            }
+            k.add_at(i, i, params.noise_var);
+        }
+        let chol = Cholesky::decompose(&k).expect("kernel matrix must be SPD with noise");
+        let alpha = chol.solve(&ys);
+        Self { params, x: x.to_vec(), y_mean, y_std, alpha, chol }
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when fitted on no points (cannot happen via [`Self::fit`]).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Posterior mean and variance at a query point (original target units).
+    pub fn predict(&self, q: &[f64]) -> (f64, f64) {
+        let n = self.x.len();
+        let mut kstar = vec![0.0; n];
+        for (ks, xi) in kstar.iter_mut().zip(self.x.iter()) {
+            *ks = rbf(q, xi, &self.params);
+        }
+        let mean_std: f64 = kstar.iter().zip(self.alpha.iter()).map(|(a, b)| a * b).sum();
+        // var = k(q,q) - k*^T K^{-1} k*
+        let v = self.chol.solve_lower(&kstar);
+        let explained: f64 = v.iter().map(|z| z * z).sum();
+        let var_std = (self.params.signal_var + self.params.noise_var - explained).max(1e-12);
+        (
+            mean_std * self.y_std + self.y_mean,
+            var_std * self.y_std * self.y_std,
+        )
+    }
+}
+
+fn rbf(a: &[f64], b: &[f64], p: &GpParams) -> f64 {
+    let d2: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+    p.signal_var * (-d2 / (2.0 * p.length_scale * p.length_scale)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let x = grid_1d(6);
+        let y: Vec<f64> = x.iter().map(|p| (p[0] * 6.0).sin() * 3.0 + 1.0).collect();
+        let gp = GaussianProcess::fit(
+            &x,
+            &y,
+            GpParams { noise_var: 1e-6, ..GpParams::default() },
+        );
+        for (xi, yi) in x.iter().zip(y.iter()) {
+            let (m, v) = gp.predict(xi);
+            assert!((m - yi).abs() < 0.05, "at {xi:?}: {m} vs {yi}");
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let x = vec![vec![0.2], vec![0.3]];
+        let y = vec![1.0, 2.0];
+        let gp = GaussianProcess::fit(&x, &y, GpParams::default());
+        let (_, v_near) = gp.predict(&[0.25]);
+        let (_, v_far) = gp.predict(&[0.95]);
+        assert!(v_far > v_near, "far {v_far} should exceed near {v_near}");
+    }
+
+    #[test]
+    fn far_prediction_reverts_to_mean() {
+        let x = vec![vec![0.0], vec![0.1]];
+        let y = vec![10.0, 12.0];
+        let gp = GaussianProcess::fit(&x, &y, GpParams::default());
+        let (m, _) = gp.predict(&[100.0]);
+        assert!((m - 11.0).abs() < 0.1, "prior mean is the data mean, got {m}");
+    }
+
+    #[test]
+    fn handles_constant_targets() {
+        let x = grid_1d(4);
+        let y = vec![5.0; 4];
+        let gp = GaussianProcess::fit(&x, &y, GpParams::default());
+        let (m, v) = gp.predict(&[0.5]);
+        assert!((m - 5.0).abs() < 1e-6);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn duplicate_inputs_do_not_break_fit() {
+        let x = vec![vec![0.5], vec![0.5], vec![0.7]];
+        let y = vec![1.0, 1.2, 3.0];
+        let gp = GaussianProcess::fit(&x, &y, GpParams::default());
+        let (m, _) = gp.predict(&[0.5]);
+        assert!(m.is_finite());
+        assert!((m - 1.1).abs() < 0.5, "should average the duplicates, got {m}");
+    }
+
+    #[test]
+    fn multidimensional_inputs() {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ];
+        let y = vec![0.0, 1.0, 1.0, 2.0];
+        let gp = GaussianProcess::fit(&x, &y, GpParams { noise_var: 1e-4, ..GpParams::default() });
+        let (m, _) = gp.predict(&[0.5, 0.5]);
+        assert!((m - 1.0).abs() < 0.2, "centre should predict ≈1, got {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn rejects_empty() {
+        let _ = GaussianProcess::fit(&[], &[], GpParams::default());
+    }
+}

@@ -1,0 +1,48 @@
+//! # genet-bo
+//!
+//! Blackbox maximization of `Gap(p)` over the environment-configuration
+//! space (paper §4.2: "we cast the search for environments with a large
+//! gap-to-baseline as a maximum-search problem of a blackbox function in a
+//! high-dimensional space … BO is then used").
+//!
+//! * [`gp`] — Gaussian-process regression with an RBF kernel on unit-cube
+//!   inputs, fitted by Cholesky factorization (`genet-math`),
+//! * [`acquisition`] — Expected Improvement,
+//! * [`bayes`] — the [`BayesOpt`] loop: seed with random probes, then
+//!   propose the EI-argmax over a random candidate pool,
+//! * [`search`] — the Figure-20 comparators: pure [`search::RandomSearch`]
+//!   and coordinate-wise [`search::GridSearch`] ("starts with all
+//!   configurations initialized to their respective midpoints and then
+//!   searches and updates the best value for each configuration one by
+//!   one").
+//!
+//! All three expose the same two-call interface ([`Proposer`]): `propose`
+//! a configuration, `observe` its measured objective value — exactly the
+//! `BO.GetNextChoice()` / `BO.Update(p, adv)` pair of the paper's
+//! Algorithm 2.
+
+pub mod acquisition;
+pub mod bayes;
+pub mod gp;
+pub mod search;
+
+pub use acquisition::expected_improvement;
+pub use bayes::BayesOpt;
+pub use gp::GaussianProcess;
+pub use search::{GridSearch, RandomSearch};
+
+use genet_env::EnvConfig;
+use rand::rngs::StdRng;
+
+/// A sequential blackbox-maximization strategy over environment configs.
+pub trait Proposer {
+    /// Proposes the next configuration to evaluate.
+    fn propose(&mut self, rng: &mut StdRng) -> EnvConfig;
+
+    /// Feeds back the measured objective for a proposed configuration.
+    fn observe(&mut self, cfg: EnvConfig, value: f64);
+
+    /// Best `(config, value)` observed so far, if any — the paper's
+    /// `BO.GetDecision()`.
+    fn best(&self) -> Option<(&EnvConfig, f64)>;
+}

@@ -1,0 +1,500 @@
+//! Rule-based congestion-control baselines.
+//!
+//! All of them run on [`CcSim`] at sub-RTT control granularity (per-tick,
+//! approximating per-ack behaviour), which is faithful to the paper's §7
+//! observation that traditional TCPs react faster than monitor-interval RL.
+//!
+//! * [`Cubic`] — window-based: cubic growth, multiplicative backoff on any
+//!   loss (including random loss — its documented weakness, §4.2/§7),
+//! * [`Bbr`] — model-based: bottleneck-bandwidth and min-RTT probing state
+//!   machine; ignores loss,
+//! * [`Vivace`] — PCC-Vivace (latency flavour): online utility-gradient
+//!   rate control,
+//! * [`Copa`] — delay-based target rate `1 / (δ·queue_delay)`.
+
+use crate::sim::{CcSim, MAX_RATE_MBPS, MIN_RATE_MBPS, PACKET_BITS};
+
+/// Feedback aggregated over one control interval.
+#[derive(Debug, Clone, Copy)]
+pub struct CtrlFeedback {
+    /// Absolute time at the end of the interval (s).
+    pub now_s: f64,
+    /// Interval length (s).
+    pub dt_s: f64,
+    /// Packets sent / delivered / lost during the interval.
+    pub sent_pkts: f64,
+    /// Delivered packets.
+    pub delivered_pkts: f64,
+    /// Lost packets.
+    pub lost_pkts: f64,
+    /// Any congestion (queue-overflow) loss?
+    pub congestion_loss: bool,
+    /// Mean observed RTT (s).
+    pub rtt_s: f64,
+    /// Base path RTT (s).
+    pub base_rtt_s: f64,
+    /// Queueing delay at interval end (s).
+    pub queue_delay_s: f64,
+    /// Delivery rate (Mbps).
+    pub delivery_mbps: f64,
+}
+
+/// A rule-based CC algorithm: consumes control-interval feedback, returns
+/// the sending rate (Mbps) for the next interval.
+pub trait CcAlgorithm {
+    /// Initial sending rate (Mbps).
+    fn start_rate_mbps(&self) -> f64 {
+        1.0
+    }
+
+    /// Control-loop period given the path's base RTT.
+    fn control_interval_s(&self, base_rtt_s: f64) -> f64 {
+        (base_rtt_s / 2.0).clamp(0.005, 0.1)
+    }
+
+    /// One control decision.
+    fn on_feedback(&mut self, fb: &CtrlFeedback) -> f64;
+}
+
+/// Runs an algorithm over a full connection; returns the mean per-MI reward.
+pub fn run_cc(sim: &mut CcSim, algo: &mut dyn CcAlgorithm) -> f64 {
+    let base_rtt = sim.path().base_rtt_s;
+    let ctrl = algo.control_interval_s(base_rtt);
+    let tick_dt = ctrl.min(sim.mi_s() / 8.0).clamp(0.0025, 0.05);
+    sim.set_rate_mbps(algo.start_rate_mbps());
+    let mut acc_t = 0.0;
+    let mut sent = 0.0;
+    let mut delivered = 0.0;
+    let mut lost = 0.0;
+    let mut cong = false;
+    let mut rtt_weighted = 0.0;
+    while !sim.finished() {
+        let fb = sim.tick(tick_dt);
+        acc_t += fb.dt_s;
+        sent += fb.sent_pkts;
+        delivered += fb.delivered_pkts;
+        lost += fb.lost_pkts;
+        cong |= fb.congestion_loss;
+        rtt_weighted += fb.rtt_s * fb.dt_s;
+        if acc_t >= ctrl - 1e-9 {
+            let fb_last = fb;
+            let agg = CtrlFeedback {
+                now_s: sim.now(),
+                dt_s: acc_t,
+                sent_pkts: sent,
+                delivered_pkts: delivered,
+                lost_pkts: lost,
+                congestion_loss: cong,
+                rtt_s: rtt_weighted / acc_t,
+                base_rtt_s: base_rtt,
+                queue_delay_s: fb_last.queue_delay_s,
+                delivery_mbps: delivered * PACKET_BITS / 1e6 / acc_t,
+            };
+            let rate = algo.on_feedback(&agg);
+            sim.set_rate_mbps(rate.clamp(MIN_RATE_MBPS, MAX_RATE_MBPS));
+            acc_t = 0.0;
+            sent = 0.0;
+            delivered = 0.0;
+            lost = 0.0;
+            cong = false;
+            rtt_weighted = 0.0;
+        }
+    }
+    sim.episode_reward()
+}
+
+/// TCP Cubic (rate-converted): cubic window growth, β = 0.7 backoff on any
+/// loss signal.
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    cwnd_pkts: f64,
+    w_max: f64,
+    epoch_start_s: Option<f64>,
+    in_slow_start: bool,
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Self { cwnd_pkts: 10.0, w_max: 0.0, epoch_start_s: None, in_slow_start: true }
+    }
+}
+
+/// Cubic's scaling constant.
+const CUBIC_C: f64 = 0.4;
+/// Cubic's multiplicative-decrease factor.
+const CUBIC_BETA: f64 = 0.7;
+
+impl CcAlgorithm for Cubic {
+    fn on_feedback(&mut self, fb: &CtrlFeedback) -> f64 {
+        // Any appreciable loss — congestion or random — triggers backoff;
+        // Cubic cannot tell them apart (paper §4.2, §7).
+        let loss_frac = if fb.sent_pkts > 0.0 { fb.lost_pkts / fb.sent_pkts } else { 0.0 };
+        let loss_event = fb.congestion_loss || loss_frac > 0.003;
+        if loss_event {
+            self.w_max = self.cwnd_pkts;
+            self.cwnd_pkts = (self.cwnd_pkts * CUBIC_BETA).max(2.0);
+            self.epoch_start_s = Some(fb.now_s);
+            self.in_slow_start = false;
+        } else if self.in_slow_start {
+            // Double per RTT.
+            self.cwnd_pkts *= 2f64.powf(fb.dt_s / fb.rtt_s.max(1e-3));
+        } else {
+            let epoch = self.epoch_start_s.get_or_insert(fb.now_s);
+            let t = fb.now_s - *epoch;
+            let k = (self.w_max * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
+            let target = CUBIC_C * (t - k).powi(3) + self.w_max;
+            // Never grow slower than ~1 packet per RTT (TCP-friendliness).
+            let additive = self.cwnd_pkts + fb.dt_s / fb.rtt_s.max(1e-3);
+            self.cwnd_pkts = target.max(additive);
+        }
+        self.cwnd_pkts = self.cwnd_pkts.clamp(2.0, 1e6);
+        // rate = cwnd / RTT.
+        self.cwnd_pkts * PACKET_BITS / 1e6 / fb.rtt_s.max(1e-3)
+    }
+}
+
+/// BBR (simplified): STARTUP → DRAIN → PROBE_BW with the standard pacing
+/// gains, a windowed-max bottleneck-bandwidth filter and a windowed-min RTT
+/// filter. Loss plays no role.
+#[derive(Debug, Clone)]
+pub struct Bbr {
+    mode: BbrMode,
+    /// Recent delivery-rate samples (Mbps) for the max filter.
+    bw_samples: Vec<f64>,
+    full_bw_mbps: f64,
+    stalled_rounds: u32,
+    cycle_idx: usize,
+    cycle_start_s: f64,
+    rate_mbps: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BbrMode {
+    Startup,
+    Drain,
+    ProbeBw,
+}
+
+/// PROBE_BW pacing-gain cycle.
+const BBR_CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+
+impl Default for Bbr {
+    fn default() -> Self {
+        Self {
+            mode: BbrMode::Startup,
+            bw_samples: Vec::new(),
+            full_bw_mbps: 0.0,
+            stalled_rounds: 0,
+            cycle_idx: 0,
+            cycle_start_s: 0.0,
+            rate_mbps: 1.0,
+        }
+    }
+}
+
+impl Bbr {
+    fn btl_bw(&self) -> f64 {
+        self.bw_samples.iter().cloned().fold(0.1, f64::max)
+    }
+}
+
+impl CcAlgorithm for Bbr {
+    fn on_feedback(&mut self, fb: &CtrlFeedback) -> f64 {
+        self.bw_samples.push(fb.delivery_mbps);
+        if self.bw_samples.len() > 10 {
+            self.bw_samples.remove(0);
+        }
+        match self.mode {
+            BbrMode::Startup => {
+                if fb.delivery_mbps > self.full_bw_mbps * 1.25 {
+                    self.full_bw_mbps = fb.delivery_mbps;
+                    self.stalled_rounds = 0;
+                } else {
+                    self.stalled_rounds += 1;
+                }
+                if self.stalled_rounds >= 3 {
+                    self.mode = BbrMode::Drain;
+                    self.cycle_start_s = fb.now_s;
+                } else {
+                    self.rate_mbps = (self.rate_mbps * 2.0).min(MAX_RATE_MBPS);
+                }
+            }
+            BbrMode::Drain => {
+                self.rate_mbps = self.btl_bw() * 0.5;
+                // Stay in drain until the standing queue from startup is
+                // actually gone (generous timeout as a safety valve).
+                if fb.queue_delay_s < 0.2 * fb.base_rtt_s
+                    || fb.now_s - self.cycle_start_s > 50.0 * fb.base_rtt_s
+                {
+                    self.mode = BbrMode::ProbeBw;
+                    self.cycle_idx = 2; // start in a cruise phase
+                    self.cycle_start_s = fb.now_s;
+                }
+            }
+            BbrMode::ProbeBw => {
+                if fb.now_s - self.cycle_start_s >= fb.base_rtt_s.max(0.01) {
+                    self.cycle_idx = (self.cycle_idx + 1) % BBR_CYCLE.len();
+                    self.cycle_start_s = fb.now_s;
+                }
+                let mut gain = BBR_CYCLE[self.cycle_idx];
+                // Stand-in for ProbeRTT: when a standing queue persists in
+                // a cruise phase, undershoot slightly so it drains.
+                if gain == 1.0 && fb.queue_delay_s > 0.25 * fb.base_rtt_s {
+                    gain = 0.9;
+                }
+                self.rate_mbps = self.btl_bw() * gain;
+            }
+        }
+        self.rate_mbps.clamp(MIN_RATE_MBPS, MAX_RATE_MBPS)
+    }
+}
+
+/// PCC-Vivace (latency flavour): gradient ascent on the utility
+/// `rate^0.9 − 900·rate·(dRTT/dt)⁺ − 11.35·rate·loss`.
+#[derive(Debug, Clone)]
+pub struct Vivace {
+    rate_mbps: f64,
+    prev_rtt_s: Option<f64>,
+    prev_utility: Option<f64>,
+    direction: f64,
+    step: f64,
+}
+
+impl Default for Vivace {
+    fn default() -> Self {
+        Self { rate_mbps: 1.0, prev_rtt_s: None, prev_utility: None, direction: 1.0, step: 0.1 }
+    }
+}
+
+impl CcAlgorithm for Vivace {
+    fn on_feedback(&mut self, fb: &CtrlFeedback) -> f64 {
+        let loss_frac = if fb.sent_pkts > 0.0 { fb.lost_pkts / fb.sent_pkts } else { 0.0 };
+        let rtt_grad = match self.prev_rtt_s {
+            Some(prev) => ((fb.rtt_s - prev) / fb.dt_s).max(0.0),
+            None => 0.0,
+        };
+        self.prev_rtt_s = Some(fb.rtt_s);
+        let tput = fb.delivery_mbps.max(1e-3);
+        let utility = tput.powf(0.9) - 900.0 * tput * rtt_grad - 11.35 * tput * loss_frac;
+        if let Some(prev) = self.prev_utility {
+            if utility < prev {
+                // Worse: flip direction, take smaller steps.
+                self.direction = -self.direction;
+                self.step = (self.step * 0.5).max(0.02);
+            } else {
+                self.step = (self.step * 1.5).min(0.5);
+            }
+        }
+        self.prev_utility = Some(utility);
+        self.rate_mbps *= 1.0 + self.direction * self.step;
+        self.rate_mbps.clamp(MIN_RATE_MBPS, MAX_RATE_MBPS)
+    }
+}
+
+/// Copa: steer toward the target rate `1 / (δ · queue_delay)`.
+#[derive(Debug, Clone)]
+pub struct Copa {
+    /// Copa's delta (inverse of how much queueing it tolerates).
+    pub delta: f64,
+    rate_mbps: f64,
+}
+
+impl Default for Copa {
+    fn default() -> Self {
+        Self { delta: 0.5, rate_mbps: 1.0 }
+    }
+}
+
+impl CcAlgorithm for Copa {
+    fn on_feedback(&mut self, fb: &CtrlFeedback) -> f64 {
+        let dq = fb.queue_delay_s;
+        if dq < 1e-4 {
+            // No queue: probe upward.
+            self.rate_mbps *= 1.25;
+        } else {
+            let target_pps = 1.0 / (self.delta * dq);
+            let target_mbps = target_pps * PACKET_BITS / 1e6;
+            self.rate_mbps += 0.5 * (target_mbps - self.rate_mbps);
+        }
+        self.rate_mbps.clamp(MIN_RATE_MBPS, MAX_RATE_MBPS)
+    }
+}
+
+/// Constructs a baseline by its paper name.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn baseline_by_name(name: &str) -> Box<dyn CcAlgorithm> {
+    match name {
+        "bbr" => Box::new(Bbr::default()),
+        "cubic" => Box::new(Cubic::default()),
+        "vivace" => Box::new(Vivace::default()),
+        "copa" => Box::new(Copa::default()),
+        other => panic!("unknown CC baseline: {other}"),
+    }
+}
+
+/// Names accepted by [`baseline_by_name`].
+pub const BASELINE_NAMES: &[&str] = &["bbr", "cubic", "vivace", "copa"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::CcPath;
+    use genet_traces::BandwidthTrace;
+
+    fn path(bw: f64, rtt_ms: f64, queue: f64, loss: f64) -> CcPath {
+        CcPath {
+            trace: BandwidthTrace::constant(bw, 60.0),
+            base_rtt_s: rtt_ms / 1000.0,
+            queue_cap_pkts: queue,
+            loss_rate: loss,
+            delay_noise_s: 0.0,
+            duration_s: 20.0,
+        }
+    }
+
+    fn run(name: &str, p: CcPath) -> (f64, f64) {
+        let mut sim = CcSim::new(p, 0);
+        let mut algo = baseline_by_name(name);
+        let reward = run_cc(&mut sim, algo.as_mut());
+        let mis = sim.completed_mis();
+        let steady = &mis[mis.len() / 2..];
+        let tput = genet_math::mean(
+            &steady.iter().map(|m| m.throughput_mbps).collect::<Vec<_>>(),
+        );
+        (reward, tput)
+    }
+
+    #[test]
+    fn all_baselines_achieve_decent_utilization_on_clean_path() {
+        for name in BASELINE_NAMES {
+            let (reward, tput) = run(name, path(6.0, 50.0, 60.0, 0.0));
+            assert!(
+                tput > 2.5,
+                "{name}: steady throughput {tput} Mbps too low on a 6 Mbps link"
+            );
+            assert!(reward.is_finite(), "{name}: {reward}");
+        }
+    }
+
+    #[test]
+    fn bbr_is_robust_to_random_loss_cubic_is_not() {
+        let (_, cubic_tput) = run("cubic", path(8.0, 50.0, 60.0, 0.02));
+        let (_, bbr_tput) = run("bbr", path(8.0, 50.0, 60.0, 0.02));
+        assert!(
+            bbr_tput > cubic_tput * 1.5,
+            "bbr {bbr_tput} should beat cubic {cubic_tput} under 2% random loss"
+        );
+    }
+
+    #[test]
+    fn cubic_fills_clean_pipe() {
+        let (_, tput) = run("cubic", path(5.0, 50.0, 80.0, 0.0));
+        assert!(tput > 3.5, "cubic steady throughput {tput} on a 5 Mbps clean link");
+    }
+
+    #[test]
+    fn bbr_keeps_queue_small() {
+        let mut sim = CcSim::new(path(5.0, 100.0, 200.0, 0.0), 0);
+        let mut bbr = Bbr::default();
+        run_cc(&mut sim, &mut bbr);
+        let mis = sim.completed_mis();
+        let steady = &mis[mis.len() / 2..];
+        let lat = genet_math::mean(
+            &steady.iter().map(|m| m.avg_latency_s).collect::<Vec<_>>(),
+        );
+        // Base RTT 0.1 s; a deep 200-pkt queue would add ~0.48 s if filled.
+        assert!(lat < 0.25, "bbr steady latency {lat} should stay near base RTT");
+    }
+
+    #[test]
+    fn copa_backs_off_on_queue_buildup() {
+        let mut sim = CcSim::new(path(2.0, 100.0, 150.0, 0.0), 0);
+        let mut copa = Copa::default();
+        run_cc(&mut sim, &mut copa);
+        let mis = sim.completed_mis();
+        let steady = &mis[mis.len() / 2..];
+        let lat =
+            genet_math::mean(&steady.iter().map(|m| m.avg_latency_s).collect::<Vec<_>>());
+        assert!(lat < 0.4, "copa steady latency {lat}");
+    }
+
+    #[test]
+    fn baselines_adapt_to_bandwidth_drop() {
+        // Bandwidth halves mid-connection; steady throughput after the drop
+        // should approach the new capacity, not the old.
+        let trace = BandwidthTrace::new(vec![0.0, 10.0], vec![8.0, 2.0]);
+        for name in ["bbr", "cubic"] {
+            let p = CcPath {
+                trace: trace.clone(),
+                base_rtt_s: 0.05,
+                queue_cap_pkts: 50.0,
+                loss_rate: 0.0,
+                delay_noise_s: 0.0,
+                duration_s: 20.0,
+            };
+            let mut sim = CcSim::new(p, 0);
+            let mut algo = baseline_by_name(name);
+            run_cc(&mut sim, algo.as_mut());
+            let mis = sim.completed_mis();
+            let late: Vec<f64> = mis
+                .iter()
+                .filter(|m| m.start_s > 15.0)
+                .map(|m| m.throughput_mbps)
+                .collect();
+            let tput = genet_math::mean(&late);
+            assert!(
+                (1.0..=2.4).contains(&tput),
+                "{name}: post-drop throughput {tput} should track the 2 Mbps link"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown CC baseline")]
+    fn unknown_baseline_panics() {
+        let _ = baseline_by_name("reno");
+    }
+
+    #[test]
+    fn vivace_tracks_utility_not_loss_alone() {
+        // Vivace should reach solid utilization on a clean path and avoid
+        // persistent queue build-up on a deep-buffered one.
+        let (_, tput) = run("vivace", path(5.0, 50.0, 60.0, 0.0));
+        assert!(tput > 2.0, "vivace clean-path throughput {tput}");
+        let mut sim = CcSim::new(path(2.0, 100.0, 300.0, 0.0), 0);
+        let mut algo = Vivace::default();
+        run_cc(&mut sim, &mut algo);
+        let mis = sim.completed_mis();
+        let steady = &mis[mis.len() / 2..];
+        let lat =
+            genet_math::mean(&steady.iter().map(|m| m.avg_latency_s).collect::<Vec<_>>());
+        // A 300-packet queue on a 2 Mbps link could add 1.8 s if filled;
+        // Vivace's latency gradient term should keep it well below that.
+        assert!(lat < 1.0, "vivace steady latency {lat}");
+    }
+
+    #[test]
+    fn tiny_queue_punishes_overshoot_hard() {
+        // Sanity of the loss accounting rule-based CCs face on tiny queues:
+        // holding exactly at capacity is lossless, 25% overshoot loses ~20%.
+        let mut hold = CcSim::new(path(8.0, 50.0, 3.0, 0.0), 0);
+        hold.set_rate_mbps(8.0);
+        while !hold.finished() {
+            hold.run_mi();
+        }
+        let hold_loss: f64 = hold.completed_mis().iter().map(|m| m.loss_frac).sum::<f64>()
+            / hold.completed_mis().len() as f64;
+        assert!(hold_loss < 0.02, "at-capacity loss {hold_loss}");
+        let mut probe = CcSim::new(path(8.0, 50.0, 3.0, 0.0), 0);
+        probe.set_rate_mbps(10.0);
+        while !probe.finished() {
+            probe.run_mi();
+        }
+        let probe_loss: f64 =
+            probe.completed_mis().iter().map(|m| m.loss_frac).sum::<f64>()
+                / probe.completed_mis().len() as f64;
+        assert!((probe_loss - 0.2).abs() < 0.05, "25% overshoot loses ~20%, got {probe_loss}");
+    }
+}

@@ -1,0 +1,170 @@
+//! RL environment adapter for congestion control (Aurora-style).
+//!
+//! One step = one monitor interval. The action multiplies the sending rate
+//! by one of [`RATE_MULTIPLIERS`] — Aurora's continuous rate-change action
+//! discretized to a grid (DESIGN.md §3).
+//!
+//! Observation: the last [`HISTORY`] monitor intervals, each contributing
+//! four Aurora-style features — latency inflation, latency ratio, send
+//! ratio, and loss fraction — newest last.
+
+use crate::sim::{CcSim, MiStats};
+use genet_env::{Env, StepOutcome};
+
+/// Discrete rate-multiplier actions.
+pub const RATE_MULTIPLIERS: [f64; 9] =
+    [0.5, 0.7, 0.85, 0.95, 1.0, 1.05, 1.2, 1.5, 2.0];
+
+/// Number of discrete actions.
+pub const CC_ACTIONS: usize = RATE_MULTIPLIERS.len();
+
+/// Monitor intervals of history in the observation.
+pub const HISTORY: usize = 5;
+
+/// Features per monitor interval.
+const FEATS: usize = 4;
+
+/// Observation dimensionality.
+pub const CC_OBS_DIM: usize = HISTORY * FEATS;
+
+/// The CC simulator wrapped as a `genet_env::Env`.
+#[derive(Debug, Clone)]
+pub struct CcEnv {
+    sim: CcSim,
+    history: Vec<[f32; FEATS]>,
+}
+
+impl CcEnv {
+    /// Wraps a fresh connection.
+    pub fn new(sim: CcSim) -> Self {
+        Self { sim, history: Vec::new() }
+    }
+
+    /// Read access to the simulator (for metric breakdowns).
+    pub fn sim(&self) -> &CcSim {
+        &self.sim
+    }
+
+    fn features(&self, mi: &MiStats) -> [f32; FEATS] {
+        let base = self.sim.path().base_rtt_s;
+        let min_lat = self.sim.min_latency_s();
+        let lat_inflation = ((mi.avg_latency_s - base) / base).clamp(0.0, 10.0) / 10.0;
+        let lat_ratio = (mi.avg_latency_s / min_lat.max(1e-6) - 1.0).clamp(0.0, 10.0) / 10.0;
+        let send_ratio = if mi.delivered_pkts > 1e-9 {
+            (mi.sent_pkts / mi.delivered_pkts - 1.0).clamp(0.0, 10.0) / 10.0
+        } else {
+            1.0
+        };
+        let loss = mi.loss_frac.clamp(0.0, 1.0);
+        [lat_inflation as f32, lat_ratio as f32, send_ratio as f32, loss as f32]
+    }
+}
+
+impl Env for CcEnv {
+    fn obs_dim(&self) -> usize {
+        CC_OBS_DIM
+    }
+
+    fn action_count(&self) -> usize {
+        CC_ACTIONS
+    }
+
+    fn observe(&self, out: &mut [f32]) {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        let n = self.history.len().min(HISTORY);
+        for (slot, feats) in self.history[self.history.len() - n..].iter().enumerate() {
+            let off = (HISTORY - n + slot) * FEATS;
+            out[off..off + FEATS].copy_from_slice(feats);
+        }
+    }
+
+    fn step(&mut self, action: usize) -> StepOutcome {
+        self.sim.scale_rate(RATE_MULTIPLIERS[action]);
+        let mi = self.sim.run_mi();
+        let feats = self.features(&mi);
+        self.history.push(feats);
+        if self.history.len() > HISTORY {
+            self.history.remove(0);
+        }
+        StepOutcome { reward: mi.reward(), done: self.sim.finished() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::CcPath;
+    use genet_traces::BandwidthTrace;
+
+    fn env() -> CcEnv {
+        CcEnv::new(CcSim::new(
+            CcPath {
+                trace: BandwidthTrace::constant(4.0, 60.0),
+                base_rtt_s: 0.1,
+                queue_cap_pkts: 30.0,
+                loss_rate: 0.0,
+                delay_noise_s: 0.0,
+                duration_s: 10.0,
+            },
+            0,
+        ))
+    }
+
+    #[test]
+    fn obs_bounded_and_history_fills() {
+        let mut e = env();
+        let mut obs = vec![0.0f32; e.obs_dim()];
+        e.observe(&mut obs);
+        assert!(obs.iter().all(|&v| v == 0.0), "initial observation is empty history");
+        let mut steps = 0;
+        loop {
+            let out = e.step(4); // hold rate
+            steps += 1;
+            e.observe(&mut obs);
+            assert!(obs.iter().all(|v| (0.0..=1.01).contains(&(*v as f64))), "{obs:?}");
+            if out.done {
+                break;
+            }
+        }
+        assert!(steps > 30, "10 s / 0.15 s MI ≈ 66 steps, got {steps}");
+    }
+
+    #[test]
+    fn aggressive_policy_shows_loss_and_latency_features() {
+        let mut e = env();
+        // Always double the rate: queue fills, losses mount.
+        let mut obs = vec![0.0f32; e.obs_dim()];
+        for _ in 0..30 {
+            if e.step(CC_ACTIONS - 1).done {
+                break;
+            }
+        }
+        e.observe(&mut obs);
+        let last = &obs[CC_OBS_DIM - 4..];
+        assert!(last[3] > 0.3, "loss feature should light up, obs {last:?}");
+        assert!(last[0] > 0.01, "latency inflation should light up, obs {last:?}");
+    }
+
+    #[test]
+    fn holding_beats_starving_and_flooding() {
+        let run = |action: usize| {
+            let mut e = env();
+            let mut total = 0.0;
+            let mut n = 0;
+            loop {
+                let out = e.step(action);
+                total += out.reward;
+                n += 1;
+                if out.done {
+                    break;
+                }
+            }
+            total / n as f64
+        };
+        let hold = run(4); // keep the modest 1 Mbps under a 4 Mbps link
+        let starve = run(0); // halve every MI → rate floor, no throughput
+        let flood = run(CC_ACTIONS - 1); // double every MI → drops + queueing
+        assert!(hold > starve, "hold {hold} vs starve {starve}");
+        assert!(hold > flood, "hold {hold} vs flood {flood}");
+    }
+}

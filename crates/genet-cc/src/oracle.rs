@@ -1,0 +1,82 @@
+//! The CC oracle: a sender with ground-truth knowledge of the bandwidth
+//! trace transmits exactly at link capacity at every instant — full
+//! utilization, an empty queue (latency = base RTT), and only the
+//! unavoidable random loss. This is the "optimal solution based on ground
+//! truth knowledge (such as future bandwidth variation)" the paper's
+//! Strawman 3 / CL3 comparators rely on (§3, §7).
+
+use crate::sim::{REWARD_LAT, REWARD_LOSS, REWARD_TPUT};
+use genet_traces::BandwidthTrace;
+
+/// Mean per-MI oracle reward for a path.
+///
+/// Computed analytically on the MI grid: throughput = mean bandwidth in the
+/// interval × (1 − loss), latency = base RTT, loss = the random loss rate.
+pub fn oracle_reward(
+    trace: &BandwidthTrace,
+    base_rtt_s: f64,
+    loss_rate: f64,
+    duration_s: f64,
+    mi_s: f64,
+) -> f64 {
+    assert!(mi_s > 0.0 && duration_s > 0.0);
+    let n = (duration_s / mi_s).ceil() as usize;
+    let mut total = 0.0;
+    for i in 0..n {
+        let start = i as f64 * mi_s;
+        // Sample bandwidth at a few points inside the MI.
+        let samples = 4;
+        let mut bw = 0.0;
+        for k in 0..samples {
+            bw += trace.bw_at(start + mi_s * (k as f64 + 0.5) / samples as f64);
+        }
+        bw /= samples as f64;
+        let reward = REWARD_TPUT * bw * (1.0 - loss_rate)
+            - REWARD_LAT * base_rtt_s
+            - REWARD_LOSS * loss_rate;
+        total += reward;
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{baseline_by_name, run_cc, BASELINE_NAMES};
+    use crate::sim::{CcPath, CcSim};
+
+    #[test]
+    fn oracle_value_on_constant_link() {
+        let trace = BandwidthTrace::constant(4.0, 30.0);
+        let r = oracle_reward(&trace, 0.1, 0.0, 30.0, 0.15);
+        assert!((r - (120.0 * 4.0 - 1000.0 * 0.1)).abs() < 1e-6, "{r}");
+    }
+
+    #[test]
+    fn oracle_upper_bounds_every_baseline() {
+        let trace = BandwidthTrace::constant(5.0, 30.0);
+        let path = CcPath {
+            trace: trace.clone(),
+            base_rtt_s: 0.08,
+            queue_cap_pkts: 40.0,
+            loss_rate: 0.01,
+            delay_noise_s: 0.0,
+            duration_s: 30.0,
+        };
+        let oracle = oracle_reward(&trace, 0.08, 0.01, 30.0, 0.12);
+        for name in BASELINE_NAMES {
+            let mut sim = CcSim::new(path.clone(), 0);
+            let mut algo = baseline_by_name(name);
+            let r = run_cc(&mut sim, algo.as_mut());
+            assert!(oracle >= r - 1.0, "{name}: oracle {oracle} vs {r}");
+        }
+    }
+
+    #[test]
+    fn random_loss_lowers_the_oracle() {
+        let trace = BandwidthTrace::constant(4.0, 30.0);
+        let clean = oracle_reward(&trace, 0.1, 0.0, 30.0, 0.15);
+        let lossy = oracle_reward(&trace, 0.1, 0.03, 30.0, 0.15);
+        assert!(clean > lossy);
+    }
+}

@@ -1,0 +1,200 @@
+//! `Scenario` implementation gluing CC into the Genet framework.
+
+use crate::baselines::{baseline_by_name, run_cc, BASELINE_NAMES};
+use crate::env::{CcEnv, CC_ACTIONS, CC_OBS_DIM};
+use crate::oracle::oracle_reward;
+use crate::sim::{CcPath, CcSim};
+use crate::space::{cc_defaults, cc_space_at, CcParams, CC_EPISODE_S};
+use genet_env::{Env, EnvConfig, ParamSpace, RangeLevel, Scenario};
+use genet_math::derive_seed;
+use genet_traces::{gen_cc_trace, BandwidthTrace, CcTraceParams, TraceIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The congestion-control use case.
+#[derive(Clone)]
+pub struct CcScenario {
+    trace_pool: Option<Arc<TraceIndex>>,
+    trace_prob: f64,
+    /// Fixed gaussian delay noise applied to all paths (0 by default; the
+    /// Fig. 16 path profiles use it).
+    pub delay_noise_s: f64,
+}
+
+impl Default for CcScenario {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CcScenario {
+    /// Pure-synthetic scenario.
+    pub fn new() -> Self {
+        Self { trace_pool: None, trace_prob: 0.0, delay_noise_s: 0.0 }
+    }
+
+    /// Enables trace-driven environments (paper §4.2, default w = 0.3).
+    pub fn with_trace_pool(mut self, pool: Arc<TraceIndex>, trace_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&trace_prob));
+        self.trace_pool = Some(pool);
+        self.trace_prob = trace_prob;
+        self
+    }
+
+    /// Builds the concrete path for an environment instance.
+    pub fn build_path(&self, cfg: &EnvConfig, seed: u64) -> CcPath {
+        let p = CcParams::from_config(cfg);
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0xCC7));
+        let trace = self.pick_trace(&p, &mut rng);
+        CcPath {
+            trace,
+            base_rtt_s: p.rtt_s,
+            queue_cap_pkts: p.queue_pkts.max(2.0),
+            loss_rate: p.loss_rate,
+            delay_noise_s: self.delay_noise_s,
+            duration_s: CC_EPISODE_S,
+        }
+    }
+
+    fn pick_trace(&self, p: &CcParams, rng: &mut StdRng) -> BandwidthTrace {
+        if let Some(pool) = &self.trace_pool {
+            if rng.random::<f64>() < self.trace_prob {
+                // Match traces whose mean bandwidth falls under this
+                // config's bandwidth cap (the generator draws in
+                // [1, max_bw], so the expected mean is about half the cap).
+                if let Some(t) = pool.sample_matching(0.0, p.max_bw_mbps, rng) {
+                    return t.clone();
+                }
+            }
+        }
+        gen_cc_trace(
+            &CcTraceParams {
+                max_bw_mbps: p.max_bw_mbps,
+                change_interval_s: p.bw_interval_s,
+                duration_s: CC_EPISODE_S,
+            },
+            rng,
+        )
+    }
+}
+
+impl Scenario for CcScenario {
+    fn name(&self) -> &'static str {
+        "cc"
+    }
+
+    fn full_space(&self) -> ParamSpace {
+        cc_space_at(RangeLevel::Rl3)
+    }
+
+    fn space(&self, level: RangeLevel) -> ParamSpace {
+        cc_space_at(level)
+    }
+
+    fn obs_dim(&self) -> usize {
+        CC_OBS_DIM
+    }
+
+    fn action_count(&self) -> usize {
+        CC_ACTIONS
+    }
+
+    fn make_env(&self, cfg: &EnvConfig, seed: u64) -> Box<dyn Env> {
+        Box::new(CcEnv::new(CcSim::new(self.build_path(cfg, seed), seed)))
+    }
+
+    fn baseline_names(&self) -> &'static [&'static str] {
+        BASELINE_NAMES
+    }
+
+    fn default_baseline(&self) -> &'static str {
+        "bbr"
+    }
+
+    fn eval_baseline(&self, name: &str, cfg: &EnvConfig, seed: u64) -> f64 {
+        let mut sim = CcSim::new(self.build_path(cfg, seed), seed);
+        let mut algo = baseline_by_name(name);
+        run_cc(&mut sim, algo.as_mut())
+    }
+
+    fn reward_scale(&self) -> f64 {
+        100.0
+    }
+
+    fn env_non_smoothness(&self, cfg: &EnvConfig, seed: u64) -> f64 {
+        self.build_path(cfg, seed).trace.non_smoothness()
+    }
+
+    fn eval_oracle(&self, cfg: &EnvConfig, seed: u64) -> f64 {
+        let path = self.build_path(cfg, seed);
+        let sim = CcSim::new(path.clone(), seed);
+        oracle_reward(
+            &path.trace,
+            path.base_rtt_s,
+            path.loss_rate,
+            path.duration_s,
+            sim.mi_s(),
+        )
+    }
+}
+
+/// The Table-4 default configuration.
+pub fn default_config() -> EnvConfig {
+    cc_defaults()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paired_evaluation_is_deterministic() {
+        let s = CcScenario::new();
+        let cfg = default_config();
+        assert_eq!(s.eval_baseline("bbr", &cfg, 3), s.eval_baseline("bbr", &cfg, 3));
+        assert_eq!(s.eval_oracle(&cfg, 3), s.eval_oracle(&cfg, 3));
+    }
+
+    #[test]
+    fn oracle_dominates_baselines_on_defaults() {
+        let s = CcScenario::new();
+        let cfg = default_config();
+        for seed in 0..3 {
+            let oracle = s.eval_oracle(&cfg, seed);
+            for name in BASELINE_NAMES {
+                let r = s.eval_baseline(name, &cfg, seed);
+                assert!(oracle >= r - 1.0, "seed {seed} {name}: {oracle} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn env_episode_runs_to_completion() {
+        let s = CcScenario::new();
+        let cfg = default_config();
+        let mut env = s.make_env(&cfg, 1);
+        let mut steps = 0;
+        loop {
+            if env.step(4).done {
+                break;
+            }
+            steps += 1;
+            assert!(steps < 5000);
+        }
+        assert!(steps > 50, "30 s / 0.15 s MI should give many steps, got {steps}");
+    }
+
+    #[test]
+    fn fixed_rate_policy_reward_is_reasonable() {
+        // Holding the initial 1 Mbps on a ~3 Mbps default link: positive
+        // reward, but below the oracle.
+        let s = CcScenario::new();
+        let cfg = default_config();
+        let hold = |_: &[f32], _: &mut StdRng| 4usize;
+        let r = s.eval_policy(&hold, &cfg, 5);
+        let oracle = s.eval_oracle(&cfg, 5);
+        assert!(r > 0.0, "holding 1 Mbps yields positive reward, got {r}");
+        assert!(oracle > r, "oracle {oracle} must beat the static policy {r}");
+    }
+}

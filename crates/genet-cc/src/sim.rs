@@ -1,0 +1,444 @@
+//! The network-path simulator.
+//!
+//! A single bottleneck link with a FIFO queue, modelled as a fluid system
+//! stepped at sub-RTT granularity:
+//!
+//! * the sender injects `rate` packets/s,
+//! * a fraction `loss_rate` of them is lost randomly (non-congestion loss),
+//! * the queue absorbs the rest and drains at the trace's bandwidth,
+//! * arrivals beyond the queue capacity are dropped (congestion loss),
+//! * delivered traffic observes `base RTT + queueing delay (+ noise)`.
+//!
+//! Statistics are accumulated per **monitor interval** so the Table-1 reward
+//! is computed identically no matter how often the control law adjusts the
+//! rate (the RL agent acts per MI; Cubic/BBR act per tick).
+
+use genet_math::{derive_seed, sample_gaussian};
+use genet_traces::BandwidthTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Packet size used throughout (bits) — 1500-byte MTU packets.
+pub const PACKET_BITS: f64 = 1500.0 * 8.0;
+
+/// Reward coefficient on throughput (per Mbps) — Table 1.
+pub const REWARD_TPUT: f64 = 120.0;
+/// Reward coefficient on latency (per second, negative contribution).
+pub const REWARD_LAT: f64 = 1000.0;
+/// Reward coefficient on loss fraction (negative contribution).
+pub const REWARD_LOSS: f64 = 2000.0;
+
+/// Sending-rate bounds (Mbps) — the sender cannot stall completely nor
+/// exceed any plausible link by orders of magnitude.
+pub const MIN_RATE_MBPS: f64 = 0.05;
+/// Upper sending-rate bound (Mbps).
+pub const MAX_RATE_MBPS: f64 = 1000.0;
+
+/// Static description of a path (one environment instance).
+#[derive(Debug, Clone)]
+pub struct CcPath {
+    /// Bottleneck bandwidth over time.
+    pub trace: BandwidthTrace,
+    /// Base (propagation) round-trip time in seconds.
+    pub base_rtt_s: f64,
+    /// Bottleneck queue capacity in packets.
+    pub queue_cap_pkts: f64,
+    /// Random per-packet loss rate.
+    pub loss_rate: f64,
+    /// Std-dev of gaussian latency noise (seconds).
+    pub delay_noise_s: f64,
+    /// Connection duration (seconds).
+    pub duration_s: f64,
+}
+
+/// Per-monitor-interval statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiStats {
+    /// Interval start time (s).
+    pub start_s: f64,
+    /// Interval length (s).
+    pub dur_s: f64,
+    /// Packets offered by the sender.
+    pub sent_pkts: f64,
+    /// Packets delivered to the receiver.
+    pub delivered_pkts: f64,
+    /// Packets lost (random + overflow).
+    pub lost_pkts: f64,
+    /// Delivery-weighted average RTT (s).
+    pub avg_latency_s: f64,
+    /// Delivered throughput (Mbps).
+    pub throughput_mbps: f64,
+    /// Loss fraction of offered packets.
+    pub loss_frac: f64,
+}
+
+impl MiStats {
+    /// The Table-1 reward of this interval.
+    pub fn reward(&self) -> f64 {
+        REWARD_TPUT * self.throughput_mbps
+            - REWARD_LAT * self.avg_latency_s
+            - REWARD_LOSS * self.loss_frac
+    }
+}
+
+/// Feedback handed to rule-based control laws after each tick.
+#[derive(Debug, Clone, Copy)]
+pub struct TickFeedback {
+    /// Tick length (s).
+    pub dt_s: f64,
+    /// Offered packets this tick.
+    pub sent_pkts: f64,
+    /// Delivered packets this tick.
+    pub delivered_pkts: f64,
+    /// Lost packets this tick (random + overflow).
+    pub lost_pkts: f64,
+    /// Whether any *congestion* (overflow) loss occurred this tick.
+    pub congestion_loss: bool,
+    /// RTT currently observed (s).
+    pub rtt_s: f64,
+    /// Base RTT of the path (s) — what a min-RTT filter would converge to.
+    pub base_rtt_s: f64,
+    /// Current queueing delay (s).
+    pub queue_delay_s: f64,
+}
+
+/// Accumulator for the in-progress monitor interval.
+#[derive(Debug, Clone, Copy, Default)]
+struct Accum {
+    start: f64,
+    sent: f64,
+    delivered: f64,
+    lost: f64,
+    lat_weighted: f64,
+}
+
+/// The running simulation.
+#[derive(Debug, Clone)]
+pub struct CcSim {
+    path: CcPath,
+    mi_s: f64,
+    t: f64,
+    rate_pps: f64,
+    queue_pkts: f64,
+    acc: Accum,
+    completed: Vec<MiStats>,
+    min_latency_s: f64,
+    noise_rng: StdRng,
+}
+
+impl CcSim {
+    /// Starts a connection on `path`. The monitor interval is
+    /// `max(1.5 × base RTT, 20 ms)` capped at 1 s — Aurora's
+    /// RTT-proportional MI.
+    ///
+    /// The initial sending rate is a seeded uniform multiple (0.3–1.5×) of
+    /// the link rate at time 0, exactly like the Aurora gym: the episode
+    /// starts where slow start would hand over, so the agent's job is rate
+    /// *tracking*, not cold-start ramping.
+    pub fn new(path: CcPath, seed: u64) -> Self {
+        assert!(path.base_rtt_s > 0.0 && path.duration_s > 0.0);
+        assert!(path.queue_cap_pkts >= 1.0);
+        let mi_s = (1.5 * path.base_rtt_s).clamp(0.02, 1.0);
+        let mut start_rng = StdRng::seed_from_u64(derive_seed(seed, 0xCC0));
+        let start_mult: f64 = rand::Rng::random_range(&mut start_rng, 0.3..1.5);
+        let start_rate =
+            (path.trace.bw_at(0.0) * start_mult).clamp(MIN_RATE_MBPS, MAX_RATE_MBPS);
+        let noise_rng = StdRng::seed_from_u64(derive_seed(seed, 0xCC1));
+        Self {
+            rate_pps: mbps_to_pps(start_rate),
+            mi_s,
+            t: 0.0,
+            queue_pkts: 0.0,
+            acc: Accum::default(),
+            completed: Vec::new(),
+            min_latency_s: f64::INFINITY,
+            noise_rng,
+            path,
+        }
+    }
+
+    /// The monitor-interval length (s).
+    pub fn mi_s(&self) -> f64 {
+        self.mi_s
+    }
+
+    /// Current absolute time (s).
+    pub fn now(&self) -> f64 {
+        self.t
+    }
+
+    /// The path description.
+    pub fn path(&self) -> &CcPath {
+        &self.path
+    }
+
+    /// Current sending rate (Mbps).
+    pub fn rate_mbps(&self) -> f64 {
+        self.rate_pps * PACKET_BITS / 1e6
+    }
+
+    /// Sets the sending rate (Mbps), clamped to the legal range.
+    pub fn set_rate_mbps(&mut self, rate: f64) {
+        self.rate_pps = mbps_to_pps(rate.clamp(MIN_RATE_MBPS, MAX_RATE_MBPS));
+    }
+
+    /// Multiplies the sending rate (the RL action).
+    pub fn scale_rate(&mut self, mult: f64) {
+        self.set_rate_mbps(self.rate_mbps() * mult);
+    }
+
+    /// True once the connection duration has elapsed.
+    pub fn finished(&self) -> bool {
+        self.t >= self.path.duration_s - 1e-9
+    }
+
+    /// Completed monitor intervals so far.
+    pub fn completed_mis(&self) -> &[MiStats] {
+        &self.completed
+    }
+
+    /// Smallest latency observed so far (s) — the min-RTT estimate exposed
+    /// to observations.
+    pub fn min_latency_s(&self) -> f64 {
+        if self.min_latency_s.is_finite() {
+            self.min_latency_s
+        } else {
+            self.path.base_rtt_s
+        }
+    }
+
+    /// Advances one fluid tick of length `dt` and returns the feedback.
+    pub fn tick(&mut self, dt: f64) -> TickFeedback {
+        let dt = dt.min(self.path.duration_s - self.t).max(1e-6);
+        let bw_pps = mbps_to_pps(self.path.trace.bw_at(self.t).max(1e-3));
+
+        let sent = self.rate_pps * dt;
+        let random_lost = sent * self.path.loss_rate;
+        let arriving = sent - random_lost;
+
+        // Fluid within the tick: arrival and service happen simultaneously,
+        // so the server drains from (standing queue + this tick's arrivals)
+        // and only what still stands at tick end can overflow the buffer.
+        // (Queueing the whole tick's arrivals before serving would fake
+        // overflow whenever rate × dt exceeds the queue capacity.)
+        let service = bw_pps * dt;
+        let available = self.queue_pkts + arriving;
+        let delivered = available.min(service);
+        self.queue_pkts = available - delivered;
+        let overflow = (self.queue_pkts - self.path.queue_cap_pkts).max(0.0);
+        self.queue_pkts -= overflow;
+
+        let queue_delay = self.queue_pkts / bw_pps;
+        let noise = if self.path.delay_noise_s > 0.0 {
+            sample_gaussian(&mut self.noise_rng, 0.0, self.path.delay_noise_s).max(0.0)
+        } else {
+            0.0
+        };
+        let rtt = self.path.base_rtt_s + queue_delay + noise;
+        if delivered > 0.0 {
+            self.min_latency_s = self.min_latency_s.min(rtt);
+        }
+
+        let lost = random_lost + overflow;
+        self.acc.sent += sent;
+        self.acc.delivered += delivered;
+        self.acc.lost += lost;
+        self.acc.lat_weighted += rtt * delivered;
+        self.t += dt;
+
+        // Close out any monitor interval we crossed.
+        while self.t - self.acc.start >= self.mi_s - 1e-9 {
+            self.close_mi();
+            if self.finished() {
+                break;
+            }
+        }
+
+        TickFeedback {
+            dt_s: dt,
+            sent_pkts: sent,
+            delivered_pkts: delivered,
+            lost_pkts: lost,
+            congestion_loss: overflow > 1e-9,
+            rtt_s: rtt,
+            base_rtt_s: self.path.base_rtt_s,
+            queue_delay_s: queue_delay,
+        }
+    }
+
+    fn close_mi(&mut self) {
+        let dur = (self.t - self.acc.start).max(1e-9);
+        let delivered = self.acc.delivered;
+        let stats = MiStats {
+            start_s: self.acc.start,
+            dur_s: dur,
+            sent_pkts: self.acc.sent,
+            delivered_pkts: delivered,
+            lost_pkts: self.acc.lost,
+            avg_latency_s: if delivered > 0.0 {
+                self.acc.lat_weighted / delivered
+            } else {
+                // Nothing delivered: latency saturates at the worst case
+                // (full queue on the current link).
+                self.path.base_rtt_s + self.path.queue_cap_pkts
+                    / mbps_to_pps(self.path.trace.bw_at(self.t).max(1e-3))
+            },
+            throughput_mbps: delivered * PACKET_BITS / 1e6 / dur,
+            loss_frac: if self.acc.sent > 0.0 { self.acc.lost / self.acc.sent } else { 0.0 },
+        };
+        self.completed.push(stats);
+        self.acc = Accum { start: self.t, ..Accum::default() };
+    }
+
+    /// Runs exactly one monitor interval at the current rate and returns its
+    /// statistics (the RL step).
+    pub fn run_mi(&mut self) -> MiStats {
+        let before = self.completed.len();
+        let dt = (self.mi_s / 8.0).clamp(0.0025, 0.05);
+        while self.completed.len() == before && !self.finished() {
+            self.tick(dt);
+        }
+        if self.completed.len() == before {
+            // Duration ended mid-interval: close what we have.
+            self.close_mi();
+        }
+        *self.completed.last().expect("an MI was just closed")
+    }
+
+    /// Mean per-MI reward of the whole (finished) connection.
+    pub fn episode_reward(&self) -> f64 {
+        let rewards: Vec<f64> = self.completed.iter().map(|m| m.reward()).collect();
+        genet_math::mean(&rewards)
+    }
+}
+
+/// Converts Mbps to packets/s.
+pub fn mbps_to_pps(mbps: f64) -> f64 {
+    mbps * 1e6 / PACKET_BITS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(bw: f64, rtt_ms: f64, queue: f64, loss: f64) -> CcPath {
+        CcPath {
+            trace: BandwidthTrace::constant(bw, 60.0),
+            base_rtt_s: rtt_ms / 1000.0,
+            queue_cap_pkts: queue,
+            loss_rate: loss,
+            delay_noise_s: 0.0,
+            duration_s: 10.0,
+        }
+    }
+
+    #[test]
+    fn underload_delivers_everything() {
+        let mut sim = CcSim::new(path(10.0, 100.0, 50.0, 0.0), 0);
+        sim.set_rate_mbps(2.0);
+        while !sim.finished() {
+            sim.run_mi();
+        }
+        let mis = sim.completed_mis();
+        // Skip the first MI (queue warm-up); all others deliver ≈ the rate.
+        for m in &mis[1..] {
+            assert!((m.throughput_mbps - 2.0).abs() < 0.2, "{m:?}");
+            assert!(m.loss_frac < 1e-6, "{m:?}");
+            assert!((m.avg_latency_s - 0.1).abs() < 0.02, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn overload_fills_queue_and_drops() {
+        let mut sim = CcSim::new(path(2.0, 100.0, 20.0, 0.0), 0);
+        sim.set_rate_mbps(8.0);
+        while !sim.finished() {
+            sim.run_mi();
+        }
+        let last = sim.completed_mis().last().unwrap();
+        assert!(last.loss_frac > 0.5, "sustained 4x overload must drop most packets");
+        // Queue full → latency = base + queue/bw = 0.1 + 20/(2e6/12000) ≈ 0.22.
+        assert!(last.avg_latency_s > 0.15, "{last:?}");
+        // Delivered equals the link capacity.
+        assert!((last.throughput_mbps - 2.0).abs() < 0.2, "{last:?}");
+    }
+
+    #[test]
+    fn random_loss_rate_is_respected() {
+        let mut sim = CcSim::new(path(10.0, 50.0, 100.0, 0.02), 0);
+        sim.set_rate_mbps(3.0);
+        while !sim.finished() {
+            sim.run_mi();
+        }
+        let mis = sim.completed_mis();
+        let total_sent: f64 = mis.iter().map(|m| m.sent_pkts).sum();
+        let total_lost: f64 = mis.iter().map(|m| m.lost_pkts).sum();
+        assert!((total_lost / total_sent - 0.02).abs() < 0.005);
+    }
+
+    #[test]
+    fn mi_scales_with_rtt() {
+        let fast = CcSim::new(path(5.0, 20.0, 10.0, 0.0), 0);
+        let slow = CcSim::new(path(5.0, 400.0, 10.0, 0.0), 0);
+        assert!(slow.mi_s() > fast.mi_s() * 5.0);
+    }
+
+    #[test]
+    fn reward_prefers_throughput_without_queue() {
+        // Sending exactly at capacity beats massive overload (queueing +
+        // drops) and beats heavy underload (wasted capacity).
+        let run = |rate: f64| {
+            let mut sim = CcSim::new(path(4.0, 100.0, 30.0, 0.0), 0);
+            sim.set_rate_mbps(rate);
+            while !sim.finished() {
+                sim.run_mi();
+            }
+            sim.episode_reward()
+        };
+        let at_capacity = run(4.0);
+        let overload = run(16.0);
+        let underload = run(0.4);
+        assert!(at_capacity > overload, "{at_capacity} vs overload {overload}");
+        assert!(at_capacity > underload, "{at_capacity} vs underload {underload}");
+    }
+
+    #[test]
+    fn scale_rate_clamps() {
+        let mut sim = CcSim::new(path(5.0, 100.0, 10.0, 0.0), 0);
+        for _ in 0..100 {
+            sim.scale_rate(0.5);
+        }
+        assert!((sim.rate_mbps() - MIN_RATE_MBPS).abs() < 1e-9);
+        for _ in 0..100 {
+            sim.scale_rate(2.0);
+        }
+        assert!((sim.rate_mbps() - MAX_RATE_MBPS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn episode_has_expected_mi_count() {
+        let mut sim = CcSim::new(path(5.0, 100.0, 10.0, 0.0), 0);
+        while !sim.finished() {
+            sim.run_mi();
+        }
+        // duration 10 s / MI 0.15 s ≈ 66 intervals.
+        let n = sim.completed_mis().len();
+        assert!((60..=70).contains(&n), "{n} MIs");
+    }
+
+    #[test]
+    fn deterministic_per_seed_with_noise() {
+        let mk = |seed| {
+            let mut p = path(5.0, 100.0, 10.0, 0.0);
+            p.delay_noise_s = 0.01;
+            let mut sim = CcSim::new(p, seed);
+            sim.set_rate_mbps(3.0);
+            while !sim.finished() {
+                sim.run_mi();
+            }
+            sim.episode_reward()
+        };
+        assert_eq!(mk(5), mk(5));
+        assert_ne!(mk(5), mk(6));
+    }
+}

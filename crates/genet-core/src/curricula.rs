@@ -1,0 +1,156 @@
+//! CL1 — the hand-crafted intrinsic-difficulty curriculum (paper §5.5).
+//!
+//! "CL1 uses hand-picked heuristics (gradually increasing the bandwidth
+//! fluctuation frequency in the training environments)". Each round
+//! promotes a configuration whose hand-picked difficulty dimension moves
+//! one step along an easy→hard schedule; everything else follows Genet's
+//! curriculum plumbing so the comparison isolates the *sequencing* policy.
+
+use crate::genet::GenetConfig;
+use crate::train::{make_agent, train_rl, TrainLog};
+use genet_env::{CurriculumDist, EnvConfig, ParamSpace, Scenario};
+use genet_math::derive_seed;
+use genet_rl::PpoAgent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The hand-picked schedule: `dim` moves from `easy` to `hard` over the
+/// rounds.
+#[derive(Debug, Clone)]
+pub struct IntrinsicSchedule {
+    /// Name of the difficulty dimension in the scenario's space.
+    pub dim: &'static str,
+    /// Easy end of the schedule (round 0).
+    pub easy: f64,
+    /// Hard end (final round).
+    pub hard: f64,
+}
+
+impl IntrinsicSchedule {
+    /// The paper's CL1 for each use case: faster bandwidth fluctuation is
+    /// harder (ABR/CC); heavier load is harder (LB).
+    pub fn default_for(scenario_name: &str) -> Self {
+        match scenario_name {
+            "abr" => Self { dim: "bw_interval_s", easy: 80.0, hard: 2.0 },
+            "cc" => Self { dim: "bw_interval_s", easy: 28.0, hard: 0.5 },
+            "lb" => Self { dim: "job_interval_ms", easy: 2500.0, hard: 100.0 },
+            other => panic!("no CL1 schedule for scenario {other}"),
+        }
+    }
+
+    /// Schedule value at `round` of `rounds`.
+    pub fn value_at(&self, round: usize, rounds: usize) -> f64 {
+        if rounds <= 1 {
+            return self.hard;
+        }
+        let frac = round as f64 / (rounds - 1) as f64;
+        self.easy + (self.hard - self.easy) * frac
+    }
+}
+
+/// Output of a CL1 run (same shape as a Genet run).
+pub struct Cl1Result {
+    /// Trained agent.
+    pub agent: PpoAgent,
+    /// Reward trace.
+    pub log: TrainLog,
+    /// Promoted schedule configurations.
+    pub promoted: Vec<EnvConfig>,
+}
+
+/// Trains with the CL1 hand-crafted curriculum, budget-matched to a Genet
+/// config (same rounds/iterations/w).
+pub fn cl1_train(
+    scenario: &dyn Scenario,
+    space: ParamSpace,
+    schedule: &IntrinsicSchedule,
+    cfg: &GenetConfig,
+    seed: u64,
+) -> Cl1Result {
+    let dim_idx = space
+        .index_of(schedule.dim)
+        .unwrap_or_else(|| panic!("schedule dim {} not in space", schedule.dim));
+    let mut agent = make_agent(scenario, derive_seed(seed, 0xC11));
+    let mut dist = CurriculumDist::uniform(space.clone(), cfg.w);
+    let mut promoted = Vec::new();
+    let mut log = train_rl(
+        &mut agent,
+        scenario,
+        &dist,
+        cfg.train,
+        cfg.initial_iters,
+        derive_seed(seed, 0x1000),
+    );
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0xC12));
+    for round in 0..cfg.rounds {
+        // Promote a random configuration pinned to the schedule's
+        // difficulty value.
+        let base = space.sample(&mut rng);
+        let value = schedule.value_at(round, cfg.rounds);
+        let cfg_promoted = space.clamp(&{
+            let mut v = base.values().to_vec();
+            v[dim_idx] = value;
+            v
+        });
+        promoted.push(cfg_promoted.clone());
+        dist.promote(cfg_promoted);
+        let phase = train_rl(
+            &mut agent,
+            scenario,
+            &dist,
+            cfg.train,
+            cfg.iters_per_round,
+            derive_seed(seed, 0x3000 + round as u64),
+        );
+        log.extend(&phase);
+    }
+    Cl1Result { agent, log, promoted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genet::SelectionCriterion;
+    use crate::train::TrainConfig;
+    use genet_env::RangeLevel;
+    use genet_lb::LbScenario;
+
+    #[test]
+    fn schedule_interpolates_easy_to_hard() {
+        let s = IntrinsicSchedule { dim: "x", easy: 10.0, hard: 2.0 };
+        assert_eq!(s.value_at(0, 5), 10.0);
+        assert_eq!(s.value_at(4, 5), 2.0);
+        assert!((s.value_at(2, 5) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cl1_promotes_increasingly_hard_configs() {
+        let s = LbScenario;
+        let cfg = GenetConfig {
+            rounds: 3,
+            iters_per_round: 2,
+            initial_iters: 2,
+            bo_trials: 1,
+            k_envs: 1,
+            w: 0.3,
+            train: TrainConfig { configs_per_iter: 4, envs_per_config: 1 },
+            criterion: SelectionCriterion::GapToOptimum,
+        };
+        let schedule = IntrinsicSchedule::default_for("lb");
+        let space = s.space(RangeLevel::Rl3);
+        let res = cl1_train(&s, space.clone(), &schedule, &cfg, 0);
+        assert_eq!(res.promoted.len(), 3);
+        let idx = space.index_of("job_interval_ms").unwrap();
+        let intervals: Vec<f64> = res.promoted.iter().map(|c| c.get(idx)).collect();
+        assert!(
+            intervals.windows(2).all(|w| w[1] < w[0]),
+            "intervals must shrink (harder): {intervals:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no CL1 schedule")]
+    fn unknown_scenario_panics() {
+        let _ = IntrinsicSchedule::default_for("dns");
+    }
+}

@@ -1,0 +1,136 @@
+//! `CalcBaselineGap` — Algorithm 2's objective function and its strawman
+//! variants.
+//!
+//! `Gap(p) = R(π_rule, p) − R(π_rl, p)` averaged over `k` environments
+//! randomly generated from configuration `p`, with the rule-based baseline
+//! and the RL policy always evaluated on the *same* environment instance
+//! (paired comparison, §4.2).
+
+use crate::evaluate::par_map;
+use genet_env::{EnvConfig, Policy, Scenario};
+use genet_math::derive_seed;
+
+/// Expected gap-to-baseline of configuration `cfg` for the given policy,
+/// estimated over `k` paired environments.
+pub fn gap_to_baseline<P: Policy + Sync>(
+    scenario: &dyn Scenario,
+    policy: &P,
+    baseline: &str,
+    cfg: &EnvConfig,
+    k: usize,
+    seed: u64,
+) -> f64 {
+    assert!(k >= 1);
+    let gaps = par_map(k, |i| {
+        let s = derive_seed(seed, i as u64);
+        scenario.eval_baseline(baseline, cfg, s) - scenario.eval_policy(policy, cfg, s)
+    });
+    genet_math::mean(&gaps)
+}
+
+/// Strawman 3 / CL3 objective: expected gap to the ground-truth oracle.
+pub fn gap_to_optimum<P: Policy + Sync>(
+    scenario: &dyn Scenario,
+    policy: &P,
+    cfg: &EnvConfig,
+    k: usize,
+    seed: u64,
+) -> f64 {
+    assert!(k >= 1);
+    let gaps = par_map(k, |i| {
+        let s = derive_seed(seed, i as u64);
+        scenario.eval_oracle(cfg, s) - scenario.eval_policy(policy, cfg, s)
+    });
+    genet_math::mean(&gaps)
+}
+
+/// Strawman 2 / CL2 objective: how badly the rule-based baseline itself
+/// performs on `cfg` (more negative reward = "harder" environment).
+pub fn baseline_badness(
+    scenario: &dyn Scenario,
+    baseline: &str,
+    cfg: &EnvConfig,
+    k: usize,
+    seed: u64,
+) -> f64 {
+    assert!(k >= 1);
+    let rewards = par_map(k, |i| {
+        scenario.eval_baseline(baseline, cfg, derive_seed(seed, i as u64))
+    });
+    -genet_math::mean(&rewards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genet_lb::LbScenario;
+    use rand::rngs::StdRng;
+
+    /// A policy that always picks the slowest server — guaranteed to trail
+    /// LLF, so the gap must be positive.
+    fn bad_policy() -> impl Policy + Sync {
+        |_: &[f32], _: &mut StdRng| 0usize
+    }
+
+    /// Weighted-LLF-like closure: near-baseline quality.
+    fn ok_policy() -> impl Policy + Sync {
+        |obs: &[f32], _: &mut StdRng| {
+            // obs[1..4] are the normalized observed counts.
+            let c = &obs[1..4];
+            let mut best = 0;
+            for i in 1..3 {
+                if c[i] < c[best] {
+                    best = i;
+                }
+            }
+            best
+        }
+    }
+
+    #[test]
+    fn bad_policy_has_large_gap() {
+        let s = LbScenario;
+        let cfg = genet_lb::scenario::default_config();
+        let gap_bad = gap_to_baseline(&s, &bad_policy(), "llf", &cfg, 5, 0);
+        let gap_ok = gap_to_baseline(&s, &ok_policy(), "llf", &cfg, 5, 0);
+        assert!(gap_bad > 0.5, "slow-server policy should trail LLF, gap {gap_bad}");
+        assert!(
+            gap_bad > gap_ok,
+            "gap ranks policies: bad {gap_bad} vs ok {gap_ok}"
+        );
+    }
+
+    #[test]
+    fn gap_to_optimum_exceeds_gap_to_baseline() {
+        // The oracle is at least as good as LLF, so the optimum gap is the
+        // larger of the two for the same policy.
+        let s = LbScenario;
+        let cfg = genet_lb::scenario::default_config();
+        let g_base = gap_to_baseline(&s, &bad_policy(), "llf", &cfg, 5, 1);
+        let g_opt = gap_to_optimum(&s, &bad_policy(), &cfg, 5, 1);
+        assert!(g_opt >= g_base - 0.05, "optimum {g_opt} vs baseline {g_base}");
+    }
+
+    #[test]
+    fn gap_is_deterministic() {
+        let s = LbScenario;
+        let cfg = genet_lb::scenario::default_config();
+        let a = gap_to_baseline(&s, &bad_policy(), "llf", &cfg, 4, 7);
+        let b = gap_to_baseline(&s, &bad_policy(), "llf", &cfg, 4, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn baseline_badness_orders_loads() {
+        // Heavier load (shorter interval) → worse baseline reward → higher
+        // badness.
+        let s = LbScenario;
+        let space = s.full_space();
+        let idx = space.index_of("job_interval_ms").unwrap();
+        let light = space.midpoint().with_value(idx, 2000.0);
+        let heavy = space.midpoint().with_value(idx, 150.0);
+        let b_light = baseline_badness(&s, "llf", &light, 5, 3);
+        let b_heavy = baseline_badness(&s, "llf", &heavy, 5, 3);
+        assert!(b_heavy > b_light, "heavy {b_heavy} vs light {b_light}");
+    }
+}

@@ -1,0 +1,38 @@
+//! # genet-core
+//!
+//! The Genet training framework — the paper's primary contribution.
+//!
+//! Genet wraps an existing RL training loop with a curriculum: each
+//! *sequencing round* it (1) trains the current model for a fixed number of
+//! iterations over the current training-environment distribution, (2) uses
+//! Bayesian optimization to find an environment configuration where the
+//! current RL model falls furthest behind a rule-based baseline (the
+//! **gap-to-baseline**), and (3) promotes that configuration into the
+//! training distribution with weight `w` (Algorithm 2, Figure 7).
+//!
+//! Modules:
+//! * [`evaluate`] — parallel policy/baseline evaluation over environment
+//!   sets (the `Test` API of Figure 8),
+//! * [`train`] — traditional RL training, Algorithm 1 (the `Train` API),
+//! * [`gap`] — the `CalcBaselineGap` estimator and its strawman variants,
+//! * [`genet`] — the Genet loop with pluggable selection criteria
+//!   ([`genet::SelectionCriterion`]) covering Genet itself, CL2
+//!   (baseline-performance), CL3 (gap-to-optimum) and the
+//!   Robustify-objective BO variants of Figure 19,
+//! * [`curricula`] — CL1, the hand-crafted intrinsic-difficulty schedule,
+//! * [`robustify`] — the search-based adversarial-trace comparator
+//!   (Gilad et al., ref. 19 of the paper),
+//! * [`metrics`] — TSV emission for the benchmark harness.
+
+pub mod curricula;
+pub mod evaluate;
+pub mod gap;
+pub mod genet;
+pub mod metrics;
+pub mod robustify;
+pub mod train;
+
+pub use evaluate::{eval_baseline_many, eval_policy_many, par_map, test_configs};
+pub use gap::{gap_to_baseline, gap_to_optimum};
+pub use genet::{GenetConfig, GenetResult, SelectionCriterion};
+pub use train::{train_rl, ConfigSource, TrainConfig, TrainLog, UniformSource};

@@ -1,0 +1,108 @@
+//! TSV emission for the benchmark harness.
+//!
+//! Every `fig*`/`tab*` binary prints its rows to stdout *and* appends them
+//! to `bench_out/<name>.tsv`, so runs are both human-readable and
+//! machine-diffable.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A TSV sink that mirrors rows to stdout.
+pub struct TsvWriter {
+    file: Option<std::io::BufWriter<std::fs::File>>,
+    path: Option<PathBuf>,
+}
+
+impl TsvWriter {
+    /// Creates `dir/name.tsv` (truncating), creating `dir` as needed.
+    /// Falls back to stdout-only when the directory is not writable.
+    pub fn create(dir: &Path, name: &str) -> Self {
+        let _ = std::fs::create_dir_all(dir);
+        let path = dir.join(format!("{name}.tsv"));
+        match std::fs::File::create(&path) {
+            Ok(f) => Self { file: Some(std::io::BufWriter::new(f)), path: Some(path) },
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}; stdout only", path.display());
+                Self { file: None, path: None }
+            }
+        }
+    }
+
+    /// Stdout-only writer (for tests).
+    pub fn stdout_only() -> Self {
+        Self { file: None, path: None }
+    }
+
+    /// Path of the backing file, when one exists.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Writes one row (already tab-joined by the caller helpers).
+    pub fn row(&mut self, cells: &[String]) {
+        let line = cells.join("\t");
+        println!("{line}");
+        if let Some(f) = &mut self.file {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+
+    /// Convenience: header row from `&str` cells.
+    pub fn header(&mut self, cells: &[&str]) {
+        self.row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Flushes the backing file.
+    pub fn flush(&mut self) {
+        if let Some(f) = &mut self.file {
+            let _ = f.flush();
+        }
+    }
+}
+
+impl Drop for TsvWriter {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Formats a float with 4 significant decimals for TSV cells.
+pub fn fmt(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// The default output directory (`bench_out/` under the workspace root or
+/// the current directory).
+pub fn bench_out_dir() -> PathBuf {
+    // When run via `cargo run -p genet-bench`, CWD is the workspace root.
+    PathBuf::from("bench_out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_reads_back() {
+        let dir = std::env::temp_dir().join("genet_metrics_test");
+        let mut w = TsvWriter::create(&dir, "unit");
+        w.header(&["a", "b"]);
+        w.row(&vec!["1".into(), "2".into()]);
+        w.flush();
+        let content = std::fs::read_to_string(dir.join("unit.tsv")).unwrap();
+        assert_eq!(content, "a\tb\n1\t2\n");
+    }
+
+    #[test]
+    fn stdout_only_does_not_panic() {
+        let mut w = TsvWriter::stdout_only();
+        w.header(&["x"]);
+        w.row(&vec![fmt(1.23456)]);
+        assert!(w.path().is_none());
+    }
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(1.234567), "1.2346");
+    }
+}

@@ -1,0 +1,208 @@
+//! The "Robustifying network protocols" comparator (Gilad et al.,
+//! reference 19 of the paper; compared against in Figure 19).
+//!
+//! The original work trains a neural adversary that generates bandwidth
+//! traces maximizing the RL policy's regret against the offline optimum,
+//! penalized by trace non-smoothness, and mixes those traces into training.
+//! Following the paper's own reimplementation approach (Appendix A.6) but
+//! without a second neural network, our adversary is a *search-based*
+//! generator: each round it samples a population of candidate traces from
+//! jagged random-walk generators, scores each by
+//! `regret − ρ · non-smoothness`, and promotes the worst-case trace into
+//! the training mix. This preserves the adversarial-trace training dynamic
+//! the comparison is about (see DESIGN.md §3).
+
+use crate::train::{make_agent, train_rl, TrainConfig, TrainLog};
+use genet_abr::{oracle_reward, AbrEnv, AbrScenario, AbrSim, VideoModel};
+use genet_env::{rollout_policy, CurriculumDist, ParamSpace, Scenario};
+use genet_math::derive_seed;
+use genet_rl::{PolicyMode, PpoAgent};
+use genet_traces::{BandwidthTrace, TraceIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Robustify hyperparameters.
+#[derive(Debug, Clone)]
+pub struct RobustifyConfig {
+    /// Adversary rounds (matched to Genet's sequencing rounds).
+    pub rounds: usize,
+    /// Training iterations per round.
+    pub iters_per_round: usize,
+    /// Initial iterations before the first adversary round.
+    pub initial_iters: usize,
+    /// Candidate traces per adversary round.
+    pub candidates: usize,
+    /// Non-smoothness penalty ρ (the paper uses 1, mirroring Gilad et al.).
+    pub rho: f64,
+    /// Probability of drawing an adversarial trace during training.
+    pub adv_prob: f64,
+    /// Inner training settings.
+    pub train: TrainConfig,
+}
+
+impl Default for RobustifyConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 9,
+            iters_per_round: 10,
+            initial_iters: 10,
+            candidates: 15,
+            rho: 1.0,
+            adv_prob: 0.3,
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+/// Output of a Robustify run.
+pub struct RobustifyResult {
+    /// Trained agent.
+    pub agent: PpoAgent,
+    /// Reward trace.
+    pub log: TrainLog,
+    /// Adversarial traces promoted into training.
+    pub adversarial: Vec<BandwidthTrace>,
+}
+
+/// Generates one candidate adversarial trace: a bounded random walk with
+/// occasional jumps — jagged enough to stress ABR, smooth enough to survive
+/// the ρ penalty sometimes (the scorer decides).
+fn candidate_trace(rng: &mut StdRng, duration_s: f64) -> BandwidthTrace {
+    let steps = duration_s.ceil() as usize;
+    let mut ts = Vec::with_capacity(steps);
+    let mut bw = Vec::with_capacity(steps);
+    let mut level: f64 = rng.random_range(0.3..5.0);
+    for i in 0..steps {
+        ts.push(i as f64);
+        bw.push(level);
+        if rng.random::<f64>() < 0.3 {
+            // Jump.
+            level = rng.random_range(0.2..6.0);
+        } else {
+            // Walk.
+            level = (level * rng.random_range(0.8..1.25)).clamp(0.2, 6.0);
+        }
+    }
+    BandwidthTrace::new(ts, bw)
+}
+
+/// Scores a candidate: RL regret vs the offline optimum on this exact
+/// trace, penalized by non-smoothness.
+fn score_trace(
+    trace: &BandwidthTrace,
+    agent: &PpoAgent,
+    rho: f64,
+    seed: u64,
+) -> f64 {
+    let video = VideoModel::new(160.0, 4.0, derive_seed(seed, 1));
+    let (rtt, buf) = (0.08, 30.0);
+    let oracle = oracle_reward(trace, &video, rtt, buf, 32);
+    let mut env = AbrEnv::new(AbrSim::new(trace.clone(), video, rtt, buf));
+    let policy = agent.policy(PolicyMode::Greedy);
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, 2));
+    let rl = rollout_policy(&mut env, &policy, &mut rng);
+    (oracle - rl) - rho * trace.non_smoothness()
+}
+
+/// Trains an ABR policy with the Robustify adversarial-trace loop.
+pub fn robustify_abr_train(cfg: &RobustifyConfig, seed: u64) -> RobustifyResult {
+    let base_scenario = AbrScenario::new();
+    let space: ParamSpace = base_scenario.full_space();
+    let mut agent = make_agent(&base_scenario, derive_seed(seed, 0x40B0));
+    let dist = CurriculumDist::uniform(space, 0.3);
+    let mut adversarial: Vec<BandwidthTrace> = Vec::new();
+    let mut log = train_rl(
+        &mut agent,
+        &base_scenario,
+        &dist,
+        cfg.train,
+        cfg.initial_iters,
+        derive_seed(seed, 0x1000),
+    );
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0xADD));
+    for round in 0..cfg.rounds {
+        // Adversary: best-of-N candidate trace against the current model.
+        let mut best: Option<(f64, BandwidthTrace)> = None;
+        for c in 0..cfg.candidates {
+            let t = candidate_trace(&mut rng, 160.0);
+            let s = score_trace(&t, &agent, cfg.rho, derive_seed(seed, (round * 100 + c) as u64));
+            if best.as_ref().map(|(bs, _)| s > *bs).unwrap_or(true) {
+                best = Some((s, t));
+            }
+        }
+        let (_, worst_case) = best.expect("candidates >= 1");
+        adversarial.push(worst_case);
+        // Retrain with the adversarial pool mixed in.
+        let pool = Arc::new(TraceIndex::new(adversarial.clone()));
+        let scenario = AbrScenario::new().with_trace_pool(pool, cfg.adv_prob);
+        let phase = train_rl(
+            &mut agent,
+            &scenario,
+            &dist,
+            cfg.train,
+            cfg.iters_per_round,
+            derive_seed(seed, 0x3000 + round as u64),
+        );
+        log.extend(&phase);
+    }
+    RobustifyResult { agent, log, adversarial }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_traces_are_valid_and_jagged() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            let t = candidate_trace(&mut rng, 120.0);
+            assert!(t.min_bw() >= 0.2 - 1e-9);
+            assert!(t.max_bw() <= 6.0 + 1e-9);
+        }
+        // On average, adversarial candidates are rougher than a calm
+        // synthetic trace.
+        let calm = BandwidthTrace::constant(3.0, 120.0);
+        let t = candidate_trace(&mut rng, 120.0);
+        assert!(t.non_smoothness() > calm.non_smoothness());
+    }
+
+    #[test]
+    fn higher_rho_prefers_smoother_winners() {
+        // With a huge ρ the scorer must pick smoother traces than with ρ=0.
+        let agent = make_agent(&AbrScenario::new(), 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cands: Vec<BandwidthTrace> =
+            (0..12).map(|_| candidate_trace(&mut rng, 120.0)).collect();
+        let pick = |rho: f64| {
+            cands
+                .iter()
+                .enumerate()
+                .max_by(|(i, a), (j, b)| {
+                    score_trace(a, &agent, rho, *i as u64)
+                        .partial_cmp(&score_trace(b, &agent, rho, *j as u64))
+                        .unwrap()
+                })
+                .map(|(_, t)| t.non_smoothness())
+                .unwrap()
+        };
+        assert!(pick(50.0) <= pick(0.0) + 1e-9);
+    }
+
+    #[test]
+    fn tiny_robustify_run_completes() {
+        let cfg = RobustifyConfig {
+            rounds: 2,
+            iters_per_round: 2,
+            initial_iters: 2,
+            candidates: 3,
+            rho: 1.0,
+            adv_prob: 0.3,
+            train: TrainConfig { configs_per_iter: 3, envs_per_config: 1 },
+        };
+        let res = robustify_abr_train(&cfg, 0);
+        assert_eq!(res.adversarial.len(), 2);
+        assert_eq!(res.log.iter_rewards.len(), 6);
+    }
+}

@@ -1,0 +1,255 @@
+//! Traditional RL training — Algorithm 1 of the paper.
+//!
+//! Per iteration: sample `K` configurations from the training distribution,
+//! instantiate `N` random environments per configuration, roll out the
+//! current policy on all of them, and apply one PPO update. This is
+//! "uniform domain randomization" when the distribution is a uniform box
+//! (the RL1/RL2/RL3 baselines) and becomes curriculum training when the
+//! distribution is a `CurriculumDist` that Genet keeps re-weighting.
+
+use genet_env::{CurriculumDist, EnvConfig, ParamSpace, Scenario};
+use genet_math::derive_seed;
+use genet_rl::{PpoAgent, RolloutBuffer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where training configurations come from.
+pub trait ConfigSource: Sync {
+    /// Samples one training configuration.
+    fn sample_config(&self, rng: &mut StdRng) -> EnvConfig;
+}
+
+/// Uniform sampling over a parameter space (the traditional baselines).
+#[derive(Debug, Clone)]
+pub struct UniformSource(pub ParamSpace);
+
+impl ConfigSource for UniformSource {
+    fn sample_config(&self, rng: &mut StdRng) -> EnvConfig {
+        self.0.sample(rng)
+    }
+}
+
+impl ConfigSource for CurriculumDist {
+    fn sample_config(&self, rng: &mut StdRng) -> EnvConfig {
+        self.sample(rng)
+    }
+}
+
+/// A fixed list of configurations, sampled uniformly (trace-set training).
+#[derive(Debug, Clone)]
+pub struct FixedSetSource(pub Vec<EnvConfig>);
+
+impl ConfigSource for FixedSetSource {
+    fn sample_config(&self, rng: &mut StdRng) -> EnvConfig {
+        assert!(!self.0.is_empty(), "empty config set");
+        self.0[rng.random_range(0..self.0.len())].clone()
+    }
+}
+
+/// Mixture of two sources: `a` with probability `p_a`, else `b` —
+/// the real-trace/synthetic mixing of Figure 12.
+pub struct MixtureSource<A: ConfigSource, B: ConfigSource> {
+    /// First source.
+    pub a: A,
+    /// Second source.
+    pub b: B,
+    /// Probability of drawing from `a`.
+    pub p_a: f64,
+}
+
+impl<A: ConfigSource, B: ConfigSource> ConfigSource for MixtureSource<A, B> {
+    fn sample_config(&self, rng: &mut StdRng) -> EnvConfig {
+        if rng.random::<f64>() < self.p_a {
+            self.a.sample_config(rng)
+        } else {
+            self.b.sample_config(rng)
+        }
+    }
+}
+
+/// Hyperparameters of Algorithm 1.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// `K`: configurations sampled per iteration.
+    pub configs_per_iter: usize,
+    /// `N`: environments instantiated per configuration.
+    pub envs_per_config: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { configs_per_iter: 10, envs_per_config: 2 }
+    }
+}
+
+/// Reward trace of a training run: `(iteration, mean episode reward)`.
+#[derive(Debug, Clone, Default)]
+pub struct TrainLog {
+    /// Mean per-step episode reward of each iteration's rollouts.
+    pub iter_rewards: Vec<f64>,
+}
+
+impl TrainLog {
+    /// Appends another log (for multi-phase runs).
+    pub fn extend(&mut self, other: &TrainLog) {
+        self.iter_rewards.extend_from_slice(&other.iter_rewards);
+    }
+}
+
+/// Wraps an environment, dividing rewards by a constant — keeps PPO's value
+/// targets O(1) across scenarios with wildly different reward units (see
+/// `Scenario::reward_scale`).
+struct ScaledEnv {
+    inner: Box<dyn genet_env::Env>,
+    inv_scale: f64,
+}
+
+impl genet_env::Env for ScaledEnv {
+    fn obs_dim(&self) -> usize {
+        self.inner.obs_dim()
+    }
+    fn action_count(&self) -> usize {
+        self.inner.action_count()
+    }
+    fn observe(&self, out: &mut [f32]) {
+        self.inner.observe(out)
+    }
+    fn step(&mut self, action: usize) -> genet_env::StepOutcome {
+        let out = self.inner.step(action);
+        genet_env::StepOutcome { reward: out.reward * self.inv_scale, done: out.done }
+    }
+}
+
+/// Runs Algorithm 1: `iterations` PPO updates of `agent` on environments
+/// drawn from `source`. Returns the per-iteration mean rollout reward (in
+/// the scenario's *natural* units).
+pub fn train_rl(
+    agent: &mut PpoAgent,
+    scenario: &dyn Scenario,
+    source: &dyn ConfigSource,
+    cfg: TrainConfig,
+    iterations: usize,
+    seed: u64,
+) -> TrainLog {
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x7124));
+    let mut buffer = RolloutBuffer::new();
+    let mut log = TrainLog::default();
+    let mut env_counter: u64 = derive_seed(seed, 0xE17);
+    let scale = scenario.reward_scale().max(1e-9);
+    for _iter in 0..iterations {
+        let mut iter_reward = 0.0;
+        let mut episodes = 0usize;
+        for _k in 0..cfg.configs_per_iter {
+            let config = source.sample_config(&mut rng);
+            for _n in 0..cfg.envs_per_config {
+                env_counter = env_counter.wrapping_add(1);
+                let mut env = ScaledEnv {
+                    inner: scenario.make_env(&config, env_counter),
+                    inv_scale: 1.0 / scale,
+                };
+                iter_reward +=
+                    scale * agent.collect_episode(&mut env, &mut buffer, &mut rng);
+                episodes += 1;
+            }
+        }
+        agent.update(&mut buffer, &mut rng);
+        log.iter_rewards.push(iter_reward / episodes as f64);
+    }
+    log
+}
+
+/// Builds a PPO agent with the scenario's observation/action shape and the
+/// per-scenario hyperparameter tweaks that our convergence probes settled
+/// on (ABR's rebuffering cliff needs extra exploration entropy to escape
+/// the always-lowest-bitrate local optimum; CC and LB train well on the
+/// defaults).
+pub fn make_agent(scenario: &dyn Scenario, seed: u64) -> PpoAgent {
+    let mut cfg = genet_rl::PpoConfig::default();
+    if scenario.name() == "abr" {
+        // ABR episodes are short (tens of chunks) and the rebuffering risk
+        // of a bitrate choice lands many chunks later as the buffer drains:
+        // near-undiscounted returns credit it properly.
+        cfg.entropy_coef = 0.03;
+        cfg.gamma = 0.999;
+        cfg.lambda = 0.97;
+    }
+    PpoAgent::new(scenario.obs_dim(), scenario.action_count(), cfg, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genet_env::RangeLevel;
+    use genet_lb::LbScenario;
+
+    #[test]
+    fn training_improves_lb_policy() {
+        use crate::evaluate::{eval_policy_many, test_configs};
+        use genet_rl::PolicyMode;
+        let s = LbScenario;
+        let space = s.space(RangeLevel::Rl1);
+        let test = test_configs(&space, 20, 999);
+        let mut agent = make_agent(&s, 0);
+        let before = genet_math::mean(&eval_policy_many(
+            &s,
+            &agent.policy(PolicyMode::Greedy),
+            &test,
+            5,
+        ));
+        let src = UniformSource(space);
+        let log = train_rl(&mut agent, &s, &src, TrainConfig::default(), 40, 0);
+        assert_eq!(log.iter_rewards.len(), 40);
+        let after = genet_math::mean(&eval_policy_many(
+            &s,
+            &agent.policy(PolicyMode::Greedy),
+            &test,
+            5,
+        ));
+        // Either the policy improved, or its untrained initialization was
+        // already near-optimal (possible but rare); require real progress
+        // whenever there was meaningful room.
+        assert!(
+            after > before || before > -1.2,
+            "LB training should reduce delays: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn fixed_set_source_only_yields_members() {
+        let s = LbScenario;
+        let configs = crate::evaluate::test_configs(&s.full_space(), 3, 0);
+        let src = FixedSetSource(configs.clone());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let c = src.sample_config(&mut rng);
+            assert!(configs.contains(&c));
+        }
+    }
+
+    #[test]
+    fn mixture_source_respects_probability() {
+        let s = LbScenario;
+        let special = s.full_space().midpoint();
+        let src = MixtureSource {
+            a: FixedSetSource(vec![special.clone()]),
+            b: UniformSource(s.full_space()),
+            p_a: 0.3,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| src.sample_config(&mut rng) == special).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.02, "{frac}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let s = LbScenario;
+        let src = UniformSource(s.space(RangeLevel::Rl1));
+        let run = |seed| {
+            let mut agent = make_agent(&s, seed);
+            train_rl(&mut agent, &s, &src, TrainConfig::default(), 3, seed).iter_rewards
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

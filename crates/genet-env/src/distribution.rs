@@ -1,0 +1,164 @@
+//! The curriculum training-environment distribution.
+//!
+//! Genet's sequencing module promotes one new configuration per round:
+//! `Q_cur ← (1 − w) · Q_cur + w · {p_new}` (Algorithm 2, line 13). After `t`
+//! promotions the newest config carries probability `w`, the one before it
+//! `w(1−w)`, and the original uniform distribution `(1−w)^t` — after the
+//! default 9 rounds with `w = 0.3` about 4% on paper's configuration
+//! (the paper quotes "about 10%" for its slightly different schedule; the
+//! mass is configurable here).
+//!
+//! Sampling walks promoted configs from newest to oldest, keeping each with
+//! probability `w`, and falls back to uniform sampling of the base space —
+//! which realizes the recursive mixture exactly.
+
+use crate::param::{EnvConfig, ParamSpace};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A mixture distribution over environment configurations: a base uniform box
+/// plus a stack of promoted configurations.
+#[derive(Debug, Clone)]
+pub struct CurriculumDist {
+    base: ParamSpace,
+    promoted: Vec<EnvConfig>,
+    w: f64,
+}
+
+impl CurriculumDist {
+    /// Starts as the uniform distribution over `base` (Genet's initial
+    /// training distribution).
+    ///
+    /// # Panics
+    /// Panics unless `0 < w < 1`.
+    pub fn uniform(base: ParamSpace, w: f64) -> Self {
+        assert!(w > 0.0 && w < 1.0, "mixture weight w={w} must lie in (0,1)");
+        Self { base, promoted: Vec::new(), w }
+    }
+
+    /// The base parameter space.
+    pub fn base(&self) -> &ParamSpace {
+        &self.base
+    }
+
+    /// Promoted configurations, oldest first.
+    pub fn promoted(&self) -> &[EnvConfig] {
+        &self.promoted
+    }
+
+    /// The per-round promotion weight `w`.
+    pub fn w(&self) -> f64 {
+        self.w
+    }
+
+    /// Promotes a new configuration (one Genet sequencing round).
+    pub fn promote(&mut self, cfg: EnvConfig) {
+        assert_eq!(
+            cfg.values().len(),
+            self.base.len(),
+            "promoted config dimensionality must match the space"
+        );
+        self.promoted.push(cfg);
+    }
+
+    /// Probability mass still on the original uniform distribution,
+    /// `(1 − w)^t` after `t` promotions.
+    pub fn base_mass(&self) -> f64 {
+        (1.0 - self.w).powi(self.promoted.len() as i32)
+    }
+
+    /// Probability mass of the `i`-th promoted config (oldest = 0):
+    /// `w · (1 − w)^(t − 1 − i)`.
+    pub fn promoted_mass(&self, i: usize) -> f64 {
+        assert!(i < self.promoted.len());
+        self.w * (1.0 - self.w).powi((self.promoted.len() - 1 - i) as i32)
+    }
+
+    /// Samples one training configuration.
+    pub fn sample(&self, rng: &mut StdRng) -> EnvConfig {
+        for cfg in self.promoted.iter().rev() {
+            if rng.random::<f64>() < self.w {
+                return cfg.clone();
+            }
+        }
+        self.base.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamDim;
+    use rand::SeedableRng;
+
+    fn dist() -> CurriculumDist {
+        let space = ParamSpace::new(vec![
+            ParamDim::new("a", 0.0, 1.0),
+            ParamDim::new("b", 10.0, 20.0),
+        ]);
+        CurriculumDist::uniform(space, 0.3)
+    }
+
+    #[test]
+    fn masses_sum_to_one() {
+        let mut d = dist();
+        for k in 0..9 {
+            let cfg = EnvConfig::from_values(vec![0.5, 15.0 + k as f64 * 0.1]);
+            d.promote(cfg);
+            let total: f64 = (0..d.promoted().len()).map(|i| d.promoted_mass(i)).sum::<f64>()
+                + d.base_mass();
+            assert!((total - 1.0).abs() < 1e-12, "round {k}: mass {total}");
+        }
+    }
+
+    #[test]
+    fn newest_config_has_weight_w() {
+        let mut d = dist();
+        d.promote(EnvConfig::from_values(vec![0.1, 11.0]));
+        d.promote(EnvConfig::from_values(vec![0.9, 19.0]));
+        assert!((d.promoted_mass(1) - 0.3).abs() < 1e-12);
+        assert!((d.promoted_mass(0) - 0.3 * 0.7).abs() < 1e-12);
+        assert!((d.base_mass() - 0.49).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_sampling_matches_masses() {
+        let mut d = dist();
+        let special = EnvConfig::from_values(vec![0.123, 14.56]);
+        d.promote(special.clone());
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| d.sample(&mut rng) == special).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "observed {frac}, expected 0.3");
+    }
+
+    #[test]
+    fn base_mass_after_nine_rounds() {
+        let mut d = dist();
+        for _ in 0..9 {
+            d.promote(EnvConfig::from_values(vec![0.5, 15.0]));
+        }
+        // (1 - 0.3)^9 ≈ 0.040 — the original distribution is diluted but
+        // never fully forgotten (§4.2 "Impact of forgetting").
+        assert!((d.base_mass() - 0.7f64.powi(9)).abs() < 1e-12);
+        assert!(d.base_mass() > 0.0);
+    }
+
+    #[test]
+    fn uniform_dist_samples_from_base() {
+        let d = dist();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let cfg = d.sample(&mut rng);
+            assert!(d.base().contains(&cfg));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in (0,1)")]
+    fn rejects_degenerate_weight() {
+        let space = ParamSpace::new(vec![ParamDim::new("a", 0.0, 1.0)]);
+        let _ = CurriculumDist::uniform(space, 1.0);
+    }
+}

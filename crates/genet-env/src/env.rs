@@ -1,0 +1,104 @@
+//! The step interface between simulators and policies.
+//!
+//! All three use cases expose the same episodic loop: observe a feature
+//! vector, pick a discrete action, advance the simulator to the next decision
+//! point, collect a scalar reward. The decision granularity differs (video
+//! chunk for ABR, monitor interval for CC, request arrival for LB) but the
+//! trait is identical, which is what lets `genet-core` implement
+//! gap-to-baseline and curriculum training once for all scenarios.
+
+use rand::rngs::StdRng;
+
+/// Result of advancing an environment by one decision step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// Reward earned for this step (already in the scenario's reward units,
+    /// Table 1 of the paper).
+    pub reward: f64,
+    /// True when the episode ended with this step.
+    pub done: bool,
+}
+
+/// One instantiated simulated environment, stepped to completion by a policy.
+pub trait Env {
+    /// Dimensionality of the observation vector.
+    fn obs_dim(&self) -> usize;
+
+    /// Number of discrete actions.
+    fn action_count(&self) -> usize;
+
+    /// Writes the current observation into `out` (length `obs_dim()`).
+    fn observe(&self, out: &mut [f32]);
+
+    /// Applies `action` and advances to the next decision point.
+    ///
+    /// Must not be called after an outcome with `done == true`.
+    fn step(&mut self, action: usize) -> StepOutcome;
+}
+
+/// Anything that maps observations to discrete actions.
+///
+/// The RNG parameter lets stochastic policies (softmax sampling during
+/// training) and deterministic ones (greedy evaluation, rule-based wrappers)
+/// share one interface.
+pub trait Policy {
+    /// Chooses an action for the observation.
+    fn act(&self, obs: &[f32], rng: &mut StdRng) -> usize;
+}
+
+impl<F> Policy for F
+where
+    F: Fn(&[f32], &mut StdRng) -> usize,
+{
+    fn act(&self, obs: &[f32], rng: &mut StdRng) -> usize {
+        self(obs, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Minimal counting environment used to validate the trait contract.
+    struct CountEnv {
+        t: usize,
+        horizon: usize,
+    }
+
+    impl Env for CountEnv {
+        fn obs_dim(&self) -> usize {
+            1
+        }
+        fn action_count(&self) -> usize {
+            2
+        }
+        fn observe(&self, out: &mut [f32]) {
+            out[0] = self.t as f32;
+        }
+        fn step(&mut self, action: usize) -> StepOutcome {
+            assert!(action < 2);
+            self.t += 1;
+            StepOutcome { reward: action as f64, done: self.t >= self.horizon }
+        }
+    }
+
+    #[test]
+    fn closure_policy_drives_env() {
+        let mut env = CountEnv { t: 0, horizon: 5 };
+        let policy = |_obs: &[f32], _rng: &mut StdRng| 1usize;
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut total = 0.0;
+        let mut obs = vec![0.0f32; env.obs_dim()];
+        loop {
+            env.observe(&mut obs);
+            let a = policy.act(&obs, &mut rng);
+            let out = env.step(a);
+            total += out.reward;
+            if out.done {
+                break;
+            }
+        }
+        assert_eq!(total, 5.0);
+    }
+}

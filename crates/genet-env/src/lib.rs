@@ -1,0 +1,34 @@
+//! # genet-env
+//!
+//! Environment abstractions shared by every Genet use case.
+//!
+//! The paper (§4.2) parameterizes each use case's *space of network
+//! environments* as a box of 5–6 scalar parameters (Tables 3, 4, 5). A
+//! **configuration** is a point in that box; instantiating a configuration
+//! with a random seed produces one concrete simulated **environment** (a
+//! bandwidth trace plus queue/buffer/latency settings, or an LB workload).
+//!
+//! This crate defines:
+//!
+//! * [`ParamSpace`] / [`ParamDim`] — named boxes of parameters with the
+//!   RL1/RL2/RL3 sub-range construction used throughout the evaluation,
+//! * [`EnvConfig`] — a sampled configuration vector,
+//! * [`CurriculumDist`] — the training-environment distribution that Genet
+//!   updates each sequencing round (`Q ← (1−w)·Q + w·{p_new}`),
+//! * [`Env`] — the step interface RL policies interact with (chunk-level for
+//!   ABR, monitor-interval for CC, per-request for LB),
+//! * [`Scenario`] — one use case: builds envs from configs, runs its
+//!   rule-based baselines and oracle on the *same* env instance so
+//!   gap-to-baseline comparisons are paired,
+//! * [`Policy`] — anything that maps observations to actions (the trained
+//!   RL policy or a wrapped rule-based scheme).
+
+pub mod distribution;
+pub mod env;
+pub mod param;
+pub mod scenario;
+
+pub use distribution::CurriculumDist;
+pub use env::{Env, Policy, StepOutcome};
+pub use param::{EnvConfig, ParamDim, ParamSpace, RangeLevel};
+pub use scenario::{rollout_policy, rollout_rewards, Scenario, MAX_EPISODE_STEPS};

@@ -1,0 +1,489 @@
+//! Parameter spaces and environment configurations.
+//!
+//! A [`ParamSpace`] is the box `[min_1, max_1] × … × [min_d, max_d]` of
+//! environment parameters from Tables 3/4/5 of the paper. A point in the box
+//! is an [`EnvConfig`]. The evaluation trains "traditional RL" policies on
+//! three nested sub-ranges of the full space (RL1 ⊂ RL2 ⊂ RL3); following the
+//! construction spelled out in Table 4 ("the range of RL1 is defined as 1/9
+//! of the range of RL3 and the range of RL2 is defined as 1/3 of RL3"), the
+//! sub-ranges shrink the full box around its midpoint by a width fraction.
+
+use rand::Rng;
+
+/// Which training-range variant of a scenario's parameter space to use.
+///
+/// `Rl3` is always the full range from Tables 3/4/5; `Rl1`/`Rl2` shrink every
+/// dimension's width to 1/9 and 1/3 of full, centered in the full range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RangeLevel {
+    /// Narrow range (1/9 of full width).
+    Rl1,
+    /// Medium range (1/3 of full width).
+    Rl2,
+    /// Full range from Tables 3/4/5.
+    Rl3,
+}
+
+impl RangeLevel {
+    /// The width fraction this level keeps of the full range.
+    pub fn width_fraction(self) -> f64 {
+        match self {
+            RangeLevel::Rl1 => 1.0 / 9.0,
+            RangeLevel::Rl2 => 1.0 / 3.0,
+            RangeLevel::Rl3 => 1.0,
+        }
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            RangeLevel::Rl1 => "RL1",
+            RangeLevel::Rl2 => "RL2",
+            RangeLevel::Rl3 => "RL3",
+        }
+    }
+
+    /// All three levels in ascending range order.
+    pub fn all() -> [RangeLevel; 3] {
+        [RangeLevel::Rl1, RangeLevel::Rl2, RangeLevel::Rl3]
+    }
+}
+
+/// One named environment parameter with its admissible range.
+///
+/// Dimensions that span orders of magnitude (link bandwidth from 0.1 to
+/// 100 Mbps, queue sizes from 2 to 200 packets) are sampled log-uniformly —
+/// Table 4's default bandwidth of 3.16 Mbps is exactly the geometric mean of
+/// its [0.1, 100] range, and §4.2 describes the initial training
+/// distribution as "uniform or exponential along each parameter".
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDim {
+    /// Human-readable name, e.g. `"max_bw_mbps"`.
+    pub name: &'static str,
+    /// Lower bound (inclusive).
+    pub min: f64,
+    /// Upper bound (inclusive).
+    pub max: f64,
+    /// Round sampled values to integers (e.g. queue sizes in packets).
+    pub integer: bool,
+    /// Sample log-uniformly (requires `min > 0`).
+    pub log: bool,
+}
+
+impl ParamDim {
+    /// A continuous dimension, sampled uniformly.
+    pub fn new(name: &'static str, min: f64, max: f64) -> Self {
+        assert!(min <= max, "dim {name}: min {min} > max {max}");
+        Self { name, min, max, integer: false, log: false }
+    }
+
+    /// An integer-valued dimension.
+    pub fn int(name: &'static str, min: f64, max: f64) -> Self {
+        assert!(min <= max, "dim {name}: min {min} > max {max}");
+        Self { name, min, max, integer: true, log: false }
+    }
+
+    /// A log-uniformly sampled dimension.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min <= max`.
+    pub fn log_scale(name: &'static str, min: f64, max: f64) -> Self {
+        assert!(min > 0.0 && min <= max, "dim {name}: log range needs 0 < {min} <= {max}");
+        Self { name, min, max, integer: false, log: true }
+    }
+
+    /// An integer-valued, log-uniformly sampled dimension.
+    pub fn log_int(name: &'static str, min: f64, max: f64) -> Self {
+        assert!(min > 0.0 && min <= max, "dim {name}: log range needs 0 < {min} <= {max}");
+        Self { name, min, max, integer: true, log: true }
+    }
+
+    /// Range width.
+    pub fn width(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Maps `u ∈ [0, 1]` into the range (linear or log, per the dim).
+    pub fn lerp(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        let v = if self.log {
+            (self.min.ln() + u * (self.max.ln() - self.min.ln())).exp()
+        } else {
+            self.min + u * self.width()
+        };
+        self.quantize(v)
+    }
+
+    /// Inverse of [`ParamDim::lerp`] (value → unit coordinate).
+    pub fn unlerp(&self, v: f64) -> f64 {
+        if self.max <= self.min {
+            return 0.5;
+        }
+        let u = if self.log {
+            (v.max(self.min).ln() - self.min.ln()) / (self.max.ln() - self.min.ln())
+        } else {
+            (v - self.min) / self.width()
+        };
+        u.clamp(0.0, 1.0)
+    }
+
+    /// Midpoint of the range in sampling space (geometric mean for log dims).
+    pub fn midpoint(&self) -> f64 {
+        if self.log {
+            (self.min * self.max).sqrt()
+        } else {
+            0.5 * (self.min + self.max)
+        }
+    }
+
+    fn quantize(&self, v: f64) -> f64 {
+        let v = v.clamp(self.min, self.max);
+        if self.integer {
+            v.round().clamp(self.min.ceil(), self.max.floor())
+        } else {
+            v
+        }
+    }
+}
+
+/// A box of environment parameters — the searchable environment space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpace {
+    dims: Vec<ParamDim>,
+}
+
+impl ParamSpace {
+    /// Builds a space from its dimensions.
+    ///
+    /// # Panics
+    /// Panics on duplicate dimension names (they would make lookups
+    /// ambiguous).
+    pub fn new(dims: Vec<ParamDim>) -> Self {
+        for i in 0..dims.len() {
+            for j in (i + 1)..dims.len() {
+                assert_ne!(dims[i].name, dims[j].name, "duplicate dim name {}", dims[i].name);
+            }
+        }
+        Self { dims }
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// True when the space has no dimensions.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// The dimensions in order.
+    pub fn dims(&self) -> &[ParamDim] {
+        &self.dims
+    }
+
+    /// Index of a dimension by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.dims.iter().position(|d| d.name == name)
+    }
+
+    /// Samples a configuration from the box (uniform per dimension, in log
+    /// space for log-scaled dims).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> EnvConfig {
+        let values = self
+            .dims
+            .iter()
+            .map(|d| if d.width() == 0.0 { d.min } else { d.lerp(rng.random()) })
+            .collect();
+        EnvConfig { values }
+    }
+
+    /// The configuration at the centre of the box (used to initialize the
+    /// paper's grid-search comparator, Fig. 20, and as the "default"
+    /// parameter column of Tables 3/4/5 when a sweep varies one dimension).
+    pub fn midpoint(&self) -> EnvConfig {
+        EnvConfig { values: self.dims.iter().map(|d| d.quantize(d.midpoint())).collect() }
+    }
+
+    /// Clamps (and integer-quantizes) a raw vector into the box.
+    pub fn clamp(&self, values: &[f64]) -> EnvConfig {
+        assert_eq!(values.len(), self.dims.len(), "config dimensionality mismatch");
+        EnvConfig {
+            values: self.dims.iter().zip(values).map(|(d, &v)| d.quantize(v)).collect(),
+        }
+    }
+
+    /// Shrinks every dimension to `fraction` of its width, centred at the
+    /// midpoint — the RL1/RL2 construction. Log dims shrink in log space
+    /// (around the geometric mean).
+    pub fn shrunk(&self, fraction: f64) -> ParamSpace {
+        assert!((0.0..=1.0).contains(&fraction), "fraction {fraction} out of [0,1]");
+        let dims = self
+            .dims
+            .iter()
+            .map(|d| {
+                let mut sub = d.clone();
+                // Quantization at the bounds is unwanted here; lerp without
+                // the integer snap by computing in transformed space.
+                let (lo_u, hi_u) = (0.5 - fraction / 2.0, 0.5 + fraction / 2.0);
+                let raw = |u: f64| {
+                    if d.log {
+                        (d.min.ln() + u * (d.max.ln() - d.min.ln())).exp()
+                    } else {
+                        d.min + u * d.width()
+                    }
+                };
+                sub.min = raw(lo_u);
+                sub.max = raw(hi_u);
+                sub
+            })
+            .collect();
+        ParamSpace { dims }
+    }
+
+    /// The sub-space for a training-range level.
+    pub fn at_level(&self, level: RangeLevel) -> ParamSpace {
+        match level {
+            RangeLevel::Rl3 => self.clone(),
+            other => self.shrunk(other.width_fraction()),
+        }
+    }
+
+    /// True when `cfg` lies inside the box (after integer quantization
+    /// tolerance).
+    pub fn contains(&self, cfg: &EnvConfig) -> bool {
+        cfg.values.len() == self.dims.len()
+            && self
+                .dims
+                .iter()
+                .zip(&cfg.values)
+                .all(|(d, &v)| v >= d.min - 1e-9 && v <= d.max + 1e-9)
+    }
+
+    /// Normalizes a config to unit-cube coordinates (for GP kernels, which
+    /// need comparable length scales across heterogeneous units; log dims
+    /// map through log space).
+    pub fn normalize(&self, cfg: &EnvConfig) -> Vec<f64> {
+        assert_eq!(cfg.values.len(), self.dims.len());
+        self.dims
+            .iter()
+            .zip(&cfg.values)
+            .map(|(d, &v)| if d.width() == 0.0 { 0.5 } else { d.unlerp(v) })
+            .collect()
+    }
+
+    /// Maps unit-cube coordinates back into the box.
+    pub fn denormalize(&self, unit: &[f64]) -> EnvConfig {
+        assert_eq!(unit.len(), self.dims.len());
+        EnvConfig {
+            values: self.dims.iter().zip(unit).map(|(d, &u)| d.lerp(u)).collect(),
+        }
+    }
+}
+
+/// One sampled environment configuration — a point in a [`ParamSpace`].
+///
+/// Values are stored in the same order as the space's dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvConfig {
+    values: Vec<f64>,
+}
+
+impl EnvConfig {
+    /// Builds a config directly from raw values (callers that construct
+    /// configs by hand should prefer [`ParamSpace::clamp`]).
+    pub fn from_values(values: Vec<f64>) -> Self {
+        Self { values }
+    }
+
+    /// The raw parameter vector.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Value of the dimension at `idx`.
+    pub fn get(&self, idx: usize) -> f64 {
+        self.values[idx]
+    }
+
+    /// Value of a dimension by name, resolved against `space`.
+    ///
+    /// # Panics
+    /// Panics if the name is unknown — a misspelled parameter name is a
+    /// programming error we want loudly at test time.
+    pub fn get_named(&self, space: &ParamSpace, name: &str) -> f64 {
+        let idx = space
+            .index_of(name)
+            .unwrap_or_else(|| panic!("unknown parameter name: {name}"));
+        self.values[idx]
+    }
+
+    /// Returns a copy with dimension `idx` replaced by `v`.
+    pub fn with_value(&self, idx: usize, v: f64) -> EnvConfig {
+        let mut values = self.values.clone();
+        values[idx] = v;
+        EnvConfig { values }
+    }
+}
+
+impl std::fmt::Display for EnvConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamDim::new("bw", 2.0, 100.0),
+            ParamDim::new("rtt_ms", 20.0, 1000.0),
+            ParamDim::int("queue", 2.0, 200.0),
+        ])
+    }
+
+    #[test]
+    fn sample_stays_in_box_and_quantizes_ints() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let cfg = s.sample(&mut rng);
+            assert!(s.contains(&cfg), "{cfg}");
+            let q = cfg.get_named(&s, "queue");
+            assert_eq!(q, q.round(), "integer dim must be quantized");
+        }
+    }
+
+    #[test]
+    fn shrunk_preserves_midpoint_and_scales_width() {
+        let s = space();
+        let narrow = s.shrunk(1.0 / 9.0);
+        for (full, sub) in s.dims().iter().zip(narrow.dims()) {
+            assert!((sub.midpoint() - full.midpoint()).abs() < 1e-9);
+            assert!((sub.width() - full.width() / 9.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn levels_are_nested() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(2);
+        let rl1 = s.at_level(RangeLevel::Rl1);
+        let rl2 = s.at_level(RangeLevel::Rl2);
+        for _ in 0..200 {
+            let c1 = rl1.sample(&mut rng);
+            assert!(rl2.contains(&c1), "RL1 sample must lie inside RL2");
+            assert!(s.contains(&c1), "RL1 sample must lie inside RL3");
+        }
+    }
+
+    #[test]
+    fn normalize_denormalize_roundtrip() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let cfg = s.sample(&mut rng);
+            let unit = s.normalize(&cfg);
+            assert!(unit.iter().all(|&u| (0.0..=1.0).contains(&u)));
+            let back = s.denormalize(&unit);
+            for (a, b) in cfg.values().iter().zip(back.values()) {
+                assert!((a - b).abs() < 1e-6, "{cfg} vs {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn midpoint_is_centre() {
+        let s = space();
+        let m = s.midpoint();
+        assert!((m.get_named(&s, "bw") - 51.0).abs() < 1e-9);
+        assert_eq!(m.get_named(&s, "queue"), 101.0);
+    }
+
+    #[test]
+    fn clamp_pulls_into_box() {
+        let s = space();
+        let cfg = s.clamp(&[-5.0, 2000.0, 7.4]);
+        assert_eq!(cfg.get_named(&s, "bw"), 2.0);
+        assert_eq!(cfg.get_named(&s, "rtt_ms"), 1000.0);
+        assert_eq!(cfg.get_named(&s, "queue"), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parameter name")]
+    fn unknown_name_panics() {
+        let s = space();
+        let cfg = s.midpoint();
+        let _ = cfg.get_named(&s, "nonexistent");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate dim name")]
+    fn duplicate_names_rejected() {
+        let _ = ParamSpace::new(vec![ParamDim::new("a", 0.0, 1.0), ParamDim::new("a", 0.0, 2.0)]);
+    }
+
+    #[test]
+    fn log_dim_samples_geometrically() {
+        let s = ParamSpace::new(vec![ParamDim::log_scale("bw", 0.1, 100.0)]);
+        // Geometric-mean midpoint — matches Table 4's default of 3.16 Mbps.
+        assert!((s.midpoint().get(0) - 3.1623).abs() < 1e-3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut below_gm = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            let v = s.sample(&mut rng).get(0);
+            assert!((0.1..=100.0).contains(&v));
+            if v < 3.1623 {
+                below_gm += 1;
+            }
+        }
+        // Log-uniform: half the mass below the geometric mean.
+        let frac = below_gm as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "{frac}");
+    }
+
+    #[test]
+    fn log_dim_normalize_roundtrip() {
+        let s = ParamSpace::new(vec![ParamDim::log_scale("bw", 0.5, 50.0)]);
+        let cfg = EnvConfig::from_values(vec![5.0]);
+        let u = s.normalize(&cfg);
+        assert!((u[0] - 0.5).abs() < 1e-9, "5 is the geometric mean of [0.5, 50]");
+        let back = s.denormalize(&u);
+        assert!((back.get(0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_dim_shrunk_keeps_geometric_centre() {
+        let s = ParamSpace::new(vec![ParamDim::log_scale("bw", 1.0, 100.0)]);
+        let sub = s.shrunk(1.0 / 3.0);
+        let d = &sub.dims()[0];
+        assert!(d.log);
+        assert!(((d.min * d.max).sqrt() - 10.0).abs() < 1e-6, "{d:?}");
+        assert!(d.min > 1.0 && d.max < 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "log range needs")]
+    fn log_dim_rejects_nonpositive_min() {
+        let _ = ParamDim::log_scale("bad", 0.0, 1.0);
+    }
+
+    #[test]
+    fn width_fraction_values() {
+        assert!((RangeLevel::Rl1.width_fraction() - 1.0 / 9.0).abs() < 1e-12);
+        assert!((RangeLevel::Rl2.width_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(RangeLevel::Rl3.width_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! The `Scenario` trait — one RL use case (ABR, CC or LB).
+//!
+//! A scenario owns everything Genet's training framework needs to remain
+//! generic (§4.3, Figure 8 of the paper): the environment parameter space,
+//! an environment factory, and paired evaluation of rule-based baselines and
+//! the offline oracle on the *same* environment instance (same config, same
+//! seed ⇒ same trace), which is what makes `Gap(p)` a paired comparison.
+
+use crate::env::{Env, Policy};
+use crate::param::{EnvConfig, ParamSpace, RangeLevel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hard cap on episode length; simulators are expected to terminate long
+/// before this, so hitting the cap indicates a stuck environment.
+pub const MAX_EPISODE_STEPS: usize = 100_000;
+
+/// One network adaptation use case.
+pub trait Scenario: Sync {
+    /// Short identifier (`"abr"`, `"cc"`, `"lb"`).
+    fn name(&self) -> &'static str;
+
+    /// The full (RL3) environment parameter space — Tables 3/4/5.
+    fn full_space(&self) -> ParamSpace;
+
+    /// The parameter space at a training-range level.
+    fn space(&self, level: RangeLevel) -> ParamSpace {
+        self.full_space().at_level(level)
+    }
+
+    /// Observation dimensionality for the RL policy.
+    fn obs_dim(&self) -> usize;
+
+    /// Discrete action count for the RL policy.
+    fn action_count(&self) -> usize;
+
+    /// Instantiates one simulated environment from a configuration and a
+    /// seed. Equal `(cfg, seed)` must produce identical environments.
+    fn make_env(&self, cfg: &EnvConfig, seed: u64) -> Box<dyn Env>;
+
+    /// Names of the rule-based baselines this scenario implements.
+    fn baseline_names(&self) -> &'static [&'static str];
+
+    /// The baseline Genet trains against by default (MPC for ABR, BBR for
+    /// CC, LLF for LB — §5.1).
+    fn default_baseline(&self) -> &'static str;
+
+    /// Mean per-step reward of the named rule-based baseline on the
+    /// environment `(cfg, seed)`.
+    ///
+    /// # Panics
+    /// Panics on an unknown baseline name.
+    fn eval_baseline(&self, name: &str, cfg: &EnvConfig, seed: u64) -> f64;
+
+    /// Mean per-step reward of the offline oracle (ground-truth-knowledge
+    /// optimum approximation) on `(cfg, seed)` — used by the Strawman-3 /
+    /// CL3 comparators and the Robustify variant.
+    fn eval_oracle(&self, cfg: &EnvConfig, seed: u64) -> f64;
+
+    /// Reward units per "one-ish" training reward: rollout rewards are
+    /// divided by this during PPO training so critic targets stay O(1)
+    /// regardless of the scenario's natural reward scale (CC rewards live
+    /// in the hundreds, ABR in single digits). Evaluation always uses
+    /// natural units.
+    fn reward_scale(&self) -> f64 {
+        1.0
+    }
+
+    /// Mean non-smoothness of the bandwidth dynamics an environment
+    /// `(cfg, seed)` exhibits — used by the Robustify-style selection
+    /// criteria (paper Fig. 19), which penalize adversarially jagged
+    /// traces. Scenarios without a bandwidth trace return 0.
+    fn env_non_smoothness(&self, _cfg: &EnvConfig, _seed: u64) -> f64 {
+        0.0
+    }
+
+    /// Mean per-step reward of an RL-style [`Policy`] on `(cfg, seed)`.
+    fn eval_policy(&self, policy: &dyn Policy, cfg: &EnvConfig, seed: u64) -> f64 {
+        let mut env = self.make_env(cfg, seed);
+        // Derive the policy's exploration stream from the env seed so paired
+        // comparisons stay deterministic.
+        let mut rng = StdRng::seed_from_u64(genet_math::derive_seed(seed, 0xBEEF));
+        rollout_policy(env.as_mut(), policy, &mut rng)
+    }
+}
+
+/// Runs `policy` on `env` to termination; returns the mean per-step reward
+/// (the paper's rewards are per-decision averages, Table 1).
+pub fn rollout_policy(env: &mut dyn Env, policy: &dyn Policy, rng: &mut StdRng) -> f64 {
+    let mut obs = vec![0.0f32; env.obs_dim()];
+    let mut total = 0.0;
+    let mut steps = 0usize;
+    loop {
+        env.observe(&mut obs);
+        let action = policy.act(&obs, rng);
+        debug_assert!(action < env.action_count(), "policy produced out-of-range action");
+        let out = env.step(action);
+        total += out.reward;
+        steps += 1;
+        if out.done {
+            break;
+        }
+        assert!(steps < MAX_EPISODE_STEPS, "environment did not terminate");
+    }
+    total / steps as f64
+}
+
+/// Runs `policy` on `env` and returns the full per-step reward sequence —
+/// used by experiments that need reward breakdowns rather than the mean.
+pub fn rollout_rewards(env: &mut dyn Env, policy: &dyn Policy, rng: &mut StdRng) -> Vec<f64> {
+    let mut obs = vec![0.0f32; env.obs_dim()];
+    let mut rewards = Vec::new();
+    loop {
+        env.observe(&mut obs);
+        let action = policy.act(&obs, rng);
+        let out = env.step(action);
+        rewards.push(out.reward);
+        if out.done {
+            break;
+        }
+        assert!(rewards.len() < MAX_EPISODE_STEPS, "environment did not terminate");
+    }
+    rewards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::StepOutcome;
+    use crate::param::ParamDim;
+
+    /// Toy scenario: reward 1.0 when the action matches the env's hidden
+    /// target parity, else 0.0. Lets us test the trait plumbing end-to-end
+    /// without a real simulator.
+    struct ParityScenario;
+
+    struct ParityEnv {
+        target: usize,
+        t: usize,
+    }
+
+    impl Env for ParityEnv {
+        fn obs_dim(&self) -> usize {
+            1
+        }
+        fn action_count(&self) -> usize {
+            2
+        }
+        fn observe(&self, out: &mut [f32]) {
+            out[0] = self.target as f32;
+        }
+        fn step(&mut self, action: usize) -> StepOutcome {
+            self.t += 1;
+            StepOutcome {
+                reward: if action == self.target { 1.0 } else { 0.0 },
+                done: self.t >= 10,
+            }
+        }
+    }
+
+    impl Scenario for ParityScenario {
+        fn name(&self) -> &'static str {
+            "parity"
+        }
+        fn full_space(&self) -> ParamSpace {
+            ParamSpace::new(vec![ParamDim::int("target", 0.0, 1.0)])
+        }
+        fn obs_dim(&self) -> usize {
+            1
+        }
+        fn action_count(&self) -> usize {
+            2
+        }
+        fn make_env(&self, cfg: &EnvConfig, _seed: u64) -> Box<dyn Env> {
+            Box::new(ParityEnv { target: cfg.get(0) as usize, t: 0 })
+        }
+        fn baseline_names(&self) -> &'static [&'static str] {
+            &["oracle-ish"]
+        }
+        fn default_baseline(&self) -> &'static str {
+            "oracle-ish"
+        }
+        fn eval_baseline(&self, name: &str, cfg: &EnvConfig, seed: u64) -> f64 {
+            assert_eq!(name, "oracle-ish");
+            self.eval_policy(
+                &|obs: &[f32], _rng: &mut StdRng| obs[0] as usize,
+                cfg,
+                seed,
+            )
+        }
+        fn eval_oracle(&self, cfg: &EnvConfig, seed: u64) -> f64 {
+            self.eval_baseline("oracle-ish", cfg, seed)
+        }
+    }
+
+    #[test]
+    fn perfect_policy_scores_one_per_step() {
+        let s = ParityScenario;
+        let cfg = EnvConfig::from_values(vec![1.0]);
+        let r = s.eval_baseline("oracle-ish", &cfg, 7);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn wrong_policy_scores_zero() {
+        let s = ParityScenario;
+        let cfg = EnvConfig::from_values(vec![1.0]);
+        let r = s.eval_policy(&|_: &[f32], _: &mut StdRng| 0usize, &cfg, 7);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn eval_policy_is_deterministic_for_same_seed() {
+        let s = ParityScenario;
+        let cfg = EnvConfig::from_values(vec![0.0]);
+        let p = |_: &[f32], rng: &mut StdRng| {
+            use rand::Rng;
+            rng.random_range(0..2)
+        };
+        assert_eq!(s.eval_policy(&p, &cfg, 42), s.eval_policy(&p, &cfg, 42));
+    }
+
+    #[test]
+    fn rollout_rewards_length_matches_horizon() {
+        let s = ParityScenario;
+        let cfg = EnvConfig::from_values(vec![1.0]);
+        let mut env = s.make_env(&cfg, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let rs = rollout_rewards(env.as_mut(), &|_: &[f32], _: &mut StdRng| 1usize, &mut rng);
+        assert_eq!(rs.len(), 10);
+        assert!(rs.iter().all(|&r| r == 1.0));
+    }
+}

@@ -1,0 +1,225 @@
+//! Rule-based load-balancing baselines.
+
+use crate::sim::{LbContext, LbSim, N_SERVERS};
+use genet_math::derive_seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dispatch rule: maps the arriving job's context to a server index.
+pub trait LbAlgorithm {
+    /// Chooses the server for the arriving job.
+    fn choose(&mut self, ctx: &LbContext) -> usize;
+
+    /// Resets state for a new episode.
+    fn reset(&mut self) {}
+}
+
+/// Runs an algorithm over a full episode; returns mean per-job reward
+/// (`− mean delay` in seconds).
+pub fn run_lb(sim: &mut LbSim, algo: &mut dyn LbAlgorithm) -> f64 {
+    algo.reset();
+    while !sim.finished() {
+        let ctx = sim.context();
+        let server = algo.choose(&ctx).min(N_SERVERS - 1);
+        sim.dispatch(server);
+    }
+    sim.episode_reward()
+}
+
+/// Least-load-first — the paper's default LB baseline: the server with the
+/// fewest observed outstanding requests (ties → lowest index).
+#[derive(Debug, Clone, Default)]
+pub struct LeastLoadFirst;
+
+impl LbAlgorithm for LeastLoadFirst {
+    fn choose(&mut self, ctx: &LbContext) -> usize {
+        argmin(&ctx.observed_counts.map(|c| c as f64))
+    }
+}
+
+/// Rate-weighted LLF: estimated wait `count / rate` (a stronger rule that
+/// exploits static knowledge of server speeds).
+#[derive(Debug, Clone, Default)]
+pub struct WeightedLlf;
+
+impl LbAlgorithm for WeightedLlf {
+    fn choose(&mut self, ctx: &LbContext) -> usize {
+        let est: [f64; N_SERVERS] = std::array::from_fn(|i| {
+            (ctx.observed_counts[i] as f64 + 1.0) / ctx.rates[i]
+        });
+        argmin(&est)
+    }
+}
+
+/// Round-robin dispatch.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl LbAlgorithm for RoundRobin {
+    fn reset(&mut self) {
+        self.next = 0;
+    }
+    fn choose(&mut self, _ctx: &LbContext) -> usize {
+        let s = self.next;
+        self.next = (self.next + 1) % N_SERVERS;
+        s
+    }
+}
+
+/// Uniform random dispatch.
+#[derive(Debug, Clone)]
+pub struct RandomAssign {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl RandomAssign {
+    /// Seeded random dispatcher.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(derive_seed(seed, 0xA55)), seed }
+    }
+}
+
+impl LbAlgorithm for RandomAssign {
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(derive_seed(self.seed, 0xA55));
+    }
+    fn choose(&mut self, _ctx: &LbContext) -> usize {
+        self.rng.random_range(0..N_SERVERS)
+    }
+}
+
+/// The deliberately naive §5.4 baseline: "choosing the highest loaded
+/// server".
+#[derive(Debug, Clone, Default)]
+pub struct MostLoadedFirst;
+
+impl LbAlgorithm for MostLoadedFirst {
+    fn choose(&mut self, ctx: &LbContext) -> usize {
+        let counts = ctx.observed_counts.map(|c| c as f64);
+        let mut best = 0;
+        for i in 1..N_SERVERS {
+            if counts[i] > counts[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Omniscient oracle: sees true remaining work and picks the server that
+/// finishes this job earliest. Not reachable by any deployable policy; used
+/// for gap-to-optimum comparators.
+pub fn run_oracle(sim: &mut LbSim) -> f64 {
+    while !sim.finished() {
+        let ctx = sim.context();
+        let work = sim.remaining_work_ms();
+        let finish: [f64; N_SERVERS] =
+            std::array::from_fn(|i| work[i] + ctx.job_size_kb / ctx.rates[i]);
+        let server = argmin(&finish);
+        sim.dispatch(server);
+    }
+    sim.episode_reward()
+}
+
+fn argmin(xs: &[f64; N_SERVERS]) -> usize {
+    let mut best = 0;
+    for i in 1..N_SERVERS {
+        if xs[i] < xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Constructs a baseline by its paper name.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn baseline_by_name(name: &str, seed: u64) -> Box<dyn LbAlgorithm> {
+    match name {
+        "llf" => Box::new(LeastLoadFirst),
+        "wllf" => Box::new(WeightedLlf),
+        "rr" => Box::new(RoundRobin::default()),
+        "random" => Box::new(RandomAssign::new(seed)),
+        "naive" => Box::new(MostLoadedFirst),
+        other => panic!("unknown LB baseline: {other}"),
+    }
+}
+
+/// Names accepted by [`baseline_by_name`].
+pub const BASELINE_NAMES: &[&str] = &["llf", "wllf", "rr", "random", "naive"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::LbParams;
+
+    fn sim(seed: u64) -> LbSim {
+        LbSim::new(
+            LbParams {
+                service_rate: 1.0,
+                job_size_kb: 2000.0,
+                job_interval_ms: 700.0,
+                num_jobs: 400,
+                shuffle_prob: 0.1,
+            },
+            seed,
+        )
+    }
+
+    fn score(name: &str) -> f64 {
+        let mut total = 0.0;
+        for seed in 0..5 {
+            let mut algo = baseline_by_name(name, seed);
+            total += run_lb(&mut sim(seed), algo.as_mut());
+        }
+        total / 5.0
+    }
+
+    #[test]
+    fn llf_beats_random_and_naive() {
+        let llf = score("llf");
+        let rnd = score("random");
+        let naive = score("naive");
+        assert!(llf > rnd, "llf {llf} vs random {rnd}");
+        assert!(llf > naive, "llf {llf} vs naive {naive}");
+    }
+
+    #[test]
+    fn weighted_llf_beats_plain_llf() {
+        let wllf = score("wllf");
+        let llf = score("llf");
+        assert!(wllf > llf, "wllf {wllf} vs llf {llf}");
+    }
+
+    #[test]
+    fn oracle_dominates_all_rules() {
+        let mut oracle_total = 0.0;
+        for seed in 0..5 {
+            oracle_total += run_oracle(&mut sim(seed));
+        }
+        let oracle = oracle_total / 5.0;
+        for name in BASELINE_NAMES {
+            let s = score(name);
+            assert!(oracle >= s - 0.05, "{name}: oracle {oracle} vs {s}");
+        }
+    }
+
+    #[test]
+    fn naive_is_clearly_bad() {
+        assert!(
+            score("naive") < score("llf") - 0.5,
+            "most-loaded-first should be drastically worse"
+        );
+    }
+
+    #[test]
+    fn all_rewards_negative() {
+        for name in BASELINE_NAMES {
+            assert!(score(name) < 0.0, "{name}: delays are positive so rewards < 0");
+        }
+    }
+}

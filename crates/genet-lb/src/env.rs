@@ -1,0 +1,129 @@
+//! RL environment adapter for load balancing.
+//!
+//! Observation: the arriving job's size, the observed per-server counts,
+//! the per-server rates (static cluster knowledge), and episode progress.
+//!
+//! The decision context (including its one-shot observation shuffle) is
+//! drawn exactly once per arriving job and cached, so the RL policy and the
+//! rule-based baselines consume the shuffle RNG identically.
+
+use crate::sim::{LbContext, LbSim, N_SERVERS};
+use genet_env::{Env, StepOutcome};
+
+/// Observation dimensionality: size + counts + rates + progress.
+pub const LB_OBS_DIM: usize = 1 + N_SERVERS + N_SERVERS + 1;
+
+/// The LB simulator wrapped as a `genet_env::Env`.
+#[derive(Debug, Clone)]
+pub struct LbEnv {
+    sim: LbSim,
+    ctx: LbContext,
+}
+
+impl LbEnv {
+    /// Wraps a fresh episode.
+    pub fn new(mut sim: LbSim) -> Self {
+        assert!(!sim.finished());
+        let ctx = sim.context();
+        Self { sim, ctx }
+    }
+
+    /// Read access to the simulator.
+    pub fn sim(&self) -> &LbSim {
+        &self.sim
+    }
+}
+
+impl Env for LbEnv {
+    fn obs_dim(&self) -> usize {
+        LB_OBS_DIM
+    }
+
+    fn action_count(&self) -> usize {
+        N_SERVERS
+    }
+
+    fn observe(&self, out: &mut [f32]) {
+        let ctx = &self.ctx;
+        out[0] = ((ctx.job_size_kb / 5000.0).min(4.0)) as f32;
+        for i in 0..N_SERVERS {
+            out[1 + i] = ((ctx.observed_counts[i] as f64 / 20.0).min(4.0)) as f32;
+            out[1 + N_SERVERS + i] = ((ctx.rates[i] / 10.0).min(1.0)) as f32;
+        }
+        out[1 + 2 * N_SERVERS] = (ctx.jobs_done as f64 / ctx.jobs_total as f64) as f32;
+    }
+
+    fn step(&mut self, action: usize) -> StepOutcome {
+        let delay_s = self.sim.dispatch(action);
+        let done = self.sim.finished();
+        if !done {
+            self.ctx = self.sim.context();
+        }
+        StepOutcome { reward: -delay_s, done }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::LbParams;
+
+    fn env() -> LbEnv {
+        LbEnv::new(LbSim::new(
+            LbParams {
+                service_rate: 1.0,
+                job_size_kb: 2000.0,
+                job_interval_ms: 700.0,
+                num_jobs: 50,
+                shuffle_prob: 0.2,
+            },
+            0,
+        ))
+    }
+
+    #[test]
+    fn episode_length_is_num_jobs() {
+        let mut e = env();
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            if e.step(steps % N_SERVERS).done {
+                break;
+            }
+        }
+        assert_eq!(steps, 50);
+    }
+
+    #[test]
+    fn obs_bounded() {
+        let mut e = env();
+        let mut obs = vec![0.0f32; e.obs_dim()];
+        loop {
+            e.observe(&mut obs);
+            for (i, v) in obs.iter().enumerate() {
+                assert!(v.is_finite() && (0.0..=4.01).contains(&(*v as f64)), "obs[{i}]={v}");
+            }
+            if e.step(2).done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn observation_changes_per_job() {
+        let mut e = env();
+        let mut a = vec![0.0f32; e.obs_dim()];
+        let mut b = vec![0.0f32; e.obs_dim()];
+        e.observe(&mut a);
+        e.step(0);
+        e.observe(&mut b);
+        assert_ne!(a, b, "new arrival must refresh the observation");
+    }
+
+    #[test]
+    fn rewards_are_negative_delays() {
+        let mut e = env();
+        let out = e.step(2);
+        assert!(out.reward < 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # genet-lb
+//!
+//! Load balancing in a key-replicated distributed store, after the Park
+//! project's load-balancer environment: jobs arrive as a Poisson process
+//! with Pareto-distributed sizes and must be dispatched to one of `k`
+//! heterogeneous servers whose *real-time utilization is unknown* — policies
+//! observe only the (possibly stale/shuffled) count of outstanding requests
+//! per server, never the remaining work.
+//!
+//! Reward per job (Table 1): `− delay` where delay = queue wait + service
+//! time, in seconds.
+//!
+//! Baselines: least-load-first (the paper's default LB baseline),
+//! rate-weighted LLF, round-robin, random, the deliberately naive
+//! "most-loaded-first" rule from §5.4, and an omniscient oracle that sees
+//! remaining work.
+
+pub mod baselines;
+pub mod env;
+pub mod scenario;
+pub mod sim;
+pub mod space;
+
+pub use baselines::{LbAlgorithm, LeastLoadFirst, MostLoadedFirst, RandomAssign, RoundRobin, WeightedLlf};
+pub use env::{LbEnv, LB_OBS_DIM};
+pub use scenario::LbScenario;
+pub use sim::{LbContext, LbSim, N_SERVERS};
+pub use space::{lb_space, LbParams};

@@ -1,0 +1,109 @@
+//! `Scenario` implementation gluing LB into the Genet framework.
+
+use crate::baselines::{baseline_by_name, run_lb, run_oracle, BASELINE_NAMES};
+use crate::env::{LbEnv, LB_OBS_DIM};
+use crate::sim::{LbSim, N_SERVERS};
+use crate::space::{lb_defaults, lb_space_at, LbParams};
+use genet_env::{Env, EnvConfig, ParamSpace, RangeLevel, Scenario};
+
+/// The load-balancing use case.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LbScenario;
+
+impl Scenario for LbScenario {
+    fn name(&self) -> &'static str {
+        "lb"
+    }
+
+    fn full_space(&self) -> ParamSpace {
+        lb_space_at(RangeLevel::Rl3)
+    }
+
+    fn space(&self, level: RangeLevel) -> ParamSpace {
+        lb_space_at(level)
+    }
+
+    fn obs_dim(&self) -> usize {
+        LB_OBS_DIM
+    }
+
+    fn action_count(&self) -> usize {
+        N_SERVERS
+    }
+
+    fn make_env(&self, cfg: &EnvConfig, seed: u64) -> Box<dyn Env> {
+        Box::new(LbEnv::new(LbSim::new(LbParams::from_config(cfg), seed)))
+    }
+
+    fn baseline_names(&self) -> &'static [&'static str] {
+        BASELINE_NAMES
+    }
+
+    fn default_baseline(&self) -> &'static str {
+        "llf"
+    }
+
+    fn reward_scale(&self) -> f64 {
+        3.0
+    }
+
+    fn eval_baseline(&self, name: &str, cfg: &EnvConfig, seed: u64) -> f64 {
+        let mut sim = LbSim::new(LbParams::from_config(cfg), seed);
+        let mut algo = baseline_by_name(name, seed);
+        run_lb(&mut sim, algo.as_mut())
+    }
+
+    fn eval_oracle(&self, cfg: &EnvConfig, seed: u64) -> f64 {
+        let mut sim = LbSim::new(LbParams::from_config(cfg), seed);
+        run_oracle(&mut sim)
+    }
+}
+
+/// The default LB configuration.
+pub fn default_config() -> EnvConfig {
+    lb_defaults()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn paired_world_same_seed() {
+        let s = LbScenario;
+        let cfg = default_config();
+        assert_eq!(s.eval_baseline("llf", &cfg, 1), s.eval_baseline("llf", &cfg, 1));
+    }
+
+    #[test]
+    fn oracle_beats_llf() {
+        let s = LbScenario;
+        let cfg = default_config();
+        let mut oracle = 0.0;
+        let mut llf = 0.0;
+        for seed in 0..5 {
+            oracle += s.eval_oracle(&cfg, seed);
+            llf += s.eval_baseline("llf", &cfg, seed);
+        }
+        assert!(oracle > llf, "oracle {oracle} vs llf {llf}");
+    }
+
+    #[test]
+    fn env_policy_matches_direct_rule() {
+        // A fixed "always server 2" policy via Env must equal the direct
+        // simulator run (same arrivals, same sizes).
+        let s = LbScenario;
+        let cfg = default_config();
+        let fixed = |_: &[f32], _: &mut StdRng| 2usize;
+        let via_env = s.eval_policy(&fixed, &cfg, 9);
+        let mut sim = LbSim::new(LbParams::from_config(&cfg), 9);
+        let mut total = 0.0;
+        let mut n = 0;
+        while !sim.finished() {
+            total += -sim.dispatch(2);
+            n += 1;
+        }
+        assert!((via_env - total / n as f64).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,307 @@
+//! Event-driven load-balancer simulation.
+//!
+//! Jobs arrive one at a time (Poisson process); the policy assigns each to a
+//! server; each server processes its FIFO queue at its own rate. The policy
+//! observes the *count* of outstanding requests per server — possibly
+//! shuffled with the configured probability, modelling stale monitoring —
+//! but never the remaining work ("whose real-time resource utilization is
+//! unknown", paper §2).
+
+use crate::space::{LbParams, JOB_SIZE_PARETO_SHAPE};
+use genet_math::{derive_seed, poisson_interarrival, sample_pareto};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Number of servers (Park's default heterogeneous cluster of three).
+pub const N_SERVERS: usize = 3;
+
+/// Request timeout (seconds): a job's effective delay is capped here, as a
+/// client would abandon the request. Bounds the reward on the extreme
+/// overload corners of the full Table-5 box (where offered load exceeds
+/// capacity by orders of magnitude and *every* policy drowns), so that mean
+/// rewards remain comparable across policies, matching the bounded reward
+/// scale of the paper's LB figures.
+pub const DELAY_CAP_S: f64 = 30.0;
+
+/// Decision context for one arriving job.
+#[derive(Debug, Clone, Copy)]
+pub struct LbContext {
+    /// Arrival time (ms).
+    pub now_ms: f64,
+    /// Size of the arriving job (KB).
+    pub job_size_kb: f64,
+    /// Observed (possibly shuffled) outstanding-request count per server.
+    pub observed_counts: [usize; N_SERVERS],
+    /// Server service rates (KB/ms) — static cluster knowledge every
+    /// dispatcher (rule-based or learned) is assumed to have.
+    pub rates: [f64; N_SERVERS],
+    /// Jobs already dispatched.
+    pub jobs_done: usize,
+    /// Total jobs in the episode.
+    pub jobs_total: usize,
+}
+
+/// The simulation state.
+#[derive(Debug, Clone)]
+pub struct LbSim {
+    params: LbParams,
+    rates: [f64; N_SERVERS],
+    /// Per-server completion times (ms, sorted ascending) of queued jobs.
+    pending: [Vec<f64>; N_SERVERS],
+    now_ms: f64,
+    jobs_dispatched: usize,
+    next_job_size: f64,
+    rng: StdRng,
+    shuffle_rng: StdRng,
+    delays_ms: Vec<f64>,
+}
+
+impl LbSim {
+    /// Starts an episode: server rates `r/2, r, 2r`, first job pre-drawn.
+    pub fn new(params: LbParams, seed: u64) -> Self {
+        assert!(params.num_jobs >= 1);
+        let r = params.service_rate;
+        let mut sim = Self {
+            rates: [r / 2.0, r, 2.0 * r],
+            pending: Default::default(),
+            now_ms: 0.0,
+            jobs_dispatched: 0,
+            next_job_size: 0.0,
+            rng: StdRng::seed_from_u64(derive_seed(seed, 0x1B1)),
+            shuffle_rng: StdRng::seed_from_u64(derive_seed(seed, 0x1B2)),
+            delays_ms: Vec::with_capacity(params.num_jobs),
+            params,
+        };
+        sim.next_job_size = sim.draw_size();
+        sim
+    }
+
+    fn draw_size(&mut self) -> f64 {
+        // Pareto with the configured mean: mean = shape·scale/(shape−1).
+        let shape = JOB_SIZE_PARETO_SHAPE;
+        let scale = self.params.job_size_kb * (shape - 1.0) / shape;
+        sample_pareto(&mut self.rng, shape, scale)
+    }
+
+    /// True when every job has been dispatched.
+    pub fn finished(&self) -> bool {
+        self.jobs_dispatched >= self.params.num_jobs
+    }
+
+    /// Server rates.
+    pub fn rates(&self) -> [f64; N_SERVERS] {
+        self.rates
+    }
+
+    /// True per-server outstanding counts (no shuffle) — for oracles/tests.
+    pub fn true_counts(&self) -> [usize; N_SERVERS] {
+        let mut counts = [0usize; N_SERVERS];
+        for (c, p) in counts.iter_mut().zip(self.pending.iter()) {
+            *c = p.iter().filter(|&&done| done > self.now_ms).count();
+        }
+        counts
+    }
+
+    /// Remaining work per server in ms (oracle-only knowledge).
+    pub fn remaining_work_ms(&self) -> [f64; N_SERVERS] {
+        let mut w = [0.0; N_SERVERS];
+        for (wi, p) in w.iter_mut().zip(self.pending.iter()) {
+            if let Some(&last) = p.last() {
+                *wi = (last - self.now_ms).max(0.0);
+            }
+        }
+        w
+    }
+
+    /// The decision context for the job waiting to be dispatched.
+    pub fn context(&mut self) -> LbContext {
+        let mut observed = self.true_counts();
+        if rand::Rng::random::<f64>(&mut self.shuffle_rng) < self.params.shuffle_prob {
+            observed.shuffle(&mut self.shuffle_rng);
+        }
+        LbContext {
+            now_ms: self.now_ms,
+            job_size_kb: self.next_job_size,
+            observed_counts: observed,
+            rates: self.rates,
+            jobs_done: self.jobs_dispatched,
+            jobs_total: self.params.num_jobs,
+        }
+    }
+
+    /// Dispatches the waiting job to `server`; returns its delay in
+    /// **seconds** (wait + service). Advances time to the next arrival.
+    ///
+    /// # Panics
+    /// Panics if the episode is finished or the server index is invalid.
+    pub fn dispatch(&mut self, server: usize) -> f64 {
+        assert!(!self.finished(), "dispatch() after the last job");
+        assert!(server < N_SERVERS, "server {server} out of range");
+        let service_ms = self.next_job_size / self.rates[server];
+        let start_ms = self
+            .pending[server]
+            .last()
+            .copied()
+            .unwrap_or(self.now_ms)
+            .max(self.now_ms);
+        let done_ms = start_ms + service_ms;
+        self.pending[server].push(done_ms);
+        let delay_ms = (done_ms - self.now_ms).min(DELAY_CAP_S * 1000.0);
+        self.delays_ms.push(delay_ms);
+        self.jobs_dispatched += 1;
+
+        // Advance to the next arrival and pre-draw its size.
+        let gap = poisson_interarrival(&mut self.rng, self.params.job_interval_ms);
+        self.now_ms += gap;
+        self.next_job_size = self.draw_size();
+        // Garbage-collect long-finished completions to keep queues small.
+        for p in &mut self.pending {
+            let now = self.now_ms;
+            p.retain(|&done| done > now - 1.0);
+        }
+        delay_ms / 1000.0
+    }
+
+    /// All job delays so far (ms).
+    pub fn delays_ms(&self) -> &[f64] {
+        &self.delays_ms
+    }
+
+    /// Mean per-job reward so far: `− mean delay (s)`.
+    pub fn episode_reward(&self) -> f64 {
+        -genet_math::mean(&self.delays_ms) / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(nj: usize) -> LbParams {
+        LbParams {
+            service_rate: 1.0,
+            job_size_kb: 2000.0,
+            job_interval_ms: 700.0,
+            num_jobs: nj,
+            shuffle_prob: 0.0,
+        }
+    }
+
+    #[test]
+    fn rates_follow_half_base_double() {
+        let sim = LbSim::new(params(10), 0);
+        assert_eq!(sim.rates(), [0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn delay_includes_queueing() {
+        let mut sim = LbSim::new(params(10), 1);
+        // Dispatch everything to the slowest server: delays must be
+        // strictly increasing if arrivals outpace service.
+        let mut last = 0.0;
+        let mut grew = 0;
+        for _ in 0..10 {
+            let d = sim.dispatch(0);
+            if d > last {
+                grew += 1;
+            }
+            last = d;
+        }
+        assert!(grew >= 6, "queueing should usually grow delays, grew {grew}/10");
+    }
+
+    #[test]
+    fn fast_server_is_faster() {
+        let mut a = LbSim::new(params(50), 2);
+        let mut b = LbSim::new(params(50), 2);
+        let mut slow = 0.0;
+        let mut fast = 0.0;
+        for _ in 0..50 {
+            slow += a.dispatch(0);
+            fast += b.dispatch(2);
+        }
+        assert!(fast < slow, "fast server total {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn counts_reflect_outstanding_jobs() {
+        let mut sim = LbSim::new(
+            LbParams { job_interval_ms: 1.0, ..params(20) }, // rapid arrivals
+            3,
+        );
+        for _ in 0..5 {
+            sim.dispatch(1);
+        }
+        let counts = sim.true_counts();
+        assert!(counts[1] >= 4, "server 1 should have a queue, got {counts:?}");
+        assert_eq!(counts[0], 0);
+    }
+
+    #[test]
+    fn shuffle_prob_one_scrambles_observations() {
+        let mut with_shuffle = LbSim::new(
+            LbParams { shuffle_prob: 1.0, job_interval_ms: 1.0, ..params(200) },
+            4,
+        );
+        // Load server 0 heavily, then check the observed position of the
+        // big count moves around.
+        let mut positions = std::collections::HashSet::new();
+        for _ in 0..100 {
+            with_shuffle.dispatch(0);
+            let obs = with_shuffle.context().observed_counts;
+            if let Some(pos) = obs.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i)
+            {
+                positions.insert(pos);
+            }
+        }
+        assert!(positions.len() > 1, "shuffling must move the hot server around");
+    }
+
+    #[test]
+    fn episode_reward_is_negative_mean_delay() {
+        let mut sim = LbSim::new(params(20), 5);
+        let mut total = 0.0;
+        for _ in 0..20 {
+            total += sim.dispatch(2);
+        }
+        assert!((sim.episode_reward() + total / 20.0).abs() < 1e-9);
+        assert!(sim.episode_reward() < 0.0);
+    }
+
+    #[test]
+    fn delay_cap_bounds_overload() {
+        // Monstrous overload: one job per ms of mean size 10 MB on a slow
+        // cluster. Delays must saturate at the request timeout.
+        let mut sim = LbSim::new(
+            LbParams {
+                service_rate: 0.1,
+                job_size_kb: 10_000.0,
+                job_interval_ms: 1.0,
+                num_jobs: 100,
+                shuffle_prob: 0.0,
+            },
+            0,
+        );
+        let mut max_delay = 0.0f64;
+        while !sim.finished() {
+            max_delay = max_delay.max(sim.dispatch(0));
+        }
+        assert!(max_delay <= DELAY_CAP_S + 1e-9, "{max_delay}");
+        assert!((max_delay - DELAY_CAP_S).abs() < 1e-9, "overload must hit the cap");
+        assert!(sim.episode_reward() >= -DELAY_CAP_S);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut sim = LbSim::new(params(30), seed);
+            for i in 0..30 {
+                sim.dispatch(i % 3);
+            }
+            sim.episode_reward()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

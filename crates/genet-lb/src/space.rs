@@ -1,0 +1,138 @@
+//! The LB environment parameter space — Table 5 of the paper.
+//!
+//! | parameter              | RL1         | RL2          | RL3 (full)   | default |
+//! |------------------------|-------------|--------------|--------------|---------|
+//! | service rate           | [0.1, 2]    | [0.1, 5]     | [0.1, 10]    | 1.0     |
+//! | job size (KB)          | [100, 200]  | [100, 1000]  | [10, 10000]  | 2000    |
+//! | job interval (ms)      | [400, 1000] | [100, 2000]  | [10, 3000]   | 700     |
+//! | number of jobs         | [10, 100]   | [10, 1000]   | [10, 5000]   | 1000    |
+//! | queue shuffle prob.    | [0.1, 0.2]  | [0.1, 0.5]   | [0.1, 1]     | 0.5     |
+//!
+//! Units are made self-consistent here (the paper's Table 5 mixes bytes/MB
+//! and sub-millisecond intervals that do not combine into a finite-load
+//! system — see DESIGN.md §3): sizes in KB, base service rate in KB/ms, job
+//! inter-arrival in ms. The three servers run at `r/2`, `r`, `2r` for the
+//! sampled base rate `r`, matching the paper's default heterogeneous rates
+//! [0.5, 1.0, 2.0]. With defaults the offered load is
+//! `2000 KB / (700 ms × 3.5 KB/ms) ≈ 0.82` — a busy but stable system.
+
+use genet_env::{EnvConfig, ParamDim, ParamSpace, RangeLevel};
+
+/// Index-stable parameter names for the LB space.
+pub mod names {
+    /// Base service rate `r` (KB/ms); servers run at r/2, r, 2r.
+    pub const SERVICE_RATE: &str = "service_rate";
+    /// Mean job size (KB), Pareto-distributed.
+    pub const JOB_SIZE: &str = "job_size_kb";
+    /// Mean job inter-arrival time (ms), Poisson process.
+    pub const JOB_INTERVAL: &str = "job_interval_ms";
+    /// Number of jobs in an episode.
+    pub const NUM_JOBS: &str = "num_jobs";
+    /// Probability that the observed queue counts are shuffled (stale
+    /// monitoring).
+    pub const SHUFFLE_PROB: &str = "shuffle_prob";
+}
+
+/// Pareto shape for job sizes (Park uses a heavy-tailed job distribution).
+pub const JOB_SIZE_PARETO_SHAPE: f64 = 1.5;
+
+/// The LB parameter space at a training-range level.
+pub fn lb_space_at(level: RangeLevel) -> ParamSpace {
+    let r = |lo1: f64, hi1: f64, lo2: f64, hi2: f64, lo3: f64, hi3: f64| match level {
+        RangeLevel::Rl1 => (lo1, hi1),
+        RangeLevel::Rl2 => (lo2, hi2),
+        RangeLevel::Rl3 => (lo3, hi3),
+    };
+    let (sr_lo, sr_hi) = r(0.1, 2.0, 0.1, 5.0, 0.1, 10.0);
+    let (js_lo, js_hi) = r(100.0, 200.0, 100.0, 1000.0, 10.0, 10000.0);
+    let (ji_lo, ji_hi) = r(400.0, 1000.0, 100.0, 2000.0, 10.0, 3000.0);
+    let (nj_lo, nj_hi) = r(10.0, 100.0, 10.0, 1000.0, 10.0, 5000.0);
+    let (sp_lo, sp_hi) = r(0.1, 0.2, 0.1, 0.5, 0.1, 1.0);
+    ParamSpace::new(vec![
+        ParamDim::log_scale(names::SERVICE_RATE, sr_lo, sr_hi),
+        ParamDim::log_scale(names::JOB_SIZE, js_lo, js_hi),
+        ParamDim::log_scale(names::JOB_INTERVAL, ji_lo, ji_hi),
+        ParamDim::log_int(names::NUM_JOBS, nj_lo, nj_hi),
+        ParamDim::new(names::SHUFFLE_PROB, sp_lo, sp_hi),
+    ])
+}
+
+/// The full (RL3) LB space.
+pub fn lb_space() -> ParamSpace {
+    lb_space_at(RangeLevel::Rl3)
+}
+
+/// Default configuration for sweeps.
+pub fn lb_defaults() -> EnvConfig {
+    EnvConfig::from_values(vec![1.0, 2000.0, 700.0, 1000.0, 0.5])
+}
+
+/// Typed view of an LB configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LbParams {
+    /// Base service rate (KB/ms).
+    pub service_rate: f64,
+    /// Mean job size (KB).
+    pub job_size_kb: f64,
+    /// Mean inter-arrival (ms).
+    pub job_interval_ms: f64,
+    /// Episode length in jobs.
+    pub num_jobs: usize,
+    /// Observation shuffle probability.
+    pub shuffle_prob: f64,
+}
+
+impl LbParams {
+    /// Decodes a configuration sampled from [`lb_space`].
+    pub fn from_config(cfg: &EnvConfig) -> Self {
+        let space = lb_space();
+        Self {
+            service_rate: cfg.get_named(&space, names::SERVICE_RATE),
+            job_size_kb: cfg.get_named(&space, names::JOB_SIZE),
+            job_interval_ms: cfg.get_named(&space, names::JOB_INTERVAL),
+            num_jobs: cfg.get_named(&space, names::NUM_JOBS).round() as usize,
+            shuffle_prob: cfg.get_named(&space, names::SHUFFLE_PROB),
+        }
+    }
+
+    /// Offered load `ρ = size / (interval × total service rate)`.
+    pub fn utilization(&self) -> f64 {
+        self.job_size_kb / (self.job_interval_ms * 3.5 * self.service_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_have_stable_utilization() {
+        let p = LbParams::from_config(&lb_defaults());
+        assert!((p.utilization() - 0.8163).abs() < 0.01, "{}", p.utilization());
+    }
+
+    #[test]
+    fn defaults_lie_in_space() {
+        assert!(lb_space().contains(&lb_defaults()));
+    }
+
+    #[test]
+    fn levels_nested() {
+        let rl1 = lb_space_at(RangeLevel::Rl1);
+        let rl3 = lb_space_at(RangeLevel::Rl3);
+        for (d1, d3) in rl1.dims().iter().zip(rl3.dims()) {
+            assert!(d1.min >= d3.min && d1.max <= d3.max, "{}", d1.name);
+        }
+    }
+
+    #[test]
+    fn num_jobs_is_integer() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let cfg = lb_space().sample(&mut rng);
+            let nj = LbParams::from_config(&cfg).num_jobs;
+            assert!((10..=5000).contains(&nj));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Cholesky factorization and SPD solves.
+//!
+//! The Gaussian process behind Genet's Bayesian-optimization search must
+//! repeatedly solve `K x = y` for a symmetric positive-definite kernel matrix
+//! `K`. We factor `K = L L^T` once per fit and then back-substitute.
+//! Numerical robustness comes from an adaptive diagonal jitter: kernel
+//! matrices built from near-duplicate environment configurations are close to
+//! singular, and the standard remedy (as in scikit-learn / GPy) is to add a
+//! small multiple of the identity until the factorization succeeds.
+
+use crate::matrix::Matrix;
+
+/// Error cases for [`Cholesky::decompose`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CholeskyError {
+    /// The input matrix was not square.
+    NotSquare,
+    /// The matrix was not positive-definite even after the maximum jitter.
+    NotPositiveDefinite,
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholeskyError::NotSquare => write!(f, "matrix is not square"),
+            CholeskyError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive-definite (after max jitter)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Lower-triangular Cholesky factor `L` of an SPD matrix `A = L L^T`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    /// Jitter that was added to the diagonal to achieve positive-definiteness.
+    pub jitter: f64,
+}
+
+impl Cholesky {
+    /// Factors `a` (which must be square and symmetric) as `L L^T`.
+    ///
+    /// If the plain factorization fails, retries with exponentially growing
+    /// diagonal jitter starting at `1e-10 * mean(diag)` up to a relative
+    /// jitter of `1e-2`.
+    pub fn decompose(a: &Matrix) -> Result<Self, CholeskyError> {
+        if a.rows() != a.cols() {
+            return Err(CholeskyError::NotSquare);
+        }
+        let n = a.rows();
+        let diag_mean = if n == 0 {
+            1.0
+        } else {
+            (0..n).map(|i| a.get(i, i).abs()).sum::<f64>() / n as f64
+        };
+        let base = diag_mean.max(1e-300);
+        let mut jitter = 0.0;
+        for attempt in 0..9 {
+            if let Some(l) = Self::try_factor(a, jitter) {
+                return Ok(Self { l, jitter });
+            }
+            jitter = base * 1e-10 * 10f64.powi(attempt);
+            if jitter > base * 1e-2 {
+                break;
+            }
+        }
+        Err(CholeskyError::NotPositiveDefinite)
+    }
+
+    fn try_factor(a: &Matrix, jitter: f64) -> Option<Matrix> {
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                if i == j {
+                    sum += jitter;
+                }
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return None;
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `L z = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l.get(i, k) * z[k];
+            }
+            z[i] = sum / self.l.get(i, i);
+        }
+        z
+    }
+
+    /// Solves `L^T x = z` (backward substitution).
+    pub fn solve_upper(&self, z: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(z.len(), n, "rhs length mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = z[i];
+            for k in (i + 1)..n {
+                sum -= self.l.get(k, i) * x[k];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        x
+    }
+
+    /// Solves the SPD system `A x = b` where `A = L L^T`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// `log |A| = 2 * sum(log diag(L))`, used by GP marginal likelihood.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B^T B + I for a fixed B, guaranteed SPD.
+        Matrix::from_rows(3, 3, &[5.0, 2.0, 1.0, 2.0, 6.0, 2.0, 1.0, 2.0, 4.0])
+    }
+
+    #[test]
+    fn factor_roundtrip() {
+        let a = spd3();
+        let ch = Cholesky::decompose(&a).unwrap();
+        let recon = ch.l().matmul(&ch.l().transpose());
+        assert!(recon.approx_eq(&a, 1e-9), "{recon:?} vs {a:?}");
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let ch = Cholesky::decompose(&a).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let x = ch.solve(&b);
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(b.iter()) {
+            assert!((l - r).abs() < 1e-9, "{ax:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn log_det_of_identity_is_zero() {
+        let ch = Cholesky::decompose(&Matrix::identity(5)).unwrap();
+        assert!(ch.log_det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_det_of_diagonal() {
+        let mut a = Matrix::zeros(3, 3);
+        a.set(0, 0, 2.0);
+        a.set(1, 1, 3.0);
+        a.set(2, 2, 4.0);
+        let ch = Cholesky::decompose(&a).unwrap();
+        assert!((ch.log_det() - (24.0f64).ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert_eq!(Cholesky::decompose(&Matrix::zeros(2, 3)).unwrap_err(), CholeskyError::NotSquare);
+    }
+
+    #[test]
+    fn negative_definite_rejected() {
+        let a = &Matrix::identity(3) * -1.0;
+        assert_eq!(
+            Cholesky::decompose(&a).unwrap_err(),
+            CholeskyError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn near_singular_recovers_with_jitter() {
+        // Two identical rows/cols make the Gram matrix rank-deficient; the
+        // adaptive jitter must still produce a usable factorization.
+        let a = Matrix::from_rows(3, 3, &[1.0, 1.0, 0.5, 1.0, 1.0, 0.5, 0.5, 0.5, 1.0]);
+        let ch = Cholesky::decompose(&a).expect("jitter should rescue rank-deficient matrix");
+        assert!(ch.jitter > 0.0);
+        let x = ch.solve(&[1.0, 1.0, 1.0]);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+}

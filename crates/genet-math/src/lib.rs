@@ -1,0 +1,31 @@
+//! # genet-math
+//!
+//! Mathematical substrate for the Genet reproduction.
+//!
+//! The Genet training framework needs a small but real numerical toolbox:
+//!
+//! * dense matrices and a Cholesky factorization for the Gaussian-process
+//!   regression that drives Bayesian-optimization environment search
+//!   ([`matrix`], [`cholesky`]),
+//! * random samplers for the synthetic environment generators of the paper's
+//!   Appendix A.2 — gaussian delay noise, exponential (Poisson-process)
+//!   job inter-arrivals, Pareto job sizes ([`samplers`]),
+//! * summary statistics used throughout the evaluation — means, percentiles,
+//!   Pearson correlation for Figure 6 ([`stats`]),
+//! * deterministic seed derivation so every experiment is reproducible from
+//!   a single `--seed` ([`rng`]).
+//!
+//! Everything is implemented from scratch on `std` + `rand` so the workspace
+//! builds fully offline and the numerical behaviour is auditable.
+
+pub mod cholesky;
+pub mod matrix;
+pub mod rng;
+pub mod samplers;
+pub mod stats;
+
+pub use cholesky::Cholesky;
+pub use matrix::Matrix;
+pub use rng::{derive_seed, split_seed};
+pub use samplers::{clamp, poisson_interarrival, sample_exponential, sample_gaussian, sample_pareto, sample_standard_gaussian};
+pub use stats::{erf, fraction_below, mean, median, normal_cdf, normal_pdf, pearson, percentile, std_dev, variance, OnlineStats, Summary};

@@ -1,0 +1,125 @@
+//! Random samplers used by the synthetic environment generators (paper §A.2).
+//!
+//! * gaussian — delay noise on CC packets,
+//! * exponential — Poisson-process job inter-arrival times in the LB
+//!   workload generator,
+//! * Pareto — LB job sizes ("job sizes follow a Pareto distribution"),
+//!
+//! each implemented by inverse-CDF / Box–Muller so that no extra crate is
+//! needed and the exact sampling logic is visible and testable.
+
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+#[inline]
+pub fn sample_standard_gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `N(mean, std^2)`.
+#[inline]
+pub fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * sample_standard_gaussian(rng)
+}
+
+/// Samples an exponential with the given rate `lambda` (mean `1/lambda`).
+///
+/// Inter-arrival times of a Poisson process with rate `lambda`.
+///
+/// # Panics
+/// Panics if `lambda <= 0`.
+#[inline]
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "exponential rate must be positive, got {lambda}");
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -u.ln() / lambda
+}
+
+/// Samples a Pareto distribution with the given `shape` (alpha) and `scale`
+/// (x_min) by inverse CDF: `x = scale / U^(1/shape)`.
+///
+/// # Panics
+/// Panics if `shape <= 0` or `scale <= 0`.
+#[inline]
+pub fn sample_pareto<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    assert!(shape > 0.0 && scale > 0.0, "pareto params must be positive");
+    let u: f64 = 1.0 - rng.random::<f64>();
+    scale / u.powf(1.0 / shape)
+}
+
+/// Convenience alias used by the LB workload generator: next arrival gap of a
+/// Poisson process with mean inter-arrival `mean_interval`.
+#[inline]
+pub fn poisson_interarrival<R: Rng + ?Sized>(rng: &mut R, mean_interval: f64) -> f64 {
+    sample_exponential(rng, 1.0 / mean_interval)
+}
+
+/// Clamps a sample into `[lo, hi]`; used to keep noisy trace values physical
+/// (bandwidth and timestamps cannot go negative).
+#[inline]
+pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    x.max(lo).min(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, variance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: usize = 200_000;
+
+    fn draws(f: impl Fn(&mut StdRng) -> f64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..N).map(|_| f(&mut rng)).collect()
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let xs = draws(|r| sample_gaussian(r, 3.0, 2.0));
+        assert!((mean(&xs) - 3.0).abs() < 0.03, "mean {}", mean(&xs));
+        assert!((variance(&xs) - 4.0).abs() < 0.1, "var {}", variance(&xs));
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let xs = draws(|r| sample_exponential(r, 0.5));
+        // mean = 1/lambda = 2, var = 1/lambda^2 = 4.
+        assert!((mean(&xs) - 2.0).abs() < 0.05);
+        assert!((variance(&xs) - 4.0).abs() < 0.2);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn pareto_support_and_mean() {
+        let (shape, scale) = (3.0, 2.0);
+        let xs = draws(|r| sample_pareto(r, shape, scale));
+        assert!(xs.iter().all(|&x| x >= scale), "Pareto support starts at scale");
+        // mean = shape*scale/(shape-1) = 3.
+        assert!((mean(&xs) - 3.0).abs() < 0.05, "mean {}", mean(&xs));
+    }
+
+    #[test]
+    fn poisson_interarrival_mean() {
+        let xs = draws(|r| poisson_interarrival(r, 0.25));
+        assert!((mean(&xs) - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential rate must be positive")]
+    fn exponential_rejects_bad_rate() {
+        let mut rng = StdRng::seed_from_u64(0);
+        sample_exponential(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        assert_eq!(clamp(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(0.5, 0.0, 1.0), 0.5);
+    }
+}

@@ -1,0 +1,187 @@
+//! Rollout storage and generalized advantage estimation (GAE-λ).
+//!
+//! One training iteration (Algorithm 1 of the paper) collects rollouts from
+//! `K × N` environments; the buffer accumulates all their transitions,
+//! computes per-episode advantages/returns, and hands PPO flat minibatches.
+
+/// One environment transition.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Observation at decision time.
+    pub obs: Vec<f32>,
+    /// Action taken.
+    pub action: usize,
+    /// Log-probability of `action` under the behaviour policy.
+    pub log_prob: f32,
+    /// Critic's value estimate for `obs`.
+    pub value: f32,
+    /// Immediate reward.
+    pub reward: f32,
+    /// True if this transition ended the episode.
+    pub done: bool,
+}
+
+/// Accumulates transitions and derives GAE advantages + returns.
+#[derive(Debug, Default)]
+pub struct RolloutBuffer {
+    transitions: Vec<Transition>,
+    /// Per-transition advantage (filled by [`RolloutBuffer::finish`]).
+    advantages: Vec<f32>,
+    /// Per-transition return target for the critic.
+    returns: Vec<f32>,
+}
+
+impl RolloutBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one transition. Episodes must be pushed contiguously and each
+    /// must end with `done == true` before [`RolloutBuffer::finish`].
+    pub fn push(&mut self, t: Transition) {
+        self.transitions.push(t);
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// True when no transitions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Stored transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Advantages (valid after [`RolloutBuffer::finish`]).
+    pub fn advantages(&self) -> &[f32] {
+        &self.advantages
+    }
+
+    /// Return targets (valid after [`RolloutBuffer::finish`]).
+    pub fn returns(&self) -> &[f32] {
+        &self.returns
+    }
+
+    /// Clears everything for the next iteration.
+    pub fn clear(&mut self) {
+        self.transitions.clear();
+        self.advantages.clear();
+        self.returns.clear();
+    }
+
+    /// Computes GAE-λ advantages and discounted return targets, then
+    /// normalizes advantages to zero mean / unit variance (the usual PPO
+    /// stabilization).
+    ///
+    /// # Panics
+    /// Panics if the buffer does not end on an episode boundary.
+    pub fn finish(&mut self, gamma: f32, lambda: f32) {
+        let n = self.transitions.len();
+        assert!(n > 0, "finish() on empty buffer");
+        assert!(
+            self.transitions[n - 1].done,
+            "rollout buffer must end on an episode boundary"
+        );
+        self.advantages = vec![0.0; n];
+        self.returns = vec![0.0; n];
+        let mut gae = 0.0f32;
+        let mut next_value = 0.0f32;
+        for i in (0..n).rev() {
+            let t = &self.transitions[i];
+            if t.done {
+                // Terminal: no bootstrap beyond the episode.
+                next_value = 0.0;
+                gae = 0.0;
+            }
+            let delta = t.reward + gamma * next_value - t.value;
+            gae = delta + gamma * lambda * gae;
+            self.advantages[i] = gae;
+            self.returns[i] = gae + t.value;
+            next_value = t.value;
+        }
+        // Normalize advantages.
+        let mean = self.advantages.iter().sum::<f32>() / n as f32;
+        let var = self
+            .advantages
+            .iter()
+            .map(|a| (a - mean) * (a - mean))
+            .sum::<f32>()
+            / n as f32;
+        let std = var.sqrt().max(1e-6);
+        for a in &mut self.advantages {
+            *a = (*a - mean) / std;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(reward: f32, value: f32, done: bool) -> Transition {
+        Transition { obs: vec![0.0], action: 0, log_prob: 0.0, value, reward, done }
+    }
+
+    #[test]
+    fn single_episode_returns_are_discounted_sums() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(tr(1.0, 0.0, false));
+        buf.push(tr(1.0, 0.0, false));
+        buf.push(tr(1.0, 0.0, true));
+        // With value==0 and lambda==1, return(t) = advantage(t) = discounted sum.
+        buf.finish(0.5, 1.0);
+        let expect = [1.0 + 0.5 + 0.25, 1.0 + 0.5, 1.0];
+        for (r, e) in buf.returns().iter().zip(expect.iter()) {
+            assert!((r - e).abs() < 1e-6, "{:?}", buf.returns());
+        }
+    }
+
+    #[test]
+    fn episodes_do_not_leak_across_done() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(tr(0.0, 0.0, true)); // episode 1: single zero-reward step
+        buf.push(tr(100.0, 0.0, true)); // episode 2: big reward
+        buf.finish(0.99, 0.95);
+        // Episode 1's return must not include episode 2's reward.
+        assert!((buf.returns()[0] - 0.0).abs() < 1e-6);
+        assert!((buf.returns()[1] - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn advantages_are_normalized() {
+        let mut buf = RolloutBuffer::new();
+        for i in 0..50 {
+            buf.push(tr(i as f32, 0.5, i % 10 == 9));
+        }
+        buf.finish(0.9, 0.9);
+        let mean = buf.advantages().iter().sum::<f32>() / 50.0;
+        let var =
+            buf.advantages().iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / 50.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "episode boundary")]
+    fn finish_requires_terminal_end() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(tr(1.0, 0.0, false));
+        buf.finish(0.9, 0.9);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(tr(1.0, 0.0, true));
+        buf.finish(0.9, 0.9);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert!(buf.advantages().is_empty());
+    }
+}

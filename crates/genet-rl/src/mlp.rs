@@ -1,0 +1,283 @@
+//! Dense feed-forward network with manual backpropagation.
+//!
+//! Layout: all layers' weights and biases live in one flat `Vec<f32>` so the
+//! Adam optimizer can treat the network as a single parameter vector.
+//! Hidden activations are `tanh` (what Pensieve/Aurora-scale policy nets
+//! typically use at this size); the output layer is linear — the softmax /
+//! value interpretation is applied by the caller.
+
+use genet_math::derive_seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A multi-layer perceptron: `sizes[0]` inputs, tanh hidden layers, linear
+/// outputs of width `sizes.last()`.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    sizes: Vec<usize>,
+    /// Flat parameters: for each layer, weights (out×in, row-major) then
+    /// biases (out).
+    params: Vec<f32>,
+    /// Offset of each layer's weight block in `params`.
+    w_off: Vec<usize>,
+    /// Offset of each layer's bias block in `params`.
+    b_off: Vec<usize>,
+}
+
+/// Scratch space for one forward/backward pass, reusable across samples.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    /// Post-activation values per layer (`acts[0]` is the input copy).
+    acts: Vec<Vec<f32>>,
+    /// Backpropagated deltas per layer.
+    deltas: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Creates a network with Xavier/Glorot-uniform initialization.
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes (need at least input and output).
+    pub fn new(sizes: &[usize], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "MLP needs at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "zero-width layer");
+        let mut w_off = Vec::new();
+        let mut b_off = Vec::new();
+        let mut total = 0usize;
+        for l in 0..sizes.len() - 1 {
+            w_off.push(total);
+            total += sizes[l + 1] * sizes[l];
+            b_off.push(total);
+            total += sizes[l + 1];
+        }
+        let mut params = vec![0.0f32; total];
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x31A9));
+        for l in 0..sizes.len() - 1 {
+            let (fan_in, fan_out) = (sizes[l] as f32, sizes[l + 1] as f32);
+            let bound = (6.0 / (fan_in + fan_out)).sqrt();
+            let w = &mut params[w_off[l]..w_off[l] + sizes[l + 1] * sizes[l]];
+            for v in w {
+                *v = rng.random_range(-bound..bound);
+            }
+            // Biases start at zero.
+        }
+        Self { sizes: sizes.to_vec(), params, w_off, b_off }
+    }
+
+    /// Layer sizes.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.sizes[0]
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        *self.sizes.last().unwrap()
+    }
+
+    /// Number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Flat parameter vector.
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Mutable flat parameter vector (used by the optimizer).
+    pub fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    /// Allocates scratch space sized for this network.
+    pub fn scratch(&self) -> MlpScratch {
+        MlpScratch {
+            acts: self.sizes.iter().map(|&s| vec![0.0; s]).collect(),
+            deltas: self.sizes.iter().map(|&s| vec![0.0; s]).collect(),
+        }
+    }
+
+    /// Forward pass; leaves intermediate activations in `scratch` for a
+    /// subsequent [`Mlp::backward`] and returns the output slice.
+    pub fn forward<'s>(&self, input: &[f32], scratch: &'s mut MlpScratch) -> &'s [f32] {
+        assert_eq!(input.len(), self.sizes[0], "input dim mismatch");
+        scratch.acts[0].copy_from_slice(input);
+        let n_layers = self.sizes.len() - 1;
+        for l in 0..n_layers {
+            let (n_in, n_out) = (self.sizes[l], self.sizes[l + 1]);
+            let w = &self.params[self.w_off[l]..self.w_off[l] + n_out * n_in];
+            let b = &self.params[self.b_off[l]..self.b_off[l] + n_out];
+            // Split borrow: acts[l] is read, acts[l+1] written.
+            let (lo, hi) = scratch.acts.split_at_mut(l + 1);
+            let x = &lo[l];
+            let y = &mut hi[0];
+            for o in 0..n_out {
+                let row = &w[o * n_in..(o + 1) * n_in];
+                let mut acc = b[o];
+                for (wi, xi) in row.iter().zip(x.iter()) {
+                    acc += wi * xi;
+                }
+                y[o] = acc;
+            }
+            // Hidden layers get tanh; the final layer stays linear.
+            if l + 1 < self.sizes.len() - 1 {
+                for v in y.iter_mut() {
+                    *v = v.tanh();
+                }
+            }
+        }
+        scratch.acts.last().unwrap()
+    }
+
+    /// Backward pass. `grad_out` is `dLoss/dOutput` for the sample whose
+    /// forward pass most recently filled `scratch`. Accumulates parameter
+    /// gradients into `grads` (same layout/length as `params`).
+    pub fn backward(&self, grad_out: &[f32], scratch: &mut MlpScratch, grads: &mut [f32]) {
+        assert_eq!(grad_out.len(), self.output_dim(), "grad dim mismatch");
+        assert_eq!(grads.len(), self.params.len(), "grads buffer mismatch");
+        let n_layers = self.sizes.len() - 1;
+        scratch.deltas[n_layers].copy_from_slice(grad_out);
+        for l in (0..n_layers).rev() {
+            let (n_in, n_out) = (self.sizes[l], self.sizes[l + 1]);
+            let w = &self.params[self.w_off[l]..self.w_off[l] + n_out * n_in];
+            // If this is a hidden layer output, fold tanh' into delta.
+            if l + 1 < n_layers {
+                let act = &scratch.acts[l + 1];
+                let delta = &mut scratch.deltas[l + 1];
+                for (d, a) in delta.iter_mut().zip(act.iter()) {
+                    *d *= 1.0 - a * a;
+                }
+            }
+            // Parameter grads.
+            {
+                let x = &scratch.acts[l];
+                let delta = &scratch.deltas[l + 1];
+                let gw = &mut grads[self.w_off[l]..self.w_off[l] + n_out * n_in];
+                for o in 0..n_out {
+                    let d = delta[o];
+                    if d == 0.0 {
+                        continue;
+                    }
+                    let row = &mut gw[o * n_in..(o + 1) * n_in];
+                    for (g, xi) in row.iter_mut().zip(x.iter()) {
+                        *g += d * xi;
+                    }
+                }
+                let gb = &mut grads[self.b_off[l]..self.b_off[l] + n_out];
+                for (g, d) in gb.iter_mut().zip(delta.iter()) {
+                    *g += d;
+                }
+            }
+            // Input grads for the next (lower) layer.
+            if l > 0 {
+                let (lo, hi) = scratch.deltas.split_at_mut(l + 1);
+                let dx = &mut lo[l];
+                let d_up = &hi[0];
+                dx.iter_mut().for_each(|v| *v = 0.0);
+                for o in 0..n_out {
+                    let d = d_up[o];
+                    if d == 0.0 {
+                        continue;
+                    }
+                    let row = &w[o * n_in..(o + 1) * n_in];
+                    for (g, wi) in dx.iter_mut().zip(row.iter()) {
+                        *g += d * wi;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference check of the analytic gradient on a random net.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mlp = Mlp::new(&[3, 5, 4, 2], 42);
+        let input = [0.3f32, -0.7, 1.2];
+        // Loss = sum of squared outputs / 2, so dL/dy = y.
+        let loss = |net: &Mlp| {
+            let mut s = net.scratch();
+            let y = net.forward(&input, &mut s);
+            y.iter().map(|v| 0.5 * v * v).sum::<f32>()
+        };
+        let mut scratch = mlp.scratch();
+        let y: Vec<f32> = mlp.forward(&input, &mut scratch).to_vec();
+        let mut grads = vec![0.0f32; mlp.param_count()];
+        mlp.backward(&y, &mut scratch, &mut grads);
+
+        let eps = 1e-3f32;
+        let mut worst = 0.0f32;
+        for i in (0..mlp.param_count()).step_by(7) {
+            let mut plus = mlp.clone();
+            plus.params_mut()[i] += eps;
+            let mut minus = mlp.clone();
+            minus.params_mut()[i] -= eps;
+            let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            let diff = (fd - grads[i]).abs();
+            let denom = fd.abs().max(grads[i].abs()).max(1e-3);
+            worst = worst.max(diff / denom);
+        }
+        assert!(worst < 0.02, "worst relative gradient error {worst}");
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let mlp = Mlp::new(&[2, 8, 3], 7);
+        let mut s1 = mlp.scratch();
+        let mut s2 = mlp.scratch();
+        let a = mlp.forward(&[0.1, 0.2], &mut s1).to_vec();
+        let b = mlp.forward(&[0.1, 0.2], &mut s2).to_vec();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_seed_same_init() {
+        let a = Mlp::new(&[4, 16, 2], 99);
+        let b = Mlp::new(&[4, 16, 2], 99);
+        assert_eq!(a.params(), b.params());
+        let c = Mlp::new(&[4, 16, 2], 100);
+        assert_ne!(a.params(), c.params());
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let mlp = Mlp::new(&[3, 5, 2], 0);
+        assert_eq!(mlp.param_count(), 3 * 5 + 5 + 5 * 2 + 2);
+    }
+
+    #[test]
+    fn output_depends_on_input() {
+        let mlp = Mlp::new(&[2, 8, 1], 1);
+        let mut s = mlp.scratch();
+        let a = mlp.forward(&[0.0, 0.0], &mut s).to_vec();
+        let b = mlp.forward(&[1.0, -1.0], &mut s).to_vec();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hidden_activations_bounded_by_tanh() {
+        let mlp = Mlp::new(&[2, 6, 6, 1], 5);
+        let mut s = mlp.scratch();
+        let _ = mlp.forward(&[100.0, -100.0], &mut s);
+        for layer in 1..3 {
+            assert!(s.acts[layer].iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input dim mismatch")]
+    fn wrong_input_dim_panics() {
+        let mlp = Mlp::new(&[3, 2], 0);
+        let mut s = mlp.scratch();
+        let _ = mlp.forward(&[1.0], &mut s);
+    }
+}

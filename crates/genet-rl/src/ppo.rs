@@ -1,0 +1,518 @@
+//! PPO-clip actor-critic agent.
+//!
+//! Two small MLPs (actor → action logits, critic → state value), trained on
+//! rollouts with GAE-λ advantages and the clipped surrogate objective, with
+//! entropy regularization. This is the `RL optimizer (A3C, PPO, …)` box of
+//! the paper's Figure 8 — the component Genet treats as a black box behind
+//! the `Train`/`Test` API.
+
+use crate::adam::Adam;
+use crate::buffer::{RolloutBuffer, Transition};
+use crate::mlp::{Mlp, MlpScratch};
+use crate::softmax;
+use genet_env::{Env, Policy};
+use genet_math::derive_seed;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// PPO hyperparameters.
+///
+/// Defaults are tuned for the small decision problems of the three Genet use
+/// cases and are held fixed across all experiments (the paper likewise keeps
+/// "training hyperparameters … unchanged in all the experiments", §4.1).
+#[derive(Debug, Clone)]
+pub struct PpoConfig {
+    /// Hidden layer widths shared by actor and critic.
+    pub hidden: Vec<usize>,
+    /// Actor learning rate.
+    pub actor_lr: f32,
+    /// Critic learning rate.
+    pub critic_lr: f32,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// GAE λ.
+    pub lambda: f32,
+    /// PPO clip range ε.
+    pub clip: f32,
+    /// Optimization epochs per update.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub minibatch: usize,
+    /// Entropy bonus coefficient.
+    pub entropy_coef: f32,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![32, 16],
+            actor_lr: 1e-3,
+            critic_lr: 2.5e-3,
+            gamma: 0.95,
+            lambda: 0.95,
+            clip: 0.2,
+            epochs: 6,
+            minibatch: 256,
+            entropy_coef: 0.015,
+        }
+    }
+}
+
+/// Diagnostics of one PPO update.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpdateStats {
+    /// Mean clipped surrogate loss (lower is better for the optimizer).
+    pub policy_loss: f32,
+    /// Mean squared value error.
+    pub value_loss: f32,
+    /// Mean policy entropy (nats).
+    pub entropy: f32,
+    /// Approximate KL(old ‖ new) over the batch.
+    pub approx_kl: f32,
+}
+
+/// The trainable PPO agent.
+#[derive(Debug, Clone)]
+pub struct PpoAgent {
+    actor: Mlp,
+    critic: Mlp,
+    opt_actor: Adam,
+    opt_critic: Adam,
+    cfg: PpoConfig,
+    scratch_a: MlpScratch,
+    scratch_c: MlpScratch,
+}
+
+impl PpoAgent {
+    /// Creates a fresh agent for `obs_dim` observations and `actions`
+    /// discrete actions.
+    pub fn new(obs_dim: usize, actions: usize, cfg: PpoConfig, seed: u64) -> Self {
+        let mut actor_sizes = vec![obs_dim];
+        actor_sizes.extend_from_slice(&cfg.hidden);
+        actor_sizes.push(actions);
+        let mut critic_sizes = vec![obs_dim];
+        critic_sizes.extend_from_slice(&cfg.hidden);
+        critic_sizes.push(1);
+        let actor = Mlp::new(&actor_sizes, derive_seed(seed, 1));
+        let critic = Mlp::new(&critic_sizes, derive_seed(seed, 2));
+        let opt_actor = Adam::new(actor.param_count(), cfg.actor_lr);
+        let opt_critic = Adam::new(critic.param_count(), cfg.critic_lr);
+        let scratch_a = actor.scratch();
+        let scratch_c = critic.scratch();
+        Self { actor, critic, opt_actor, opt_critic, cfg, scratch_a, scratch_c }
+    }
+
+    /// Observation dimensionality.
+    pub fn obs_dim(&self) -> usize {
+        self.actor.input_dim()
+    }
+
+    /// Number of discrete actions.
+    pub fn action_count(&self) -> usize {
+        self.actor.output_dim()
+    }
+
+    /// Hyperparameters.
+    pub fn config(&self) -> &PpoConfig {
+        &self.cfg
+    }
+
+    /// Samples an action, returning `(action, log_prob, value)`.
+    pub fn act_sample(&mut self, obs: &[f32], rng: &mut StdRng) -> (usize, f32, f32) {
+        let logits = self.actor.forward(obs, &mut self.scratch_a);
+        let probs = softmax::softmax(logits);
+        let action = softmax::sample_categorical(&probs, rng);
+        let log_prob = softmax::log_prob(&probs, action);
+        let value = self.critic.forward(obs, &mut self.scratch_c)[0];
+        (action, log_prob, value)
+    }
+
+    /// Greedy (argmax) action — evaluation mode.
+    pub fn act_greedy(&mut self, obs: &[f32]) -> usize {
+        let logits = self.actor.forward(obs, &mut self.scratch_a);
+        softmax::argmax(logits)
+    }
+
+    /// Runs one full episode on `env`, pushing transitions into `buffer`.
+    /// Returns the mean per-step reward of the episode.
+    pub fn collect_episode(
+        &mut self,
+        env: &mut dyn Env,
+        buffer: &mut RolloutBuffer,
+        rng: &mut StdRng,
+    ) -> f64 {
+        let mut obs = vec![0.0f32; env.obs_dim()];
+        let mut total = 0.0f64;
+        let mut steps = 0usize;
+        loop {
+            env.observe(&mut obs);
+            let (action, log_prob, value) = self.act_sample(&obs, rng);
+            let out = env.step(action);
+            total += out.reward;
+            steps += 1;
+            buffer.push(Transition {
+                obs: obs.clone(),
+                action,
+                log_prob,
+                value,
+                reward: out.reward as f32,
+                done: out.done,
+            });
+            if out.done {
+                break;
+            }
+            assert!(steps < genet_env::MAX_EPISODE_STEPS, "environment did not terminate");
+        }
+        total / steps as f64
+    }
+
+    /// One PPO update over the buffer's contents. The buffer must contain
+    /// complete episodes; `finish` is called here.
+    pub fn update(&mut self, buffer: &mut RolloutBuffer, rng: &mut StdRng) -> UpdateStats {
+        buffer.finish(self.cfg.gamma, self.cfg.lambda);
+        let n = buffer.len();
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut grads_a = vec![0.0f32; self.actor.param_count()];
+        let mut grads_c = vec![0.0f32; self.critic.param_count()];
+        let actions = self.actor.output_dim();
+        let mut grad_logits = vec![0.0f32; actions];
+        let mut g_ent = vec![0.0f32; actions];
+        let mut stats = UpdateStats::default();
+        let mut stat_batches = 0usize;
+
+        for _epoch in 0..self.cfg.epochs {
+            indices.shuffle(rng);
+            for chunk in indices.chunks(self.cfg.minibatch) {
+                grads_a.iter_mut().for_each(|g| *g = 0.0);
+                grads_c.iter_mut().for_each(|g| *g = 0.0);
+                let mut mb_policy_loss = 0.0f32;
+                let mut mb_value_loss = 0.0f32;
+                let mut mb_entropy = 0.0f32;
+                let mut mb_kl = 0.0f32;
+                let inv = 1.0 / chunk.len() as f32;
+                for &i in chunk {
+                    let t = &buffer.transitions()[i];
+                    let adv = buffer.advantages()[i];
+                    let ret = buffer.returns()[i];
+
+                    // ---- actor ----
+                    let logits = self.actor.forward(&t.obs, &mut self.scratch_a);
+                    let probs = softmax::softmax(logits);
+                    let logp = softmax::log_prob(&probs, t.action);
+                    let ratio = (logp - t.log_prob).exp();
+                    let unclipped = ratio * adv;
+                    let clipped =
+                        ratio.clamp(1.0 - self.cfg.clip, 1.0 + self.cfg.clip) * adv;
+                    let surrogate = unclipped.min(clipped);
+                    // Gradient flows only when the unclipped branch is
+                    // active (the standard PPO subgradient).
+                    let pass_through = if adv >= 0.0 {
+                        ratio <= 1.0 + self.cfg.clip
+                    } else {
+                        ratio >= 1.0 - self.cfg.clip
+                    };
+                    let coef = if pass_through { ratio * adv } else { 0.0 };
+                    softmax::grad_log_prob(&probs, t.action, &mut grad_logits);
+                    softmax::grad_entropy(&probs, &mut g_ent);
+                    // Loss = −surrogate − c_ent·H; accumulate dLoss/dlogits.
+                    for j in 0..actions {
+                        grad_logits[j] = (-coef * grad_logits[j]
+                            - self.cfg.entropy_coef * g_ent[j])
+                            * inv;
+                    }
+                    self.actor.backward(&grad_logits, &mut self.scratch_a, &mut grads_a);
+
+                    // ---- critic ----
+                    let value = self.critic.forward(&t.obs, &mut self.scratch_c)[0];
+                    let verr = value - ret;
+                    self.critic.backward(&[verr * inv], &mut self.scratch_c, &mut grads_c);
+
+                    mb_policy_loss -= surrogate;
+                    mb_value_loss += 0.5 * verr * verr;
+                    mb_entropy += softmax::entropy(&probs);
+                    mb_kl += t.log_prob - logp;
+                }
+                self.opt_actor.step(self.actor.params_mut(), &grads_a);
+                self.opt_critic.step(self.critic.params_mut(), &grads_c);
+
+                stats.policy_loss += mb_policy_loss * inv;
+                stats.value_loss += mb_value_loss * inv;
+                stats.entropy += mb_entropy * inv;
+                stats.approx_kl += mb_kl * inv;
+                stat_batches += 1;
+            }
+        }
+        if stat_batches > 0 {
+            let s = 1.0 / stat_batches as f32;
+            stats.policy_loss *= s;
+            stats.value_loss *= s;
+            stats.entropy *= s;
+            stats.approx_kl *= s;
+        }
+        buffer.clear();
+        stats
+    }
+
+    /// An immutable evaluation snapshot implementing [`genet_env::Policy`].
+    pub fn policy(&self, mode: PolicyMode) -> PpoPolicy {
+        PpoPolicy { actor: self.actor.clone(), mode }
+    }
+
+    /// Saves actor+critic parameters to a plain-text file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for (tag, net) in [("actor", &self.actor), ("critic", &self.critic)] {
+            write!(f, "{tag}")?;
+            for s in net.sizes() {
+                write!(f, " {s}")?;
+            }
+            writeln!(f)?;
+            for p in net.params() {
+                writeln!(f, "{p}")?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads parameters previously written by [`PpoAgent::save`] into this
+    /// agent (shapes must match).
+    pub fn load(&mut self, path: &Path) -> std::io::Result<()> {
+        let f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut lines = f.lines();
+        for (tag, net) in [("actor", &mut self.actor), ("critic", &mut self.critic)] {
+            let header = lines.next().unwrap_or_else(|| {
+                Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "missing header"))
+            })?;
+            let mut parts = header.split_whitespace();
+            let got_tag = parts.next().unwrap_or("");
+            if got_tag != tag {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("expected section {tag}, got {got_tag}"),
+                ));
+            }
+            let sizes: Vec<usize> = parts.map(|p| p.parse().unwrap_or(0)).collect();
+            if sizes != net.sizes() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("shape mismatch in {tag}: file {sizes:?} vs net {:?}", net.sizes()),
+                ));
+            }
+            for p in net.params_mut() {
+                let line = lines.next().unwrap_or_else(|| {
+                    Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "missing param"))
+                })?;
+                *p = line.trim().parse().map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e}"))
+                })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How a [`PpoPolicy`] picks actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyMode {
+    /// Argmax of the logits — deterministic evaluation.
+    Greedy,
+    /// Sample from the softmax — behaviour policy.
+    Stochastic,
+}
+
+/// A frozen actor snapshot usable wherever `genet_env::Policy` is expected.
+///
+/// `act` allocates its own scratch per call, which keeps the policy `Sync`
+/// so evaluations can fan out across threads; the nets are small enough
+/// that the allocation is noise next to the simulator step.
+#[derive(Debug, Clone)]
+pub struct PpoPolicy {
+    actor: Mlp,
+    mode: PolicyMode,
+}
+
+impl Policy for PpoPolicy {
+    fn act(&self, obs: &[f32], rng: &mut StdRng) -> usize {
+        let mut scratch = self.actor.scratch();
+        let logits = self.actor.forward(obs, &mut scratch);
+        match self.mode {
+            PolicyMode::Greedy => softmax::argmax(logits),
+            PolicyMode::Stochastic => {
+                let probs = softmax::softmax(logits);
+                softmax::sample_categorical(&probs, rng)
+            }
+        }
+    }
+}
+
+/// Convenience: agent trained in-place on a closure-provided env generator.
+/// Used by unit tests and the quickstart example; the real training loops
+/// live in `genet-core`.
+pub fn train_on<F>(
+    agent: &mut PpoAgent,
+    mut make_env: F,
+    episodes_per_iter: usize,
+    iterations: usize,
+    seed: u64,
+) -> Vec<f64>
+where
+    F: FnMut(u64) -> Box<dyn Env>,
+{
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x7EA1));
+    let mut buffer = RolloutBuffer::new();
+    let mut history = Vec::with_capacity(iterations);
+    let mut env_counter = 0u64;
+    for _ in 0..iterations {
+        let mut iter_reward = 0.0;
+        for _ in 0..episodes_per_iter {
+            let mut env = make_env(env_counter);
+            env_counter += 1;
+            iter_reward += agent.collect_episode(env.as_mut(), &mut buffer, &mut rng);
+        }
+        agent.update(&mut buffer, &mut rng);
+        history.push(iter_reward / episodes_per_iter as f64);
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genet_env::StepOutcome;
+
+    /// A 2-armed bandit-ish env: action 1 always pays 1, action 0 pays 0.
+    struct Bandit {
+        t: usize,
+    }
+
+    impl Env for Bandit {
+        fn obs_dim(&self) -> usize {
+            2
+        }
+        fn action_count(&self) -> usize {
+            2
+        }
+        fn observe(&self, out: &mut [f32]) {
+            out[0] = 1.0;
+            out[1] = self.t as f32 / 16.0;
+        }
+        fn step(&mut self, action: usize) -> StepOutcome {
+            self.t += 1;
+            StepOutcome { reward: action as f64, done: self.t >= 16 }
+        }
+    }
+
+    /// A contextual env: reward 1 iff the action matches the observed bit.
+    struct Contextual {
+        bit: usize,
+        t: usize,
+        seed: u64,
+    }
+
+    impl Env for Contextual {
+        fn obs_dim(&self) -> usize {
+            1
+        }
+        fn action_count(&self) -> usize {
+            2
+        }
+        fn observe(&self, out: &mut [f32]) {
+            out[0] = self.bit as f32 * 2.0 - 1.0;
+        }
+        fn step(&mut self, action: usize) -> StepOutcome {
+            let reward = (action == self.bit) as u32 as f64;
+            self.t += 1;
+            // Pseudo-random next bit, deterministic per env seed.
+            self.bit =
+                (genet_math::derive_seed(self.seed, self.t as u64) & 1) as usize;
+            StepOutcome { reward, done: self.t >= 32 }
+        }
+    }
+
+    #[test]
+    fn learns_bandit() {
+        let mut agent = PpoAgent::new(2, 2, PpoConfig::default(), 0);
+        let history = train_on(&mut agent, |_| Box::new(Bandit { t: 0 }), 8, 60, 0);
+        let early = history[..5].iter().sum::<f64>() / 5.0;
+        let late = history[history.len() - 5..].iter().sum::<f64>() / 5.0;
+        assert!(late > 0.9, "late reward {late}, early {early}");
+        assert!(late > early, "should improve: early {early}, late {late}");
+    }
+
+    #[test]
+    fn learns_contextual_mapping() {
+        let cfg = PpoConfig { actor_lr: 1e-3, ..PpoConfig::default() };
+        let mut agent = PpoAgent::new(1, 2, cfg, 3);
+        let history = train_on(
+            &mut agent,
+            |seed| {
+                Box::new(Contextual {
+                    bit: (genet_math::derive_seed(seed, 0) & 1) as usize,
+                    t: 0,
+                    seed,
+                })
+            },
+            8,
+            80,
+            1,
+        );
+        let late = history[history.len() - 5..].iter().sum::<f64>() / 5.0;
+        assert!(late > 0.9, "contextual policy should be near-perfect, got {late}");
+    }
+
+    #[test]
+    fn greedy_policy_is_deterministic() {
+        let mut agent = PpoAgent::new(2, 2, PpoConfig::default(), 9);
+        let _ = train_on(&mut agent, |_| Box::new(Bandit { t: 0 }), 4, 5, 0);
+        let p = agent.policy(PolicyMode::Greedy);
+        let mut r1 = StdRng::seed_from_u64(0);
+        let mut r2 = StdRng::seed_from_u64(99);
+        // Greedy ignores the RNG entirely.
+        assert_eq!(p.act(&[1.0, 0.5], &mut r1), p.act(&[1.0, 0.5], &mut r2));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("genet_rl_test_save");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("agent.txt");
+        let a = PpoAgent::new(3, 4, PpoConfig::default(), 11);
+        a.save(&path).unwrap();
+        let mut b = PpoAgent::new(3, 4, PpoConfig::default(), 999);
+        b.load(&path).unwrap();
+        let pa = a.policy(PolicyMode::Greedy);
+        let pb = b.policy(PolicyMode::Greedy);
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..20 {
+            let obs = [i as f32 * 0.1, -0.3, 0.7];
+            assert_eq!(pa.act(&obs, &mut rng), pb.act(&obs, &mut rng));
+        }
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let dir = std::env::temp_dir().join("genet_rl_test_shape");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("agent.txt");
+        let a = PpoAgent::new(3, 4, PpoConfig::default(), 0);
+        a.save(&path).unwrap();
+        let mut b = PpoAgent::new(5, 4, PpoConfig::default(), 0);
+        assert!(b.load(&path).is_err());
+    }
+
+    #[test]
+    fn update_reports_finite_stats() {
+        let mut agent = PpoAgent::new(2, 2, PpoConfig::default(), 4);
+        let mut buffer = RolloutBuffer::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut env = Bandit { t: 0 };
+        agent.collect_episode(&mut env, &mut buffer, &mut rng);
+        let stats = agent.update(&mut buffer, &mut rng);
+        assert!(stats.policy_loss.is_finite());
+        assert!(stats.value_loss.is_finite());
+        assert!(stats.entropy > 0.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Stand-ins for the recorded trace corpora of Table 2.
+//!
+//! The paper evaluates on four recorded trace sets: FCC broadband and Norway
+//! 3G (ABR), Pantheon Cellular and Ethernet (CC). The recordings themselves
+//! are not redistributable here, so each corpus is modelled as a stochastic
+//! generator with that corpus's distinguishing statistical signature:
+//!
+//! | corpus   | mean bw     | dynamics                                   |
+//! |----------|-------------|--------------------------------------------|
+//! | FCC      | 0.8–6 Mbps  | broadband: slow level shifts, mild noise   |
+//! | Norway   | 0.3–3.5 Mbps| 3G commute: smooth walk + deep fades       |
+//! | Cellular | 0.3–6 Mbps  | strong sub-second bursts, outages          |
+//! | Ethernet | 10–90 Mbps  | near-constant, rare brief dips             |
+//!
+//! What the experiments need from the corpora is (a) internal consistency,
+//! (b) mutual statistical distinctness (so cross-corpus generalization gaps
+//! appear, Figures 3 and 13), and (c) fixed seeded train/test splits with
+//! Table 2's trace counts and durations — all of which these models provide.
+
+use crate::trace::BandwidthTrace;
+use genet_math::{derive_seed, sample_gaussian};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which recorded corpus to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorpusKind {
+    /// FCC broadband measurements (ABR testing in the paper).
+    Fcc,
+    /// Norway 3G commute traces (ABR).
+    Norway,
+    /// Pantheon cellular traces (CC).
+    Cellular,
+    /// Pantheon Ethernet traces (CC).
+    Ethernet,
+}
+
+/// Train/test split, sized per Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Split {
+    /// Training portion.
+    Train,
+    /// Held-out testing portion.
+    Test,
+}
+
+impl CorpusKind {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            CorpusKind::Fcc => "FCC",
+            CorpusKind::Norway => "Norway",
+            CorpusKind::Cellular => "Cellular",
+            CorpusKind::Ethernet => "Ethernet",
+        }
+    }
+
+    /// `(trace count, per-trace duration seconds)` for a split — Table 2
+    /// counts with duration = total length / count.
+    pub fn split_shape(self, split: Split) -> (usize, f64) {
+        match (self, split) {
+            (CorpusKind::Fcc, Split::Train) => (85, 1245.0),
+            (CorpusKind::Fcc, Split::Test) => (290, 310.0),
+            (CorpusKind::Norway, Split::Train) => (115, 265.0),
+            (CorpusKind::Norway, Split::Test) => (310, 310.0),
+            (CorpusKind::Ethernet, Split::Train) => (64, 30.0),
+            (CorpusKind::Ethernet, Split::Test) => (112, 30.0),
+            (CorpusKind::Cellular, Split::Train) => (136, 30.0),
+            (CorpusKind::Cellular, Split::Test) => (121, 30.0),
+        }
+    }
+
+    /// All four corpora.
+    pub fn all() -> [CorpusKind; 4] {
+        [CorpusKind::Fcc, CorpusKind::Norway, CorpusKind::Cellular, CorpusKind::Ethernet]
+    }
+
+    fn stream_tag(self, split: Split) -> u64 {
+        let k = match self {
+            CorpusKind::Fcc => 1u64,
+            CorpusKind::Norway => 2,
+            CorpusKind::Cellular => 3,
+            CorpusKind::Ethernet => 4,
+        };
+        let s = match split {
+            Split::Train => 0u64,
+            Split::Test => 1,
+        };
+        (k << 8) | s
+    }
+
+    /// Generates one trace of this corpus's distribution.
+    pub fn gen_trace(self, duration_s: f64, rng: &mut StdRng) -> BandwidthTrace {
+        match self {
+            CorpusKind::Fcc => gen_fcc(duration_s, rng),
+            CorpusKind::Norway => gen_norway(duration_s, rng),
+            CorpusKind::Cellular => gen_cellular(duration_s, rng),
+            CorpusKind::Ethernet => gen_ethernet(duration_s, rng),
+        }
+    }
+
+    /// Generates a full corpus split, deterministically from `seed`.
+    pub fn generate(self, split: Split, seed: u64) -> Corpus {
+        let (count, duration) = self.split_shape(split);
+        self.generate_sized(split, seed, count, duration)
+    }
+
+    /// Generates a corpus with an explicit trace count/duration (for quick
+    /// experiment modes that subsample Table 2).
+    pub fn generate_sized(
+        self,
+        split: Split,
+        seed: u64,
+        count: usize,
+        duration_s: f64,
+    ) -> Corpus {
+        let base = derive_seed(seed, self.stream_tag(split));
+        let traces = (0..count)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(derive_seed(base, i as u64));
+                self.gen_trace(duration_s, &mut rng)
+            })
+            .collect();
+        Corpus { kind: self, split, traces }
+    }
+}
+
+/// A generated corpus split.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Which corpus this models.
+    pub kind: CorpusKind,
+    /// Which split it is.
+    pub split: Split,
+    /// The traces.
+    pub traces: Vec<BandwidthTrace>,
+}
+
+impl Corpus {
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True when no traces were generated.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Mean of the per-trace mean bandwidths.
+    pub fn mean_bw(&self) -> f64 {
+        genet_math::mean(&self.traces.iter().map(|t| t.mean_bw()).collect::<Vec<_>>())
+    }
+
+    /// Mean coefficient of variation (std/mean) across traces — the
+    /// "burstiness" signature separating Cellular from Ethernet.
+    pub fn mean_cv(&self) -> f64 {
+        genet_math::mean(
+            &self
+                .traces
+                .iter()
+                .map(|t| t.std_bw() / t.mean_bw().max(1e-9))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// FCC broadband: a per-trace base rate with slow level shifts and mild
+/// multiplicative noise.
+fn gen_fcc(duration_s: f64, rng: &mut StdRng) -> BandwidthTrace {
+    let base: f64 = rng.random_range(0.8..6.0);
+    let steps = duration_s.ceil() as usize;
+    let mut ts = Vec::with_capacity(steps);
+    let mut bw = Vec::with_capacity(steps);
+    let mut level = base;
+    let mut until_shift: f64 = rng.random_range(20.0..60.0);
+    for i in 0..steps {
+        ts.push(i as f64);
+        let noise = sample_gaussian(rng, 0.0, 0.05 * level);
+        bw.push((level + noise).clamp(0.1, 8.0));
+        until_shift -= 1.0;
+        if until_shift <= 0.0 {
+            level = (base * rng.random_range(0.7..1.3)).clamp(0.3, 7.0);
+            until_shift = rng.random_range(20.0..60.0);
+        }
+    }
+    BandwidthTrace::new(ts, bw)
+}
+
+/// Norway 3G commute: smooth random walk with deep multi-second fades
+/// (tunnels / dead zones).
+fn gen_norway(duration_s: f64, rng: &mut StdRng) -> BandwidthTrace {
+    let base: f64 = rng.random_range(0.5..3.5);
+    let steps = duration_s.ceil() as usize;
+    let mut ts = Vec::with_capacity(steps);
+    let mut bw = Vec::with_capacity(steps);
+    let mut level = base;
+    let mut fade_left = 0.0f64;
+    for i in 0..steps {
+        ts.push(i as f64);
+        if fade_left > 0.0 {
+            fade_left -= 1.0;
+            bw.push(rng.random_range(0.05..0.3));
+            continue;
+        }
+        // Mean-reverting walk around the base rate.
+        level += sample_gaussian(rng, 0.15 * (base - level), 0.2 * base);
+        level = level.clamp(0.1, 4.5);
+        bw.push(level);
+        // ~1% chance per second of entering a 5–15 s fade.
+        if rng.random::<f64>() < 0.01 {
+            fade_left = rng.random_range(5.0..15.0);
+        }
+    }
+    BandwidthTrace::new(ts, bw)
+}
+
+/// Pantheon cellular: strong sub-second multiplicative bursts with
+/// occasional near-outages.
+fn gen_cellular(duration_s: f64, rng: &mut StdRng) -> BandwidthTrace {
+    let base: f64 = rng.random_range(0.3..6.0);
+    let step = 0.5f64;
+    let steps = (duration_s / step).ceil() as usize;
+    let mut ts = Vec::with_capacity(steps);
+    let mut bw = Vec::with_capacity(steps);
+    for i in 0..steps {
+        ts.push(i as f64 * step);
+        let v = if rng.random::<f64>() < 0.03 {
+            // Outage.
+            rng.random_range(0.01..0.1)
+        } else {
+            base * rng.random_range(0.2..1.8)
+        };
+        bw.push(v.clamp(0.01, 12.0));
+    }
+    BandwidthTrace::new(ts, bw)
+}
+
+/// Pantheon Ethernet: near-constant high bandwidth with rare brief dips.
+fn gen_ethernet(duration_s: f64, rng: &mut StdRng) -> BandwidthTrace {
+    let base: f64 = rng.random_range(10.0..90.0);
+    let steps = duration_s.ceil() as usize;
+    let mut ts = Vec::with_capacity(steps);
+    let mut bw = Vec::with_capacity(steps);
+    for i in 0..steps {
+        ts.push(i as f64);
+        let v = if rng.random::<f64>() < 0.01 {
+            base * rng.random_range(0.5..0.8)
+        } else {
+            base * rng.random_range(0.95..1.05)
+        };
+        bw.push(v.max(0.5));
+    }
+    BandwidthTrace::new(ts, bw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_shapes_match_table2_counts() {
+        assert_eq!(CorpusKind::Fcc.split_shape(Split::Train).0, 85);
+        assert_eq!(CorpusKind::Fcc.split_shape(Split::Test).0, 290);
+        assert_eq!(CorpusKind::Norway.split_shape(Split::Test).0, 310);
+        assert_eq!(CorpusKind::Ethernet.split_shape(Split::Train).0, 64);
+        assert_eq!(CorpusKind::Cellular.split_shape(Split::Train).0, 136);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CorpusKind::Cellular.generate_sized(Split::Test, 9, 5, 30.0);
+        let b = CorpusKind::Cellular.generate_sized(Split::Test, 9, 5, 30.0);
+        assert_eq!(a.traces, b.traces);
+    }
+
+    #[test]
+    fn train_and_test_splits_differ() {
+        let tr = CorpusKind::Ethernet.generate_sized(Split::Train, 9, 3, 30.0);
+        let te = CorpusKind::Ethernet.generate_sized(Split::Test, 9, 3, 30.0);
+        assert_ne!(tr.traces, te.traces);
+    }
+
+    #[test]
+    fn corpora_have_distinct_signatures() {
+        let n = 40;
+        let eth = CorpusKind::Ethernet.generate_sized(Split::Train, 1, n, 30.0);
+        let cel = CorpusKind::Cellular.generate_sized(Split::Train, 1, n, 30.0);
+        // Ethernet: much higher mean bandwidth, much lower burstiness.
+        assert!(
+            eth.mean_bw() > cel.mean_bw() * 5.0,
+            "ethernet {} vs cellular {}",
+            eth.mean_bw(),
+            cel.mean_bw()
+        );
+        assert!(
+            cel.mean_cv() > eth.mean_cv() * 3.0,
+            "cellular cv {} vs ethernet cv {}",
+            cel.mean_cv(),
+            eth.mean_cv()
+        );
+    }
+
+    #[test]
+    fn norway_has_fades_fcc_does_not() {
+        let nor = CorpusKind::Norway.generate_sized(Split::Train, 2, 30, 265.0);
+        let fcc = CorpusKind::Fcc.generate_sized(Split::Train, 2, 30, 265.0);
+        let frac_below = |c: &Corpus, thresh: f64| {
+            let total: usize = c.traces.iter().map(|t| t.len()).sum();
+            let below: usize = c
+                .traces
+                .iter()
+                .map(|t| t.bandwidths().iter().filter(|&&b| b < thresh).count())
+                .sum();
+            below as f64 / total as f64
+        };
+        assert!(frac_below(&nor, 0.3) > 0.02, "norway should show fades");
+        assert!(frac_below(&fcc, 0.3) < 0.01, "fcc should rarely fade");
+    }
+
+    #[test]
+    fn trace_durations_match_shape() {
+        let c = CorpusKind::Ethernet.generate(Split::Train, 0);
+        assert_eq!(c.len(), 64);
+        for t in &c.traces {
+            assert!((t.duration() - 29.0).abs() < 2.0, "duration {}", t.duration());
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Trace categorization for trace-driven training environments.
+//!
+//! Paper §4.2: "The first step is to categorize each bandwidth trace along
+//! with the bandwidth-related parameters (i.e., bandwidth range and variance
+//! in our case). Each time a configuration is selected by RL training to
+//! create new environments, with a probability of w (30% by default), Genet
+//! samples a bandwidth trace whose bandwidth-related parameters fall into
+//! the range of the selected configuration."
+
+use crate::trace::BandwidthTrace;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An index over a trace pool, keyed by per-trace bandwidth statistics.
+#[derive(Debug, Clone)]
+pub struct TraceIndex {
+    traces: Vec<BandwidthTrace>,
+    mean_bw: Vec<f64>,
+    std_bw: Vec<f64>,
+}
+
+impl TraceIndex {
+    /// Builds the index (precomputes per-trace mean/std bandwidth).
+    pub fn new(traces: Vec<BandwidthTrace>) -> Self {
+        let mean_bw = traces.iter().map(|t| t.mean_bw()).collect();
+        let std_bw = traces.iter().map(|t| t.std_bw()).collect();
+        Self { traces, mean_bw, std_bw }
+    }
+
+    /// Number of indexed traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// All traces.
+    pub fn traces(&self) -> &[BandwidthTrace] {
+        &self.traces
+    }
+
+    /// Samples a trace uniformly from the whole pool.
+    pub fn sample_any(&self, rng: &mut StdRng) -> Option<&BandwidthTrace> {
+        if self.traces.is_empty() {
+            None
+        } else {
+            Some(&self.traces[rng.random_range(0..self.traces.len())])
+        }
+    }
+
+    /// Samples a trace whose mean bandwidth lies in `[bw_lo, bw_hi]` Mbps.
+    ///
+    /// When no trace matches the range exactly (a BO-selected configuration
+    /// may sit in a corner of the space no recording covers), falls back to
+    /// the trace whose mean bandwidth is closest to the range midpoint — the
+    /// training distribution must never silently lose its trace-driven
+    /// component.
+    pub fn sample_matching(
+        &self,
+        bw_lo: f64,
+        bw_hi: f64,
+        rng: &mut StdRng,
+    ) -> Option<&BandwidthTrace> {
+        if self.traces.is_empty() {
+            return None;
+        }
+        let matching: Vec<usize> = (0..self.traces.len())
+            .filter(|&i| self.mean_bw[i] >= bw_lo && self.mean_bw[i] <= bw_hi)
+            .collect();
+        if matching.is_empty() {
+            let mid = 0.5 * (bw_lo + bw_hi);
+            let nearest = (0..self.traces.len())
+                .min_by(|&a, &b| {
+                    (self.mean_bw[a] - mid)
+                        .abs()
+                        .partial_cmp(&(self.mean_bw[b] - mid).abs())
+                        .expect("finite means")
+                })
+                .expect("non-empty pool");
+            Some(&self.traces[nearest])
+        } else {
+            Some(&self.traces[matching[rng.random_range(0..matching.len())]])
+        }
+    }
+
+    /// Per-trace `(mean, std)` bandwidth statistics, index-aligned with
+    /// [`TraceIndex::traces`].
+    pub fn stats(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.mean_bw.iter().copied().zip(self.std_bw.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn pool() -> TraceIndex {
+        TraceIndex::new(vec![
+            BandwidthTrace::constant(1.0, 30.0),
+            BandwidthTrace::constant(5.0, 30.0),
+            BandwidthTrace::constant(20.0, 30.0),
+        ])
+    }
+
+    #[test]
+    fn matching_range_selects_inside() {
+        let idx = pool();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            let t = idx.sample_matching(4.0, 6.0, &mut rng).unwrap();
+            assert_eq!(t.mean_bw(), 5.0);
+        }
+    }
+
+    #[test]
+    fn fallback_picks_nearest() {
+        let idx = pool();
+        let mut rng = StdRng::seed_from_u64(0);
+        // Range [40, 50] matches nothing; nearest mean to 45 is 20.
+        let t = idx.sample_matching(40.0, 50.0, &mut rng).unwrap();
+        assert_eq!(t.mean_bw(), 20.0);
+    }
+
+    #[test]
+    fn empty_pool_returns_none() {
+        let idx = TraceIndex::new(vec![]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(idx.sample_matching(0.0, 10.0, &mut rng).is_none());
+        assert!(idx.sample_any(&mut rng).is_none());
+    }
+
+    #[test]
+    fn sample_any_covers_pool() {
+        let idx = pool();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(idx.sample_any(&mut rng).unwrap().mean_bw() as i64);
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

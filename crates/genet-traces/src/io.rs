@@ -1,0 +1,89 @@
+//! Plain-text trace serialization.
+//!
+//! Format: one `timestamp<TAB>bandwidth_mbps` pair per line, `#`-prefixed
+//! comment lines allowed — the same shape as Mahimahi-style trace files,
+//! so dumped traces are easy to eyeball and diff.
+
+use crate::trace::BandwidthTrace;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Writes a trace to `path`.
+pub fn save_trace(trace: &BandwidthTrace, path: &Path) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "# genet bandwidth trace: timestamp_s\tbandwidth_mbps")?;
+    for (t, b) in trace.timestamps().iter().zip(trace.bandwidths()) {
+        writeln!(f, "{t}\t{b}")?;
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written by [`save_trace`].
+pub fn load_trace(path: &Path) -> std::io::Result<BandwidthTrace> {
+    let f = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut ts = Vec::new();
+    let mut bw = Vec::new();
+    for (lineno, line) in f.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse = |s: Option<&str>| -> std::io::Result<f64> {
+            s.ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {}: missing field", lineno + 1),
+                )
+            })?
+            .parse()
+            .map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {}: {e}", lineno + 1),
+                )
+            })
+        };
+        ts.push(parse(parts.next())?);
+        bw.push(parse(parts.next())?);
+    }
+    if ts.is_empty() {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "empty trace file"));
+    }
+    Ok(BandwidthTrace::new(ts, bw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let dir = std::env::temp_dir().join("genet_traces_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let t = BandwidthTrace::new(vec![0.0, 1.5, 3.25], vec![2.0, 8.5, 0.25]);
+        save_trace(&t, &path).unwrap();
+        let back = load_trace(&path).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let dir = std::env::temp_dir().join("genet_traces_io_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.trace");
+        std::fs::write(&path, "0.0\tnot_a_number\n").unwrap();
+        assert!(load_trace(&path).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_file() {
+        let dir = std::env::temp_dir().join("genet_traces_io_empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.trace");
+        std::fs::write(&path, "# only a comment\n").unwrap();
+        assert!(load_trace(&path).is_err());
+    }
+}

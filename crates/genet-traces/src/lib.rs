@@ -1,0 +1,33 @@
+//! # genet-traces
+//!
+//! Bandwidth traces and their generators.
+//!
+//! Three sources of traces exist in the Genet evaluation:
+//!
+//! 1. **Synthetic traces** from the Appendix A.2 generators ([`synth`]) —
+//!    parameterized by the environment configuration (bandwidth range,
+//!    change interval, duration, …),
+//! 2. **Recorded corpora** — FCC broadband and Norway 3G traces for ABR,
+//!    Pantheon Cellular and Ethernet traces for CC (Table 2). The recorded
+//!    data is not redistributable, so [`corpus`] provides stochastic models
+//!    with per-corpus statistical signatures and fixed seeded train/test
+//!    splits matching Table 2's trace counts and durations (see DESIGN.md §3
+//!    for why this preserves the experiments' structure),
+//! 3. **Trace-driven training environments** — Genet mixes recorded traces
+//!    into training by categorizing them by bandwidth range and variance and
+//!    sampling a matching trace with probability `w` when a configuration is
+//!    instantiated (§4.2); [`index`] implements that categorization.
+//!
+//! [`io`] gives traces a trivial text serialization so experiments can dump
+//! and reload them.
+
+pub mod corpus;
+pub mod index;
+pub mod io;
+pub mod synth;
+pub mod trace;
+
+pub use corpus::{Corpus, CorpusKind, Split};
+pub use index::TraceIndex;
+pub use synth::{gen_abr_trace, gen_cc_trace, AbrTraceParams, CcTraceParams};
+pub use trace::BandwidthTrace;

@@ -1,0 +1,202 @@
+//! Synthetic trace generators — paper Appendix A.2 ("Trace generator logic").
+//!
+//! * ABR: timestamps one second apart with uniform `[-0.5, 0.5]` noise;
+//!   each throughput value uniform in `[min BW, max BW]`; the bandwidth
+//!   changes every "BW changing interval" seconds with uniform `[1, 3]`
+//!   noise; total length = trace duration.
+//! * CC: 0.1-second steps; bandwidth values uniform in `[1, max BW]` Mbps,
+//!   changing every "BW change interval" seconds. (Latency, queue, loss and
+//!   delay noise are environment parameters consumed by the CC simulator,
+//!   not part of the trace itself.)
+
+use crate::trace::BandwidthTrace;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Parameters of the ABR synthetic trace generator (§A.2).
+#[derive(Debug, Clone, Copy)]
+pub struct AbrTraceParams {
+    /// Minimum bandwidth (Mbps).
+    pub min_bw_mbps: f64,
+    /// Maximum bandwidth (Mbps).
+    pub max_bw_mbps: f64,
+    /// How often the throughput level changes (seconds).
+    pub change_interval_s: f64,
+    /// Total trace duration (seconds).
+    pub duration_s: f64,
+}
+
+/// Generates one synthetic ABR bandwidth trace.
+///
+/// # Panics
+/// Panics on non-positive duration or inverted bandwidth range.
+pub fn gen_abr_trace(params: &AbrTraceParams, rng: &mut StdRng) -> BandwidthTrace {
+    assert!(params.duration_s > 0.0, "duration must be positive");
+    assert!(
+        params.min_bw_mbps <= params.max_bw_mbps,
+        "min_bw {} > max_bw {}",
+        params.min_bw_mbps,
+        params.max_bw_mbps
+    );
+    let min_bw = params.min_bw_mbps.max(0.01);
+    let max_bw = params.max_bw_mbps.max(min_bw);
+    let mut timestamps = Vec::new();
+    let mut bws = Vec::new();
+    let mut t = 0.0f64;
+    let mut level: f64 = rng.random_range(min_bw..=max_bw);
+    let mut next_change = change_gap(params.change_interval_s, rng);
+    let mut last_ts = -1.0f64;
+    while t < params.duration_s {
+        // Timestamps are one second apart with uniform [-0.5, 0.5] noise,
+        // kept strictly increasing.
+        let noisy = (t + rng.random_range(-0.5..0.5)).max(last_ts + 1e-3).max(0.0);
+        timestamps.push(noisy);
+        bws.push(level);
+        last_ts = noisy;
+        t += 1.0;
+        next_change -= 1.0;
+        if next_change <= 0.0 {
+            level = rng.random_range(min_bw..=max_bw);
+            next_change = change_gap(params.change_interval_s, rng);
+        }
+    }
+    BandwidthTrace::new(timestamps, bws)
+}
+
+/// Parameters of the CC synthetic trace generator (§A.2).
+#[derive(Debug, Clone, Copy)]
+pub struct CcTraceParams {
+    /// Maximum bandwidth (Mbps); values are drawn uniform in `[1, max]`
+    /// (clamped up when `max < 1` so narrow spaces stay valid).
+    pub max_bw_mbps: f64,
+    /// How often the bandwidth changes (seconds).
+    pub change_interval_s: f64,
+    /// Total trace duration (seconds).
+    pub duration_s: f64,
+}
+
+/// Step length of CC traces (seconds) — §A.2: "a series of timestamps with
+/// 0.1 s step length".
+pub const CC_TRACE_STEP_S: f64 = 0.1;
+
+/// Generates one synthetic CC bandwidth trace.
+pub fn gen_cc_trace(params: &CcTraceParams, rng: &mut StdRng) -> BandwidthTrace {
+    assert!(params.duration_s > 0.0, "duration must be positive");
+    let lo = 1.0f64.min(params.max_bw_mbps.max(0.05));
+    let hi = params.max_bw_mbps.max(lo);
+    let steps = (params.duration_s / CC_TRACE_STEP_S).ceil() as usize;
+    let mut timestamps = Vec::with_capacity(steps);
+    let mut bws = Vec::with_capacity(steps);
+    let mut level: f64 = rng.random_range(lo..=hi);
+    let mut next_change = change_gap(params.change_interval_s, rng);
+    for i in 0..steps {
+        timestamps.push(i as f64 * CC_TRACE_STEP_S);
+        bws.push(level);
+        next_change -= CC_TRACE_STEP_S;
+        if next_change <= 0.0 {
+            level = rng.random_range(lo..=hi);
+            next_change = change_gap(params.change_interval_s, rng);
+        }
+    }
+    BandwidthTrace::new(timestamps, bws)
+}
+
+/// Time until the next bandwidth level change: the configured interval plus
+/// uniform `[1, 3]` noise (§A.2), floored so a zero interval still changes
+/// at a finite rate.
+fn change_gap(interval_s: f64, rng: &mut StdRng) -> f64 {
+    (interval_s + rng.random_range(1.0..3.0)).max(0.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn abr_trace_respects_range_and_duration() {
+        let params = AbrTraceParams {
+            min_bw_mbps: 2.0,
+            max_bw_mbps: 5.0,
+            change_interval_s: 5.0,
+            duration_s: 120.0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = gen_abr_trace(&params, &mut rng);
+        assert!(t.min_bw() >= 2.0 - 1e-9, "{}", t.min_bw());
+        assert!(t.max_bw() <= 5.0 + 1e-9, "{}", t.max_bw());
+        assert!((t.len() as f64 - 120.0).abs() <= 2.0);
+        assert!(t.timestamps().windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn abr_short_interval_changes_more() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let fast = gen_abr_trace(
+            &AbrTraceParams {
+                min_bw_mbps: 0.5,
+                max_bw_mbps: 10.0,
+                change_interval_s: 0.0,
+                duration_s: 300.0,
+            },
+            &mut rng,
+        );
+        let slow = gen_abr_trace(
+            &AbrTraceParams {
+                min_bw_mbps: 0.5,
+                max_bw_mbps: 10.0,
+                change_interval_s: 50.0,
+                duration_s: 300.0,
+            },
+            &mut rng,
+        );
+        let changes = |t: &crate::BandwidthTrace| {
+            t.bandwidths().windows(2).filter(|w| w[0] != w[1]).count()
+        };
+        assert!(
+            changes(&fast) > changes(&slow) * 3,
+            "fast {} vs slow {}",
+            changes(&fast),
+            changes(&slow)
+        );
+    }
+
+    #[test]
+    fn cc_trace_has_fixed_step() {
+        let params =
+            CcTraceParams { max_bw_mbps: 8.0, change_interval_s: 2.0, duration_s: 30.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = gen_cc_trace(&params, &mut rng);
+        assert_eq!(t.len(), 300);
+        for w in t.timestamps().windows(2) {
+            assert!((w[1] - w[0] - CC_TRACE_STEP_S).abs() < 1e-9);
+        }
+        assert!(t.max_bw() <= 8.0 + 1e-9);
+        assert!(t.min_bw() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn cc_trace_with_tiny_max_bw_is_valid() {
+        // Narrow RL1-style spaces can push max_bw below 1 Mbps; the
+        // generator must still produce positive bandwidth.
+        let params =
+            CcTraceParams { max_bw_mbps: 0.5, change_interval_s: 1.0, duration_s: 10.0 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = gen_cc_trace(&params, &mut rng);
+        assert!(t.min_bw() > 0.0);
+        assert!(t.max_bw() <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let params = AbrTraceParams {
+            min_bw_mbps: 1.0,
+            max_bw_mbps: 3.0,
+            change_interval_s: 4.0,
+            duration_s: 60.0,
+        };
+        let a = gen_abr_trace(&params, &mut StdRng::seed_from_u64(7));
+        let b = gen_abr_trace(&params, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

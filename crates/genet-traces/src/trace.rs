@@ -1,0 +1,186 @@
+//! The bandwidth time series replayed by the ABR and CC simulators.
+
+/// A piecewise-constant bandwidth trace: `bandwidth_mbps[i]` holds from
+/// `timestamps[i]` until `timestamps[i + 1]` (or until the trace end).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthTrace {
+    timestamps: Vec<f64>,
+    bandwidth_mbps: Vec<f64>,
+}
+
+impl BandwidthTrace {
+    /// Builds a trace from parallel timestamp / bandwidth vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors are empty, differ in length, timestamps are not
+    /// strictly increasing from 0, or any bandwidth is negative/non-finite.
+    pub fn new(timestamps: Vec<f64>, bandwidth_mbps: Vec<f64>) -> Self {
+        assert!(!timestamps.is_empty(), "empty trace");
+        assert_eq!(timestamps.len(), bandwidth_mbps.len(), "length mismatch");
+        assert!(timestamps[0] >= 0.0, "timestamps must start at or after 0");
+        assert!(
+            timestamps.windows(2).all(|w| w[1] > w[0]),
+            "timestamps must be strictly increasing"
+        );
+        assert!(
+            bandwidth_mbps.iter().all(|&b| b.is_finite() && b >= 0.0),
+            "bandwidths must be finite and non-negative"
+        );
+        Self { timestamps, bandwidth_mbps }
+    }
+
+    /// Constant-bandwidth trace of the given duration.
+    pub fn constant(bw_mbps: f64, duration_s: f64) -> Self {
+        Self::new(vec![0.0, duration_s.max(1e-9) * 0.5], vec![bw_mbps, bw_mbps])
+    }
+
+    /// The timestamps (seconds).
+    pub fn timestamps(&self) -> &[f64] {
+        &self.timestamps
+    }
+
+    /// The bandwidth values (Mbps).
+    pub fn bandwidths(&self) -> &[f64] {
+        &self.bandwidth_mbps
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Always false (construction forbids empty traces).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Trace duration. The final segment extends one step past the last
+    /// timestamp (the step being the previous inter-timestamp gap, or 1 s
+    /// for single-point traces), so every bandwidth value gets play time.
+    pub fn duration(&self) -> f64 {
+        let n = self.timestamps.len();
+        let tail = if n >= 2 {
+            self.timestamps[n - 1] - self.timestamps[n - 2]
+        } else {
+            1.0
+        };
+        self.timestamps[n - 1] + tail
+    }
+
+    /// Bandwidth at absolute time `t`, looping the trace when `t` exceeds
+    /// its duration (simulations may outlive short traces; looping is what
+    /// the Pensieve/Aurora simulators do).
+    pub fn bw_at(&self, t: f64) -> f64 {
+        let d = self.duration();
+        let t = if d > 0.0 { t.rem_euclid(d.max(1e-9)) } else { 0.0 };
+        // Binary search for the segment containing t.
+        match self
+            .timestamps
+            .binary_search_by(|ts| ts.partial_cmp(&t).expect("finite timestamps"))
+        {
+            Ok(i) => self.bandwidth_mbps[i],
+            Err(0) => self.bandwidth_mbps[0],
+            Err(i) => self.bandwidth_mbps[i - 1],
+        }
+    }
+
+    /// Mean bandwidth over segments (unweighted — the generators emit
+    /// near-uniform segment lengths, and this matches how the paper's
+    /// trace-categorization scripts compute trace statistics).
+    pub fn mean_bw(&self) -> f64 {
+        genet_math::mean(&self.bandwidth_mbps)
+    }
+
+    /// Bandwidth standard deviation over segments.
+    pub fn std_bw(&self) -> f64 {
+        genet_math::std_dev(&self.bandwidth_mbps)
+    }
+
+    /// Minimum bandwidth.
+    pub fn min_bw(&self) -> f64 {
+        self.bandwidth_mbps.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum bandwidth.
+    pub fn max_bw(&self) -> f64 {
+        self.bandwidth_mbps.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean absolute change between consecutive segments, normalized by the
+    /// mean bandwidth — the "non-smoothness" metric of the Robustify
+    /// comparator (Fig. 19; reference 19 in the paper).
+    pub fn non_smoothness(&self) -> f64 {
+        if self.bandwidth_mbps.len() < 2 {
+            return 0.0;
+        }
+        let deltas: Vec<f64> = self
+            .bandwidth_mbps
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .collect();
+        genet_math::mean(&deltas) / self.mean_bw().max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr() -> BandwidthTrace {
+        BandwidthTrace::new(vec![0.0, 1.0, 2.0, 3.0], vec![5.0, 10.0, 2.0, 8.0])
+    }
+
+    #[test]
+    fn bw_at_segments() {
+        let t = tr();
+        assert_eq!(t.bw_at(0.0), 5.0);
+        assert_eq!(t.bw_at(0.99), 5.0);
+        assert_eq!(t.bw_at(1.0), 10.0);
+        assert_eq!(t.bw_at(2.5), 2.0);
+    }
+
+    #[test]
+    fn bw_at_loops() {
+        let t = tr();
+        // Last segment [3, 4) plays the final value, then the trace loops.
+        assert_eq!(t.duration(), 4.0);
+        assert_eq!(t.bw_at(3.5), 8.0, "final segment must get play time");
+        assert_eq!(t.bw_at(4.0), 5.0, "wraps to start");
+        assert_eq!(t.bw_at(5.5), 10.0);
+    }
+
+    #[test]
+    fn stats() {
+        let t = tr();
+        assert!((t.mean_bw() - 6.25).abs() < 1e-12);
+        assert_eq!(t.min_bw(), 2.0);
+        assert_eq!(t.max_bw(), 10.0);
+    }
+
+    #[test]
+    fn constant_trace() {
+        let t = BandwidthTrace::constant(3.0, 10.0);
+        assert_eq!(t.bw_at(0.0), 3.0);
+        assert_eq!(t.bw_at(7.0), 3.0);
+        assert!(t.non_smoothness().abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_smoothness_scales_with_jumps() {
+        let smooth = BandwidthTrace::new(vec![0.0, 1.0, 2.0], vec![5.0, 5.1, 5.0]);
+        let rough = BandwidthTrace::new(vec![0.0, 1.0, 2.0], vec![1.0, 9.0, 1.0]);
+        assert!(rough.non_smoothness() > smooth.non_smoothness() * 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_timestamps() {
+        let _ = BandwidthTrace::new(vec![0.0, 2.0, 1.0], vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_bandwidth() {
+        let _ = BandwidthTrace::new(vec![0.0, 1.0], vec![1.0, -1.0]);
+    }
+}

@@ -1,0 +1,62 @@
+//! # genet
+//!
+//! Facade crate: one `use genet::prelude::*` away from the whole
+//! reproduction of *Genet: Automatic Curriculum Generation for Learning
+//! Adaptation in Networking* (SIGCOMM 2022).
+//!
+//! ```no_run
+//! use genet::prelude::*;
+//!
+//! // Train an ABR policy with Genet's curriculum against RobustMPC.
+//! let scenario = AbrScenario::new();
+//! let cfg = GenetConfig::defaults_for(&scenario);
+//! let result = genet_train(&scenario, scenario.full_space(), &cfg, 42);
+//! let policy = result.agent.policy(PolicyMode::Greedy);
+//!
+//! // Evaluate against the baseline on held-out environments.
+//! let test = test_configs(&scenario.full_space(), 200, 7);
+//! let rl = eval_policy_many(&scenario, &policy, &test, 1);
+//! let mpc = eval_baseline_many(&scenario, "mpc", &test, 1);
+//! println!("rl {:.3} vs mpc {:.3}", genet::math::mean(&rl), genet::math::mean(&mpc));
+//! ```
+
+pub use genet_abr as abr;
+pub use genet_bo as bo;
+pub use genet_cc as cc;
+pub use genet_core as core;
+pub use genet_env as env;
+pub use genet_lb as lb;
+pub use genet_math as math;
+pub use genet_rl as rl;
+pub use genet_traces as traces;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use genet_abr::AbrScenario;
+    pub use genet_cc::CcScenario;
+    pub use genet_core::curricula::{cl1_train, IntrinsicSchedule};
+    pub use genet_core::evaluate::{
+        eval_baseline_many, eval_oracle_many, eval_policy_many, par_map, test_configs,
+    };
+    pub use genet_core::gap::{baseline_badness, gap_to_baseline, gap_to_optimum};
+    pub use genet_core::genet::{
+        genet_train, genet_train_from, genet_train_with, GenetConfig, GenetResult,
+        SelectionCriterion,
+    };
+    pub use genet_core::metrics::{bench_out_dir, fmt, TsvWriter};
+    pub use genet_core::robustify::{robustify_abr_train, RobustifyConfig};
+    pub use genet_core::train::{
+        make_agent, train_rl, ConfigSource, FixedSetSource, MixtureSource, TrainConfig,
+        TrainLog, UniformSource,
+    };
+    pub use genet_env::{
+        CurriculumDist, Env, EnvConfig, ParamDim, ParamSpace, Policy, RangeLevel, Scenario,
+    };
+    pub use genet_lb::LbScenario;
+    pub use genet_math::{mean, pearson, percentile, std_dev, Summary};
+    pub use genet_rl::{PolicyMode, PpoAgent, PpoConfig, PpoPolicy};
+    pub use genet_traces::{
+        gen_abr_trace, gen_cc_trace, AbrTraceParams, BandwidthTrace, CcTraceParams, Corpus,
+        CorpusKind, Split, TraceIndex,
+    };
+}

@@ -1,0 +1,63 @@
+//! Congestion control with Genet: train an Aurora-style rate-control policy
+//! against BBR's gap-to-baseline, then test generalization on the
+//! Cellular/Ethernet trace corpora — the Figure-3/13 story in miniature.
+//!
+//! ```sh
+//! cargo run --release --example congestion_control
+//! cargo run --release --example congestion_control -- full
+//! ```
+
+use genet::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "full");
+    let seed = 7;
+    let scenario = CcScenario::new();
+    // RL2 keeps the example quick; `full` uses the whole Table-4 box.
+    let space =
+        scenario.space(if full { RangeLevel::Rl3 } else { RangeLevel::Rl2 });
+
+    let mut cfg = GenetConfig::defaults_for(&scenario); // baseline = BBR
+    if !full {
+        cfg.rounds = 4;
+        cfg.iters_per_round = 6;
+        cfg.initial_iters = 6;
+        cfg.bo_trials = 6;
+        cfg.k_envs = 3;
+        cfg.train = TrainConfig { configs_per_iter: 6, envs_per_config: 2 };
+    }
+    println!("training Genet(CC, baseline=bbr) for {} iterations…", cfg.total_iters());
+    let result = genet_train(&scenario, space.clone(), &cfg, seed);
+    let policy = result.agent.policy(PolicyMode::Greedy);
+
+    // Synthetic in-distribution test.
+    let test = test_configs(&space, if full { 100 } else { 40 }, 11);
+    let rl = eval_policy_many(&scenario, &policy, &test, 2);
+    let bbr = eval_baseline_many(&scenario, "bbr", &test, 2);
+    let cubic = eval_baseline_many(&scenario, "cubic", &test, 2);
+    println!("\n== synthetic test environments ==");
+    println!("  Genet RL : {:.1}", mean(&rl));
+    println!("  BBR      : {:.1}", mean(&bbr));
+    println!("  Cubic    : {:.1}", mean(&cubic));
+
+    // Generalization: replay Cellular / Ethernet corpus traces as the
+    // bandwidth while keeping the other path parameters at defaults.
+    println!("\n== generalization to trace corpora (training never saw them) ==");
+    for kind in [CorpusKind::Cellular, CorpusKind::Ethernet] {
+        let corpus = kind.generate_sized(Split::Test, 1, if full { 60 } else { 20 }, 30.0);
+        let pool = Arc::new(TraceIndex::new(corpus.traces.clone()));
+        let replay = CcScenario::new().with_trace_pool(pool, 1.0);
+        let cfgs: Vec<EnvConfig> =
+            (0..corpus.len()).map(|_| genet::cc::scenario::default_config()).collect();
+        let rl = eval_policy_many(&replay, &policy, &cfgs, 3);
+        let bbr = eval_baseline_many(&replay, "bbr", &cfgs, 3);
+        println!(
+            "  {:<9} Genet RL {:>8.1}   BBR {:>8.1}   (gap {:+.1})",
+            kind.name(),
+            mean(&rl),
+            mean(&bbr),
+            mean(&rl) - mean(&bbr)
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: train a load-balancing policy with Genet's curriculum and
+//! compare it against traditional RL training and the rule-based baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart          # quick (~1 min)
+//! cargo run --release --example quickstart -- full  # paper-scale budget
+//! ```
+
+use genet::prelude::*;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "full");
+    let seed = 42;
+
+    // 1. Pick a use case. LB is the fastest of the three; see the
+    //    `congestion_control` / `video_streaming` examples for the others.
+    let scenario = LbScenario;
+    let space = scenario.space(RangeLevel::Rl3); // the full Table-5 ranges
+
+    // 2. Configure Genet. Defaults follow the paper (§4.2): 9 sequencing
+    //    rounds, 15 BO trials per round, k=10 envs per gap estimate, w=0.3,
+    //    gap-to-baseline against least-load-first.
+    let mut cfg = GenetConfig::defaults_for(&scenario);
+    if !full {
+        cfg.rounds = 5;
+        cfg.iters_per_round = 8;
+        cfg.initial_iters = 8;
+        cfg.bo_trials = 8;
+        cfg.k_envs = 4;
+    }
+    println!("== Genet training ({} iterations total) ==", cfg.total_iters());
+    let genet = genet_train(&scenario, space.clone(), &cfg, seed);
+    for (i, (p, gap)) in genet.promoted.iter().enumerate() {
+        println!("  round {i}: promoted config {p} (gap-to-baseline {gap:.3})");
+    }
+
+    // 3. Budget-matched traditional RL (Algorithm 1) on the same space.
+    println!("== Traditional RL training (same budget) ==");
+    let mut rl_agent = make_agent(&scenario, seed);
+    train_rl(
+        &mut rl_agent,
+        &scenario,
+        &UniformSource(space.clone()),
+        cfg.train,
+        cfg.total_iters(),
+        seed,
+    );
+
+    // 4. Evaluate everything on the same held-out environments.
+    let test = test_configs(&space, if full { 200 } else { 60 }, 7);
+    let genet_policy = genet.agent.policy(PolicyMode::Greedy);
+    let rl_policy = rl_agent.policy(PolicyMode::Greedy);
+    let genet_scores = eval_policy_many(&scenario, &genet_policy, &test, 1);
+    let rl_scores = eval_policy_many(&scenario, &rl_policy, &test, 1);
+    let llf_scores = eval_baseline_many(&scenario, "llf", &test, 1);
+
+    println!("\n== Test reward over {} held-out environments ==", test.len());
+    println!("  Genet-trained RL : {:.3}", mean(&genet_scores));
+    println!("  traditional RL   : {:.3}", mean(&rl_scores));
+    println!("  least-load-first : {:.3}", mean(&llf_scores));
+    let wins = genet_scores
+        .iter()
+        .zip(&llf_scores)
+        .filter(|(g, b)| g > b)
+        .count();
+    println!(
+        "  Genet beats the baseline on {}/{} environments",
+        wins,
+        test.len()
+    );
+}

@@ -1,0 +1,73 @@
+//! Adaptive bitrate streaming: compare the rule-based ABR baselines on
+//! FCC-like broadband traces, then train a Genet policy against RobustMPC
+//! and report the per-trace win rate (the Figure-15 metric).
+//!
+//! ```sh
+//! cargo run --release --example video_streaming
+//! cargo run --release --example video_streaming -- full
+//! ```
+
+use genet::abr::baselines::{baseline_by_name, run_abr};
+use genet::abr::{AbrScenario, AbrSim, VideoModel};
+use genet::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "full");
+    let seed = 3;
+
+    // 1. Baseline shoot-out on FCC-style broadband traces.
+    let corpus = CorpusKind::Fcc.generate_sized(Split::Test, 1, if full { 50 } else { 15 }, 310.0);
+    println!("== rule-based ABR baselines on {} FCC-like traces ==", corpus.len());
+    for name in ["mpc", "bba", "rate", "naive"] {
+        let mut qoe = Vec::new();
+        let mut rebuf = Vec::new();
+        for (i, trace) in corpus.traces.iter().enumerate() {
+            let video = VideoModel::new(196.0, 4.0, i as u64);
+            let mut sim = AbrSim::new(trace.clone(), video, 0.08, 60.0);
+            let mut algo = baseline_by_name(name);
+            let outs = run_abr(&mut sim, algo.as_mut());
+            qoe.push(mean(&outs.iter().map(|o| o.reward).collect::<Vec<_>>()));
+            rebuf.push(outs.iter().map(|o| o.rebuffer_s).sum::<f64>());
+        }
+        println!(
+            "  {:<6} reward {:>7.3}   total rebuffering {:>6.2} s/session",
+            name,
+            mean(&qoe),
+            mean(&rebuf)
+        );
+    }
+
+    // 2. Genet training against MPC on the RL2 space, with FCC training
+    //    traces mixed in at w = 0.3 (the paper's trace-driven augmentation).
+    let train_corpus =
+        CorpusKind::Fcc.generate_sized(Split::Train, 1, if full { 85 } else { 20 }, 300.0);
+    let pool = Arc::new(TraceIndex::new(train_corpus.traces));
+    let scenario = AbrScenario::new().with_trace_pool(pool, 0.3);
+    let space = scenario.space(if full { RangeLevel::Rl3 } else { RangeLevel::Rl2 });
+    let mut cfg = GenetConfig::defaults_for(&scenario); // baseline = RobustMPC
+    if !full {
+        cfg.rounds = 3;
+        cfg.iters_per_round = 5;
+        cfg.initial_iters = 5;
+        cfg.bo_trials = 5;
+        cfg.k_envs = 3;
+        cfg.train = TrainConfig { configs_per_iter: 5, envs_per_config: 2 };
+    }
+    println!("\ntraining Genet(ABR, baseline=mpc) for {} iterations…", cfg.total_iters());
+    let result = genet_train(&scenario, space.clone(), &cfg, seed);
+    let policy = result.agent.policy(PolicyMode::Greedy);
+
+    // 3. Per-trace win rate vs the baseline it trained against.
+    let eval_scenario = AbrScenario::new()
+        .with_trace_pool(Arc::new(TraceIndex::new(corpus.traces.clone())), 1.0);
+    let cfgs: Vec<EnvConfig> =
+        (0..corpus.len()).map(|_| genet::abr::scenario::default_config()).collect();
+    let rl = eval_policy_many(&eval_scenario, &policy, &cfgs, 9);
+    let mpc = eval_baseline_many(&eval_scenario, "mpc", &cfgs, 9);
+    let wins = rl.iter().zip(&mpc).filter(|(a, b)| a > b).count();
+    println!("\n== held-out FCC-like traces ==");
+    println!("  Genet RL reward : {:.3}", mean(&rl));
+    println!("  RobustMPC       : {:.3}", mean(&mpc));
+    println!("  RL wins on {wins}/{} traces", corpus.len());
+}

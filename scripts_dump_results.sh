@@ -1,0 +1,7 @@
+#!/bin/sh
+# Dumps every bench_out TSV with a header, for EXPERIMENTS.md transcription.
+for f in bench_out/*.tsv; do
+  echo "========== $f =========="
+  cat "$f"
+  echo
+done

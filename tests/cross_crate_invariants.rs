@@ -1,0 +1,154 @@
+//! Cross-crate invariants: relationships between simulators, baselines,
+//! oracles and evaluation that must hold for the paper's metrics to mean
+//! anything.
+
+use genet::prelude::*;
+
+/// The oracle must (approximately) dominate every rule-based baseline on
+/// every scenario — otherwise gap-to-optimum is not a regret.
+#[test]
+fn oracle_dominates_baselines_everywhere() {
+    let scenarios: Vec<Box<dyn Scenario>> = vec![
+        Box::new(AbrScenario::new()),
+        Box::new(CcScenario::new()),
+        Box::new(LbScenario),
+    ];
+    for scenario in &scenarios {
+        let s = scenario.as_ref();
+        let configs = test_configs(&s.space(RangeLevel::Rl2), 6, 3);
+        let tolerance = match s.name() {
+            // CC rewards are in the hundreds; the beam/analytic oracles are
+            // approximate.
+            "cc" => 15.0,
+            _ => 0.3,
+        };
+        for name in s.baseline_names() {
+            if *name == "naive" {
+                continue; // naive baselines can do anything
+            }
+            for (i, cfg) in configs.iter().enumerate() {
+                let seed = 100 + i as u64;
+                let oracle = s.eval_oracle(cfg, seed);
+                let base = s.eval_baseline(name, cfg, seed);
+                assert!(
+                    oracle >= base - tolerance,
+                    "{}: oracle {oracle} < baseline {name} {base} on {cfg}",
+                    s.name()
+                );
+            }
+        }
+    }
+}
+
+/// Paired evaluation: the same (config, seed) must give the same world to
+/// the policy, the baselines and the oracle — the whole point of
+/// gap-to-baseline being a paired comparison.
+#[test]
+fn evaluation_is_reproducible_across_calls() {
+    let scenarios: Vec<Box<dyn Scenario>> = vec![
+        Box::new(AbrScenario::new()),
+        Box::new(CcScenario::new()),
+        Box::new(LbScenario),
+    ];
+    for scenario in &scenarios {
+        let s = scenario.as_ref();
+        let cfg = test_configs(&s.full_space(), 1, 9).remove(0);
+        let agent = make_agent(s, 1);
+        let p = agent.policy(PolicyMode::Greedy);
+        for seed in [0u64, 17, 991] {
+            assert_eq!(s.eval_policy(&p, &cfg, seed), s.eval_policy(&p, &cfg, seed));
+            let b = s.default_baseline();
+            assert_eq!(s.eval_baseline(b, &cfg, seed), s.eval_baseline(b, &cfg, seed));
+            assert_eq!(s.eval_oracle(&cfg, seed), s.eval_oracle(&cfg, seed));
+        }
+    }
+}
+
+/// Rewards respect physics: ABR rewards never exceed the top bitrate; LB
+/// rewards are never positive; CC rewards never exceed the oracle's
+/// full-utilization bound.
+#[test]
+fn reward_bounds_hold() {
+    // ABR: max possible chunk reward is the top bitrate (4.3 Mbps).
+    let abr = AbrScenario::new();
+    let abr_cfgs = test_configs(&abr.full_space(), 10, 5);
+    for (i, cfg) in abr_cfgs.iter().enumerate() {
+        for name in ["mpc", "bba", "rate"] {
+            let r = abr.eval_baseline(name, cfg, i as u64);
+            assert!(r <= 4.3 + 1e-9, "abr {name}: reward {r} beats top bitrate");
+        }
+    }
+    // LB: delays are positive, so rewards are negative.
+    let lb = LbScenario;
+    let lb_cfgs = test_configs(&lb.full_space(), 10, 6);
+    for (i, cfg) in lb_cfgs.iter().enumerate() {
+        for name in ["llf", "rr", "random"] {
+            let r = lb.eval_baseline(name, cfg, i as u64);
+            assert!(r < 0.0, "lb {name}: reward {r} must be negative");
+        }
+    }
+}
+
+/// Gap-to-baseline of the baseline against itself is identically zero.
+#[test]
+fn self_gap_is_zero() {
+    use genet::lb::baselines::{baseline_by_name, run_lb};
+    use genet::lb::sim::LbSim;
+    use genet::lb::space::LbParams;
+    // Evaluate LLF twice on identical worlds through both interfaces.
+    let cfg = genet::lb::scenario::default_config();
+    let params = LbParams::from_config(&cfg);
+    for seed in 0..5u64 {
+        let mut a = LbSim::new(params, seed);
+        let mut b = LbSim::new(params, seed);
+        let ra = run_lb(&mut a, baseline_by_name("llf", seed).as_mut());
+        let rb = run_lb(&mut b, baseline_by_name("llf", seed).as_mut());
+        assert_eq!(ra, rb);
+    }
+}
+
+/// The corpora keep their statistical identities (what the generalization
+/// experiments rely on).
+#[test]
+fn corpora_are_mutually_distinct() {
+    let n = 25;
+    let fcc = CorpusKind::Fcc.generate_sized(Split::Train, 1, n, 120.0);
+    let nor = CorpusKind::Norway.generate_sized(Split::Train, 1, n, 120.0);
+    let cel = CorpusKind::Cellular.generate_sized(Split::Train, 1, n, 30.0);
+    let eth = CorpusKind::Ethernet.generate_sized(Split::Train, 1, n, 30.0);
+    assert!(eth.mean_bw() > 5.0 * fcc.mean_bw().max(cel.mean_bw()));
+    assert!(cel.mean_cv() > eth.mean_cv() * 3.0, "cellular must be burstier than ethernet");
+    assert!(nor.mean_cv() > fcc.mean_cv(), "norway 3G must be burstier than fcc broadband");
+}
+
+/// Parallel evaluation equals sequential evaluation, element for element.
+#[test]
+fn parallel_eval_is_deterministic() {
+    let s = CcScenario::new();
+    let configs = test_configs(&s.space(RangeLevel::Rl1), 7, 2);
+    let agent = make_agent(&s, 4);
+    let p = agent.policy(PolicyMode::Greedy);
+    let run1 = eval_policy_many(&s, &p, &configs, 8);
+    let run2 = eval_policy_many(&s, &p, &configs, 8);
+    assert_eq!(run1, run2);
+}
+
+/// Training with a curriculum distribution only ever samples configs from
+/// the base space or the promoted list.
+#[test]
+fn curriculum_samples_stay_legal() {
+    use genet::env::CurriculumDist;
+    use rand::SeedableRng;
+    let s = AbrScenario::new();
+    let space = s.full_space();
+    let mut dist = CurriculumDist::uniform(space.clone(), 0.3);
+    let promoted = test_configs(&space, 3, 77);
+    for p in &promoted {
+        dist.promote(p.clone());
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    for _ in 0..500 {
+        let c = dist.sample(&mut rng);
+        assert!(space.contains(&c) || promoted.contains(&c));
+    }
+}

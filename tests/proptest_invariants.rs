@@ -1,0 +1,175 @@
+//! Property-based tests (proptest) over the core data structures and
+//! simulator invariants.
+
+use genet::abr::{AbrSim, VideoModel};
+use genet::cc::{CcPath, CcSim};
+use genet::lb::sim::LbSim;
+use genet::lb::space::LbParams;
+use genet::math::{Cholesky, Matrix};
+use genet::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Param spaces: every sample lies in the box; normalize/denormalize
+    /// round-trips; shrunk spaces nest.
+    #[test]
+    fn param_space_roundtrip(seed in 0u64..10_000, frac in 0.05f64..1.0) {
+        use rand::SeedableRng;
+        let space = ParamSpace::new(vec![
+            ParamDim::new("lin", -3.0, 9.0),
+            ParamDim::log_scale("log", 0.2, 250.0),
+            ParamDim::int("int", 1.0, 40.0),
+        ]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cfg = space.sample(&mut rng);
+        prop_assert!(space.contains(&cfg));
+        let unit = space.normalize(&cfg);
+        prop_assert!(unit.iter().all(|u| (0.0..=1.0).contains(u)));
+        let back = space.denormalize(&unit);
+        for (a, b) in cfg.values().iter().zip(back.values()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+        let sub = space.shrunk(frac);
+        let sub_cfg = sub.sample(&mut rng);
+        prop_assert!(space.contains(&sub_cfg));
+    }
+
+    /// Curriculum mixture: probability masses always sum to one.
+    #[test]
+    fn curriculum_mass_sums_to_one(w in 0.01f64..0.99, n_promote in 0usize..12) {
+        let space = ParamSpace::new(vec![ParamDim::new("a", 0.0, 1.0)]);
+        let mut dist = CurriculumDist::uniform(space, w);
+        for i in 0..n_promote {
+            dist.promote(EnvConfig::from_values(vec![i as f64 / 12.0]));
+        }
+        let total: f64 = (0..n_promote).map(|i| dist.promoted_mass(i)).sum::<f64>()
+            + dist.base_mass();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Cholesky: for any random SPD matrix (A = B·Bᵀ + εI), factoring and
+    /// solving reproduces the right-hand side.
+    #[test]
+    fn cholesky_solves_spd_systems(vals in proptest::collection::vec(-2.0f64..2.0, 9), rhs in proptest::collection::vec(-5.0f64..5.0, 3)) {
+        let b = Matrix::from_rows(3, 3, &vals);
+        let mut a = b.matmul(&b.transpose());
+        for i in 0..3 {
+            a.add_at(i, i, 0.5);
+        }
+        let ch = Cholesky::decompose(&a).expect("SPD by construction");
+        let x = ch.solve(&rhs);
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(rhs.iter()) {
+            prop_assert!((l - r).abs() < 1e-6, "Ax={ax:?} b={rhs:?}");
+        }
+    }
+
+    /// ABR simulator: buffer stays within [0, max]; rewards are bounded by
+    /// the top bitrate; sessions always terminate.
+    #[test]
+    fn abr_sim_invariants(bw in 0.2f64..50.0, buf_max in 2.0f64..100.0, level in 0usize..6, seed in 0u64..1000) {
+        let trace = BandwidthTrace::constant(bw, 120.0);
+        let video = VideoModel::new(60.0, 4.0, seed);
+        let mut sim = AbrSim::new(trace, video, 0.05, buf_max);
+        while !sim.finished() {
+            let out = sim.download(level);
+            prop_assert!(out.reward <= 4.3 + 1e-9);
+            prop_assert!(out.rebuffer_s >= 0.0);
+            let ctx = sim.context();
+            prop_assert!(ctx.buffer_s >= 0.0 && ctx.buffer_s <= buf_max + 1e-9);
+        }
+    }
+
+    /// CC simulator: per-MI conservation — delivered + lost ≤ sent +
+    /// backlog change; loss fraction in [0, 1]; latency ≥ base RTT.
+    #[test]
+    fn cc_sim_conservation(bw in 0.3f64..50.0, rate in 0.2f64..80.0, queue in 2.0f64..200.0, loss in 0.0f64..0.05) {
+        let path = CcPath {
+            trace: BandwidthTrace::constant(bw, 10.0),
+            base_rtt_s: 0.05,
+            queue_cap_pkts: queue,
+            loss_rate: loss,
+            delay_noise_s: 0.0,
+            duration_s: 5.0,
+        };
+        let mut sim = CcSim::new(path, 0);
+        sim.set_rate_mbps(rate);
+        while !sim.finished() {
+            sim.run_mi();
+        }
+        let mut sent_total = 0.0;
+        let mut accounted = 0.0;
+        for mi in sim.completed_mis() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&mi.loss_frac), "{mi:?}");
+            prop_assert!(mi.avg_latency_s >= 0.05 - 1e-9, "{mi:?}");
+            prop_assert!(mi.throughput_mbps >= 0.0);
+            sent_total += mi.sent_pkts;
+            accounted += mi.delivered_pkts + mi.lost_pkts;
+        }
+        // Whatever was sent is delivered, lost, or still queued.
+        prop_assert!(accounted <= sent_total + 1e-6);
+        prop_assert!(sent_total - accounted <= queue + 1e-6,
+            "unaccounted packets exceed queue capacity: {}", sent_total - accounted);
+    }
+
+    /// LB simulator: delays are positive and capped; episodes dispatch
+    /// exactly num_jobs jobs.
+    #[test]
+    fn lb_sim_invariants(rate in 0.1f64..10.0, size in 10.0f64..10_000.0, interval in 10.0f64..3000.0, seed in 0u64..500) {
+        let params = LbParams {
+            service_rate: rate,
+            job_size_kb: size,
+            job_interval_ms: interval,
+            num_jobs: 40,
+            shuffle_prob: 0.5,
+        };
+        let mut sim = LbSim::new(params, seed);
+        let mut n = 0;
+        while !sim.finished() {
+            let d = sim.dispatch(n % 3);
+            prop_assert!(d > 0.0 && d <= 30.0 + 1e-9, "delay {d}");
+            n += 1;
+        }
+        prop_assert_eq!(n, 40);
+        prop_assert!(sim.episode_reward() < 0.0);
+    }
+
+    /// Trace generators: every generated trace is physical (positive
+    /// bandwidths, increasing timestamps) and respects its parameters.
+    #[test]
+    fn trace_generators_are_physical(max_bw in 0.2f64..500.0, interval in 0.0f64..100.0, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let abr = gen_abr_trace(
+            &AbrTraceParams {
+                min_bw_mbps: max_bw * 0.3,
+                max_bw_mbps: max_bw,
+                change_interval_s: interval,
+                duration_s: 60.0,
+            },
+            &mut rng,
+        );
+        prop_assert!(abr.min_bw() >= max_bw * 0.3 - 1e-9);
+        prop_assert!(abr.max_bw() <= max_bw + 1e-9);
+        prop_assert!(abr.timestamps().windows(2).all(|w| w[1] > w[0]));
+        let cc = gen_cc_trace(
+            &CcTraceParams { max_bw_mbps: max_bw, change_interval_s: interval, duration_s: 10.0 },
+            &mut rng,
+        );
+        prop_assert!(cc.min_bw() > 0.0);
+        prop_assert!(cc.max_bw() <= max_bw.max(1.0) + 1e-9);
+    }
+
+    /// Summary statistics are consistent: min ≤ p50 ≤ p90 ≤ max and the
+    /// mean lies within [min, max].
+    #[test]
+    fn summary_is_ordered(xs in proptest::collection::vec(-1e4f64..1e4, 1..200)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.p50 + 1e-9);
+        prop_assert!(s.p50 <= s.p90 + 1e-9);
+        prop_assert!(s.p90 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+    }
+}

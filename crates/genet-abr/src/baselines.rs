@@ -105,7 +105,11 @@ pub struct RobustMpc {
 
 impl Default for RobustMpc {
     fn default() -> Self {
-        Self { horizon: 5, errors: Vec::new(), last_prediction: None }
+        Self {
+            horizon: 5,
+            errors: Vec::new(),
+            last_prediction: None,
+        }
     }
 }
 
@@ -113,7 +117,10 @@ impl RobustMpc {
     /// MPC with a custom horizon.
     pub fn with_horizon(horizon: usize) -> Self {
         assert!(horizon >= 1);
-        Self { horizon, ..Self::default() }
+        Self {
+            horizon,
+            ..Self::default()
+        }
     }
 
     /// Evaluates the best reward achievable from `(buffer, last_level)` over
@@ -144,8 +151,7 @@ impl RobustMpc {
                 Some(prev) => (bitrate - BITRATES_KBPS[prev] / 1000.0).abs(),
                 None => 0.0,
             };
-            let mut reward =
-                bitrate - REBUF_PENALTY * rebuf - SMOOTH_PENALTY * change;
+            let mut reward = bitrate - REBUF_PENALTY * rebuf - SMOOTH_PENALTY * change;
             if depth + 1 < self.horizon.min(ctx.chunks_remaining) {
                 let (future, _) = self.plan(ctx, pred_mbps, depth + 1, buf, Some(level));
                 reward += future;
@@ -166,9 +172,7 @@ impl AbrAlgorithm for RobustMpc {
 
     fn choose(&mut self, ctx: &AbrContext) -> usize {
         // Score the previous prediction against what actually happened.
-        if let (Some(pred), Some(&actual)) =
-            (self.last_prediction, ctx.throughput_history.last())
-        {
+        if let (Some(pred), Some(&actual)) = (self.last_prediction, ctx.throughput_history.last()) {
             self.errors.push((pred - actual).abs() / actual.max(1e-6));
             if self.errors.len() > 5 {
                 self.errors.remove(0);
@@ -198,7 +202,9 @@ pub struct Oboe {
 
 impl Default for Oboe {
     fn default() -> Self {
-        Self { inner: RobustMpc::default() }
+        Self {
+            inner: RobustMpc::default(),
+        }
     }
 }
 
@@ -305,7 +311,11 @@ mod tests {
         let mut algo = RateBased;
         let mut ctx = ctx_with_buffer(10.0);
         ctx.throughput_history = vec![10.0, 10.0, 10.0];
-        assert_eq!(algo.choose(&ctx), N_LEVELS - 1, "10 Mbps supports top level");
+        assert_eq!(
+            algo.choose(&ctx),
+            N_LEVELS - 1,
+            "10 Mbps supports top level"
+        );
         ctx.throughput_history = vec![0.4, 0.4, 0.4];
         assert_eq!(algo.choose(&ctx), 0, "0.4 Mbps supports only the lowest");
         ctx.throughput_history = vec![1.5, 1.5, 1.5];
@@ -325,14 +335,16 @@ mod tests {
         // On a 0.6 Mbps link the only safe level is the lowest (0.3 Mbps);
         // MPC must avoid heavy rebuffering.
         let r = eval_abr(&mut session(0.6), &mut RobustMpc::default());
-        assert!(r > 0.0, "mpc should stay positive on a starving link, got {r}");
+        assert!(
+            r > 0.0,
+            "mpc should stay positive on a starving link, got {r}"
+        );
     }
 
     #[test]
     fn mpc_uses_high_bitrate_when_safe() {
         let outs = run_abr(&mut session(20.0), &mut RobustMpc::default());
-        let mean_level =
-            outs.iter().map(|o| o.level as f64).sum::<f64>() / outs.len() as f64;
+        let mean_level = outs.iter().map(|o| o.level as f64).sum::<f64>() / outs.len() as f64;
         assert!(mean_level > 3.5, "mean level {mean_level} too conservative");
     }
 

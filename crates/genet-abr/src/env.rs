@@ -60,7 +60,10 @@ impl Env for AbrEnv {
     fn observe(&self, out: &mut [f32]) {
         let ctx = self.sim.context();
         let h = &ctx.throughput_history;
-        out[0] = ctx.last_level.map(|l| l as f32 / (N_LEVELS - 1) as f32).unwrap_or(0.0);
+        out[0] = ctx
+            .last_level
+            .map(|l| l as f32 / (N_LEVELS - 1) as f32)
+            .unwrap_or(0.0);
         out[1] = (ctx.buffer_s / 30.0).min(4.0) as f32;
         for k in 0..TPUT_HISTORY {
             out[2 + k] = if h.len() > k {
@@ -70,8 +73,7 @@ impl Env for AbrEnv {
             };
         }
         out[2 + TPUT_HISTORY] = (ctx.last_download_s / 10.0).min(4.0) as f32;
-        out[3 + TPUT_HISTORY] =
-            ctx.chunks_remaining as f32 / ctx.chunks_total.max(1) as f32;
+        out[3 + TPUT_HISTORY] = ctx.chunks_remaining as f32 / ctx.chunks_total.max(1) as f32;
         for l in 0..N_LEVELS {
             out[4 + TPUT_HISTORY + l] = (ctx.next_chunk_bits[l] / 8e6).min(4.0) as f32;
         }
@@ -79,22 +81,20 @@ impl Env for AbrEnv {
 
     fn step(&mut self, action: usize) -> StepOutcome {
         let out = self.sim.download(action);
-        StepOutcome { reward: out.reward, done: out.finished }
+        StepOutcome {
+            reward: out.reward,
+            done: out.finished,
+        }
     }
 }
 
 /// Drives a whole session with a `genet_env::Policy`, returning every chunk
 /// outcome — the reward-breakdown twin of `baselines::run_abr` (used by the
 /// Figure-16 / Table-6 experiments).
-pub fn run_abr_policy(
-    sim: AbrSim,
-    policy: &dyn genet_env::Policy,
-    seed: u64,
-) -> Vec<ChunkOutcome> {
+pub fn run_abr_policy(sim: AbrSim, policy: &dyn genet_env::Policy, seed: u64) -> Vec<ChunkOutcome> {
     use rand::SeedableRng;
     let mut env = AbrEnv::new(sim);
-    let mut rng =
-        rand::rngs::StdRng::seed_from_u64(genet_math::derive_seed(seed, 0xAB9));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(genet_math::derive_seed(seed, 0xAB9));
     let mut obs = vec![0.0f32; env.obs_dim()];
     let mut outs = Vec::new();
     loop {
@@ -133,7 +133,10 @@ mod tests {
             e.observe(&mut obs);
             assert_eq!(obs.len(), ABR_OBS_DIM);
             for (i, v) in obs.iter().enumerate() {
-                assert!(v.is_finite() && (-0.01..=4.01).contains(v), "obs[{i}] = {v}");
+                assert!(
+                    v.is_finite() && (-0.01..=4.01).contains(v),
+                    "obs[{i}] = {v}"
+                );
             }
             if e.step(1).done {
                 break;

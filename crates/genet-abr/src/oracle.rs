@@ -11,7 +11,7 @@
 use crate::sim::{transfer_time, MAX_DOWNLOAD_S, REBUF_PENALTY, SMOOTH_PENALTY};
 use crate::video::{VideoModel, N_LEVELS};
 use genet_traces::BandwidthTrace;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One partial plan in the beam.
 #[derive(Debug, Clone, Copy)]
@@ -40,7 +40,12 @@ pub fn oracle_reward(
     // Chunk 0 from the empty-buffer start; no smoothness penalty.
     for level in 0..N_LEVELS {
         beam.push(advance(
-            PlanState { t: 0.0, buffer_s: 0.0, last_level: level, total_reward: 0.0 },
+            PlanState {
+                t: 0.0,
+                buffer_s: 0.0,
+                last_level: level,
+                total_reward: 0.0,
+            },
             trace,
             video,
             rtt_s,
@@ -67,8 +72,10 @@ pub fn oracle_reward(
             }
         }
         // Deduplicate on quantized (level, buffer): keep the best reward in
-        // each bucket, then keep the top `beam_width` overall.
-        let mut buckets: HashMap<(usize, i64), PlanState> = HashMap::new();
+        // each bucket, then keep the top `beam_width` overall. A BTreeMap
+        // (not HashMap) so reward ties truncate in key order — the beam, and
+        // thus the oracle value, must be identical across calls.
+        let mut buckets: BTreeMap<(usize, i64), PlanState> = BTreeMap::new();
         for c in candidates {
             let key = (c.last_level, (c.buffer_s / 0.25) as i64);
             let entry = buckets.entry(key).or_insert(c);
@@ -78,7 +85,9 @@ pub fn oracle_reward(
         }
         beam = buckets.into_values().collect();
         beam.sort_by(|a, b| {
-            b.total_reward.partial_cmp(&a.total_reward).expect("finite rewards")
+            b.total_reward
+                .partial_cmp(&a.total_reward)
+                .expect("finite rewards")
         });
         beam.truncate(beam_width);
     }
@@ -103,7 +112,11 @@ fn advance(
     let size_bits = video.chunk_size_bits(chunk, level);
     let download_s = (rtt_s + transfer_time(trace, st.t + rtt_s, size_bits)).min(MAX_DOWNLOAD_S);
     // First chunk: startup delay, not rebuffering (matches `AbrSim`).
-    let rebuffer = if first { 0.0 } else { (download_s - st.buffer_s).max(0.0) };
+    let rebuffer = if first {
+        0.0
+    } else {
+        (download_s - st.buffer_s).max(0.0)
+    };
     let mut buffer = (st.buffer_s - download_s).max(0.0) + video.chunk_len_s();
     let mut t = st.t + download_s;
     if buffer > buffer_max_s {

@@ -36,7 +36,11 @@ impl Default for AbrScenario {
 impl AbrScenario {
     /// Pure-synthetic scenario.
     pub fn new() -> Self {
-        Self { trace_pool: None, trace_prob: 0.0, oracle_beam: 48 }
+        Self {
+            trace_pool: None,
+            trace_prob: 0.0,
+            oracle_beam: 48,
+        }
     }
 
     /// Enables trace-driven environments: with probability `trace_prob`,
@@ -211,7 +215,10 @@ mod tests {
         // many seeds the reward variance comes only from VBR noise.
         let r1 = s.eval_baseline("rate", &cfg, 1);
         let r2 = s.eval_baseline("rate", &cfg, 2);
-        assert!((r1 - r2).abs() < 0.3, "pool trace should make worlds similar: {r1} vs {r2}");
+        assert!(
+            (r1 - r2).abs() < 0.3,
+            "pool trace should make worlds similar: {r1} vs {r2}"
+        );
     }
 
     #[test]

@@ -169,9 +169,8 @@ impl AbrSim {
             Some(prev) => (bitrate_mbps - self.video.bitrate_mbps(prev)).abs(),
             None => 0.0,
         };
-        let reward = bitrate_mbps
-            - REBUF_PENALTY * rebuffer_s
-            - SMOOTH_PENALTY * bitrate_change_mbps;
+        let reward =
+            bitrate_mbps - REBUF_PENALTY * rebuffer_s - SMOOTH_PENALTY * bitrate_change_mbps;
 
         self.last_level = Some(level);
         self.throughput_history.push(throughput_mbps);
@@ -236,14 +235,21 @@ mod tests {
         let size = s.video().chunk_size_bits(0, 2);
         let out = s.download(2);
         let expect = 0.08 + size / 2e6;
-        assert!((out.download_s - expect).abs() < 0.02, "{} vs {expect}", out.download_s);
+        assert!(
+            (out.download_s - expect).abs() < 0.02,
+            "{} vs {expect}",
+            out.download_s
+        );
     }
 
     #[test]
     fn first_chunk_is_startup_not_rebuffering() {
         let mut s = sim(5.0);
         let out = s.download(0);
-        assert_eq!(out.rebuffer_s, 0.0, "startup delay must not count as a stall");
+        assert_eq!(
+            out.rebuffer_s, 0.0,
+            "startup delay must not count as a stall"
+        );
         // But an over-ambitious second chunk on a slow link does stall.
         let mut slow = sim(0.3);
         slow.download(0);

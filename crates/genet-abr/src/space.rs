@@ -125,8 +125,16 @@ mod tests {
         let rl2 = abr_space_at(RangeLevel::Rl2);
         let rl3 = abr_space_at(RangeLevel::Rl3);
         for ((d1, d2), d3) in rl1.dims().iter().zip(rl2.dims()).zip(rl3.dims()) {
-            assert!(d1.min >= d2.min - 1e-9 && d1.max <= d2.max + 1e-9, "{}", d1.name);
-            assert!(d2.min >= d3.min - 1e-9 && d2.max <= d3.max + 1e-9, "{}", d2.name);
+            assert!(
+                d1.min >= d2.min - 1e-9 && d1.max <= d2.max + 1e-9,
+                "{}",
+                d1.name
+            );
+            assert!(
+                d2.min >= d3.min - 1e-9 && d2.max <= d3.max + 1e-9,
+                "{}",
+                d2.name
+            );
         }
     }
 

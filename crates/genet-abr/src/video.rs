@@ -34,7 +34,10 @@ impl VideoModel {
     /// # Panics
     /// Panics on non-positive lengths.
     pub fn new(video_len_s: f64, chunk_len_s: f64, seed: u64) -> Self {
-        assert!(video_len_s > 0.0 && chunk_len_s > 0.0, "lengths must be positive");
+        assert!(
+            video_len_s > 0.0 && chunk_len_s > 0.0,
+            "lengths must be positive"
+        );
         let n_chunks = (video_len_s / chunk_len_s).round().max(1.0) as usize;
         let vbr = (0..n_chunks)
             .map(|i| {
@@ -43,7 +46,11 @@ impl VideoModel {
                 1.0 - VBR_JITTER + 2.0 * VBR_JITTER * u
             })
             .collect();
-        Self { chunk_len_s, n_chunks, vbr }
+        Self {
+            chunk_len_s,
+            n_chunks,
+            vbr,
+        }
     }
 
     /// Chunk length in seconds.
@@ -66,7 +73,11 @@ impl VideoModel {
     /// # Panics
     /// Panics on out-of-range chunk or level.
     pub fn chunk_size_bits(&self, idx: usize, level: usize) -> f64 {
-        assert!(idx < self.n_chunks, "chunk {idx} out of range {}", self.n_chunks);
+        assert!(
+            idx < self.n_chunks,
+            "chunk {idx} out of range {}",
+            self.n_chunks
+        );
         BITRATES_KBPS[level] * 1000.0 * self.chunk_len_s * self.vbr[idx]
     }
 }
@@ -114,8 +125,7 @@ mod tests {
     fn different_seeds_differ() {
         let a = VideoModel::new(200.0, 4.0, 7);
         let b = VideoModel::new(200.0, 4.0, 8);
-        let same = (0..a.n_chunks())
-            .all(|i| a.chunk_size_bits(i, 0) == b.chunk_size_bits(i, 0));
+        let same = (0..a.n_chunks()).all(|i| a.chunk_size_bits(i, 0) == b.chunk_size_bits(i, 0));
         assert!(!same);
     }
 

@@ -21,8 +21,9 @@ fn space5() -> ParamSpace {
 fn bench_gp(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     let space = space5();
-    let x: Vec<Vec<f64>> =
-        (0..15).map(|_| space.normalize(&space.sample(&mut rng))).collect();
+    let x: Vec<Vec<f64>> = (0..15)
+        .map(|_| space.normalize(&space.sample(&mut rng)))
+        .collect();
     let y: Vec<f64> = (0..15).map(|i| (i as f64).sin()).collect();
     c.bench_function("gp_fit_15_points_5d", |b| {
         b.iter(|| black_box(GaussianProcess::fit(&x, &y, GpParams::default())))

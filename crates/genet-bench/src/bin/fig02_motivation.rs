@@ -11,9 +11,9 @@
 //! cargo run --release -p genet-bench --bin fig02_motivation [-- --full]
 //! ```
 
+use genet::math::fraction_below;
 use genet::prelude::*;
 use genet_bench::harness::{self, Args};
-use genet::math::fraction_below;
 
 fn main() {
     let args = Args::parse();
@@ -37,8 +37,7 @@ fn main() {
         let baseline = s.default_baseline();
         for level in RangeLevel::all() {
             let space = s.space(level);
-            let test =
-                test_configs(&space, harness::test_env_count(args.full), args.seed ^ 0x21);
+            let test = test_configs(&space, harness::test_env_count(args.full), args.seed ^ 0x21);
             let agent = harness::cached_traditional(s, level, &args);
             let rl = eval_policy_many(s, &agent.policy(PolicyMode::Greedy), &test, args.seed);
             let base = eval_baseline_many(s, baseline, &test, args.seed);

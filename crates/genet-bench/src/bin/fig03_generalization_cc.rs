@@ -19,8 +19,13 @@ use genet_bench::harness::{self, Args};
 fn train_on_corpus(kind: CorpusKind, args: &Args) -> PpoAgent {
     let cc = CcScenario::new();
     let cfg = harness::genet_config(&cc, args.full);
-    let tag = format!("cc_corpus_{}_it{}_s{}", kind.name(), cfg.total_iters(), args.seed);
-    harness::cached_agent(&tag, &cc, args.fresh, || {
+    let tag = format!(
+        "cc_corpus_{}_it{}_s{}",
+        kind.name(),
+        cfg.total_iters(),
+        args.seed
+    );
+    harness::cached_agent(&tag, &cc, args, || {
         let (count, dur) = kind.split_shape(Split::Train);
         let corpus = kind.generate_sized(Split::Train, 1, count, dur);
         let pool = std::sync::Arc::new(TraceIndex::new(corpus.traces));
@@ -30,7 +35,14 @@ fn train_on_corpus(kind: CorpusKind, args: &Args) -> PpoAgent {
         // length etc. "to increase its robustness") — sample configs from
         // the medium range while the bandwidth comes from the corpus.
         let src = UniformSource(scenario.space(RangeLevel::Rl2));
-        train_rl(&mut agent, &scenario, &src, cfg.train, cfg.total_iters(), args.seed);
+        train_rl(
+            &mut agent,
+            &scenario,
+            &src,
+            cfg.train,
+            cfg.total_iters(),
+            args.seed,
+        );
         agent
     })
 }
@@ -47,12 +59,23 @@ fn main() {
     let synth_test = test_configs(&cc.space(RangeLevel::Rl1), 60, args.seed ^ 0x31);
     let rl = eval_policy_many(&cc, &synth_agent.policy(PolicyMode::Greedy), &synth_test, 3);
     let bbr = eval_baseline_many(&cc, "bbr", &synth_test, 3);
-    out.row(&vec!["a".into(), "synthetic".into(), "synthetic".into(), "rl".into(), fmt(mean(&rl))]);
-    out.row(&vec!["a".into(), "-".into(), "synthetic".into(), "bbr".into(), fmt(mean(&bbr))]);
+    out.row(&vec![
+        "a".into(),
+        "synthetic".into(),
+        "synthetic".into(),
+        "rl".into(),
+        fmt(mean(&rl)),
+    ]);
+    out.row(&vec![
+        "a".into(),
+        "-".into(),
+        "synthetic".into(),
+        "bbr".into(),
+        fmt(mean(&bbr)),
+    ]);
     for kind in [CorpusKind::Cellular, CorpusKind::Ethernet] {
         let (replay, cfgs) = harness::cc_corpus_eval(kind, Split::Test, n, 1);
-        let rl =
-            eval_policy_many(&replay, &synth_agent.policy(PolicyMode::Greedy), &cfgs, 3);
+        let rl = eval_policy_many(&replay, &synth_agent.policy(PolicyMode::Greedy), &cfgs, 3);
         let bbr = eval_baseline_many(&replay, "bbr", &cfgs, 3);
         out.row(&vec![
             "a".into(),
@@ -74,13 +97,24 @@ fn main() {
     let cellular_agent = train_on_corpus(CorpusKind::Cellular, &args);
     let ethernet_agent = train_on_corpus(CorpusKind::Ethernet, &args);
     for (test_kind, agents) in [
-        (CorpusKind::Ethernet, [("cellular-trained", &cellular_agent), ("ethernet-trained", &ethernet_agent)]),
-        (CorpusKind::Cellular, [("cellular-trained", &cellular_agent), ("ethernet-trained", &ethernet_agent)]),
+        (
+            CorpusKind::Ethernet,
+            [
+                ("cellular-trained", &cellular_agent),
+                ("ethernet-trained", &ethernet_agent),
+            ],
+        ),
+        (
+            CorpusKind::Cellular,
+            [
+                ("cellular-trained", &cellular_agent),
+                ("ethernet-trained", &ethernet_agent),
+            ],
+        ),
     ] {
         let (replay, cfgs) = harness::cc_corpus_eval(test_kind, Split::Test, n, 1);
         for (label, agent) in agents {
-            let scores =
-                eval_policy_many(&replay, &agent.policy(PolicyMode::Greedy), &cfgs, 3);
+            let scores = eval_policy_many(&replay, &agent.policy(PolicyMode::Greedy), &cfgs, 3);
             out.row(&vec![
                 "b".into(),
                 label.into(),

@@ -25,9 +25,19 @@ fn xy_configs(space: &ParamSpace) -> (EnvConfig, EnvConfig) {
     let iv = space.index_of(names::BW_INTERVAL).unwrap();
     let fr = space.index_of(names::MIN_BW_FRAC).unwrap();
     // X: 0–5 Mbps, changing every ~0–2 s.
-    let x = space.clamp(d.with_value(bw, 5.0).with_value(iv, 2.0).with_value(fr, 0.2).values());
+    let x = space.clamp(
+        d.with_value(bw, 5.0)
+            .with_value(iv, 2.0)
+            .with_value(fr, 0.2)
+            .values(),
+    );
     // Y: 0–10 Mbps, changing every ~4–15 s.
-    let y = space.clamp(d.with_value(bw, 10.0).with_value(iv, 9.0).with_value(fr, 0.2).values());
+    let y = space.clamp(
+        d.with_value(bw, 10.0)
+            .with_value(iv, 9.0)
+            .with_value(fr, 0.2)
+            .values(),
+    );
     (x, y)
 }
 
@@ -47,7 +57,14 @@ fn main() {
     let cfg = harness::genet_config(&abr, args.full);
     let mut base_agent = make_agent(&abr, args.seed);
     let src = UniformSource(space.clone());
-    train_rl(&mut base_agent, &abr, &src, cfg.train, cfg.initial_iters, args.seed);
+    train_rl(
+        &mut base_agent,
+        &abr,
+        &src,
+        cfg.train,
+        cfg.initial_iters,
+        args.seed,
+    );
 
     let eval_xy = |agent: &PpoAgent| {
         let p = agent.policy(PolicyMode::Greedy);
@@ -67,7 +84,11 @@ fn main() {
     // current model on Y (improvable) but not by much on X (hard).
     let mpc_x = mean(&eval_baseline_many(&abr, "mpc", &xs, 5));
     let mpc_y = mean(&eval_baseline_many(&abr, "mpc", &ys, 5));
-    println!("# gap-to-baseline: X {:.3}  Y {:.3} (Genet picks the larger)", mpc_x - rx0, mpc_y - ry0);
+    println!(
+        "# gap-to-baseline: X {:.3}  Y {:.3} (Genet picks the larger)",
+        mpc_x - rx0,
+        mpc_y - ry0
+    );
 
     let phases = if args.full { 15 } else { 8 };
     let per_phase = 10;
@@ -81,7 +102,14 @@ fn main() {
                 b: UniformSource(space.clone()),
                 p_a: 0.3,
             };
-            train_rl(&mut agent, &abr, &mix, cfg.train, per_phase, args.seed ^ phase as u64);
+            train_rl(
+                &mut agent,
+                &abr,
+                &mix,
+                cfg.train,
+                per_phase,
+                args.seed ^ phase as u64,
+            );
             let (rx, ry) = eval_xy(&agent);
             out.row(&vec![
                 variant.into(),

@@ -28,7 +28,14 @@ fn run_for(scenario: &dyn Scenario, args: &Args, out: &mut TsvWriter) {
     // Genet-based training").
     let mut agent = make_agent(scenario, args.seed);
     let src = UniformSource(scenario.space(RangeLevel::Rl3));
-    train_rl(&mut agent, scenario, &src, cfg.train, cfg.initial_iters, args.seed);
+    train_rl(
+        &mut agent,
+        scenario,
+        &src,
+        cfg.train,
+        cfg.initial_iters,
+        args.seed,
+    );
     let policy = agent.policy(PolicyMode::Greedy);
     let baseline = scenario.default_baseline();
 
@@ -87,7 +94,13 @@ fn run_for(scenario: &dyn Scenario, args: &Args, out: &mut TsvWriter) {
 fn main() {
     let args = Args::parse();
     let mut out = harness::tsv("fig06_gap_correlation");
-    out.header(&["scenario", "kind", "gap_to_baseline", "gap_to_optimum", "improvement"]);
+    out.header(&[
+        "scenario",
+        "kind",
+        "gap_to_baseline",
+        "gap_to_optimum",
+        "improvement",
+    ]);
     run_for(&AbrScenario::new(), &args, &mut out);
     run_for(&CcScenario::new(), &args, &mut out);
 }

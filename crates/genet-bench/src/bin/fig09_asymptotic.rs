@@ -15,7 +15,14 @@ use genet_bench::harness::{self, Args};
 fn main() {
     let args = Args::parse();
     let mut out = harness::tsv("fig09_asymptotic");
-    out.header(&["scenario", "policy", "mean_reward", "p50", "p90_low", "n_envs"]);
+    out.header(&[
+        "scenario",
+        "policy",
+        "mean_reward",
+        "p50",
+        "p90_low",
+        "n_envs",
+    ]);
 
     let scenarios: Vec<Box<dyn Scenario>> = vec![
         Box::new(CcScenario::new()),
@@ -41,16 +48,26 @@ fn main() {
 
         for level in RangeLevel::all() {
             let agent = harness::cached_traditional(s, level, &args);
-            let scores =
-                eval_policy_many(s, &agent.policy(PolicyMode::Greedy), &test, args.seed);
+            let scores = eval_policy_many_with(
+                s,
+                &agent.policy(PolicyMode::Greedy),
+                &test,
+                args.seed,
+                args.collector(),
+            );
             report(level.label(), &scores);
         }
         let genet_agent = harness::cached_genet(s, space.clone(), &args, None, "");
-        let scores =
-            eval_policy_many(s, &genet_agent.policy(PolicyMode::Greedy), &test, args.seed);
+        let scores = eval_policy_many_with(
+            s,
+            &genet_agent.policy(PolicyMode::Greedy),
+            &test,
+            args.seed,
+            args.collector(),
+        );
         report("Genet", &scores);
         let base = s.default_baseline();
-        let scores = eval_baseline_many(s, base, &test, args.seed);
+        let scores = eval_baseline_many_with(s, base, &test, args.seed, args.collector());
         report(base, &scores);
     }
 }

@@ -25,9 +25,18 @@ fn main() {
             "Genet".into(),
             harness::cached_genet(&abr, space.clone(), &args, None, ""),
         ),
-        ("RL1".into(), harness::cached_traditional(&abr, RangeLevel::Rl1, &args)),
-        ("RL2".into(), harness::cached_traditional(&abr, RangeLevel::Rl2, &args)),
-        ("RL3".into(), harness::cached_traditional(&abr, RangeLevel::Rl3, &args)),
+        (
+            "RL1".into(),
+            harness::cached_traditional(&abr, RangeLevel::Rl1, &args),
+        ),
+        (
+            "RL2".into(),
+            harness::cached_traditional(&abr, RangeLevel::Rl2, &args),
+        ),
+        (
+            "RL3".into(),
+            harness::cached_traditional(&abr, RangeLevel::Rl3, &args),
+        ),
     ];
 
     // The six sweeps of Figure 10 (chunk length, change interval, RTT,

@@ -21,15 +21,33 @@ fn main() {
     let seeds_per_point = if args.full { 20 } else { 8 };
 
     let agents: Vec<(String, PpoAgent)> = vec![
-        ("Genet".into(), harness::cached_genet(&lb, space.clone(), &args, None, "")),
-        ("RL1".into(), harness::cached_traditional(&lb, RangeLevel::Rl1, &args)),
-        ("RL2".into(), harness::cached_traditional(&lb, RangeLevel::Rl2, &args)),
-        ("RL3".into(), harness::cached_traditional(&lb, RangeLevel::Rl3, &args)),
+        (
+            "Genet".into(),
+            harness::cached_genet(&lb, space.clone(), &args, None, ""),
+        ),
+        (
+            "RL1".into(),
+            harness::cached_traditional(&lb, RangeLevel::Rl1, &args),
+        ),
+        (
+            "RL2".into(),
+            harness::cached_traditional(&lb, RangeLevel::Rl2, &args),
+        ),
+        (
+            "RL3".into(),
+            harness::cached_traditional(&lb, RangeLevel::Rl3, &args),
+        ),
     ];
 
     let sweeps: &[(&str, &[f64])] = &[
-        (names::JOB_SIZE, &[100.0, 500.0, 1000.0, 2000.0, 3000.0, 5000.0]),
-        (names::JOB_INTERVAL, &[200.0, 350.0, 500.0, 700.0, 1200.0, 2000.0]),
+        (
+            names::JOB_SIZE,
+            &[100.0, 500.0, 1000.0, 2000.0, 3000.0, 5000.0],
+        ),
+        (
+            names::JOB_INTERVAL,
+            &[200.0, 350.0, 500.0, 700.0, 1200.0, 2000.0],
+        ),
     ];
 
     for (param, values) in sweeps {

@@ -46,12 +46,24 @@ fn main() {
             mean(&scores)
         };
         for ratio in [0.05, 0.1, 0.2, 0.5, 1.0] {
-            let tag = format!("cc_mix{}_it{}_s{}", (ratio * 100.0) as u32, cfg.total_iters(), args.seed);
+            let tag = format!(
+                "cc_mix{}_it{}_s{}",
+                (ratio * 100.0) as u32,
+                cfg.total_iters(),
+                args.seed
+            );
             let scenario = CcScenario::new().with_trace_pool(cc_pool.clone(), ratio);
-            let agent = harness::cached_agent(&tag, &scenario, args.fresh, || {
+            let agent = harness::cached_agent(&tag, &scenario, &args, || {
                 let mut agent = make_agent(&scenario, args.seed);
                 let src = UniformSource(space.clone());
-                train_rl(&mut agent, &scenario, &src, cfg.train, cfg.total_iters(), args.seed);
+                train_rl(
+                    &mut agent,
+                    &scenario,
+                    &src,
+                    cfg.train,
+                    cfg.total_iters(),
+                    args.seed,
+                );
                 agent
             });
             out.row(&vec![
@@ -64,10 +76,15 @@ fn main() {
         // Genet with trace augmentation at the paper's w = 0.3.
         let scenario = CcScenario::new().with_trace_pool(cc_pool.clone(), 0.3);
         let tag = format!("cc_genet_mix_it{}_s{}", cfg.total_iters(), args.seed);
-        let agent = harness::cached_agent(&tag, &scenario, args.fresh, || {
+        let agent = harness::cached_agent(&tag, &scenario, &args, || {
             genet_train(&scenario, space.clone(), &cfg, args.seed).agent
         });
-        out.row(&vec!["cc".into(), "genet".into(), "30%".into(), fmt(eval(&agent))]);
+        out.row(&vec![
+            "cc".into(),
+            "genet".into(),
+            "30%".into(),
+            fmt(eval(&agent)),
+        ]);
     }
 
     // ---- ABR ----
@@ -84,12 +101,24 @@ fn main() {
             mean(&scores)
         };
         for ratio in [0.05, 0.1, 0.2, 0.5, 1.0] {
-            let tag = format!("abr_mix{}_it{}_s{}", (ratio * 100.0) as u32, cfg.total_iters(), args.seed);
+            let tag = format!(
+                "abr_mix{}_it{}_s{}",
+                (ratio * 100.0) as u32,
+                cfg.total_iters(),
+                args.seed
+            );
             let scenario = AbrScenario::new().with_trace_pool(abr_pool.clone(), ratio);
-            let agent = harness::cached_agent(&tag, &scenario, args.fresh, || {
+            let agent = harness::cached_agent(&tag, &scenario, &args, || {
                 let mut agent = make_agent(&scenario, args.seed);
                 let src = UniformSource(space.clone());
-                train_rl(&mut agent, &scenario, &src, cfg.train, cfg.total_iters(), args.seed);
+                train_rl(
+                    &mut agent,
+                    &scenario,
+                    &src,
+                    cfg.train,
+                    cfg.total_iters(),
+                    args.seed,
+                );
                 agent
             });
             out.row(&vec![
@@ -101,9 +130,14 @@ fn main() {
         }
         let scenario = AbrScenario::new().with_trace_pool(abr_pool.clone(), 0.3);
         let tag = format!("abr_genet_mix_it{}_s{}", cfg.total_iters(), args.seed);
-        let agent = harness::cached_agent(&tag, &scenario, args.fresh, || {
+        let agent = harness::cached_agent(&tag, &scenario, &args, || {
             genet_train(&scenario, space.clone(), &cfg, args.seed).agent
         });
-        out.row(&vec!["abr".into(), "genet".into(), "30%".into(), fmt(eval(&agent))]);
+        out.row(&vec![
+            "abr".into(),
+            "genet".into(),
+            "30%".into(),
+            fmt(eval(&agent)),
+        ]);
     }
 }

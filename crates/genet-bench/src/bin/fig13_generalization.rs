@@ -21,7 +21,12 @@ fn main() {
     let cc = CcScenario::new();
     let mut cc_agents: Vec<(String, PpoAgent)> = RangeLevel::all()
         .into_iter()
-        .map(|l| (l.label().to_string(), harness::cached_traditional(&cc, l, &args)))
+        .map(|l| {
+            (
+                l.label().to_string(),
+                harness::cached_traditional(&cc, l, &args),
+            )
+        })
         .collect();
     cc_agents.push((
         "Genet".into(),
@@ -54,7 +59,12 @@ fn main() {
     let abr = AbrScenario::new();
     let mut abr_agents: Vec<(String, PpoAgent)> = RangeLevel::all()
         .into_iter()
-        .map(|l| (l.label().to_string(), harness::cached_traditional(&abr, l, &args)))
+        .map(|l| {
+            (
+                l.label().to_string(),
+                harness::cached_traditional(&abr, l, &args),
+            )
+        })
         .collect();
     abr_agents.push((
         "Genet".into(),

@@ -17,7 +17,13 @@ use genet_bench::harness::{self, Args};
 fn main() {
     let args = Args::parse();
     let mut out = harness::tsv("fig14_baseline_choice");
-    out.header(&["scenario", "guiding_baseline", "genet_mean", "baseline_mean", "beats_it"]);
+    out.header(&[
+        "scenario",
+        "guiding_baseline",
+        "genet_mean",
+        "baseline_mean",
+        "beats_it",
+    ]);
 
     let pairs: Vec<(Box<dyn Scenario>, &str)> = vec![
         (Box::new(AbrScenario::new()), "mpc"),
@@ -35,7 +41,9 @@ fn main() {
             s,
             space.clone(),
             &args,
-            Some(SelectionCriterion::GapToBaseline { baseline: baseline.to_string() }),
+            Some(SelectionCriterion::GapToBaseline {
+                baseline: baseline.to_string(),
+            }),
             &format!("_{baseline}"),
         );
         let test = test_configs(&space, harness::test_env_count(args.full), args.seed ^ 0x14);

@@ -27,7 +27,12 @@ fn main() {
     let abr_space = abr.space(RangeLevel::Rl3);
     let mut abr_policies: Vec<(String, PpoAgent)> = RangeLevel::all()
         .into_iter()
-        .map(|l| (l.label().into(), harness::cached_traditional(&abr, l, &args)))
+        .map(|l| {
+            (
+                l.label().into(),
+                harness::cached_traditional(&abr, l, &args),
+            )
+        })
         .collect();
     for b in ["mpc", "bba"] {
         abr_policies.push((

@@ -56,21 +56,60 @@ fn main() {
 
     // ---------------- ABR (Figure 16a / Table 6) ----------------
     let abr_paths = [
-        PathProfile { name: "path1-wired-wired", bw_mbps: 45.0, jitter: 0.1, rtt_ms: 20.0, queue_pkts: 0.0, loss: 0.0 },
+        PathProfile {
+            name: "path1-wired-wired",
+            bw_mbps: 45.0,
+            jitter: 0.1,
+            rtt_ms: 20.0,
+            queue_pkts: 0.0,
+            loss: 0.0,
+        },
         // bw far above the 4.3 Mbps top bitrate: no room to improve.
-        PathProfile { name: "path2-wired-wifi", bw_mbps: 25.0, jitter: 0.3, rtt_ms: 35.0, queue_pkts: 0.0, loss: 0.0 },
-        PathProfile { name: "path3-wired-cellular", bw_mbps: 2.4, jitter: 0.6, rtt_ms: 90.0, queue_pkts: 0.0, loss: 0.0 },
-        PathProfile { name: "path4-cloud-wifi", bw_mbps: 4.0, jitter: 0.4, rtt_ms: 130.0, queue_pkts: 0.0, loss: 0.0 },
-        PathProfile { name: "path5-cloud-wifi", bw_mbps: 2.8, jitter: 0.5, rtt_ms: 210.0, queue_pkts: 0.0, loss: 0.0 },
+        PathProfile {
+            name: "path2-wired-wifi",
+            bw_mbps: 25.0,
+            jitter: 0.3,
+            rtt_ms: 35.0,
+            queue_pkts: 0.0,
+            loss: 0.0,
+        },
+        PathProfile {
+            name: "path3-wired-cellular",
+            bw_mbps: 2.4,
+            jitter: 0.6,
+            rtt_ms: 90.0,
+            queue_pkts: 0.0,
+            loss: 0.0,
+        },
+        PathProfile {
+            name: "path4-cloud-wifi",
+            bw_mbps: 4.0,
+            jitter: 0.4,
+            rtt_ms: 130.0,
+            queue_pkts: 0.0,
+            loss: 0.0,
+        },
+        PathProfile {
+            name: "path5-cloud-wifi",
+            bw_mbps: 2.8,
+            jitter: 0.5,
+            rtt_ms: 210.0,
+            queue_pkts: 0.0,
+            loss: 0.0,
+        },
     ];
     let abr = AbrScenario::new();
-    let abr_agent =
-        harness::cached_genet(&abr, abr.space(RangeLevel::Rl3), &args, None, "");
+    let abr_agent = harness::cached_genet(&abr, abr.space(RangeLevel::Rl3), &args, None, "");
     let abr_policy = abr_agent.policy(PolicyMode::Greedy);
 
     let mut out_a = harness::tsv("fig16_table6_abr");
     out_a.header(&[
-        "path", "algorithm", "bitrate_mbps", "rebuffer_s", "bitrate_change_mbps", "reward",
+        "path",
+        "algorithm",
+        "bitrate_mbps",
+        "rebuffer_s",
+        "bitrate_change_mbps",
+        "reward",
     ]);
     for (pi, path) in abr_paths.iter().enumerate() {
         for algo_name in ["mpc", "bba", "genet"] {
@@ -108,11 +147,32 @@ fn main() {
 
     // ---------------- CC (Figure 16b / Table 7) ----------------
     let cc_paths = [
-        PathProfile { name: "path1-wired-wired", bw_mbps: 80.0, jitter: 0.05, rtt_ms: 30.0, queue_pkts: 120.0, loss: 0.003 },
-        PathProfile { name: "path2-wired-cellular", bw_mbps: 0.25, jitter: 0.5, rtt_ms: 300.0, queue_pkts: 400.0, loss: 0.02 },
+        PathProfile {
+            name: "path1-wired-wired",
+            bw_mbps: 80.0,
+            jitter: 0.05,
+            rtt_ms: 30.0,
+            queue_pkts: 120.0,
+            loss: 0.003,
+        },
+        PathProfile {
+            name: "path2-wired-cellular",
+            bw_mbps: 0.25,
+            jitter: 0.5,
+            rtt_ms: 300.0,
+            queue_pkts: 400.0,
+            loss: 0.02,
+        },
         // Queue far deeper than the 2–200 pkts seen in training (paper's
         // documented Genet failure on this path).
-        PathProfile { name: "path3-wired-wifi", bw_mbps: 5.5, jitter: 0.25, rtt_ms: 60.0, queue_pkts: 1200.0, loss: 0.005 },
+        PathProfile {
+            name: "path3-wired-wifi",
+            bw_mbps: 5.5,
+            jitter: 0.25,
+            rtt_ms: 60.0,
+            queue_pkts: 1200.0,
+            loss: 0.005,
+        },
     ];
     let cc = CcScenario::new();
     let cc_agent = harness::cached_genet(&cc, cc.space(RangeLevel::Rl3), &args, None, "");
@@ -120,7 +180,12 @@ fn main() {
 
     let mut out_c = harness::tsv("fig16_table7_cc");
     out_c.header(&[
-        "path", "algorithm", "throughput_mbps", "p90_latency_ms", "loss_rate", "reward",
+        "path",
+        "algorithm",
+        "throughput_mbps",
+        "p90_latency_ms",
+        "loss_rate",
+        "reward",
     ]);
     for (pi, path) in cc_paths.iter().enumerate() {
         for algo_name in ["bbr", "cubic", "genet"] {

@@ -77,7 +77,9 @@ fn main() {
                     }
                 }
                 let mis = sim.completed_mis();
-                tputs.push(mean(&mis.iter().map(|m| m.throughput_mbps).collect::<Vec<_>>()));
+                tputs.push(mean(
+                    &mis.iter().map(|m| m.throughput_mbps).collect::<Vec<_>>(),
+                ));
                 lats.extend(mis.iter().map(|m| m.avg_latency_s * 1000.0));
             }
             out.row(&vec![
@@ -96,7 +98,12 @@ fn main() {
     let abr_genet = abr_agent.policy(PolicyMode::Greedy);
     let abr_rl: Vec<(String, PpoAgent)> = RangeLevel::all()
         .into_iter()
-        .map(|l| (l.label().into(), harness::cached_traditional(&abr, l, &args)))
+        .map(|l| {
+            (
+                l.label().into(),
+                harness::cached_traditional(&abr, l, &args),
+            )
+        })
         .collect();
     for kind in [CorpusKind::Fcc, CorpusKind::Norway] {
         let (count, dur) = kind.split_shape(Split::Test);
@@ -105,8 +112,11 @@ fn main() {
             .iter()
             .map(|(l, a)| (l.clone(), a.policy(PolicyMode::Greedy)))
             .collect();
-        let mut algos: Vec<(String, Option<&PpoPolicy>)> =
-            vec![("mpc".into(), None), ("bba".into(), None), ("rate".into(), None)];
+        let mut algos: Vec<(String, Option<&PpoPolicy>)> = vec![
+            ("mpc".into(), None),
+            ("bba".into(), None),
+            ("rate".into(), None),
+        ];
         algos.push(("Genet".into(), Some(&abr_genet)));
         for (l, p) in &rl_policies {
             algos.push((l.clone(), Some(p)));

@@ -14,6 +14,17 @@ use genet::prelude::*;
 use genet_bench::harness::{self, Args};
 use std::sync::Mutex;
 
+/// Formats the per-phase PPO diagnostics columns (NaN when the phase
+/// trained for zero iterations).
+fn stats_cells(stats: &genet::rl::UpdateStats) -> [String; 4] {
+    [
+        fmt(stats.policy_loss as f64),
+        fmt(stats.value_loss as f64),
+        fmt(stats.entropy as f64),
+        fmt(stats.approx_kl as f64),
+    ]
+}
+
 fn run_curves(scenario: &dyn Scenario, args: &Args, out: &mut TsvWriter) {
     let space = scenario.space(RangeLevel::Rl3);
     let cfg = harness::genet_config(scenario, args.full);
@@ -48,17 +59,34 @@ fn run_curves(scenario: &dyn Scenario, args: &Args, out: &mut TsvWriter) {
         vcfg.criterion = criterion;
         let curve = Mutex::new(Vec::new());
         let agent = make_agent(scenario, args.seed);
-        let _ = genet_train_with(scenario, space.clone(), &vcfg, agent, args.seed, |phase, a| {
-            curve.lock().unwrap().push((phase, eval_phase(a)));
-        });
+        let res = genet_train_instrumented(
+            scenario,
+            space.clone(),
+            &vcfg,
+            agent,
+            args.seed,
+            |phase, a| {
+                curve.lock().unwrap().push((phase, eval_phase(a)));
+            },
+            args.collector(),
+        );
         for (phase, reward) in curve.into_inner().unwrap() {
             let iters = vcfg.initial_iters + phase * vcfg.iters_per_round;
-            out.row(&vec![
+            // Diagnostics averaged over the iterations this phase added.
+            let from = if phase == 0 {
+                0
+            } else {
+                vcfg.initial_iters + (phase - 1) * vcfg.iters_per_round
+            };
+            let stats = res.log.mean_stats(from, iters);
+            let mut row = vec![
                 scenario.name().into(),
                 label.into(),
                 iters.to_string(),
                 fmt(reward),
-            ]);
+            ];
+            row.extend(stats_cells(&stats));
+            out.row(&row);
         }
     }
 
@@ -71,12 +99,15 @@ fn run_curves(scenario: &dyn Scenario, args: &Args, out: &mut TsvWriter) {
         // in --full mode, which would double the cost; the end point is
         // what Fig. 22 compares anyway).
         let final_reward = eval_phase(&res.agent);
-        out.row(&vec![
+        let stats = res.log.mean_stats(0, res.log.iter_rewards.len());
+        let mut row = vec![
             scenario.name().into(),
             "CL1".into(),
             cfg.total_iters().to_string(),
             fmt(final_reward),
-        ]);
+        ];
+        row.extend(stats_cells(&stats));
+        out.row(&row);
     }
 
     // Traditional RL3 with the same budget, evaluated at the same phase
@@ -85,17 +116,40 @@ fn run_curves(scenario: &dyn Scenario, args: &Args, out: &mut TsvWriter) {
         let mut agent = make_agent(scenario, args.seed);
         let src = UniformSource(space.clone());
         let mut done = 0;
-        out.row(&vec![scenario.name().into(), "RL3".into(), "0".into(), fmt(eval_phase(&agent))]);
+        let empty = TrainLog::default();
+        let mut row = vec![
+            scenario.name().into(),
+            "RL3".into(),
+            "0".into(),
+            fmt(eval_phase(&agent)),
+        ];
+        row.extend(stats_cells(&empty.mean_stats(0, 0)));
+        out.row(&row);
         for phase in 0..=cfg.rounds {
-            let iters = if phase == 0 { cfg.initial_iters } else { cfg.iters_per_round };
-            train_rl(&mut agent, scenario, &src, cfg.train, iters, args.seed ^ phase as u64);
+            let iters = if phase == 0 {
+                cfg.initial_iters
+            } else {
+                cfg.iters_per_round
+            };
+            let log = train_rl_with(
+                &mut agent,
+                scenario,
+                &src,
+                cfg.train,
+                iters,
+                args.seed ^ phase as u64,
+                args.collector(),
+                "train/rl3",
+            );
             done += iters;
-            out.row(&vec![
+            let mut row = vec![
                 scenario.name().into(),
                 "RL3".into(),
                 done.to_string(),
                 fmt(eval_phase(&agent)),
-            ]);
+            ];
+            row.extend(stats_cells(&log.mean_stats(0, log.iter_rewards.len())));
+            out.row(&row);
         }
     }
 }
@@ -103,7 +157,16 @@ fn run_curves(scenario: &dyn Scenario, args: &Args, out: &mut TsvWriter) {
 fn main() {
     let args = Args::parse();
     let mut out = harness::tsv("fig18_training_curves");
-    out.header(&["scenario", "method", "iterations", "test_reward"]);
+    out.header(&[
+        "scenario",
+        "method",
+        "iterations",
+        "test_reward",
+        "policy_loss",
+        "value_loss",
+        "entropy",
+        "approx_kl",
+    ]);
     run_curves(&CcScenario::new(), &args, &mut out);
     run_curves(&AbrScenario::new(), &args, &mut out);
 }

@@ -49,7 +49,7 @@ fn main() {
         train: gcfg.train,
     };
     let tag = format!("abr_robustify_it{}_s{}", gcfg.total_iters(), args.seed);
-    let robustify_agent = harness::cached_agent(&tag, &abr, args.fresh, || {
+    let robustify_agent = harness::cached_agent(&tag, &abr, &args, || {
         robustify_abr_train(&rcfg, args.seed).agent
     });
     out.row(&vec!["robustify".into(), fmt(eval(&robustify_agent))]);

@@ -31,8 +31,13 @@ fn run_for(scenario: &dyn Scenario, args: &Args, out: &mut TsvWriter) {
     ]);
 
     // RL3 at 2× budget.
-    let tag = format!("{}_rl3_2x_it{}_s{}", scenario.name(), 2 * cfg.total_iters(), args.seed);
-    let rl3_2x = harness::cached_agent(&tag, scenario, args.fresh, || {
+    let tag = format!(
+        "{}_rl3_2x_it{}_s{}",
+        scenario.name(),
+        2 * cfg.total_iters(),
+        args.seed
+    );
+    let rl3_2x = harness::cached_agent(&tag, scenario, args, || {
         harness::train_traditional(
             scenario,
             RangeLevel::Rl3,
@@ -53,8 +58,13 @@ fn run_for(scenario: &dyn Scenario, args: &Args, out: &mut TsvWriter) {
         let mut cl_cfg = cfg.clone();
         cl_cfg.iters_per_round *= 2;
         cl_cfg.initial_iters *= 2;
-        let tag = format!("{}_cl1_2x_it{}_s{}", scenario.name(), cl_cfg.total_iters(), args.seed);
-        let agent = harness::cached_agent(&tag, scenario, args.fresh, || {
+        let tag = format!(
+            "{}_cl1_2x_it{}_s{}",
+            scenario.name(),
+            cl_cfg.total_iters(),
+            args.seed
+        );
+        let agent = harness::cached_agent(&tag, scenario, args, || {
             let schedule = IntrinsicSchedule::default_for(scenario.name());
             cl1_train(scenario, space.clone(), &schedule, &cl_cfg, args.seed).agent
         });
@@ -87,7 +97,7 @@ fn run_for(scenario: &dyn Scenario, args: &Args, out: &mut TsvWriter) {
             cl_cfg.total_iters(),
             args.seed
         );
-        let agent = harness::cached_agent(&tag, scenario, args.fresh, || {
+        let agent = harness::cached_agent(&tag, scenario, args, || {
             genet_train(scenario, space.clone(), &cl_cfg, args.seed).agent
         });
         out.row(&vec![

@@ -5,17 +5,41 @@
 //! * `--seed <u64>` — master seed (default 42),
 //! * `--full` — paper-scale budgets (default is a quick mode that keeps the
 //!   qualitative shape while finishing in minutes),
-//! * `--fresh` — ignore cached trained models.
+//! * `--fresh` — ignore cached trained models,
+//! * `--telemetry[=DIR]` — structured JSONL telemetry plus a stderr
+//!   narration (see `--help`).
 //!
 //! Trained policies are cached under `bench_out/models/` keyed by a tag, so
 //! figure binaries that share a policy (fig09/fig10/fig13/fig15/…) train it
 //! once.
 
+use genet::math::derive_seed;
 use genet::prelude::*;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-/// Parsed command-line options.
-#[derive(Debug, Clone)]
+const HELP: &str = "\
+Genet reproduction experiment binary.
+
+USAGE:
+    cargo run --release -p genet-bench --bin <figure> -- [OPTIONS]
+
+OPTIONS:
+    --seed <N>         master seed, unsigned integer (default 42)
+    --full             paper-scale budgets (default: quick mode)
+    --fresh            retrain even when a cached model exists
+    --telemetry[=DIR]  write structured JSONL telemetry to DIR (default
+                       bench_out/telemetry/) and narrate progress on
+                       stderr; skips model-cache loads so per-iteration
+                       training events are emitted (training is
+                       deterministic, so results are unchanged)
+    -h, --help         print this help
+
+Rows append to bench_out/<figure>.tsv; override the output directory with
+the GENET_BENCH_OUT environment variable.";
+
+/// Parsed command-line options plus the active telemetry collector.
+#[derive(Clone)]
 pub struct Args {
     /// Master seed.
     pub seed: u64,
@@ -23,27 +47,111 @@ pub struct Args {
     pub full: bool,
     /// Ignore the model cache.
     pub fresh: bool,
+    /// Telemetry output directory (`None` = telemetry off).
+    pub telemetry: Option<PathBuf>,
+    /// Active collector: JSONL + stderr narration under `--telemetry`,
+    /// otherwise a no-op.
+    pub collector: Arc<dyn Collector>,
+}
+
+impl std::fmt::Debug for Args {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Args")
+            .field("seed", &self.seed)
+            .field("full", &self.full)
+            .field("fresh", &self.fresh)
+            .field("telemetry", &self.telemetry)
+            .finish_non_exhaustive()
+    }
+}
+
+fn parse_seed(value: Option<&str>) -> u64 {
+    match value {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: --seed needs an unsigned integer, got {v:?} (try --help)");
+            std::process::exit(2);
+        }),
+        None => {
+            eprintln!("error: --seed needs a value, e.g. --seed 42 (try --help)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Builds the `--telemetry` collector: a JSONL sink named after the figure,
+/// seed and budget, teed with the stderr summarizer.
+fn build_collector(figure: &str, seed: u64, full: bool, dir: Option<&Path>) -> Arc<dyn Collector> {
+    let Some(dir) = dir else {
+        return Arc::new(NoopCollector);
+    };
+    let mode = if full { "full" } else { "quick" };
+    let path = dir.join(format!("{figure}_s{seed}_{mode}.jsonl"));
+    match JsonlSink::create(&path) {
+        Ok(jsonl) => {
+            eprintln!("[telemetry] writing {}", path.display());
+            Arc::new(Tee::new(vec![
+                Arc::new(jsonl),
+                Arc::new(StderrSummary::new()),
+            ]))
+        }
+        Err(e) => {
+            eprintln!(
+                "warning: cannot create {}: {e}; stderr summary only",
+                path.display()
+            );
+            Arc::new(StderrSummary::new())
+        }
+    }
 }
 
 impl Args {
     /// Parses `std::env::args`.
     pub fn parse() -> Self {
-        let mut args = Args { seed: 42, full: false, fresh: false };
-        let mut it = std::env::args().skip(1);
-        while let Some(a) = it.next() {
+        let mut raw = std::env::args();
+        let figure = raw
+            .next()
+            .as_deref()
+            .map(Path::new)
+            .and_then(Path::file_stem)
+            .and_then(|s| s.to_str())
+            .unwrap_or("bench")
+            .to_string();
+        let (mut seed, mut full, mut fresh) = (42u64, false, false);
+        let mut telemetry: Option<PathBuf> = None;
+        while let Some(a) = raw.next() {
             match a.as_str() {
-                "--full" | "full" => args.full = true,
-                "--fresh" => args.fresh = true,
-                "--seed" => {
-                    args.seed = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--seed needs a u64 value");
+                "-h" | "--help" => {
+                    println!("{HELP}");
+                    std::process::exit(0);
                 }
-                other => eprintln!("ignoring unknown argument {other}"),
+                "--full" | "full" => full = true,
+                "--fresh" => fresh = true,
+                "--seed" => seed = parse_seed(raw.next().as_deref()),
+                "--telemetry" => telemetry = Some(bench_out_dir().join("telemetry")),
+                other => {
+                    if let Some(v) = other.strip_prefix("--seed=") {
+                        seed = parse_seed(Some(v));
+                    } else if let Some(dir) = other.strip_prefix("--telemetry=") {
+                        telemetry = Some(PathBuf::from(dir));
+                    } else {
+                        eprintln!("ignoring unknown argument {other} (try --help)");
+                    }
+                }
             }
         }
-        args
+        let collector = build_collector(&figure, seed, full, telemetry.as_deref());
+        Args {
+            seed,
+            full,
+            fresh,
+            telemetry,
+            collector,
+        }
+    }
+
+    /// The active collector as a plain trait reference.
+    pub fn collector(&self) -> &dyn Collector {
+        self.collector.as_ref()
     }
 }
 
@@ -86,23 +194,40 @@ pub fn model_dir() -> PathBuf {
 
 /// Loads a cached agent or trains it with `train` and caches the result.
 /// The cache key must uniquely describe the training recipe.
-pub fn cached_agent<F>(tag: &str, scenario: &dyn Scenario, fresh: bool, train: F) -> PpoAgent
+///
+/// With `--telemetry`, cache *loads* are skipped (per-iteration training
+/// events only exist when the policy actually trains; retraining is
+/// deterministic, so only wall-clock changes), and a cache hit/miss event
+/// is recorded either way.
+pub fn cached_agent<F>(tag: &str, scenario: &dyn Scenario, args: &Args, train: F) -> PpoAgent
 where
     F: FnOnce() -> PpoAgent,
 {
+    let collector = args.collector();
     let path = model_dir().join(format!("{tag}.model"));
-    if !fresh && path.exists() {
+    let use_cache = !args.fresh && !collector.enabled();
+    if use_cache && path.exists() {
         let mut agent = make_agent(scenario, 0);
         if agent.load(&path).is_ok() {
             eprintln!("[cache] loaded {tag}");
+            collector.record(&Event::CacheHit {
+                tag: tag.to_string(),
+            });
             return agent;
         }
         eprintln!("[cache] {tag} exists but failed to load; retraining");
     }
+    if collector.enabled() {
+        collector.record(&Event::CacheMiss {
+            tag: tag.to_string(),
+        });
+    }
     let t0 = std::time::Instant::now();
     let agent = train();
     eprintln!("[train] {tag} took {:.1}s", t0.elapsed().as_secs_f64());
-    let _ = agent.save(&path);
+    if let Err(e) = agent.save(&path) {
+        eprintln!("warning: cannot save model cache {}: {e}", path.display());
+    }
     agent
 }
 
@@ -121,11 +246,7 @@ pub fn train_traditional(
 }
 
 /// Convenience: traditional policy with caching.
-pub fn cached_traditional(
-    scenario: &dyn Scenario,
-    level: RangeLevel,
-    args: &Args,
-) -> PpoAgent {
+pub fn cached_traditional(scenario: &dyn Scenario, level: RangeLevel, args: &Args) -> PpoAgent {
     let cfg = genet_config(scenario, args.full);
     let tag = format!(
         "{}_{}_it{}_s{}",
@@ -134,8 +255,21 @@ pub fn cached_traditional(
         cfg.total_iters(),
         args.seed
     );
-    cached_agent(&tag, scenario, args.fresh, || {
-        train_traditional(scenario, level, cfg.total_iters(), cfg.train, args.seed)
+    cached_agent(&tag, scenario, args, || {
+        let mut agent = make_agent(scenario, args.seed);
+        let src = UniformSource(scenario.space(level));
+        let scope = format!("train/{}", level.label().to_lowercase());
+        train_rl_with(
+            &mut agent,
+            scenario,
+            &src,
+            cfg.train,
+            cfg.total_iters(),
+            args.seed,
+            args.collector(),
+            &scope,
+        );
+        agent
     })
 }
 
@@ -158,8 +292,20 @@ pub fn cached_genet(
         cfg.total_iters(),
         args.seed
     );
-    cached_agent(&tag, scenario, args.fresh, || {
-        genet_train(scenario, space.clone(), &cfg, args.seed).agent
+    cached_agent(&tag, scenario, args, || {
+        // Same agent-seed derivation as `genet_train`, with the collector
+        // attached.
+        let agent = make_agent(scenario, derive_seed(args.seed, 0x6E7));
+        genet_train_instrumented(
+            scenario,
+            space.clone(),
+            &cfg,
+            agent,
+            args.seed,
+            |_, _| {},
+            args.collector(),
+        )
+        .agent
     })
 }
 

@@ -29,6 +29,8 @@ pub struct BayesOpt {
     obs_y: Vec<f64>,
     /// The proposal waiting for its observation (to pair them up safely).
     pending: Option<EnvConfig>,
+    /// EI of the latest proposal (`None` during the random-init probes).
+    last_ei: Option<f64>,
 }
 
 impl BayesOpt {
@@ -44,6 +46,7 @@ impl BayesOpt {
             obs_x: Vec::new(),
             obs_y: Vec::new(),
             pending: None,
+            last_ei: None,
         }
     }
 
@@ -73,10 +76,10 @@ impl BayesOpt {
 impl Proposer for BayesOpt {
     fn propose(&mut self, rng: &mut StdRng) -> EnvConfig {
         let cfg = if self.obs_y.len() < self.n_init {
+            self.last_ei = None;
             self.space.sample(rng)
         } else {
-            let x: Vec<Vec<f64>> =
-                self.obs_x.iter().map(|c| self.space.normalize(c)).collect();
+            let x: Vec<Vec<f64>> = self.obs_x.iter().map(|c| self.space.normalize(c)).collect();
             let gp = GaussianProcess::fit(&x, &self.obs_y, self.gp_params);
             let best = self.obs_y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let mut best_cfg = self.space.sample(rng);
@@ -90,6 +93,7 @@ impl Proposer for BayesOpt {
                     best_cfg = cand;
                 }
             }
+            self.last_ei = Some(best_ei);
             best_cfg
         };
         self.pending = Some(cfg.clone());
@@ -97,7 +101,10 @@ impl Proposer for BayesOpt {
     }
 
     fn observe(&mut self, cfg: EnvConfig, value: f64) {
-        assert!(value.is_finite(), "BO observation must be finite, got {value}");
+        assert!(
+            value.is_finite(),
+            "BO observation must be finite, got {value}"
+        );
         self.pending = None;
         self.obs_x.push(cfg);
         self.obs_y.push(value);
@@ -113,6 +120,10 @@ impl Proposer for BayesOpt {
         }
         best_i.map(|i| (&self.obs_x[i], best_v))
     }
+
+    fn last_acquisition(&self) -> Option<f64> {
+        self.last_ei
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +133,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn space2() -> ParamSpace {
-        ParamSpace::new(vec![ParamDim::new("a", 0.0, 10.0), ParamDim::new("b", -5.0, 5.0)])
+        ParamSpace::new(vec![
+            ParamDim::new("a", 0.0, 10.0),
+            ParamDim::new("b", -5.0, 5.0),
+        ])
     }
 
     /// The smooth test objective: peak at (7, 2).
@@ -151,7 +165,10 @@ mod tests {
         }
         let mean_best = genet_math::mean(&results);
         // Optimum is 0; random-search expectation at 15 samples is ≈ −2.
-        assert!(mean_best > -1.5, "BO should close in on the peak, got {mean_best}");
+        assert!(
+            mean_best > -1.5,
+            "BO should close in on the peak, got {mean_best}"
+        );
     }
 
     #[test]
@@ -193,6 +210,23 @@ mod tests {
             let cfg = bo.propose(&mut rng);
             assert!(space2().contains(&cfg), "step {i}: {cfg}");
             bo.observe(cfg, (i as f64).sin());
+        }
+    }
+
+    #[test]
+    fn last_acquisition_tracks_phase() {
+        let mut bo = BayesOpt::new(space2());
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..6 {
+            let cfg = bo.propose(&mut rng);
+            if i < 3 {
+                // Random-init probes carry no EI.
+                assert_eq!(bo.last_acquisition(), None, "probe {i}");
+            } else {
+                let ei = bo.last_acquisition().expect("EI phase");
+                assert!(ei.is_finite() && ei >= 0.0, "probe {i}: {ei}");
+            }
+            bo.observe(cfg, (i as f64).cos());
         }
     }
 

@@ -22,7 +22,11 @@ pub struct GpParams {
 
 impl Default for GpParams {
     fn default() -> Self {
-        Self { length_scale: 0.3, signal_var: 1.0, noise_var: 0.05 }
+        Self {
+            length_scale: 0.3,
+            signal_var: 1.0,
+            noise_var: 0.05,
+        }
     }
 }
 
@@ -66,7 +70,14 @@ impl GaussianProcess {
         }
         let chol = Cholesky::decompose(&k).expect("kernel matrix must be SPD with noise");
         let alpha = chol.solve(&ys);
-        Self { params, x: x.to_vec(), y_mean, y_std, alpha, chol }
+        Self {
+            params,
+            x: x.to_vec(),
+            y_mean,
+            y_std,
+            alpha,
+            chol,
+        }
     }
 
     /// Number of training points.
@@ -86,7 +97,11 @@ impl GaussianProcess {
         for (ks, xi) in kstar.iter_mut().zip(self.x.iter()) {
             *ks = rbf(q, xi, &self.params);
         }
-        let mean_std: f64 = kstar.iter().zip(self.alpha.iter()).map(|(a, b)| a * b).sum();
+        let mean_std: f64 = kstar
+            .iter()
+            .zip(self.alpha.iter())
+            .map(|(a, b)| a * b)
+            .sum();
         // var = k(q,q) - k*^T K^{-1} k*
         let v = self.chol.solve_lower(&kstar);
         let explained: f64 = v.iter().map(|z| z * z).sum();
@@ -118,7 +133,10 @@ mod tests {
         let gp = GaussianProcess::fit(
             &x,
             &y,
-            GpParams { noise_var: 1e-6, ..GpParams::default() },
+            GpParams {
+                noise_var: 1e-6,
+                ..GpParams::default()
+            },
         );
         for (xi, yi) in x.iter().zip(y.iter()) {
             let (m, v) = gp.predict(xi);
@@ -143,7 +161,10 @@ mod tests {
         let y = vec![10.0, 12.0];
         let gp = GaussianProcess::fit(&x, &y, GpParams::default());
         let (m, _) = gp.predict(&[100.0]);
-        assert!((m - 11.0).abs() < 0.1, "prior mean is the data mean, got {m}");
+        assert!(
+            (m - 11.0).abs() < 0.1,
+            "prior mean is the data mean, got {m}"
+        );
     }
 
     #[test]
@@ -163,7 +184,10 @@ mod tests {
         let gp = GaussianProcess::fit(&x, &y, GpParams::default());
         let (m, _) = gp.predict(&[0.5]);
         assert!(m.is_finite());
-        assert!((m - 1.1).abs() < 0.5, "should average the duplicates, got {m}");
+        assert!(
+            (m - 1.1).abs() < 0.5,
+            "should average the duplicates, got {m}"
+        );
     }
 
     #[test]
@@ -175,7 +199,14 @@ mod tests {
             vec![1.0, 1.0],
         ];
         let y = vec![0.0, 1.0, 1.0, 2.0];
-        let gp = GaussianProcess::fit(&x, &y, GpParams { noise_var: 1e-4, ..GpParams::default() });
+        let gp = GaussianProcess::fit(
+            &x,
+            &y,
+            GpParams {
+                noise_var: 1e-4,
+                ..GpParams::default()
+            },
+        );
         let (m, _) = gp.predict(&[0.5, 0.5]);
         assert!((m - 1.0).abs() < 0.2, "centre should predict ≈1, got {m}");
     }

@@ -45,4 +45,11 @@ pub trait Proposer {
     /// Best `(config, value)` observed so far, if any — the paper's
     /// `BO.GetDecision()`.
     fn best(&self) -> Option<(&EnvConfig, f64)>;
+
+    /// Acquisition value of the most recent proposal (e.g. expected
+    /// improvement), when the strategy computes one. Purely diagnostic —
+    /// telemetry reports it; nothing in the search consumes it.
+    fn last_acquisition(&self) -> Option<f64> {
+        None
+    }
 }

@@ -20,7 +20,10 @@ pub struct RandomSearch {
 impl RandomSearch {
     /// Creates a random search over `space`.
     pub fn new(space: ParamSpace) -> Self {
-        Self { space, obs: Vec::new() }
+        Self {
+            space,
+            obs: Vec::new(),
+        }
     }
 }
 
@@ -64,7 +67,10 @@ impl GridSearch {
     /// Panics if `points_per_dim < 2` or the space is empty.
     pub fn new(space: ParamSpace, points_per_dim: usize) -> Self {
         assert!(points_per_dim >= 2, "need at least 2 grid points per dim");
-        assert!(!space.is_empty(), "grid search needs at least one dimension");
+        assert!(
+            !space.is_empty(),
+            "grid search needs at least one dimension"
+        );
         let current = space.midpoint();
         Self {
             space,
@@ -85,7 +91,9 @@ impl GridSearch {
 
 impl Proposer for GridSearch {
     fn propose(&mut self, _rng: &mut StdRng) -> EnvConfig {
-        let raw = self.current.with_value(self.dim, self.grid_value(self.dim, self.idx));
+        let raw = self
+            .current
+            .with_value(self.dim, self.grid_value(self.dim, self.idx));
         self.space.clamp(raw.values())
     }
 
@@ -122,7 +130,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn space() -> ParamSpace {
-        ParamSpace::new(vec![ParamDim::new("a", 0.0, 10.0), ParamDim::new("b", 0.0, 10.0)])
+        ParamSpace::new(vec![
+            ParamDim::new("a", 0.0, 10.0),
+            ParamDim::new("b", 0.0, 10.0),
+        ])
     }
 
     fn objective(cfg: &EnvConfig) -> f64 {

@@ -115,7 +115,12 @@ pub struct Cubic {
 
 impl Default for Cubic {
     fn default() -> Self {
-        Self { cwnd_pkts: 10.0, w_max: 0.0, epoch_start_s: None, in_slow_start: true }
+        Self {
+            cwnd_pkts: 10.0,
+            w_max: 0.0,
+            epoch_start_s: None,
+            in_slow_start: true,
+        }
     }
 }
 
@@ -128,7 +133,11 @@ impl CcAlgorithm for Cubic {
     fn on_feedback(&mut self, fb: &CtrlFeedback) -> f64 {
         // Any appreciable loss — congestion or random — triggers backoff;
         // Cubic cannot tell them apart (paper §4.2, §7).
-        let loss_frac = if fb.sent_pkts > 0.0 { fb.lost_pkts / fb.sent_pkts } else { 0.0 };
+        let loss_frac = if fb.sent_pkts > 0.0 {
+            fb.lost_pkts / fb.sent_pkts
+        } else {
+            0.0
+        };
         let loss_event = fb.congestion_loss || loss_frac > 0.003;
         if loss_event {
             self.w_max = self.cwnd_pkts;
@@ -262,13 +271,23 @@ pub struct Vivace {
 
 impl Default for Vivace {
     fn default() -> Self {
-        Self { rate_mbps: 1.0, prev_rtt_s: None, prev_utility: None, direction: 1.0, step: 0.1 }
+        Self {
+            rate_mbps: 1.0,
+            prev_rtt_s: None,
+            prev_utility: None,
+            direction: 1.0,
+            step: 0.1,
+        }
     }
 }
 
 impl CcAlgorithm for Vivace {
     fn on_feedback(&mut self, fb: &CtrlFeedback) -> f64 {
-        let loss_frac = if fb.sent_pkts > 0.0 { fb.lost_pkts / fb.sent_pkts } else { 0.0 };
+        let loss_frac = if fb.sent_pkts > 0.0 {
+            fb.lost_pkts / fb.sent_pkts
+        } else {
+            0.0
+        };
         let rtt_grad = match self.prev_rtt_s {
             Some(prev) => ((fb.rtt_s - prev) / fb.dt_s).max(0.0),
             None => 0.0,
@@ -301,7 +320,10 @@ pub struct Copa {
 
 impl Default for Copa {
     fn default() -> Self {
-        Self { delta: 0.5, rate_mbps: 1.0 }
+        Self {
+            delta: 0.5,
+            rate_mbps: 1.0,
+        }
     }
 }
 
@@ -360,9 +382,7 @@ mod tests {
         let reward = run_cc(&mut sim, algo.as_mut());
         let mis = sim.completed_mis();
         let steady = &mis[mis.len() / 2..];
-        let tput = genet_math::mean(
-            &steady.iter().map(|m| m.throughput_mbps).collect::<Vec<_>>(),
-        );
+        let tput = genet_math::mean(&steady.iter().map(|m| m.throughput_mbps).collect::<Vec<_>>());
         (reward, tput)
     }
 
@@ -391,7 +411,10 @@ mod tests {
     #[test]
     fn cubic_fills_clean_pipe() {
         let (_, tput) = run("cubic", path(5.0, 50.0, 80.0, 0.0));
-        assert!(tput > 3.5, "cubic steady throughput {tput} on a 5 Mbps clean link");
+        assert!(
+            tput > 3.5,
+            "cubic steady throughput {tput} on a 5 Mbps clean link"
+        );
     }
 
     #[test]
@@ -401,11 +424,12 @@ mod tests {
         run_cc(&mut sim, &mut bbr);
         let mis = sim.completed_mis();
         let steady = &mis[mis.len() / 2..];
-        let lat = genet_math::mean(
-            &steady.iter().map(|m| m.avg_latency_s).collect::<Vec<_>>(),
-        );
+        let lat = genet_math::mean(&steady.iter().map(|m| m.avg_latency_s).collect::<Vec<_>>());
         // Base RTT 0.1 s; a deep 200-pkt queue would add ~0.48 s if filled.
-        assert!(lat < 0.25, "bbr steady latency {lat} should stay near base RTT");
+        assert!(
+            lat < 0.25,
+            "bbr steady latency {lat} should stay near base RTT"
+        );
     }
 
     #[test]
@@ -415,8 +439,7 @@ mod tests {
         run_cc(&mut sim, &mut copa);
         let mis = sim.completed_mis();
         let steady = &mis[mis.len() / 2..];
-        let lat =
-            genet_math::mean(&steady.iter().map(|m| m.avg_latency_s).collect::<Vec<_>>());
+        let lat = genet_math::mean(&steady.iter().map(|m| m.avg_latency_s).collect::<Vec<_>>());
         assert!(lat < 0.4, "copa steady latency {lat}");
     }
 
@@ -468,8 +491,7 @@ mod tests {
         run_cc(&mut sim, &mut algo);
         let mis = sim.completed_mis();
         let steady = &mis[mis.len() / 2..];
-        let lat =
-            genet_math::mean(&steady.iter().map(|m| m.avg_latency_s).collect::<Vec<_>>());
+        let lat = genet_math::mean(&steady.iter().map(|m| m.avg_latency_s).collect::<Vec<_>>());
         // A 300-packet queue on a 2 Mbps link could add 1.8 s if filled;
         // Vivace's latency gradient term should keep it well below that.
         assert!(lat < 1.0, "vivace steady latency {lat}");
@@ -484,7 +506,11 @@ mod tests {
         while !hold.finished() {
             hold.run_mi();
         }
-        let hold_loss: f64 = hold.completed_mis().iter().map(|m| m.loss_frac).sum::<f64>()
+        let hold_loss: f64 = hold
+            .completed_mis()
+            .iter()
+            .map(|m| m.loss_frac)
+            .sum::<f64>()
             / hold.completed_mis().len() as f64;
         assert!(hold_loss < 0.02, "at-capacity loss {hold_loss}");
         let mut probe = CcSim::new(path(8.0, 50.0, 3.0, 0.0), 0);
@@ -492,9 +518,15 @@ mod tests {
         while !probe.finished() {
             probe.run_mi();
         }
-        let probe_loss: f64 =
-            probe.completed_mis().iter().map(|m| m.loss_frac).sum::<f64>()
-                / probe.completed_mis().len() as f64;
-        assert!((probe_loss - 0.2).abs() < 0.05, "25% overshoot loses ~20%, got {probe_loss}");
+        let probe_loss: f64 = probe
+            .completed_mis()
+            .iter()
+            .map(|m| m.loss_frac)
+            .sum::<f64>()
+            / probe.completed_mis().len() as f64;
+        assert!(
+            (probe_loss - 0.2).abs() < 0.05,
+            "25% overshoot loses ~20%, got {probe_loss}"
+        );
     }
 }

@@ -12,8 +12,7 @@ use crate::sim::{CcSim, MiStats};
 use genet_env::{Env, StepOutcome};
 
 /// Discrete rate-multiplier actions.
-pub const RATE_MULTIPLIERS: [f64; 9] =
-    [0.5, 0.7, 0.85, 0.95, 1.0, 1.05, 1.2, 1.5, 2.0];
+pub const RATE_MULTIPLIERS: [f64; 9] = [0.5, 0.7, 0.85, 0.95, 1.0, 1.05, 1.2, 1.5, 2.0];
 
 /// Number of discrete actions.
 pub const CC_ACTIONS: usize = RATE_MULTIPLIERS.len();
@@ -37,7 +36,10 @@ pub struct CcEnv {
 impl CcEnv {
     /// Wraps a fresh connection.
     pub fn new(sim: CcSim) -> Self {
-        Self { sim, history: Vec::new() }
+        Self {
+            sim,
+            history: Vec::new(),
+        }
     }
 
     /// Read access to the simulator (for metric breakdowns).
@@ -56,7 +58,12 @@ impl CcEnv {
             1.0
         };
         let loss = mi.loss_frac.clamp(0.0, 1.0);
-        [lat_inflation as f32, lat_ratio as f32, send_ratio as f32, loss as f32]
+        [
+            lat_inflation as f32,
+            lat_ratio as f32,
+            send_ratio as f32,
+            loss as f32,
+        ]
     }
 }
 
@@ -86,7 +93,10 @@ impl Env for CcEnv {
         if self.history.len() > HISTORY {
             self.history.remove(0);
         }
-        StepOutcome { reward: mi.reward(), done: self.sim.finished() }
+        StepOutcome {
+            reward: mi.reward(),
+            done: self.sim.finished(),
+        }
     }
 }
 
@@ -115,13 +125,19 @@ mod tests {
         let mut e = env();
         let mut obs = vec![0.0f32; e.obs_dim()];
         e.observe(&mut obs);
-        assert!(obs.iter().all(|&v| v == 0.0), "initial observation is empty history");
+        assert!(
+            obs.iter().all(|&v| v == 0.0),
+            "initial observation is empty history"
+        );
         let mut steps = 0;
         loop {
             let out = e.step(4); // hold rate
             steps += 1;
             e.observe(&mut obs);
-            assert!(obs.iter().all(|v| (0.0..=1.01).contains(&(*v as f64))), "{obs:?}");
+            assert!(
+                obs.iter().all(|v| (0.0..=1.01).contains(&(*v as f64))),
+                "{obs:?}"
+            );
             if out.done {
                 break;
             }
@@ -142,7 +158,10 @@ mod tests {
         e.observe(&mut obs);
         let last = &obs[CC_OBS_DIM - 4..];
         assert!(last[3] > 0.3, "loss feature should light up, obs {last:?}");
-        assert!(last[0] > 0.01, "latency inflation should light up, obs {last:?}");
+        assert!(
+            last[0] > 0.01,
+            "latency inflation should light up, obs {last:?}"
+        );
     }
 
     #[test]

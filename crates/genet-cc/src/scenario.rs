@@ -31,7 +31,11 @@ impl Default for CcScenario {
 impl CcScenario {
     /// Pure-synthetic scenario.
     pub fn new() -> Self {
-        Self { trace_pool: None, trace_prob: 0.0, delay_noise_s: 0.0 }
+        Self {
+            trace_pool: None,
+            trace_prob: 0.0,
+            delay_noise_s: 0.0,
+        }
     }
 
     /// Enables trace-driven environments (paper §4.2, default w = 0.3).
@@ -152,7 +156,10 @@ mod tests {
     fn paired_evaluation_is_deterministic() {
         let s = CcScenario::new();
         let cfg = default_config();
-        assert_eq!(s.eval_baseline("bbr", &cfg, 3), s.eval_baseline("bbr", &cfg, 3));
+        assert_eq!(
+            s.eval_baseline("bbr", &cfg, 3),
+            s.eval_baseline("bbr", &cfg, 3)
+        );
         assert_eq!(s.eval_oracle(&cfg, 3), s.eval_oracle(&cfg, 3));
     }
 
@@ -182,7 +189,10 @@ mod tests {
             steps += 1;
             assert!(steps < 5000);
         }
-        assert!(steps > 50, "30 s / 0.15 s MI should give many steps, got {steps}");
+        assert!(
+            steps > 50,
+            "30 s / 0.15 s MI should give many steps, got {steps}"
+        );
     }
 
     #[test]
@@ -195,6 +205,9 @@ mod tests {
         let r = s.eval_policy(&hold, &cfg, 5);
         let oracle = s.eval_oracle(&cfg, 5);
         assert!(r > 0.0, "holding 1 Mbps yields positive reward, got {r}");
-        assert!(oracle > r, "oracle {oracle} must beat the static policy {r}");
+        assert!(
+            oracle > r,
+            "oracle {oracle} must beat the static policy {r}"
+        );
     }
 }

@@ -141,8 +141,7 @@ impl CcSim {
         let mi_s = (1.5 * path.base_rtt_s).clamp(0.02, 1.0);
         let mut start_rng = StdRng::seed_from_u64(derive_seed(seed, 0xCC0));
         let start_mult: f64 = rand::Rng::random_range(&mut start_rng, 0.3..1.5);
-        let start_rate =
-            (path.trace.bw_at(0.0) * start_mult).clamp(MIN_RATE_MBPS, MAX_RATE_MBPS);
+        let start_rate = (path.trace.bw_at(0.0) * start_mult).clamp(MIN_RATE_MBPS, MAX_RATE_MBPS);
         let noise_rng = StdRng::seed_from_u64(derive_seed(seed, 0xCC1));
         Self {
             rate_pps: mbps_to_pps(start_rate),
@@ -280,14 +279,22 @@ impl CcSim {
             } else {
                 // Nothing delivered: latency saturates at the worst case
                 // (full queue on the current link).
-                self.path.base_rtt_s + self.path.queue_cap_pkts
-                    / mbps_to_pps(self.path.trace.bw_at(self.t).max(1e-3))
+                self.path.base_rtt_s
+                    + self.path.queue_cap_pkts
+                        / mbps_to_pps(self.path.trace.bw_at(self.t).max(1e-3))
             },
             throughput_mbps: delivered * PACKET_BITS / 1e6 / dur,
-            loss_frac: if self.acc.sent > 0.0 { self.acc.lost / self.acc.sent } else { 0.0 },
+            loss_frac: if self.acc.sent > 0.0 {
+                self.acc.lost / self.acc.sent
+            } else {
+                0.0
+            },
         };
         self.completed.push(stats);
-        self.acc = Accum { start: self.t, ..Accum::default() };
+        self.acc = Accum {
+            start: self.t,
+            ..Accum::default()
+        };
     }
 
     /// Runs exactly one monitor interval at the current rate and returns its
@@ -356,7 +363,10 @@ mod tests {
             sim.run_mi();
         }
         let last = sim.completed_mis().last().unwrap();
-        assert!(last.loss_frac > 0.5, "sustained 4x overload must drop most packets");
+        assert!(
+            last.loss_frac > 0.5,
+            "sustained 4x overload must drop most packets"
+        );
         // Queue full → latency = base + queue/bw = 0.1 + 20/(2e6/12000) ≈ 0.22.
         assert!(last.avg_latency_s > 0.15, "{last:?}");
         // Delivered equals the link capacity.
@@ -398,8 +408,14 @@ mod tests {
         let at_capacity = run(4.0);
         let overload = run(16.0);
         let underload = run(0.4);
-        assert!(at_capacity > overload, "{at_capacity} vs overload {overload}");
-        assert!(at_capacity > underload, "{at_capacity} vs underload {underload}");
+        assert!(
+            at_capacity > overload,
+            "{at_capacity} vs overload {overload}"
+        );
+        assert!(
+            at_capacity > underload,
+            "{at_capacity} vs underload {underload}"
+        );
     }
 
     #[test]

@@ -31,9 +31,21 @@ impl IntrinsicSchedule {
     /// harder (ABR/CC); heavier load is harder (LB).
     pub fn default_for(scenario_name: &str) -> Self {
         match scenario_name {
-            "abr" => Self { dim: "bw_interval_s", easy: 80.0, hard: 2.0 },
-            "cc" => Self { dim: "bw_interval_s", easy: 28.0, hard: 0.5 },
-            "lb" => Self { dim: "job_interval_ms", easy: 2500.0, hard: 100.0 },
+            "abr" => Self {
+                dim: "bw_interval_s",
+                easy: 80.0,
+                hard: 2.0,
+            },
+            "cc" => Self {
+                dim: "bw_interval_s",
+                easy: 28.0,
+                hard: 0.5,
+            },
+            "lb" => Self {
+                dim: "job_interval_ms",
+                easy: 2500.0,
+                hard: 100.0,
+            },
             other => panic!("no CL1 schedule for scenario {other}"),
         }
     }
@@ -104,7 +116,11 @@ pub fn cl1_train(
         );
         log.extend(&phase);
     }
-    Cl1Result { agent, log, promoted }
+    Cl1Result {
+        agent,
+        log,
+        promoted,
+    }
 }
 
 #[cfg(test)]
@@ -117,7 +133,11 @@ mod tests {
 
     #[test]
     fn schedule_interpolates_easy_to_hard() {
-        let s = IntrinsicSchedule { dim: "x", easy: 10.0, hard: 2.0 };
+        let s = IntrinsicSchedule {
+            dim: "x",
+            easy: 10.0,
+            hard: 2.0,
+        };
         assert_eq!(s.value_at(0, 5), 10.0);
         assert_eq!(s.value_at(4, 5), 2.0);
         assert!((s.value_at(2, 5) - 6.0).abs() < 1e-12);
@@ -133,7 +153,10 @@ mod tests {
             bo_trials: 1,
             k_envs: 1,
             w: 0.3,
-            train: TrainConfig { configs_per_iter: 4, envs_per_config: 1 },
+            train: TrainConfig {
+                configs_per_iter: 4,
+                envs_per_config: 1,
+            },
             criterion: SelectionCriterion::GapToOptimum,
         };
         let schedule = IntrinsicSchedule::default_for("lb");

@@ -8,6 +8,8 @@
 
 use genet_env::{EnvConfig, Policy, Scenario};
 use genet_math::derive_seed;
+use genet_telemetry::{counters, Collector, Event};
+use std::time::Instant;
 
 /// Parallel deterministic map: applies `f` to each item index, preserving
 /// order. `f` must be `Sync` (it is called from many threads).
@@ -16,41 +18,81 @@ where
     T: Send + Default + Clone,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_with(n, f, genet_telemetry::noop(), "eval")
+}
+
+/// [`par_map`] with an attached telemetry collector: emits one
+/// [`Event::EvalBatch`] per call (batch size, worker count, summed
+/// busy-time across workers) plus the evaluated-environment counter.
+/// Per-worker busy times are accumulated in worker-local buffers and merged
+/// in worker-index order after the scope joins, so the results — and the
+/// event itself — are deterministic even though the workers race.
+pub fn par_map_with<T, F>(n: usize, f: F, collector: &dyn Collector, label: &str) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
     if n == 0 {
         return Vec::new();
     }
+    let enabled = collector.enabled();
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n);
     let mut results = vec![T::default(); n];
     if threads <= 1 {
+        let t0 = enabled.then(Instant::now);
         for (i, slot) in results.iter_mut().enumerate() {
             *slot = f(i);
+        }
+        if let Some(t0) = t0 {
+            record_eval_batch(collector, label, n, 1, t0.elapsed().as_nanos() as u64);
         }
         return results;
     }
     let chunk = n.div_ceil(threads);
+    let workers = n.div_ceil(chunk);
+    let mut busy = vec![0u64; workers];
     crossbeam::scope(|s| {
-        for (ti, slice) in results.chunks_mut(chunk).enumerate() {
+        for ((ti, slice), busy_slot) in results.chunks_mut(chunk).enumerate().zip(busy.iter_mut()) {
             let f = &f;
             s.spawn(move |_| {
+                let t0 = enabled.then(Instant::now);
                 for (j, slot) in slice.iter_mut().enumerate() {
                     *slot = f(ti * chunk + j);
+                }
+                if let Some(t0) = t0 {
+                    *busy_slot = t0.elapsed().as_nanos() as u64;
                 }
             });
         }
     })
     .expect("evaluation thread panicked");
+    if enabled {
+        record_eval_batch(collector, label, n, workers, busy.iter().sum());
+    }
     results
 }
 
-/// Generates `n` test configurations from a space, deterministically.
-pub fn test_configs(
-    space: &genet_env::ParamSpace,
+fn record_eval_batch(
+    collector: &dyn Collector,
+    label: &str,
     n: usize,
-    seed: u64,
-) -> Vec<EnvConfig> {
+    workers: usize,
+    busy_nanos: u64,
+) {
+    collector.counter_add(counters::EVAL_ENVS, n as u64);
+    collector.record(&Event::EvalBatch {
+        label: label.to_string(),
+        n: n as u64,
+        workers: workers as u64,
+        busy_nanos,
+    });
+}
+
+/// Generates `n` test configurations from a space, deterministically.
+pub fn test_configs(space: &genet_env::ParamSpace, n: usize, seed: u64) -> Vec<EnvConfig> {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(seed, 0x7E57));
     (0..n).map(|_| space.sample(&mut rng)).collect()
@@ -64,9 +106,23 @@ pub fn eval_policy_many<P: Policy + Sync>(
     configs: &[EnvConfig],
     seed: u64,
 ) -> Vec<f64> {
-    par_map(configs.len(), |i| {
-        scenario.eval_policy(policy, &configs[i], derive_seed(seed, i as u64))
-    })
+    eval_policy_many_with(scenario, policy, configs, seed, genet_telemetry::noop())
+}
+
+/// [`eval_policy_many`] reporting an [`Event::EvalBatch`] to `collector`.
+pub fn eval_policy_many_with<P: Policy + Sync>(
+    scenario: &dyn Scenario,
+    policy: &P,
+    configs: &[EnvConfig],
+    seed: u64,
+    collector: &dyn Collector,
+) -> Vec<f64> {
+    par_map_with(
+        configs.len(),
+        |i| scenario.eval_policy(policy, &configs[i], derive_seed(seed, i as u64)),
+        collector,
+        "policy",
+    )
 }
 
 /// Evaluates a rule-based baseline on the same `(config, seed)` pairs.
@@ -76,20 +132,43 @@ pub fn eval_baseline_many(
     configs: &[EnvConfig],
     seed: u64,
 ) -> Vec<f64> {
-    par_map(configs.len(), |i| {
-        scenario.eval_baseline(baseline, &configs[i], derive_seed(seed, i as u64))
-    })
+    eval_baseline_many_with(scenario, baseline, configs, seed, genet_telemetry::noop())
+}
+
+/// [`eval_baseline_many`] reporting an [`Event::EvalBatch`] to `collector`.
+pub fn eval_baseline_many_with(
+    scenario: &dyn Scenario,
+    baseline: &str,
+    configs: &[EnvConfig],
+    seed: u64,
+    collector: &dyn Collector,
+) -> Vec<f64> {
+    par_map_with(
+        configs.len(),
+        |i| scenario.eval_baseline(baseline, &configs[i], derive_seed(seed, i as u64)),
+        collector,
+        baseline,
+    )
 }
 
 /// Evaluates the oracle on the same `(config, seed)` pairs.
-pub fn eval_oracle_many(
+pub fn eval_oracle_many(scenario: &dyn Scenario, configs: &[EnvConfig], seed: u64) -> Vec<f64> {
+    eval_oracle_many_with(scenario, configs, seed, genet_telemetry::noop())
+}
+
+/// [`eval_oracle_many`] reporting an [`Event::EvalBatch`] to `collector`.
+pub fn eval_oracle_many_with(
     scenario: &dyn Scenario,
     configs: &[EnvConfig],
     seed: u64,
+    collector: &dyn Collector,
 ) -> Vec<f64> {
-    par_map(configs.len(), |i| {
-        scenario.eval_oracle(&configs[i], derive_seed(seed, i as u64))
-    })
+    par_map_with(
+        configs.len(),
+        |i| scenario.eval_oracle(&configs[i], derive_seed(seed, i as u64)),
+        collector,
+        "oracle",
+    )
 }
 
 #[cfg(test)]

@@ -93,7 +93,10 @@ mod tests {
         let cfg = genet_lb::scenario::default_config();
         let gap_bad = gap_to_baseline(&s, &bad_policy(), "llf", &cfg, 5, 0);
         let gap_ok = gap_to_baseline(&s, &ok_policy(), "llf", &cfg, 5, 0);
-        assert!(gap_bad > 0.5, "slow-server policy should trail LLF, gap {gap_bad}");
+        assert!(
+            gap_bad > 0.5,
+            "slow-server policy should trail LLF, gap {gap_bad}"
+        );
         assert!(
             gap_bad > gap_ok,
             "gap ranks policies: bad {gap_bad} vs ok {gap_ok}"
@@ -108,7 +111,10 @@ mod tests {
         let cfg = genet_lb::scenario::default_config();
         let g_base = gap_to_baseline(&s, &bad_policy(), "llf", &cfg, 5, 1);
         let g_opt = gap_to_optimum(&s, &bad_policy(), &cfg, 5, 1);
-        assert!(g_opt >= g_base - 0.05, "optimum {g_opt} vs baseline {g_base}");
+        assert!(
+            g_opt >= g_base - 0.05,
+            "optimum {g_opt} vs baseline {g_base}"
+        );
     }
 
     #[test]

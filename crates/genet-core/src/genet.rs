@@ -11,11 +11,12 @@
 //! and the Robustify-objective BO variants of Figure 19.
 
 use crate::gap::{baseline_badness, gap_to_baseline, gap_to_optimum};
-use crate::train::{make_agent, train_rl, TrainConfig, TrainLog};
+use crate::train::{make_agent, train_rl_with, TrainConfig, TrainLog};
+use genet_bo::{BayesOpt, Proposer};
 use genet_env::{CurriculumDist, EnvConfig, ParamSpace, Scenario};
 use genet_math::derive_seed;
 use genet_rl::{PolicyMode, PpoAgent, PpoPolicy};
-use genet_bo::{BayesOpt, Proposer};
+use genet_telemetry::{counters, Collector, Event};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -65,9 +66,7 @@ impl SelectionCriterion {
             SelectionCriterion::GapToBaseline { baseline } => {
                 gap_to_baseline(scenario, policy, baseline, cfg, k, seed)
             }
-            SelectionCriterion::GapToOptimum => {
-                gap_to_optimum(scenario, policy, cfg, k, seed)
-            }
+            SelectionCriterion::GapToOptimum => gap_to_optimum(scenario, policy, cfg, k, seed),
             SelectionCriterion::BaselineBadness { baseline } => {
                 baseline_badness(scenario, baseline, cfg, k, seed)
             }
@@ -79,7 +78,10 @@ impl SelectionCriterion {
                 gap - rho * genet_math::mean(&ns)
             }
             SelectionCriterion::GapToEnsemble { baselines } => {
-                assert!(!baselines.is_empty(), "ensemble needs at least one baseline");
+                assert!(
+                    !baselines.is_empty(),
+                    "ensemble needs at least one baseline"
+                );
                 baselines
                     .iter()
                     .map(|b| gap_to_baseline(scenario, policy, b, cfg, k, seed))
@@ -189,26 +191,63 @@ pub fn genet_train_with<F>(
     scenario: &dyn Scenario,
     space: ParamSpace,
     cfg: &GenetConfig,
-    mut agent: PpoAgent,
+    agent: PpoAgent,
     seed: u64,
-    mut on_phase: F,
+    on_phase: F,
 ) -> GenetResult
 where
     F: FnMut(usize, &PpoAgent),
 {
+    genet_train_instrumented(
+        scenario,
+        space,
+        cfg,
+        agent,
+        seed,
+        on_phase,
+        genet_telemetry::noop(),
+    )
+}
+
+/// [`genet_train_with`] plus an attached telemetry collector.
+///
+/// Emits one [`Event::BoTrial`] per sequencing trial (proposed config,
+/// measured objective, expected-improvement value of the proposal) and one
+/// [`Event::Promotion`] per round, alongside the hierarchical spans
+/// `train`, `train/initial`, `train/sequencing/round-N` and
+/// `train/sequencing/round-N/bo/trial-M` and the training events/counters
+/// of [`train_rl_with`]. The collector only observes; a run with sinks
+/// attached is bit-identical to a run without.
+pub fn genet_train_instrumented<F>(
+    scenario: &dyn Scenario,
+    space: ParamSpace,
+    cfg: &GenetConfig,
+    mut agent: PpoAgent,
+    seed: u64,
+    mut on_phase: F,
+    collector: &dyn Collector,
+) -> GenetResult
+where
+    F: FnMut(usize, &PpoAgent),
+{
+    let _run = collector.span("train");
     let mut dist = CurriculumDist::uniform(space.clone(), cfg.w);
     let mut promoted = Vec::new();
     // Initial phase: plain domain randomization over the full space.
-    let mut log = train_rl(
+    let mut log = train_rl_with(
         &mut agent,
         scenario,
         &dist,
         cfg.train,
         cfg.initial_iters,
         derive_seed(seed, 0x1000),
+        collector,
+        "train/initial",
     );
     on_phase(0, &agent);
     for round in 0..cfg.rounds {
+        let round_scope = format!("train/sequencing/round-{round}");
+        let _round_span = collector.span(round_scope.clone());
         // Sequencing: fresh BO search against the *current* model (the
         // rewarding environments move whenever the model moves, so BO state
         // is never carried across rounds — §4.2).
@@ -216,6 +255,7 @@ where
         let mut bo = BayesOpt::new(space.clone());
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x2000 + round as u64));
         for trial in 0..cfg.bo_trials {
+            let _trial_span = collector.span(format!("{round_scope}/bo/trial-{trial}"));
             let p = bo.propose(&mut rng);
             let obj = cfg.criterion.evaluate(
                 scenario,
@@ -224,24 +264,48 @@ where
                 cfg.k_envs,
                 derive_seed(seed, ((round as u64) << 16) | trial as u64),
             );
+            if collector.enabled() {
+                collector.counter_add(counters::BO_TRIALS, 1);
+                collector.record(&Event::BoTrial {
+                    round: round as u64,
+                    trial: trial as u64,
+                    config: p.values().to_vec(),
+                    objective: obj,
+                    ei: bo.last_acquisition(),
+                });
+            }
             bo.observe(p, obj);
         }
         let (best, value) = bo.best().expect("bo_trials >= 1");
         promoted.push((best.clone(), value));
+        if collector.enabled() {
+            collector.record(&Event::Promotion {
+                round: round as u64,
+                config: best.values().to_vec(),
+                value,
+            });
+        }
         dist.promote(best.clone());
         // Resume training on the re-weighted distribution.
-        let phase = train_rl(
+        let phase = train_rl_with(
             &mut agent,
             scenario,
             &dist,
             cfg.train,
             cfg.iters_per_round,
             derive_seed(seed, 0x3000 + round as u64),
+            collector,
+            &round_scope,
         );
         log.extend(&phase);
         on_phase(round + 1, &agent);
     }
-    GenetResult { agent, log, promoted, dist }
+    GenetResult {
+        agent,
+        log,
+        promoted,
+        dist,
+    }
 }
 
 #[cfg(test)]
@@ -259,7 +323,10 @@ mod tests {
             bo_trials: 5,
             k_envs: 3,
             w: 0.3,
-            train: TrainConfig { configs_per_iter: 8, envs_per_config: 2 },
+            train: TrainConfig {
+                configs_per_iter: 8,
+                envs_per_config: 2,
+            },
             criterion,
         }
     }
@@ -267,7 +334,9 @@ mod tests {
     #[test]
     fn genet_runs_and_promotes() {
         let s = LbScenario;
-        let cfg = quick_cfg(SelectionCriterion::GapToBaseline { baseline: "llf".into() });
+        let cfg = quick_cfg(SelectionCriterion::GapToBaseline {
+            baseline: "llf".into(),
+        });
         let res = genet_train(&s, s.space(RangeLevel::Rl2), &cfg, 0);
         assert_eq!(res.promoted.len(), 3);
         assert_eq!(res.log.iter_rewards.len(), cfg.total_iters());
@@ -284,7 +353,9 @@ mod tests {
         // in LLF's ballpark (the full-scale comparison lives in the
         // integration tests and fig09 bench).
         let s = LbScenario;
-        let mut cfg = quick_cfg(SelectionCriterion::GapToBaseline { baseline: "llf".into() });
+        let mut cfg = quick_cfg(SelectionCriterion::GapToBaseline {
+            baseline: "llf".into(),
+        });
         cfg.rounds = 4;
         cfg.iters_per_round = 10;
         cfg.initial_iters = 10;
@@ -306,9 +377,13 @@ mod tests {
         let policy = agent.policy(PolicyMode::Greedy);
         let cfg = genet_lb::scenario::default_config();
         for criterion in [
-            SelectionCriterion::GapToBaseline { baseline: "llf".into() },
+            SelectionCriterion::GapToBaseline {
+                baseline: "llf".into(),
+            },
             SelectionCriterion::GapToOptimum,
-            SelectionCriterion::BaselineBadness { baseline: "llf".into() },
+            SelectionCriterion::BaselineBadness {
+                baseline: "llf".into(),
+            },
             SelectionCriterion::RobustifyReward { rho: 0.5 },
             SelectionCriterion::GapToEnsemble {
                 baselines: vec!["llf".into(), "rr".into(), "random".into()],
@@ -329,8 +404,10 @@ mod tests {
         let individual: Vec<f64> = members
             .iter()
             .map(|b| {
-                SelectionCriterion::GapToBaseline { baseline: b.to_string() }
-                    .evaluate(&s, &policy, &cfg, 3, 5)
+                SelectionCriterion::GapToBaseline {
+                    baseline: b.to_string(),
+                }
+                .evaluate(&s, &policy, &cfg, 3, 5)
             })
             .collect();
         let ensemble = SelectionCriterion::GapToEnsemble {
@@ -338,13 +415,18 @@ mod tests {
         }
         .evaluate(&s, &policy, &cfg, 3, 5);
         let max = individual.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!((ensemble - max).abs() < 1e-9, "{ensemble} vs member gaps {individual:?}");
+        assert!(
+            (ensemble - max).abs() < 1e-9,
+            "{ensemble} vs member gaps {individual:?}"
+        );
     }
 
     #[test]
     fn determinism() {
         let s = LbScenario;
-        let cfg = quick_cfg(SelectionCriterion::GapToBaseline { baseline: "llf".into() });
+        let cfg = quick_cfg(SelectionCriterion::GapToBaseline {
+            baseline: "llf".into(),
+        });
         let a = genet_train(&s, s.space(RangeLevel::Rl1), &cfg, 3);
         let b = genet_train(&s, s.space(RangeLevel::Rl1), &cfg, 3);
         assert_eq!(a.log.iter_rewards, b.log.iter_rewards);

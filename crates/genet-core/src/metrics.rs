@@ -20,17 +20,26 @@ impl TsvWriter {
         let _ = std::fs::create_dir_all(dir);
         let path = dir.join(format!("{name}.tsv"));
         match std::fs::File::create(&path) {
-            Ok(f) => Self { file: Some(std::io::BufWriter::new(f)), path: Some(path) },
+            Ok(f) => Self {
+                file: Some(std::io::BufWriter::new(f)),
+                path: Some(path),
+            },
             Err(e) => {
                 eprintln!("warning: cannot write {}: {e}; stdout only", path.display());
-                Self { file: None, path: None }
+                Self {
+                    file: None,
+                    path: None,
+                }
             }
         }
     }
 
     /// Stdout-only writer (for tests).
     pub fn stdout_only() -> Self {
-        Self { file: None, path: None }
+        Self {
+            file: None,
+            path: None,
+        }
     }
 
     /// Path of the backing file, when one exists.
@@ -38,12 +47,21 @@ impl TsvWriter {
         self.path.as_deref()
     }
 
-    /// Writes one row (already tab-joined by the caller helpers).
+    /// Writes one row (already tab-joined by the caller helpers). A file
+    /// write failure warns once and drops the handle (stdout keeps going),
+    /// so a full disk can't silently truncate the TSV mid-run.
     pub fn row(&mut self, cells: &[String]) {
         let line = cells.join("\t");
         println!("{line}");
         if let Some(f) = &mut self.file {
-            let _ = writeln!(f, "{line}");
+            if let Err(e) = writeln!(f, "{line}") {
+                let path = self.path.as_deref().map(Path::display);
+                match path {
+                    Some(p) => eprintln!("warning: write to {p} failed: {e}; stdout only"),
+                    None => eprintln!("warning: TSV write failed: {e}; stdout only"),
+                }
+                self.file = None;
+            }
         }
     }
 
@@ -71,11 +89,14 @@ pub fn fmt(v: f64) -> String {
     format!("{v:.4}")
 }
 
-/// The default output directory (`bench_out/` under the workspace root or
-/// the current directory).
+/// The default output directory: `$GENET_BENCH_OUT` when set and non-empty,
+/// else `bench_out/` under the workspace root or the current directory.
 pub fn bench_out_dir() -> PathBuf {
-    // When run via `cargo run -p genet-bench`, CWD is the workspace root.
-    PathBuf::from("bench_out")
+    match std::env::var_os("GENET_BENCH_OUT") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        // When run via `cargo run -p genet-bench`, CWD is the workspace root.
+        _ => PathBuf::from("bench_out"),
+    }
 }
 
 #[cfg(test)]
@@ -104,5 +125,17 @@ mod tests {
     #[test]
     fn fmt_rounds() {
         assert_eq!(fmt(1.234567), "1.2346");
+    }
+
+    #[test]
+    fn bench_out_dir_honors_env_override() {
+        // Only this test touches the variable, so set/restore is safe even
+        // under the parallel test runner.
+        std::env::set_var("GENET_BENCH_OUT", "custom_out");
+        assert_eq!(bench_out_dir(), PathBuf::from("custom_out"));
+        std::env::set_var("GENET_BENCH_OUT", "");
+        assert_eq!(bench_out_dir(), PathBuf::from("bench_out"));
+        std::env::remove_var("GENET_BENCH_OUT");
+        assert_eq!(bench_out_dir(), PathBuf::from("bench_out"));
     }
 }

@@ -89,12 +89,7 @@ fn candidate_trace(rng: &mut StdRng, duration_s: f64) -> BandwidthTrace {
 
 /// Scores a candidate: RL regret vs the offline optimum on this exact
 /// trace, penalized by non-smoothness.
-fn score_trace(
-    trace: &BandwidthTrace,
-    agent: &PpoAgent,
-    rho: f64,
-    seed: u64,
-) -> f64 {
+fn score_trace(trace: &BandwidthTrace, agent: &PpoAgent, rho: f64, seed: u64) -> f64 {
     let video = VideoModel::new(160.0, 4.0, derive_seed(seed, 1));
     let (rtt, buf) = (0.08, 30.0);
     let oracle = oracle_reward(trace, &video, rtt, buf, 32);
@@ -126,7 +121,12 @@ pub fn robustify_abr_train(cfg: &RobustifyConfig, seed: u64) -> RobustifyResult 
         let mut best: Option<(f64, BandwidthTrace)> = None;
         for c in 0..cfg.candidates {
             let t = candidate_trace(&mut rng, 160.0);
-            let s = score_trace(&t, &agent, cfg.rho, derive_seed(seed, (round * 100 + c) as u64));
+            let s = score_trace(
+                &t,
+                &agent,
+                cfg.rho,
+                derive_seed(seed, (round * 100 + c) as u64),
+            );
             if best.as_ref().map(|(bs, _)| s > *bs).unwrap_or(true) {
                 best = Some((s, t));
             }
@@ -146,7 +146,11 @@ pub fn robustify_abr_train(cfg: &RobustifyConfig, seed: u64) -> RobustifyResult 
         );
         log.extend(&phase);
     }
-    RobustifyResult { agent, log, adversarial }
+    RobustifyResult {
+        agent,
+        log,
+        adversarial,
+    }
 }
 
 #[cfg(test)]
@@ -199,7 +203,10 @@ mod tests {
             candidates: 3,
             rho: 1.0,
             adv_prob: 0.3,
-            train: TrainConfig { configs_per_iter: 3, envs_per_config: 1 },
+            train: TrainConfig {
+                configs_per_iter: 3,
+                envs_per_config: 1,
+            },
         };
         let res = robustify_abr_train(&cfg, 0);
         assert_eq!(res.adversarial.len(), 2);

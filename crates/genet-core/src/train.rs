@@ -9,7 +9,8 @@
 
 use genet_env::{CurriculumDist, EnvConfig, ParamSpace, Scenario};
 use genet_math::derive_seed;
-use genet_rl::{PpoAgent, RolloutBuffer};
+use genet_rl::{PpoAgent, RolloutBuffer, UpdateStats};
+use genet_telemetry::{counters, Collector, Event};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -78,21 +79,54 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { configs_per_iter: 10, envs_per_config: 2 }
+        Self {
+            configs_per_iter: 10,
+            envs_per_config: 2,
+        }
     }
 }
 
-/// Reward trace of a training run: `(iteration, mean episode reward)`.
+/// Reward trace of a training run: `(iteration, mean episode reward)` plus
+/// the per-iteration PPO diagnostics the update step reports.
 #[derive(Debug, Clone, Default)]
 pub struct TrainLog {
     /// Mean per-step episode reward of each iteration's rollouts.
     pub iter_rewards: Vec<f64>,
+    /// Per-iteration PPO update diagnostics (entropy, approx-KL,
+    /// policy/value loss), parallel to `iter_rewards`.
+    pub update_stats: Vec<UpdateStats>,
 }
 
 impl TrainLog {
     /// Appends another log (for multi-phase runs).
     pub fn extend(&mut self, other: &TrainLog) {
         self.iter_rewards.extend_from_slice(&other.iter_rewards);
+        self.update_stats.extend_from_slice(&other.update_stats);
+    }
+
+    /// Mean update diagnostics over iterations `[from, to)` — the figure
+    /// binaries aggregate per curriculum phase. An empty or out-of-range
+    /// window yields NaN fields.
+    pub fn mean_stats(&self, from: usize, to: usize) -> UpdateStats {
+        let to = to.min(self.update_stats.len());
+        if from >= to {
+            return UpdateStats {
+                policy_loss: f32::NAN,
+                value_loss: f32::NAN,
+                entropy: f32::NAN,
+                approx_kl: f32::NAN,
+            };
+        }
+        let window = &self.update_stats[from..to];
+        let inv = 1.0 / window.len() as f32;
+        let mut acc = UpdateStats::default();
+        for s in window {
+            acc.policy_loss += s.policy_loss * inv;
+            acc.value_loss += s.value_loss * inv;
+            acc.entropy += s.entropy * inv;
+            acc.approx_kl += s.approx_kl * inv;
+        }
+        acc
     }
 }
 
@@ -116,13 +150,17 @@ impl genet_env::Env for ScaledEnv {
     }
     fn step(&mut self, action: usize) -> genet_env::StepOutcome {
         let out = self.inner.step(action);
-        genet_env::StepOutcome { reward: out.reward * self.inv_scale, done: out.done }
+        genet_env::StepOutcome {
+            reward: out.reward * self.inv_scale,
+            done: out.done,
+        }
     }
 }
 
 /// Runs Algorithm 1: `iterations` PPO updates of `agent` on environments
 /// drawn from `source`. Returns the per-iteration mean rollout reward (in
-/// the scenario's *natural* units).
+/// the scenario's *natural* units). Telemetry-free convenience wrapper
+/// around [`train_rl_with`].
 pub fn train_rl(
     agent: &mut PpoAgent,
     scenario: &dyn Scenario,
@@ -131,29 +169,87 @@ pub fn train_rl(
     iterations: usize,
     seed: u64,
 ) -> TrainLog {
+    train_rl_with(
+        agent,
+        scenario,
+        source,
+        cfg,
+        iterations,
+        seed,
+        genet_telemetry::noop(),
+        "train",
+    )
+}
+
+/// [`train_rl`] with an attached telemetry collector.
+///
+/// Emits one [`Event::TrainIter`] per iteration (reward plus the full PPO
+/// `UpdateStats`), wall-clock spans `{scope}/rollout` and
+/// `{scope}/ppo-update`, and the episode/env-step/gradient-update counters.
+/// `scope` names the phase in span paths and events (`train/initial`,
+/// `train/sequencing/round-3`, …).
+///
+/// Telemetry is strictly observational: the collector is never consulted
+/// for control flow and no timing feeds any seeded path, so results are
+/// bit-identical to [`train_rl`] (see the `telemetry_transparency` test).
+#[allow(clippy::too_many_arguments)]
+pub fn train_rl_with(
+    agent: &mut PpoAgent,
+    scenario: &dyn Scenario,
+    source: &dyn ConfigSource,
+    cfg: TrainConfig,
+    iterations: usize,
+    seed: u64,
+    collector: &dyn Collector,
+    scope: &str,
+) -> TrainLog {
     let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x7124));
     let mut buffer = RolloutBuffer::new();
     let mut log = TrainLog::default();
     let mut env_counter: u64 = derive_seed(seed, 0xE17);
     let scale = scenario.reward_scale().max(1e-9);
-    for _iter in 0..iterations {
+    for iter in 0..iterations {
         let mut iter_reward = 0.0;
         let mut episodes = 0usize;
-        for _k in 0..cfg.configs_per_iter {
-            let config = source.sample_config(&mut rng);
-            for _n in 0..cfg.envs_per_config {
-                env_counter = env_counter.wrapping_add(1);
-                let mut env = ScaledEnv {
-                    inner: scenario.make_env(&config, env_counter),
-                    inv_scale: 1.0 / scale,
-                };
-                iter_reward +=
-                    scale * agent.collect_episode(&mut env, &mut buffer, &mut rng);
-                episodes += 1;
+        {
+            let _rollout = collector.span(format!("{scope}/rollout"));
+            for _k in 0..cfg.configs_per_iter {
+                let config = source.sample_config(&mut rng);
+                for _n in 0..cfg.envs_per_config {
+                    env_counter = env_counter.wrapping_add(1);
+                    let mut env = ScaledEnv {
+                        inner: scenario.make_env(&config, env_counter),
+                        inv_scale: 1.0 / scale,
+                    };
+                    iter_reward += scale * agent.collect_episode(&mut env, &mut buffer, &mut rng);
+                    episodes += 1;
+                }
             }
         }
-        agent.update(&mut buffer, &mut rng);
-        log.iter_rewards.push(iter_reward / episodes as f64);
+        let env_steps = buffer.len();
+        let stats = {
+            let _update = collector.span(format!("{scope}/ppo-update"));
+            agent.update(&mut buffer, &mut rng)
+        };
+        let mean_reward = iter_reward / episodes as f64;
+        if collector.enabled() {
+            collector.counter_add(counters::EPISODES, episodes as u64);
+            collector.counter_add(counters::ENV_STEPS, env_steps as u64);
+            collector.counter_add(counters::GRAD_UPDATES, 1);
+            collector.record(&Event::TrainIter {
+                scope: scope.to_string(),
+                iter: iter as u64,
+                mean_reward,
+                episodes: episodes as u64,
+                env_steps: env_steps as u64,
+                policy_loss: stats.policy_loss as f64,
+                value_loss: stats.value_loss as f64,
+                entropy: stats.entropy as f64,
+                approx_kl: stats.approx_kl as f64,
+            });
+        }
+        log.iter_rewards.push(mean_reward);
+        log.update_stats.push(stats);
     }
     log
 }
@@ -237,7 +333,9 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(2);
         let n = 20_000;
-        let hits = (0..n).filter(|_| src.sample_config(&mut rng) == special).count();
+        let hits = (0..n)
+            .filter(|_| src.sample_config(&mut rng) == special)
+            .count();
         let frac = hits as f64 / n as f64;
         assert!((frac - 0.3).abs() < 0.02, "{frac}");
     }

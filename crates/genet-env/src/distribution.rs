@@ -33,7 +33,11 @@ impl CurriculumDist {
     /// Panics unless `0 < w < 1`.
     pub fn uniform(base: ParamSpace, w: f64) -> Self {
         assert!(w > 0.0 && w < 1.0, "mixture weight w={w} must lie in (0,1)");
-        Self { base, promoted: Vec::new(), w }
+        Self {
+            base,
+            promoted: Vec::new(),
+            w,
+        }
     }
 
     /// The base parameter space.
@@ -105,7 +109,9 @@ mod tests {
         for k in 0..9 {
             let cfg = EnvConfig::from_values(vec![0.5, 15.0 + k as f64 * 0.1]);
             d.promote(cfg);
-            let total: f64 = (0..d.promoted().len()).map(|i| d.promoted_mass(i)).sum::<f64>()
+            let total: f64 = (0..d.promoted().len())
+                .map(|i| d.promoted_mass(i))
+                .sum::<f64>()
                 + d.base_mass();
             assert!((total - 1.0).abs() < 1e-12, "round {k}: mass {total}");
         }

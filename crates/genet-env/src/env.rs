@@ -79,7 +79,10 @@ mod tests {
         fn step(&mut self, action: usize) -> StepOutcome {
             assert!(action < 2);
             self.t += 1;
-            StepOutcome { reward: action as f64, done: self.t >= self.horizon }
+            StepOutcome {
+                reward: action as f64,
+                done: self.t >= self.horizon,
+            }
         }
     }
 

@@ -74,13 +74,25 @@ impl ParamDim {
     /// A continuous dimension, sampled uniformly.
     pub fn new(name: &'static str, min: f64, max: f64) -> Self {
         assert!(min <= max, "dim {name}: min {min} > max {max}");
-        Self { name, min, max, integer: false, log: false }
+        Self {
+            name,
+            min,
+            max,
+            integer: false,
+            log: false,
+        }
     }
 
     /// An integer-valued dimension.
     pub fn int(name: &'static str, min: f64, max: f64) -> Self {
         assert!(min <= max, "dim {name}: min {min} > max {max}");
-        Self { name, min, max, integer: true, log: false }
+        Self {
+            name,
+            min,
+            max,
+            integer: true,
+            log: false,
+        }
     }
 
     /// A log-uniformly sampled dimension.
@@ -88,14 +100,32 @@ impl ParamDim {
     /// # Panics
     /// Panics unless `0 < min <= max`.
     pub fn log_scale(name: &'static str, min: f64, max: f64) -> Self {
-        assert!(min > 0.0 && min <= max, "dim {name}: log range needs 0 < {min} <= {max}");
-        Self { name, min, max, integer: false, log: true }
+        assert!(
+            min > 0.0 && min <= max,
+            "dim {name}: log range needs 0 < {min} <= {max}"
+        );
+        Self {
+            name,
+            min,
+            max,
+            integer: false,
+            log: true,
+        }
     }
 
     /// An integer-valued, log-uniformly sampled dimension.
     pub fn log_int(name: &'static str, min: f64, max: f64) -> Self {
-        assert!(min > 0.0 && min <= max, "dim {name}: log range needs 0 < {min} <= {max}");
-        Self { name, min, max, integer: true, log: true }
+        assert!(
+            min > 0.0 && min <= max,
+            "dim {name}: log range needs 0 < {min} <= {max}"
+        );
+        Self {
+            name,
+            min,
+            max,
+            integer: true,
+            log: true,
+        }
     }
 
     /// Range width.
@@ -161,7 +191,11 @@ impl ParamSpace {
     pub fn new(dims: Vec<ParamDim>) -> Self {
         for i in 0..dims.len() {
             for j in (i + 1)..dims.len() {
-                assert_ne!(dims[i].name, dims[j].name, "duplicate dim name {}", dims[i].name);
+                assert_ne!(
+                    dims[i].name, dims[j].name,
+                    "duplicate dim name {}",
+                    dims[i].name
+                );
             }
         }
         Self { dims }
@@ -193,7 +227,13 @@ impl ParamSpace {
         let values = self
             .dims
             .iter()
-            .map(|d| if d.width() == 0.0 { d.min } else { d.lerp(rng.random()) })
+            .map(|d| {
+                if d.width() == 0.0 {
+                    d.min
+                } else {
+                    d.lerp(rng.random())
+                }
+            })
             .collect();
         EnvConfig { values }
     }
@@ -202,14 +242,25 @@ impl ParamSpace {
     /// paper's grid-search comparator, Fig. 20, and as the "default"
     /// parameter column of Tables 3/4/5 when a sweep varies one dimension).
     pub fn midpoint(&self) -> EnvConfig {
-        EnvConfig { values: self.dims.iter().map(|d| d.quantize(d.midpoint())).collect() }
+        EnvConfig {
+            values: self.dims.iter().map(|d| d.quantize(d.midpoint())).collect(),
+        }
     }
 
     /// Clamps (and integer-quantizes) a raw vector into the box.
     pub fn clamp(&self, values: &[f64]) -> EnvConfig {
-        assert_eq!(values.len(), self.dims.len(), "config dimensionality mismatch");
+        assert_eq!(
+            values.len(),
+            self.dims.len(),
+            "config dimensionality mismatch"
+        );
         EnvConfig {
-            values: self.dims.iter().zip(values).map(|(d, &v)| d.quantize(v)).collect(),
+            values: self
+                .dims
+                .iter()
+                .zip(values)
+                .map(|(d, &v)| d.quantize(v))
+                .collect(),
         }
     }
 
@@ -217,7 +268,10 @@ impl ParamSpace {
     /// midpoint — the RL1/RL2 construction. Log dims shrink in log space
     /// (around the geometric mean).
     pub fn shrunk(&self, fraction: f64) -> ParamSpace {
-        assert!((0.0..=1.0).contains(&fraction), "fraction {fraction} out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction {fraction} out of [0,1]"
+        );
         let dims = self
             .dims
             .iter()
@@ -276,7 +330,12 @@ impl ParamSpace {
     pub fn denormalize(&self, unit: &[f64]) -> EnvConfig {
         assert_eq!(unit.len(), self.dims.len());
         EnvConfig {
-            values: self.dims.iter().zip(unit).map(|(d, &u)| d.lerp(u)).collect(),
+            values: self
+                .dims
+                .iter()
+                .zip(unit)
+                .map(|(d, &u)| d.lerp(u))
+                .collect(),
         }
     }
 }
@@ -431,7 +490,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate dim name")]
     fn duplicate_names_rejected() {
-        let _ = ParamSpace::new(vec![ParamDim::new("a", 0.0, 1.0), ParamDim::new("a", 0.0, 2.0)]);
+        let _ = ParamSpace::new(vec![
+            ParamDim::new("a", 0.0, 1.0),
+            ParamDim::new("a", 0.0, 2.0),
+        ]);
     }
 
     #[test]
@@ -459,7 +521,10 @@ mod tests {
         let s = ParamSpace::new(vec![ParamDim::log_scale("bw", 0.5, 50.0)]);
         let cfg = EnvConfig::from_values(vec![5.0]);
         let u = s.normalize(&cfg);
-        assert!((u[0] - 0.5).abs() < 1e-9, "5 is the geometric mean of [0.5, 50]");
+        assert!(
+            (u[0] - 0.5).abs() < 1e-9,
+            "5 is the geometric mean of [0.5, 50]"
+        );
         let back = s.denormalize(&u);
         assert!((back.get(0) - 5.0).abs() < 1e-9);
     }

@@ -93,7 +93,10 @@ pub fn rollout_policy(env: &mut dyn Env, policy: &dyn Policy, rng: &mut StdRng) 
     loop {
         env.observe(&mut obs);
         let action = policy.act(&obs, rng);
-        debug_assert!(action < env.action_count(), "policy produced out-of-range action");
+        debug_assert!(
+            action < env.action_count(),
+            "policy produced out-of-range action"
+        );
         let out = env.step(action);
         total += out.reward;
         steps += 1;
@@ -118,7 +121,10 @@ pub fn rollout_rewards(env: &mut dyn Env, policy: &dyn Policy, rng: &mut StdRng)
         if out.done {
             break;
         }
-        assert!(rewards.len() < MAX_EPISODE_STEPS, "environment did not terminate");
+        assert!(
+            rewards.len() < MAX_EPISODE_STEPS,
+            "environment did not terminate"
+        );
     }
     rewards
 }
@@ -172,7 +178,10 @@ mod tests {
             2
         }
         fn make_env(&self, cfg: &EnvConfig, _seed: u64) -> Box<dyn Env> {
-            Box::new(ParityEnv { target: cfg.get(0) as usize, t: 0 })
+            Box::new(ParityEnv {
+                target: cfg.get(0) as usize,
+                t: 0,
+            })
         }
         fn baseline_names(&self) -> &'static [&'static str] {
             &["oracle-ish"]
@@ -182,11 +191,7 @@ mod tests {
         }
         fn eval_baseline(&self, name: &str, cfg: &EnvConfig, seed: u64) -> f64 {
             assert_eq!(name, "oracle-ish");
-            self.eval_policy(
-                &|obs: &[f32], _rng: &mut StdRng| obs[0] as usize,
-                cfg,
-                seed,
-            )
+            self.eval_policy(&|obs: &[f32], _rng: &mut StdRng| obs[0] as usize, cfg, seed)
         }
         fn eval_oracle(&self, cfg: &EnvConfig, seed: u64) -> f64 {
             self.eval_baseline("oracle-ish", cfg, seed)

@@ -44,9 +44,8 @@ pub struct WeightedLlf;
 
 impl LbAlgorithm for WeightedLlf {
     fn choose(&mut self, ctx: &LbContext) -> usize {
-        let est: [f64; N_SERVERS] = std::array::from_fn(|i| {
-            (ctx.observed_counts[i] as f64 + 1.0) / ctx.rates[i]
-        });
+        let est: [f64; N_SERVERS] =
+            std::array::from_fn(|i| (ctx.observed_counts[i] as f64 + 1.0) / ctx.rates[i]);
         argmin(&est)
     }
 }
@@ -78,7 +77,10 @@ pub struct RandomAssign {
 impl RandomAssign {
     /// Seeded random dispatcher.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(derive_seed(seed, 0xA55)), seed }
+        Self {
+            rng: StdRng::seed_from_u64(derive_seed(seed, 0xA55)),
+            seed,
+        }
     }
 }
 
@@ -219,7 +221,10 @@ mod tests {
     #[test]
     fn all_rewards_negative() {
         for name in BASELINE_NAMES {
-            assert!(score(name) < 0.0, "{name}: delays are positive so rewards < 0");
+            assert!(
+                score(name) < 0.0,
+                "{name}: delays are positive so rewards < 0"
+            );
         }
     }
 }

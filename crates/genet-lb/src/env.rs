@@ -59,7 +59,10 @@ impl Env for LbEnv {
         if !done {
             self.ctx = self.sim.context();
         }
-        StepOutcome { reward: -delay_s, done }
+        StepOutcome {
+            reward: -delay_s,
+            done,
+        }
     }
 }
 
@@ -101,7 +104,10 @@ mod tests {
         loop {
             e.observe(&mut obs);
             for (i, v) in obs.iter().enumerate() {
-                assert!(v.is_finite() && (0.0..=4.01).contains(&(*v as f64)), "obs[{i}]={v}");
+                assert!(
+                    v.is_finite() && (0.0..=4.01).contains(&(*v as f64)),
+                    "obs[{i}]={v}"
+                );
             }
             if e.step(2).done {
                 break;

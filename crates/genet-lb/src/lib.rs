@@ -21,7 +21,9 @@ pub mod scenario;
 pub mod sim;
 pub mod space;
 
-pub use baselines::{LbAlgorithm, LeastLoadFirst, MostLoadedFirst, RandomAssign, RoundRobin, WeightedLlf};
+pub use baselines::{
+    LbAlgorithm, LeastLoadFirst, MostLoadedFirst, RandomAssign, RoundRobin, WeightedLlf,
+};
 pub use env::{LbEnv, LB_OBS_DIM};
 pub use scenario::LbScenario;
 pub use sim::{LbContext, LbSim, N_SERVERS};

@@ -73,7 +73,10 @@ mod tests {
     fn paired_world_same_seed() {
         let s = LbScenario;
         let cfg = default_config();
-        assert_eq!(s.eval_baseline("llf", &cfg, 1), s.eval_baseline("llf", &cfg, 1));
+        assert_eq!(
+            s.eval_baseline("llf", &cfg, 1),
+            s.eval_baseline("llf", &cfg, 1)
+        );
     }
 
     #[test]

@@ -139,8 +139,7 @@ impl LbSim {
         assert!(!self.finished(), "dispatch() after the last job");
         assert!(server < N_SERVERS, "server {server} out of range");
         let service_ms = self.next_job_size / self.rates[server];
-        let start_ms = self
-            .pending[server]
+        let start_ms = self.pending[server]
             .last()
             .copied()
             .unwrap_or(self.now_ms)
@@ -208,7 +207,10 @@ mod tests {
             }
             last = d;
         }
-        assert!(grew >= 6, "queueing should usually grow delays, grew {grew}/10");
+        assert!(
+            grew >= 6,
+            "queueing should usually grow delays, grew {grew}/10"
+        );
     }
 
     #[test]
@@ -227,21 +229,31 @@ mod tests {
     #[test]
     fn counts_reflect_outstanding_jobs() {
         let mut sim = LbSim::new(
-            LbParams { job_interval_ms: 1.0, ..params(20) }, // rapid arrivals
+            LbParams {
+                job_interval_ms: 1.0,
+                ..params(20)
+            }, // rapid arrivals
             3,
         );
         for _ in 0..5 {
             sim.dispatch(1);
         }
         let counts = sim.true_counts();
-        assert!(counts[1] >= 4, "server 1 should have a queue, got {counts:?}");
+        assert!(
+            counts[1] >= 4,
+            "server 1 should have a queue, got {counts:?}"
+        );
         assert_eq!(counts[0], 0);
     }
 
     #[test]
     fn shuffle_prob_one_scrambles_observations() {
         let mut with_shuffle = LbSim::new(
-            LbParams { shuffle_prob: 1.0, job_interval_ms: 1.0, ..params(200) },
+            LbParams {
+                shuffle_prob: 1.0,
+                job_interval_ms: 1.0,
+                ..params(200)
+            },
             4,
         );
         // Load server 0 heavily, then check the observed position of the
@@ -250,12 +262,19 @@ mod tests {
         for _ in 0..100 {
             with_shuffle.dispatch(0);
             let obs = with_shuffle.context().observed_counts;
-            if let Some(pos) = obs.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i)
+            if let Some(pos) = obs
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(i, _)| i)
             {
                 positions.insert(pos);
             }
         }
-        assert!(positions.len() > 1, "shuffling must move the hot server around");
+        assert!(
+            positions.len() > 1,
+            "shuffling must move the hot server around"
+        );
     }
 
     #[test]
@@ -288,7 +307,10 @@ mod tests {
             max_delay = max_delay.max(sim.dispatch(0));
         }
         assert!(max_delay <= DELAY_CAP_S + 1e-9, "{max_delay}");
-        assert!((max_delay - DELAY_CAP_S).abs() < 1e-9, "overload must hit the cap");
+        assert!(
+            (max_delay - DELAY_CAP_S).abs() < 1e-9,
+            "overload must hit the cap"
+        );
         assert!(sim.episode_reward() >= -DELAY_CAP_S);
     }
 

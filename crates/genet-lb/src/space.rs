@@ -108,7 +108,11 @@ mod tests {
     #[test]
     fn defaults_have_stable_utilization() {
         let p = LbParams::from_config(&lb_defaults());
-        assert!((p.utilization() - 0.8163).abs() < 0.01, "{}", p.utilization());
+        assert!(
+            (p.utilization() - 0.8163).abs() < 0.01,
+            "{}",
+            p.utilization()
+        );
     }
 
     #[test]

@@ -137,7 +137,10 @@ impl Cholesky {
 
     /// `log |A| = 2 * sum(log diag(L))`, used by GP marginal likelihood.
     pub fn log_det(&self) -> f64 {
-        (0..self.l.rows()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+        (0..self.l.rows())
+            .map(|i| self.l.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
     }
 }
 
@@ -188,7 +191,10 @@ mod tests {
 
     #[test]
     fn non_square_rejected() {
-        assert_eq!(Cholesky::decompose(&Matrix::zeros(2, 3)).unwrap_err(), CholeskyError::NotSquare);
+        assert_eq!(
+            Cholesky::decompose(&Matrix::zeros(2, 3)).unwrap_err(),
+            CholeskyError::NotSquare
+        );
     }
 
     #[test]

@@ -27,5 +27,11 @@ pub mod stats;
 pub use cholesky::Cholesky;
 pub use matrix::Matrix;
 pub use rng::{derive_seed, split_seed};
-pub use samplers::{clamp, poisson_interarrival, sample_exponential, sample_gaussian, sample_pareto, sample_standard_gaussian};
-pub use stats::{erf, fraction_below, mean, median, normal_cdf, normal_pdf, pearson, percentile, std_dev, variance, OnlineStats, Summary};
+pub use samplers::{
+    clamp, poisson_interarrival, sample_exponential, sample_gaussian, sample_pareto,
+    sample_standard_gaussian,
+};
+pub use stats::{
+    erf, fraction_below, mean, median, normal_cdf, normal_pdf, pearson, percentile, std_dev,
+    variance, OnlineStats, Summary,
+};

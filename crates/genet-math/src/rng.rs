@@ -50,7 +50,11 @@ mod tests {
     fn split_seed_unique() {
         let seeds = split_seed(123, 1000);
         let set: HashSet<u64> = seeds.iter().copied().collect();
-        assert_eq!(set.len(), 1000, "sub-seeds must be collision-free in practice");
+        assert_eq!(
+            set.len(),
+            1000,
+            "sub-seeds must be collision-free in practice"
+        );
     }
 
     #[test]

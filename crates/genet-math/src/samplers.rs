@@ -33,7 +33,10 @@ pub fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64
 /// Panics if `lambda <= 0`.
 #[inline]
 pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
-    assert!(lambda > 0.0, "exponential rate must be positive, got {lambda}");
+    assert!(
+        lambda > 0.0,
+        "exponential rate must be positive, got {lambda}"
+    );
     let u: f64 = 1.0 - rng.random::<f64>();
     -u.ln() / lambda
 }
@@ -98,7 +101,10 @@ mod tests {
     fn pareto_support_and_mean() {
         let (shape, scale) = (3.0, 2.0);
         let xs = draws(|r| sample_pareto(r, shape, scale));
-        assert!(xs.iter().all(|&x| x >= scale), "Pareto support starts at scale");
+        assert!(
+            xs.iter().all(|&x| x >= scale),
+            "Pareto support starts at scale"
+        );
         // mean = shape*scale/(shape-1) = 3.
         assert!((mean(&xs) - 3.0).abs() < 0.05, "mean {}", mean(&xs));
     }

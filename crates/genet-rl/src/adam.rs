@@ -68,7 +68,11 @@ impl Adam {
         assert_eq!(grads.len(), self.m.len(), "grad length mismatch");
         let scale = match self.max_grad_norm {
             Some(max) => {
-                let norm = grads.iter().map(|g| (*g as f64).powi(2)).sum::<f64>().sqrt() as f32;
+                let norm = grads
+                    .iter()
+                    .map(|g| (*g as f64).powi(2))
+                    .sum::<f64>()
+                    .sqrt() as f32;
                 if norm > max && norm > 0.0 {
                     max / norm
                 } else {

@@ -125,7 +125,14 @@ mod tests {
     use super::*;
 
     fn tr(reward: f32, value: f32, done: bool) -> Transition {
-        Transition { obs: vec![0.0], action: 0, log_prob: 0.0, value, reward, done }
+        Transition {
+            obs: vec![0.0],
+            action: 0,
+            log_prob: 0.0,
+            value,
+            reward,
+            done,
+        }
     }
 
     #[test]
@@ -161,8 +168,12 @@ mod tests {
         }
         buf.finish(0.9, 0.9);
         let mean = buf.advantages().iter().sum::<f32>() / 50.0;
-        let var =
-            buf.advantages().iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / 50.0;
+        let var = buf
+            .advantages()
+            .iter()
+            .map(|a| (a - mean) * (a - mean))
+            .sum::<f32>()
+            / 50.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }

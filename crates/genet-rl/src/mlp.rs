@@ -39,7 +39,10 @@ impl Mlp {
     /// # Panics
     /// Panics if fewer than two sizes (need at least input and output).
     pub fn new(sizes: &[usize], seed: u64) -> Self {
-        assert!(sizes.len() >= 2, "MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "MLP needs at least input and output sizes"
+        );
         assert!(sizes.iter().all(|&s| s > 0), "zero-width layer");
         let mut w_off = Vec::new();
         let mut b_off = Vec::new();
@@ -61,7 +64,12 @@ impl Mlp {
             }
             // Biases start at zero.
         }
-        Self { sizes: sizes.to_vec(), params, w_off, b_off }
+        Self {
+            sizes: sizes.to_vec(),
+            params,
+            w_off,
+            b_off,
+        }
     }
 
     /// Layer sizes.

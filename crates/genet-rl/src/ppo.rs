@@ -102,7 +102,15 @@ impl PpoAgent {
         let opt_critic = Adam::new(critic.param_count(), cfg.critic_lr);
         let scratch_a = actor.scratch();
         let scratch_c = critic.scratch();
-        Self { actor, critic, opt_actor, opt_critic, cfg, scratch_a, scratch_c }
+        Self {
+            actor,
+            critic,
+            opt_actor,
+            opt_critic,
+            cfg,
+            scratch_a,
+            scratch_c,
+        }
     }
 
     /// Observation dimensionality.
@@ -164,7 +172,10 @@ impl PpoAgent {
             if out.done {
                 break;
             }
-            assert!(steps < genet_env::MAX_EPISODE_STEPS, "environment did not terminate");
+            assert!(
+                steps < genet_env::MAX_EPISODE_STEPS,
+                "environment did not terminate"
+            );
         }
         total / steps as f64
     }
@@ -204,8 +215,7 @@ impl PpoAgent {
                     let logp = softmax::log_prob(&probs, t.action);
                     let ratio = (logp - t.log_prob).exp();
                     let unclipped = ratio * adv;
-                    let clipped =
-                        ratio.clamp(1.0 - self.cfg.clip, 1.0 + self.cfg.clip) * adv;
+                    let clipped = ratio.clamp(1.0 - self.cfg.clip, 1.0 + self.cfg.clip) * adv;
                     let surrogate = unclipped.min(clipped);
                     // Gradient flows only when the unclipped branch is
                     // active (the standard PPO subgradient).
@@ -219,16 +229,17 @@ impl PpoAgent {
                     softmax::grad_entropy(&probs, &mut g_ent);
                     // Loss = −surrogate − c_ent·H; accumulate dLoss/dlogits.
                     for j in 0..actions {
-                        grad_logits[j] = (-coef * grad_logits[j]
-                            - self.cfg.entropy_coef * g_ent[j])
-                            * inv;
+                        grad_logits[j] =
+                            (-coef * grad_logits[j] - self.cfg.entropy_coef * g_ent[j]) * inv;
                     }
-                    self.actor.backward(&grad_logits, &mut self.scratch_a, &mut grads_a);
+                    self.actor
+                        .backward(&grad_logits, &mut self.scratch_a, &mut grads_a);
 
                     // ---- critic ----
                     let value = self.critic.forward(&t.obs, &mut self.scratch_c)[0];
                     let verr = value - ret;
-                    self.critic.backward(&[verr * inv], &mut self.scratch_c, &mut grads_c);
+                    self.critic
+                        .backward(&[verr * inv], &mut self.scratch_c, &mut grads_c);
 
                     mb_policy_loss -= surrogate;
                     mb_value_loss += 0.5 * verr * verr;
@@ -258,7 +269,10 @@ impl PpoAgent {
 
     /// An immutable evaluation snapshot implementing [`genet_env::Policy`].
     pub fn policy(&self, mode: PolicyMode) -> PpoPolicy {
-        PpoPolicy { actor: self.actor.clone(), mode }
+        PpoPolicy {
+            actor: self.actor.clone(),
+            mode,
+        }
     }
 
     /// Saves actor+critic parameters to a plain-text file.
@@ -284,7 +298,10 @@ impl PpoAgent {
         let mut lines = f.lines();
         for (tag, net) in [("actor", &mut self.actor), ("critic", &mut self.critic)] {
             let header = lines.next().unwrap_or_else(|| {
-                Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "missing header"))
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "missing header",
+                ))
             })?;
             let mut parts = header.split_whitespace();
             let got_tag = parts.next().unwrap_or("");
@@ -298,12 +315,18 @@ impl PpoAgent {
             if sizes != net.sizes() {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
-                    format!("shape mismatch in {tag}: file {sizes:?} vs net {:?}", net.sizes()),
+                    format!(
+                        "shape mismatch in {tag}: file {sizes:?} vs net {:?}",
+                        net.sizes()
+                    ),
                 ));
             }
             for p in net.params_mut() {
                 let line = lines.next().unwrap_or_else(|| {
-                    Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "missing param"))
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "missing param",
+                    ))
                 })?;
                 *p = line.trim().parse().map_err(|e| {
                     std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e}"))
@@ -401,7 +424,10 @@ mod tests {
         }
         fn step(&mut self, action: usize) -> StepOutcome {
             self.t += 1;
-            StepOutcome { reward: action as f64, done: self.t >= 16 }
+            StepOutcome {
+                reward: action as f64,
+                done: self.t >= 16,
+            }
         }
     }
 
@@ -426,9 +452,11 @@ mod tests {
             let reward = (action == self.bit) as u32 as f64;
             self.t += 1;
             // Pseudo-random next bit, deterministic per env seed.
-            self.bit =
-                (genet_math::derive_seed(self.seed, self.t as u64) & 1) as usize;
-            StepOutcome { reward, done: self.t >= 32 }
+            self.bit = (genet_math::derive_seed(self.seed, self.t as u64) & 1) as usize;
+            StepOutcome {
+                reward,
+                done: self.t >= 32,
+            }
         }
     }
 
@@ -444,7 +472,10 @@ mod tests {
 
     #[test]
     fn learns_contextual_mapping() {
-        let cfg = PpoConfig { actor_lr: 1e-3, ..PpoConfig::default() };
+        let cfg = PpoConfig {
+            actor_lr: 1e-3,
+            ..PpoConfig::default()
+        };
         let mut agent = PpoAgent::new(1, 2, cfg, 3);
         let history = train_on(
             &mut agent,
@@ -460,7 +491,10 @@ mod tests {
             1,
         );
         let late = history[history.len() - 5..].iter().sum::<f64>() / 5.0;
-        assert!(late > 0.9, "contextual policy should be near-perfect, got {late}");
+        assert!(
+            late > 0.9,
+            "contextual policy should be near-perfect, got {late}"
+        );
     }
 
     #[test]

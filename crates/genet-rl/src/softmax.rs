@@ -57,7 +57,10 @@ pub fn log_prob(probs: &[f32], action: usize) -> f32 {
 
 /// Shannon entropy `−Σ p log p` of a probability vector (nats).
 pub fn entropy(probs: &[f32]) -> f32 {
-    -probs.iter().map(|&p| if p > 1e-12 { p * p.ln() } else { 0.0 }).sum::<f32>()
+    -probs
+        .iter()
+        .map(|&p| if p > 1e-12 { p * p.ln() } else { 0.0 })
+        .sum::<f32>()
 }
 
 /// Gradient of `log π(action)` with respect to the logits:
@@ -110,7 +113,11 @@ mod tests {
         }
         for i in 0..3 {
             let f = counts[i] as f32 / n as f32;
-            assert!((f - probs[i]).abs() < 0.01, "action {i}: {f} vs {}", probs[i]);
+            assert!(
+                (f - probs[i]).abs() < 0.01,
+                "action {i}: {f} vs {}",
+                probs[i]
+            );
         }
     }
 
@@ -136,9 +143,13 @@ mod tests {
             lp[j] += eps;
             let mut lm = logits;
             lm[j] -= eps;
-            let fd = (log_prob(&softmax(&lp), action) - log_prob(&softmax(&lm), action))
-                / (2.0 * eps);
-            assert!((fd - analytic[j]).abs() < 1e-3, "dim {j}: {fd} vs {}", analytic[j]);
+            let fd =
+                (log_prob(&softmax(&lp), action) - log_prob(&softmax(&lm), action)) / (2.0 * eps);
+            assert!(
+                (fd - analytic[j]).abs() < 1e-3,
+                "dim {j}: {fd} vs {}",
+                analytic[j]
+            );
         }
     }
 
@@ -155,7 +166,11 @@ mod tests {
             let mut lm = logits;
             lm[j] -= eps;
             let fd = (entropy(&softmax(&lp)) - entropy(&softmax(&lm))) / (2.0 * eps);
-            assert!((fd - analytic[j]).abs() < 1e-3, "dim {j}: {fd} vs {}", analytic[j]);
+            assert!(
+                (fd - analytic[j]).abs() < 1e-3,
+                "dim {j}: {fd} vs {}",
+                analytic[j]
+            );
         }
     }
 

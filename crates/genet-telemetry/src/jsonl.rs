@@ -1,0 +1,193 @@
+//! JSONL sink: one JSON object per line, machine-diffable.
+//!
+//! Event lines carry a `t_ms` wall-clock offset from sink creation; span
+//! records become `{"type":"span",...}` lines; counters accumulate in
+//! memory and are flushed as a single `{"type":"counters",...}` line by
+//! [`JsonlSink::finish`] (also invoked on drop).
+
+use crate::collector::Collector;
+use crate::event::Event;
+use crate::json::ObjWriter;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+struct Inner {
+    out: Option<Box<dyn Write + Send>>,
+    counters: BTreeMap<&'static str, u64>,
+    finished: bool,
+}
+
+/// A line-oriented JSON sink over any writer (usually a file).
+pub struct JsonlSink {
+    inner: Mutex<Inner>,
+    t0: Instant,
+}
+
+impl JsonlSink {
+    /// Creates `path` (truncating; parent directories are created).
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = std::fs::File::create(path)?;
+        Ok(Self::to_writer(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// Wraps an arbitrary writer.
+    pub fn to_writer(out: Box<dyn Write + Send>) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                out: Some(out),
+                counters: BTreeMap::new(),
+                finished: false,
+            }),
+            t0: Instant::now(),
+        }
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(out) = inner.out.as_mut() {
+            if let Err(e) = writeln!(out, "{line}") {
+                eprintln!("warning: telemetry jsonl write failed: {e}; disabling sink");
+                inner.out = None;
+            }
+        }
+    }
+
+    /// Milliseconds since the sink was created.
+    fn t_ms(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Writes the final counters line and flushes. Idempotent; also runs on
+    /// drop.
+    pub fn finish(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.finished {
+            return;
+        }
+        inner.finished = true;
+        let counters = std::mem::take(&mut inner.counters);
+        if let Some(out) = inner.out.as_mut() {
+            if !counters.is_empty() {
+                let mut w = ObjWriter::new();
+                w.str("type", "counters");
+                for (name, value) in &counters {
+                    w.uint(name, *value);
+                }
+                let _ = writeln!(out, "{}", w.finish());
+            }
+            if let Err(e) = out.flush() {
+                eprintln!("warning: telemetry jsonl flush failed: {e}");
+            }
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+impl Collector for JsonlSink {
+    fn record(&self, event: &Event) {
+        self.write_line(&event.to_json(Some(self.t_ms())));
+    }
+
+    fn span_end(&self, path: &str, nanos: u64) {
+        let mut w = ObjWriter::new();
+        w.num("t_ms", self.t_ms());
+        w.str("type", "span");
+        w.str("path", path);
+        w.uint("nanos", nanos);
+        self.write_line(&w.finish());
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        *self.inner.lock().unwrap().counters.entry(name).or_insert(0) += delta;
+    }
+}
+
+/// Reads a JSONL file back into parsed lines (offline tooling and tests).
+pub fn read_lines(path: &Path) -> std::io::Result<Vec<crate::json::JsonValue>> {
+    let text = std::fs::read_to_string(path)?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            crate::json::parse(l)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::counters;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("genet_telemetry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn events_spans_counters_roundtrip_through_file() {
+        let path = temp_path("roundtrip.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        let ev = Event::BoTrial {
+            round: 1,
+            trial: 2,
+            config: vec![0.5, 1.5],
+            objective: -0.25,
+            ei: Some(0.125),
+        };
+        sink.record(&ev);
+        sink.span_end("train/rollout", 12345);
+        sink.counter_add(counters::EPISODES, 10);
+        sink.counter_add(counters::EPISODES, 5);
+        sink.finish();
+
+        let lines = read_lines(&path).unwrap();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(Event::from_json(&lines[0]).unwrap(), ev);
+        assert!(lines[0].get("t_ms").unwrap().as_f64().unwrap() >= 0.0);
+        assert_eq!(lines[1].get("type").unwrap().as_str().unwrap(), "span");
+        assert_eq!(
+            lines[1].get("path").unwrap().as_str().unwrap(),
+            "train/rollout"
+        );
+        assert_eq!(lines[1].get("nanos").unwrap().as_u64().unwrap(), 12345);
+        assert_eq!(lines[2].get("type").unwrap().as_str().unwrap(), "counters");
+        assert_eq!(lines[2].get("episodes").unwrap().as_u64().unwrap(), 15);
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_drop_finishes() {
+        let path = temp_path("finish.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.counter_add(counters::ENV_STEPS, 3);
+            sink.finish();
+            sink.finish();
+            // Drop runs finish() again; counters must not be re-emitted.
+        }
+        let lines = read_lines(&path).unwrap();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].get("env_steps").unwrap().as_u64().unwrap(), 3);
+    }
+
+    #[test]
+    fn create_makes_parent_dirs() {
+        let path = temp_path("nested/dirs/out.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&Event::CacheHit { tag: "t".into() });
+        sink.finish();
+        assert_eq!(read_lines(&path).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! In-memory sink (tests, programmatic inspection) and fan-out.
+
+use crate::collector::Collector;
+use crate::event::Event;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Collects everything into memory. Used by tests and by callers that want
+/// to inspect telemetry programmatically after a run.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+    spans: Mutex<Vec<(String, u64)>>,
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all recorded events, in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Events of one kind (`"train_iter"`, `"bo_trial"`, …).
+    pub fn events_of(&self, kind: &str) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.kind() == kind)
+            .cloned()
+            .collect()
+    }
+
+    /// Snapshot of all recorded spans `(path, nanos)`, in order.
+    pub fn spans(&self) -> Vec<(String, u64)> {
+        self.spans.lock().unwrap().clone()
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .unwrap()
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+impl Collector for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+
+    fn span_end(&self, path: &str, nanos: u64) {
+        self.spans.lock().unwrap().push((path.to_string(), nanos));
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        *self.counters.lock().unwrap().entry(name).or_insert(0) += delta;
+    }
+}
+
+/// Fans every observation out to multiple collectors.
+pub struct Tee {
+    sinks: Vec<Arc<dyn Collector>>,
+}
+
+impl Tee {
+    /// Builds a fan-out over `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn Collector>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl Collector for Tee {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn record(&self, event: &Event) {
+        for s in &self.sinks {
+            s.record(event);
+        }
+    }
+
+    fn span_end(&self, path: &str, nanos: u64) {
+        for s in &self.sinks {
+            s.span_end(path, nanos);
+        }
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        for s in &self.sinks {
+            s.counter_add(name, delta);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::NoopCollector;
+
+    #[test]
+    fn memory_sink_records_in_order() {
+        let m = MemorySink::new();
+        m.record(&Event::CacheMiss { tag: "a".into() });
+        m.record(&Event::CacheHit { tag: "b".into() });
+        let evs = m.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind(), "cache_miss");
+        assert_eq!(m.events_of("cache_hit").len(), 1);
+    }
+
+    #[test]
+    fn tee_forwards_to_all_and_ors_enabled() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let tee = Tee::new(vec![a.clone(), b.clone()]);
+        assert!(tee.enabled());
+        tee.record(&Event::Promotion {
+            round: 1,
+            config: vec![2.0],
+            value: 0.5,
+        });
+        tee.span_end("train", 42);
+        tee.counter_add(crate::counters::EPISODES, 7);
+        for sink in [&a, &b] {
+            assert_eq!(sink.events().len(), 1);
+            assert_eq!(sink.spans(), vec![("train".to_string(), 42)]);
+            assert_eq!(sink.counter(crate::counters::EPISODES), 7);
+        }
+        let disabled = Tee::new(vec![Arc::new(NoopCollector)]);
+        assert!(!disabled.enabled());
+    }
+}

@@ -1,0 +1,192 @@
+//! Span-tree aggregation: turns a stream of `(path, nanos)` span records
+//! into a call-tree profile with total time, self time and call counts.
+//!
+//! Paths are slash-separated; numbered segments (`round-3`, `trial-7`) are
+//! canonicalized to `round-*` / `trial-*` so repeated instances of the same
+//! structural span aggregate into one profile node.
+
+use std::collections::BTreeMap;
+
+/// Canonicalizes one path segment: a trailing `-<digits>` becomes `-*`.
+pub fn canonical_segment(seg: &str) -> String {
+    match seg.rsplit_once('-') {
+        Some((head, tail)) if !tail.is_empty() && tail.bytes().all(|b| b.is_ascii_digit()) => {
+            format!("{head}-*")
+        }
+        _ => seg.to_string(),
+    }
+}
+
+/// One node of the aggregated span tree.
+#[derive(Debug, Clone, Default)]
+pub struct SpanNode {
+    /// Number of span instances aggregated here.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across instances.
+    pub total_nanos: u64,
+    /// Child spans, ordered by (canonical) name.
+    pub children: BTreeMap<String, SpanNode>,
+}
+
+impl SpanNode {
+    /// Wall-clock attributed to this subtree: the node's own recorded time,
+    /// or its children's when the node is a pure grouping segment (e.g. the
+    /// `bo` in `round-3/bo/trial-7`) that never carried a span itself.
+    pub fn effective_nanos(&self) -> u64 {
+        let child_total: u64 = self.children.values().map(|c| c.effective_nanos()).sum();
+        self.total_nanos.max(child_total)
+    }
+
+    /// Total time minus time attributed to children (clamped at zero:
+    /// children recorded without an enclosing parent span can exceed it).
+    pub fn self_nanos(&self) -> u64 {
+        let child_total: u64 = self.children.values().map(|c| c.effective_nanos()).sum();
+        self.total_nanos.saturating_sub(child_total)
+    }
+}
+
+/// The aggregated tree over all recorded spans.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTree {
+    root: SpanNode,
+}
+
+impl SpanTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any span has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.root.children.is_empty()
+    }
+
+    /// Folds one span record into the tree. Interior segments only group;
+    /// calls/time are attributed to the full (canonical) path.
+    pub fn add(&mut self, path: &str, nanos: u64) {
+        let mut node = &mut self.root;
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            node = node.children.entry(canonical_segment(seg)).or_default();
+        }
+        node.calls += 1;
+        node.total_nanos += nanos;
+    }
+
+    /// Root-level children (for tests and custom rendering).
+    pub fn roots(&self) -> &BTreeMap<String, SpanNode> {
+        &self.root.children
+    }
+
+    /// Looks a node up by canonical path.
+    pub fn node(&self, path: &str) -> Option<&SpanNode> {
+        let mut node = &self.root;
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            node = node.children.get(seg)?;
+        }
+        Some(node)
+    }
+
+    /// Renders the profile as indented text, one span per line with
+    /// total time, self time and call count.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, node) in &self.root.children {
+            render_node(&mut out, name, node, 0);
+        }
+        out
+    }
+}
+
+fn fmt_nanos(nanos: u64) -> String {
+    let s = nanos as f64 / 1e9;
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+fn render_node(out: &mut String, name: &str, node: &SpanNode, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let label = format!("{indent}{name}");
+    out.push_str(&format!(
+        "{label:<40} total {:>9}  self {:>9}  calls {:>6}\n",
+        fmt_nanos(node.effective_nanos()),
+        fmt_nanos(node.self_nanos()),
+        node.calls
+    ));
+    for (child_name, child) in &node.children {
+        render_node(out, child_name, child, depth + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_numbered_segments() {
+        assert_eq!(canonical_segment("round-3"), "round-*");
+        assert_eq!(canonical_segment("trial-17"), "trial-*");
+        assert_eq!(canonical_segment("rollout"), "rollout");
+        assert_eq!(canonical_segment("ppo-update"), "ppo-update");
+        assert_eq!(canonical_segment("round-"), "round-");
+    }
+
+    #[test]
+    fn nesting_aggregates_and_computes_self_time() {
+        let mut t = SpanTree::new();
+        // Two rounds, each with bo trials and training inside.
+        for round in 0..2 {
+            let base = format!("train/sequencing/round-{round}");
+            t.add(&format!("{base}/bo/trial-0"), 100);
+            t.add(&format!("{base}/bo/trial-1"), 200);
+            t.add(&format!("{base}/rollout"), 400);
+            t.add(&base, 1000);
+        }
+        t.add("train", 5000);
+
+        let round = t.node("train/sequencing/round-*").unwrap();
+        assert_eq!(round.calls, 2);
+        assert_eq!(round.total_nanos, 2000);
+        // Children: bo (600) + rollout (800) → self = 600.
+        assert_eq!(round.self_nanos(), 600);
+
+        let trial = t.node("train/sequencing/round-*/bo/trial-*").unwrap();
+        assert_eq!(trial.calls, 4);
+        assert_eq!(trial.total_nanos, 600);
+
+        let train = t.node("train").unwrap();
+        assert_eq!(train.calls, 1);
+        assert_eq!(train.self_nanos(), 5000 - 2000);
+    }
+
+    #[test]
+    fn self_time_clamps_when_children_exceed_parent() {
+        let mut t = SpanTree::new();
+        t.add("a/b", 100);
+        // Parent recorded with less time than its child (no enclosing span).
+        t.add("a", 50);
+        assert_eq!(t.node("a").unwrap().self_nanos(), 0);
+    }
+
+    #[test]
+    fn render_lists_all_nodes_indented() {
+        let mut t = SpanTree::new();
+        t.add("train/rollout", 1_500_000);
+        t.add("train", 3_000_000);
+        let text = t.render();
+        assert!(text.contains("train"), "{text}");
+        assert!(text.contains("  rollout"), "{text}");
+        assert!(text.contains("calls"), "{text}");
+    }
+
+    #[test]
+    fn empty_tree_reports_empty() {
+        assert!(SpanTree::new().is_empty());
+        assert_eq!(SpanTree::new().render(), "");
+    }
+}

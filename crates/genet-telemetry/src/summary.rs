@@ -1,0 +1,171 @@
+//! Human-readable stderr summarizer: per-round one-liners while the run
+//! progresses, then an end-of-run span-tree profile and counter totals.
+
+use crate::collector::Collector;
+use crate::event::Event;
+use crate::spans::SpanTree;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+#[derive(Default)]
+struct State {
+    spans: SpanTree,
+    counters: BTreeMap<&'static str, u64>,
+    /// Mean rewards of train iterations since the last promotion line.
+    rewards_since_round: Vec<f64>,
+    /// Last-seen entropy (prints alongside the round line — entropy
+    /// collapse is the usual divergence smoking gun).
+    last_entropy: Option<f64>,
+    bo_trials_since_round: u64,
+    finished: bool,
+}
+
+/// Collector that narrates the run on stderr.
+#[derive(Default)]
+pub struct StderrSummary {
+    state: Mutex<State>,
+}
+
+impl StderrSummary {
+    /// A fresh summarizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prints the end-of-run profile (idempotent; also runs on drop).
+    pub fn finish(&self) {
+        let mut st = self.state.lock().unwrap();
+        if st.finished {
+            return;
+        }
+        st.finished = true;
+        if !st.counters.is_empty() {
+            let parts: Vec<String> = st
+                .counters
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            eprintln!("[telemetry] counters: {}", parts.join(" "));
+        }
+        if !st.spans.is_empty() {
+            eprintln!("[telemetry] span profile (total/self wall-clock, call counts):");
+            for line in st.spans.render().lines() {
+                eprintln!("[telemetry]   {line}");
+            }
+        }
+    }
+}
+
+impl Drop for StderrSummary {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+fn fmt_config(config: &[f64]) -> String {
+    let cells: Vec<String> = config.iter().map(|v| format!("{v:.3}")).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+impl Collector for StderrSummary {
+    fn record(&self, event: &Event) {
+        let mut st = self.state.lock().unwrap();
+        match event {
+            Event::TrainIter {
+                mean_reward,
+                entropy,
+                ..
+            } => {
+                st.rewards_since_round.push(*mean_reward);
+                st.last_entropy = Some(*entropy);
+            }
+            Event::BoTrial { .. } => st.bo_trials_since_round += 1,
+            Event::Promotion {
+                round,
+                config,
+                value,
+            } => {
+                let reward = if st.rewards_since_round.is_empty() {
+                    f64::NAN
+                } else {
+                    st.rewards_since_round.iter().sum::<f64>() / st.rewards_since_round.len() as f64
+                };
+                let entropy = st
+                    .last_entropy
+                    .map(|e| format!("{e:.3}"))
+                    .unwrap_or_else(|| "-".into());
+                eprintln!(
+                    "[telemetry] round {round}: promoted {} crit={value:.4} | \
+                     {} bo trials | mean train reward {reward:.4} | entropy {entropy}",
+                    fmt_config(config),
+                    st.bo_trials_since_round,
+                );
+                st.rewards_since_round.clear();
+                st.bo_trials_since_round = 0;
+            }
+            Event::EvalBatch {
+                label, n, workers, ..
+            } => {
+                eprintln!("[telemetry] eval {label}: {n} envs on {workers} workers");
+            }
+            Event::CacheHit { tag } => eprintln!("[telemetry] model cache hit: {tag}"),
+            Event::CacheMiss { tag } => {
+                eprintln!("[telemetry] model cache miss: {tag} (training)")
+            }
+        }
+    }
+
+    fn span_end(&self, path: &str, nanos: u64) {
+        self.state.lock().unwrap().spans.add(path, nanos);
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        *self.state.lock().unwrap().counters.entry(name).or_insert(0) += delta;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::counters;
+
+    #[test]
+    fn summarizer_accumulates_without_panicking() {
+        let s = StderrSummary::new();
+        s.record(&Event::TrainIter {
+            scope: "train/initial".into(),
+            iter: 0,
+            mean_reward: -1.0,
+            episodes: 4,
+            env_steps: 100,
+            policy_loss: 0.1,
+            value_loss: 0.2,
+            entropy: 0.6,
+            approx_kl: 0.01,
+        });
+        s.record(&Event::BoTrial {
+            round: 0,
+            trial: 0,
+            config: vec![1.0],
+            objective: 0.5,
+            ei: None,
+        });
+        s.record(&Event::Promotion {
+            round: 0,
+            config: vec![1.0],
+            value: 0.5,
+        });
+        s.span_end("train/sequencing/round-0", 1000);
+        s.counter_add(counters::EPISODES, 4);
+        s.finish();
+        s.finish(); // idempotent
+        let st = s.state.lock().unwrap();
+        assert!(
+            st.rewards_since_round.is_empty(),
+            "promotion must reset the window"
+        );
+        assert_eq!(st.bo_trials_since_round, 0);
+        assert_eq!(st.counters[counters::EPISODES], 4);
+        assert!(!st.spans.is_empty());
+    }
+}

@@ -72,7 +72,12 @@ impl CorpusKind {
 
     /// All four corpora.
     pub fn all() -> [CorpusKind; 4] {
-        [CorpusKind::Fcc, CorpusKind::Norway, CorpusKind::Cellular, CorpusKind::Ethernet]
+        [
+            CorpusKind::Fcc,
+            CorpusKind::Norway,
+            CorpusKind::Cellular,
+            CorpusKind::Ethernet,
+        ]
     }
 
     fn stream_tag(self, split: Split) -> u64 {
@@ -107,13 +112,7 @@ impl CorpusKind {
 
     /// Generates a corpus with an explicit trace count/duration (for quick
     /// experiment modes that subsample Table 2).
-    pub fn generate_sized(
-        self,
-        split: Split,
-        seed: u64,
-        count: usize,
-        duration_s: f64,
-    ) -> Corpus {
+    pub fn generate_sized(self, split: Split, seed: u64, count: usize, duration_s: f64) -> Corpus {
         let base = derive_seed(seed, self.stream_tag(split));
         let traces = (0..count)
             .map(|i| {
@@ -121,7 +120,11 @@ impl CorpusKind {
                 self.gen_trace(duration_s, &mut rng)
             })
             .collect();
-        Corpus { kind: self, split, traces }
+        Corpus {
+            kind: self,
+            split,
+            traces,
+        }
     }
 }
 
@@ -323,7 +326,11 @@ mod tests {
         let c = CorpusKind::Ethernet.generate(Split::Train, 0);
         assert_eq!(c.len(), 64);
         for t in &c.traces {
-            assert!((t.duration() - 29.0).abs() < 2.0, "duration {}", t.duration());
+            assert!(
+                (t.duration() - 29.0).abs() < 2.0,
+                "duration {}",
+                t.duration()
+            );
         }
     }
 }

@@ -24,7 +24,11 @@ impl TraceIndex {
     pub fn new(traces: Vec<BandwidthTrace>) -> Self {
         let mean_bw = traces.iter().map(|t| t.mean_bw()).collect();
         let std_bw = traces.iter().map(|t| t.std_bw()).collect();
-        Self { traces, mean_bw, std_bw }
+        Self {
+            traces,
+            mean_bw,
+            std_bw,
+        }
     }
 
     /// Number of indexed traces.
@@ -89,7 +93,10 @@ impl TraceIndex {
     /// Per-trace `(mean, std)` bandwidth statistics, index-aligned with
     /// [`TraceIndex::traces`].
     pub fn stats(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
-        self.mean_bw.iter().copied().zip(self.std_bw.iter().copied())
+        self.mean_bw
+            .iter()
+            .copied()
+            .zip(self.std_bw.iter().copied())
     }
 }
 

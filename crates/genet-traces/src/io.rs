@@ -49,7 +49,10 @@ pub fn load_trace(path: &Path) -> std::io::Result<BandwidthTrace> {
         bw.push(parse(parts.next())?);
     }
     if ts.is_empty() {
-        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "empty trace file"));
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "empty trace file",
+        ));
     }
     Ok(BandwidthTrace::new(ts, bw))
 }

@@ -49,7 +49,9 @@ pub fn gen_abr_trace(params: &AbrTraceParams, rng: &mut StdRng) -> BandwidthTrac
     while t < params.duration_s {
         // Timestamps are one second apart with uniform [-0.5, 0.5] noise,
         // kept strictly increasing.
-        let noisy = (t + rng.random_range(-0.5..0.5)).max(last_ts + 1e-3).max(0.0);
+        let noisy = (t + rng.random_range(-0.5..0.5))
+            .max(last_ts + 1e-3)
+            .max(0.0);
         timestamps.push(noisy);
         bws.push(level);
         last_ts = noisy;
@@ -150,9 +152,8 @@ mod tests {
             },
             &mut rng,
         );
-        let changes = |t: &crate::BandwidthTrace| {
-            t.bandwidths().windows(2).filter(|w| w[0] != w[1]).count()
-        };
+        let changes =
+            |t: &crate::BandwidthTrace| t.bandwidths().windows(2).filter(|w| w[0] != w[1]).count();
         assert!(
             changes(&fast) > changes(&slow) * 3,
             "fast {} vs slow {}",
@@ -163,8 +164,11 @@ mod tests {
 
     #[test]
     fn cc_trace_has_fixed_step() {
-        let params =
-            CcTraceParams { max_bw_mbps: 8.0, change_interval_s: 2.0, duration_s: 30.0 };
+        let params = CcTraceParams {
+            max_bw_mbps: 8.0,
+            change_interval_s: 2.0,
+            duration_s: 30.0,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let t = gen_cc_trace(&params, &mut rng);
         assert_eq!(t.len(), 300);
@@ -179,8 +183,11 @@ mod tests {
     fn cc_trace_with_tiny_max_bw_is_valid() {
         // Narrow RL1-style spaces can push max_bw below 1 Mbps; the
         // generator must still produce positive bandwidth.
-        let params =
-            CcTraceParams { max_bw_mbps: 0.5, change_interval_s: 1.0, duration_s: 10.0 };
+        let params = CcTraceParams {
+            max_bw_mbps: 0.5,
+            change_interval_s: 1.0,
+            duration_s: 10.0,
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let t = gen_cc_trace(&params, &mut rng);
         assert!(t.min_bw() > 0.0);

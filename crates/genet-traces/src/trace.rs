@@ -26,12 +26,18 @@ impl BandwidthTrace {
             bandwidth_mbps.iter().all(|&b| b.is_finite() && b >= 0.0),
             "bandwidths must be finite and non-negative"
         );
-        Self { timestamps, bandwidth_mbps }
+        Self {
+            timestamps,
+            bandwidth_mbps,
+        }
     }
 
     /// Constant-bandwidth trace of the given duration.
     pub fn constant(bw_mbps: f64, duration_s: f64) -> Self {
-        Self::new(vec![0.0, duration_s.max(1e-9) * 0.5], vec![bw_mbps, bw_mbps])
+        Self::new(
+            vec![0.0, duration_s.max(1e-9) * 0.5],
+            vec![bw_mbps, bw_mbps],
+        )
     }
 
     /// The timestamps (seconds).
@@ -72,7 +78,11 @@ impl BandwidthTrace {
     /// the Pensieve/Aurora simulators do).
     pub fn bw_at(&self, t: f64) -> f64 {
         let d = self.duration();
-        let t = if d > 0.0 { t.rem_euclid(d.max(1e-9)) } else { 0.0 };
+        let t = if d > 0.0 {
+            t.rem_euclid(d.max(1e-9))
+        } else {
+            0.0
+        };
         // Binary search for the segment containing t.
         match self
             .timestamps
@@ -98,12 +108,18 @@ impl BandwidthTrace {
 
     /// Minimum bandwidth.
     pub fn min_bw(&self) -> f64 {
-        self.bandwidth_mbps.iter().cloned().fold(f64::INFINITY, f64::min)
+        self.bandwidth_mbps
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Maximum bandwidth.
     pub fn max_bw(&self) -> f64 {
-        self.bandwidth_mbps.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.bandwidth_mbps
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Mean absolute change between consecutive segments, normalized by the

@@ -28,6 +28,7 @@ pub use genet_env as env;
 pub use genet_lb as lb;
 pub use genet_math as math;
 pub use genet_rl as rl;
+pub use genet_telemetry as telemetry;
 pub use genet_traces as traces;
 
 /// The most common imports in one place.
@@ -36,18 +37,19 @@ pub mod prelude {
     pub use genet_cc::CcScenario;
     pub use genet_core::curricula::{cl1_train, IntrinsicSchedule};
     pub use genet_core::evaluate::{
-        eval_baseline_many, eval_oracle_many, eval_policy_many, par_map, test_configs,
+        eval_baseline_many, eval_baseline_many_with, eval_oracle_many, eval_oracle_many_with,
+        eval_policy_many, eval_policy_many_with, par_map, par_map_with, test_configs,
     };
     pub use genet_core::gap::{baseline_badness, gap_to_baseline, gap_to_optimum};
     pub use genet_core::genet::{
-        genet_train, genet_train_from, genet_train_with, GenetConfig, GenetResult,
-        SelectionCriterion,
+        genet_train, genet_train_from, genet_train_instrumented, genet_train_with, GenetConfig,
+        GenetResult, SelectionCriterion,
     };
     pub use genet_core::metrics::{bench_out_dir, fmt, TsvWriter};
     pub use genet_core::robustify::{robustify_abr_train, RobustifyConfig};
     pub use genet_core::train::{
-        make_agent, train_rl, ConfigSource, FixedSetSource, MixtureSource, TrainConfig,
-        TrainLog, UniformSource,
+        make_agent, train_rl, train_rl_with, ConfigSource, FixedSetSource, MixtureSource,
+        TrainConfig, TrainLog, UniformSource,
     };
     pub use genet_env::{
         CurriculumDist, Env, EnvConfig, ParamDim, ParamSpace, Policy, RangeLevel, Scenario,
@@ -55,6 +57,9 @@ pub mod prelude {
     pub use genet_lb::LbScenario;
     pub use genet_math::{mean, pearson, percentile, std_dev, Summary};
     pub use genet_rl::{PolicyMode, PpoAgent, PpoConfig, PpoPolicy};
+    pub use genet_telemetry::{
+        noop, Collector, Event, JsonlSink, MemorySink, NoopCollector, StderrSummary, Tee,
+    };
     pub use genet_traces::{
         gen_abr_trace, gen_cc_trace, AbrTraceParams, BandwidthTrace, CcTraceParams, Corpus,
         CorpusKind, Split, TraceIndex,

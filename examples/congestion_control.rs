@@ -15,8 +15,11 @@ fn main() {
     let seed = 7;
     let scenario = CcScenario::new();
     // RL2 keeps the example quick; `full` uses the whole Table-4 box.
-    let space =
-        scenario.space(if full { RangeLevel::Rl3 } else { RangeLevel::Rl2 });
+    let space = scenario.space(if full {
+        RangeLevel::Rl3
+    } else {
+        RangeLevel::Rl2
+    });
 
     let mut cfg = GenetConfig::defaults_for(&scenario); // baseline = BBR
     if !full {
@@ -25,9 +28,15 @@ fn main() {
         cfg.initial_iters = 6;
         cfg.bo_trials = 6;
         cfg.k_envs = 3;
-        cfg.train = TrainConfig { configs_per_iter: 6, envs_per_config: 2 };
+        cfg.train = TrainConfig {
+            configs_per_iter: 6,
+            envs_per_config: 2,
+        };
     }
-    println!("training Genet(CC, baseline=bbr) for {} iterations…", cfg.total_iters());
+    println!(
+        "training Genet(CC, baseline=bbr) for {} iterations…",
+        cfg.total_iters()
+    );
     let result = genet_train(&scenario, space.clone(), &cfg, seed);
     let policy = result.agent.policy(PolicyMode::Greedy);
 
@@ -48,8 +57,9 @@ fn main() {
         let corpus = kind.generate_sized(Split::Test, 1, if full { 60 } else { 20 }, 30.0);
         let pool = Arc::new(TraceIndex::new(corpus.traces.clone()));
         let replay = CcScenario::new().with_trace_pool(pool, 1.0);
-        let cfgs: Vec<EnvConfig> =
-            (0..corpus.len()).map(|_| genet::cc::scenario::default_config()).collect();
+        let cfgs: Vec<EnvConfig> = (0..corpus.len())
+            .map(|_| genet::cc::scenario::default_config())
+            .collect();
         let rl = eval_policy_many(&replay, &policy, &cfgs, 3);
         let bbr = eval_baseline_many(&replay, "bbr", &cfgs, 3);
         println!(

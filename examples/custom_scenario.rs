@@ -74,7 +74,10 @@ impl Env for WifiEnv {
         let step: f64 = self.rng.random_range(-1.0..1.0) * self.noise + self.drift;
         self.snr_db = (self.snr_db + step).clamp(0.0, 35.0);
         self.t += 1;
-        genet::env::StepOutcome { reward, done: self.t >= self.horizon }
+        genet::env::StepOutcome {
+            reward,
+            done: self.t >= self.horizon,
+        }
     }
 }
 
@@ -182,10 +185,18 @@ fn main() {
         bo_trials: 6,
         k_envs: 4,
         w: 0.3,
-        train: TrainConfig { configs_per_iter: 8, envs_per_config: 2 },
-        criterion: SelectionCriterion::GapToBaseline { baseline: "arf".into() },
+        train: TrainConfig {
+            configs_per_iter: 8,
+            envs_per_config: 2,
+        },
+        criterion: SelectionCriterion::GapToBaseline {
+            baseline: "arf".into(),
+        },
     };
-    println!("training Genet(wifi, baseline=arf) for {} iterations…", cfg.total_iters());
+    println!(
+        "training Genet(wifi, baseline=arf) for {} iterations…",
+        cfg.total_iters()
+    );
     let result = genet_train(&scenario, space.clone(), &cfg, 5);
     let policy = result.agent.policy(PolicyMode::Greedy);
 

@@ -25,7 +25,10 @@ fn main() {
         let cfg = space.midpoint().with_value(interval_idx, interval);
         let cfg = space.clamp(cfg.values());
         let params = LbParams::from_config(&cfg);
-        let mut row = vec![format!("{interval:<14}"), format!("{:>6.2}", params.utilization())];
+        let mut row = vec![
+            format!("{interval:<14}"),
+            format!("{:>6.2}", params.utilization()),
+        ];
         for name in ["llf", "wllf", "rr", "random", "naive"] {
             let mut total = 0.0;
             for seed in 0..seeds {

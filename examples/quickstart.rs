@@ -28,7 +28,10 @@ fn main() {
         cfg.bo_trials = 8;
         cfg.k_envs = 4;
     }
-    println!("== Genet training ({} iterations total) ==", cfg.total_iters());
+    println!(
+        "== Genet training ({} iterations total) ==",
+        cfg.total_iters()
+    );
     let genet = genet_train(&scenario, space.clone(), &cfg, seed);
     for (i, (p, gap)) in genet.promoted.iter().enumerate() {
         println!("  round {i}: promoted config {p} (gap-to-baseline {gap:.3})");
@@ -54,7 +57,10 @@ fn main() {
     let rl_scores = eval_policy_many(&scenario, &rl_policy, &test, 1);
     let llf_scores = eval_baseline_many(&scenario, "llf", &test, 1);
 
-    println!("\n== Test reward over {} held-out environments ==", test.len());
+    println!(
+        "\n== Test reward over {} held-out environments ==",
+        test.len()
+    );
     println!("  Genet-trained RL : {:.3}", mean(&genet_scores));
     println!("  traditional RL   : {:.3}", mean(&rl_scores));
     println!("  least-load-first : {:.3}", mean(&llf_scores));

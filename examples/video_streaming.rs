@@ -18,7 +18,10 @@ fn main() {
 
     // 1. Baseline shoot-out on FCC-style broadband traces.
     let corpus = CorpusKind::Fcc.generate_sized(Split::Test, 1, if full { 50 } else { 15 }, 310.0);
-    println!("== rule-based ABR baselines on {} FCC-like traces ==", corpus.len());
+    println!(
+        "== rule-based ABR baselines on {} FCC-like traces ==",
+        corpus.len()
+    );
     for name in ["mpc", "bba", "rate", "naive"] {
         let mut qoe = Vec::new();
         let mut rebuf = Vec::new();
@@ -44,7 +47,11 @@ fn main() {
         CorpusKind::Fcc.generate_sized(Split::Train, 1, if full { 85 } else { 20 }, 300.0);
     let pool = Arc::new(TraceIndex::new(train_corpus.traces));
     let scenario = AbrScenario::new().with_trace_pool(pool, 0.3);
-    let space = scenario.space(if full { RangeLevel::Rl3 } else { RangeLevel::Rl2 });
+    let space = scenario.space(if full {
+        RangeLevel::Rl3
+    } else {
+        RangeLevel::Rl2
+    });
     let mut cfg = GenetConfig::defaults_for(&scenario); // baseline = RobustMPC
     if !full {
         cfg.rounds = 3;
@@ -52,17 +59,24 @@ fn main() {
         cfg.initial_iters = 5;
         cfg.bo_trials = 5;
         cfg.k_envs = 3;
-        cfg.train = TrainConfig { configs_per_iter: 5, envs_per_config: 2 };
+        cfg.train = TrainConfig {
+            configs_per_iter: 5,
+            envs_per_config: 2,
+        };
     }
-    println!("\ntraining Genet(ABR, baseline=mpc) for {} iterations…", cfg.total_iters());
+    println!(
+        "\ntraining Genet(ABR, baseline=mpc) for {} iterations…",
+        cfg.total_iters()
+    );
     let result = genet_train(&scenario, space.clone(), &cfg, seed);
     let policy = result.agent.policy(PolicyMode::Greedy);
 
     // 3. Per-trace win rate vs the baseline it trained against.
-    let eval_scenario = AbrScenario::new()
-        .with_trace_pool(Arc::new(TraceIndex::new(corpus.traces.clone())), 1.0);
-    let cfgs: Vec<EnvConfig> =
-        (0..corpus.len()).map(|_| genet::abr::scenario::default_config()).collect();
+    let eval_scenario =
+        AbrScenario::new().with_trace_pool(Arc::new(TraceIndex::new(corpus.traces.clone())), 1.0);
+    let cfgs: Vec<EnvConfig> = (0..corpus.len())
+        .map(|_| genet::abr::scenario::default_config())
+        .collect();
     let rl = eval_policy_many(&eval_scenario, &policy, &cfgs, 9);
     let mpc = eval_baseline_many(&eval_scenario, "mpc", &cfgs, 9);
     let wins = rl.iter().zip(&mpc).filter(|(a, b)| a > b).count();

@@ -58,7 +58,10 @@ fn evaluation_is_reproducible_across_calls() {
         for seed in [0u64, 17, 991] {
             assert_eq!(s.eval_policy(&p, &cfg, seed), s.eval_policy(&p, &cfg, seed));
             let b = s.default_baseline();
-            assert_eq!(s.eval_baseline(b, &cfg, seed), s.eval_baseline(b, &cfg, seed));
+            assert_eq!(
+                s.eval_baseline(b, &cfg, seed),
+                s.eval_baseline(b, &cfg, seed)
+            );
             assert_eq!(s.eval_oracle(&cfg, seed), s.eval_oracle(&cfg, seed));
         }
     }
@@ -117,8 +120,14 @@ fn corpora_are_mutually_distinct() {
     let cel = CorpusKind::Cellular.generate_sized(Split::Train, 1, n, 30.0);
     let eth = CorpusKind::Ethernet.generate_sized(Split::Train, 1, n, 30.0);
     assert!(eth.mean_bw() > 5.0 * fcc.mean_bw().max(cel.mean_bw()));
-    assert!(cel.mean_cv() > eth.mean_cv() * 3.0, "cellular must be burstier than ethernet");
-    assert!(nor.mean_cv() > fcc.mean_cv(), "norway 3G must be burstier than fcc broadband");
+    assert!(
+        cel.mean_cv() > eth.mean_cv() * 3.0,
+        "cellular must be burstier than ethernet"
+    );
+    assert!(
+        nor.mean_cv() > fcc.mean_cv(),
+        "norway 3G must be burstier than fcc broadband"
+    );
 }
 
 /// Parallel evaluation equals sequential evaluation, element for element.

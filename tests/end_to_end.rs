@@ -12,7 +12,10 @@ fn quick_cfg(scenario: &dyn Scenario) -> GenetConfig {
     cfg.initial_iters = 8;
     cfg.bo_trials = 5;
     cfg.k_envs = 3;
-    cfg.train = TrainConfig { configs_per_iter: 6, envs_per_config: 2 };
+    cfg.train = TrainConfig {
+        configs_per_iter: 6,
+        envs_per_config: 2,
+    };
     cfg
 }
 
@@ -28,7 +31,12 @@ fn genet_runs_end_to_end_on_all_three_scenarios() {
         let cfg = quick_cfg(s);
         let res = genet_train(s, s.space(RangeLevel::Rl2), &cfg, 7);
         assert_eq!(res.promoted.len(), cfg.rounds, "{}", s.name());
-        assert_eq!(res.log.iter_rewards.len(), cfg.total_iters(), "{}", s.name());
+        assert_eq!(
+            res.log.iter_rewards.len(),
+            cfg.total_iters(),
+            "{}",
+            s.name()
+        );
         assert!(
             res.log.iter_rewards.iter().all(|r| r.is_finite()),
             "{}: non-finite training rewards",
@@ -36,8 +44,7 @@ fn genet_runs_end_to_end_on_all_three_scenarios() {
         );
         // The trained policy must produce finite evaluation rewards.
         let test = test_configs(&s.space(RangeLevel::Rl2), 5, 1);
-        let scores =
-            eval_policy_many(s, &res.agent.policy(PolicyMode::Greedy), &test, 2);
+        let scores = eval_policy_many(s, &res.agent.policy(PolicyMode::Greedy), &test, 2);
         assert!(scores.iter().all(|r| r.is_finite()), "{}", s.name());
     }
 }
@@ -134,7 +141,9 @@ fn cl1_cl2_cl3_all_run_on_cc() {
     assert_eq!(r1.promoted.len(), cfg.rounds);
     // CL2 / CL3 via criteria
     for criterion in [
-        SelectionCriterion::BaselineBadness { baseline: "bbr".into() },
+        SelectionCriterion::BaselineBadness {
+            baseline: "bbr".into(),
+        },
         SelectionCriterion::GapToOptimum,
     ] {
         let mut c = cfg.clone();
@@ -153,7 +162,10 @@ fn robustify_pipeline_runs() {
         candidates: 3,
         rho: 0.5,
         adv_prob: 0.3,
-        train: TrainConfig { configs_per_iter: 4, envs_per_config: 1 },
+        train: TrainConfig {
+            configs_per_iter: 4,
+            envs_per_config: 1,
+        },
     };
     let res = robustify_abr_train(&cfg, 1);
     assert_eq!(res.adversarial.len(), 2);

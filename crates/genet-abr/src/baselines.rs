@@ -55,6 +55,7 @@ impl AbrAlgorithm for Bba {
             N_LEVELS - 1
         } else {
             let frac = (ctx.buffer_s - reservoir) / (upper - reservoir);
+            // genet-lint: allow(truncating-cast) BBA's bucket index: frac >= 0 here, explicit floor, clamped to the top level
             ((frac * (N_LEVELS - 1) as f64).floor() as usize).min(N_LEVELS - 1)
         }
     }
@@ -258,6 +259,7 @@ pub fn baseline_by_name(name: &str) -> Box<dyn AbrAlgorithm> {
         "rate" => Box::new(RateBased),
         "oboe" => Box::new(Oboe::default()),
         "naive" => Box::new(NaiveHighestOnRebuffer),
+        // genet-lint: allow(panic-in-library) documented "# Panics" contract: baseline names are compile-time constants
         other => panic!("unknown ABR baseline: {other}"),
     }
 }

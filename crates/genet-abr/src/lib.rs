@@ -11,6 +11,8 @@
 //! bitrate, and earns the Table-1 reward
 //! `bitrate − 10·rebuffer − |Δbitrate|` (Mbps, seconds, Mbps).
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod env;
 pub mod oracle;

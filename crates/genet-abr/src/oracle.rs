@@ -77,6 +77,7 @@ pub fn oracle_reward(
         // thus the oracle value, must be identical across calls.
         let mut buckets: BTreeMap<(usize, i64), PlanState> = BTreeMap::new();
         for c in candidates {
+            // genet-lint: allow(truncating-cast) beam-search bucket quantization: truncation IS the bucketing
             let key = (c.last_level, (c.buffer_s / 0.25) as i64);
             let entry = buckets.entry(key).or_insert(c);
             if c.total_reward > entry.total_reward {
@@ -84,11 +85,7 @@ pub fn oracle_reward(
             }
         }
         beam = buckets.into_values().collect();
-        beam.sort_by(|a, b| {
-            b.total_reward
-                .partial_cmp(&a.total_reward)
-                .expect("finite rewards")
-        });
+        beam.sort_by(|a, b| b.total_reward.total_cmp(&a.total_reward));
         beam.truncate(beam_width);
     }
     let best = beam

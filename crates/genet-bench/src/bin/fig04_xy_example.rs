@@ -57,20 +57,22 @@ fn main() {
     let cfg = harness::genet_config(&abr, args.full);
     let mut base_agent = make_agent(&abr, args.seed);
     let src = UniformSource(space.clone());
-    train_rl(
+    train_rl_with(
         &mut base_agent,
         &abr,
         &src,
         cfg.train,
         cfg.initial_iters,
         args.seed,
+        args.collector(),
+        "train/pretrain",
     );
 
     let eval_xy = |agent: &PpoAgent| {
         let p = agent.policy(PolicyMode::Greedy);
         (
-            mean(&eval_policy_many(&abr, &p, &xs, 5)),
-            mean(&eval_policy_many(&abr, &p, &ys, 5)),
+            mean(&eval_policy_many_with(&abr, &p, &xs, 5, args.collector())),
+            mean(&eval_policy_many_with(&abr, &p, &ys, 5, args.collector())),
         )
     };
     let p0 = base_agent.policy(PolicyMode::Greedy);
@@ -82,8 +84,20 @@ fn main() {
 
     // Figure 5's per-trace contrast: the rule-based baseline beats the
     // current model on Y (improvable) but not by much on X (hard).
-    let mpc_x = mean(&eval_baseline_many(&abr, "mpc", &xs, 5));
-    let mpc_y = mean(&eval_baseline_many(&abr, "mpc", &ys, 5));
+    let mpc_x = mean(&eval_baseline_many_with(
+        &abr,
+        "mpc",
+        &xs,
+        5,
+        args.collector(),
+    ));
+    let mpc_y = mean(&eval_baseline_many_with(
+        &abr,
+        "mpc",
+        &ys,
+        5,
+        args.collector(),
+    ));
     println!(
         "# gap-to-baseline: X {:.3}  Y {:.3} (Genet picks the larger)",
         mpc_x - rx0,
@@ -102,13 +116,15 @@ fn main() {
                 b: UniformSource(space.clone()),
                 p_a: 0.3,
             };
-            train_rl(
+            train_rl_with(
                 &mut agent,
                 &abr,
                 &mix,
                 cfg.train,
                 per_phase,
                 args.seed ^ phase as u64,
+                args.collector(),
+                &format!("train/{variant}/phase-{phase}"),
             );
             let (rx, ry) = eval_xy(&agent);
             out.row(&vec![

@@ -45,10 +45,11 @@ fn main() {
             scores.extend(eval_policy_many(&eth, &p, &eth_cfgs, 3));
             mean(&scores)
         };
-        for ratio in [0.05, 0.1, 0.2, 0.5, 1.0] {
+        for ratio in [0.05_f64, 0.1, 0.2, 0.5, 1.0] {
             let tag = format!(
                 "cc_mix{}_it{}_s{}",
-                (ratio * 100.0) as u32,
+                // genet-lint: allow(truncating-cast) percent label for a display/file tag; explicit round, ratio in [0,1]
+                (ratio * 100.0).round() as u32,
                 cfg.total_iters(),
                 args.seed
             );
@@ -69,7 +70,8 @@ fn main() {
             out.row(&vec![
                 "cc".into(),
                 "traditional".into(),
-                format!("{}%", (ratio * 100.0) as u32),
+                // genet-lint: allow(truncating-cast) percent label for a display/file tag; explicit round, ratio in [0,1]
+                format!("{}%", (ratio * 100.0).round() as u32),
                 fmt(eval(&agent)),
             ]);
         }
@@ -100,10 +102,11 @@ fn main() {
             scores.extend(eval_policy_many(&nor, &p, &nor_cfgs, 3));
             mean(&scores)
         };
-        for ratio in [0.05, 0.1, 0.2, 0.5, 1.0] {
+        for ratio in [0.05_f64, 0.1, 0.2, 0.5, 1.0] {
             let tag = format!(
                 "abr_mix{}_it{}_s{}",
-                (ratio * 100.0) as u32,
+                // genet-lint: allow(truncating-cast) percent label for a display/file tag; explicit round, ratio in [0,1]
+                (ratio * 100.0).round() as u32,
                 cfg.total_iters(),
                 args.seed
             );
@@ -124,7 +127,8 @@ fn main() {
             out.row(&vec![
                 "abr".into(),
                 "traditional".into(),
-                format!("{}%", (ratio * 100.0) as u32),
+                // genet-lint: allow(truncating-cast) percent label for a display/file tag; explicit round, ratio in [0,1]
+                format!("{}%", (ratio * 100.0).round() as u32),
                 fmt(eval(&agent)),
             ]);
         }

@@ -222,6 +222,7 @@ where
             tag: tag.to_string(),
         });
     }
+    // genet-lint: allow(wall-clock-in-result-path) training wall-time goes to a stderr progress line only, never into results
     let t0 = std::time::Instant::now();
     let agent = train();
     eprintln!("[train] {tag} took {:.1}s", t0.elapsed().as_secs_f64());

@@ -4,4 +4,6 @@
 //! DESIGN.md's experiment index) plus Criterion micro-benchmarks of the
 //! substrate. Shared plumbing lives in [`harness`].
 
+#![forbid(unsafe_code)]
+
 pub mod harness;

@@ -1,0 +1,67 @@
+//! End-to-end determinism smoke test: the headline-adjacent fig04 binary,
+//! run twice with the same seed in quick mode (`--fresh`, no model cache),
+//! must produce byte-identical artifacts — and switching telemetry on must
+//! not perturb the results (observation-only by contract).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_fig04_xy_example");
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("genet_e2e_{}_{tag}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale scratch dir");
+    }
+    dir
+}
+
+/// Runs fig04 in quick mode with `bench_out` relocated to `out`; returns
+/// the TSV artifact bytes.
+fn run_fig04(out: &Path, telemetry: bool) -> Vec<u8> {
+    let mut cmd = Command::new(BIN);
+    cmd.args(["--seed", "7", "--fresh"])
+        .env("GENET_BENCH_OUT", out);
+    if telemetry {
+        cmd.arg("--telemetry");
+    }
+    let status = cmd
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("spawn fig04_xy_example");
+    assert!(status.success(), "fig04_xy_example exited with {status}");
+    let tsv = out.join("fig04_xy_example.tsv");
+    std::fs::read(&tsv).unwrap_or_else(|e| panic!("read {}: {e}", tsv.display()))
+}
+
+#[test]
+fn fig04_artifacts_are_byte_identical_across_runs() {
+    let (dir_a, dir_b, dir_t) = (scratch_dir("a"), scratch_dir("b"), scratch_dir("t"));
+
+    let run_a = run_fig04(&dir_a, false);
+    let run_b = run_fig04(&dir_b, false);
+    assert!(!run_a.is_empty(), "first run produced an empty TSV");
+    assert_eq!(
+        run_a, run_b,
+        "same seed, two runs, different artifacts — determinism regression"
+    );
+
+    // Telemetry is observation-only: results stay byte-identical, and the
+    // JSONL event stream lands next to the artifact.
+    let run_t = run_fig04(&dir_t, true);
+    assert_eq!(run_a, run_t, "enabling --telemetry changed the results");
+    let jsonl = dir_t
+        .join("telemetry")
+        .join("fig04_xy_example_s7_quick.jsonl");
+    let events =
+        std::fs::read_to_string(&jsonl).unwrap_or_else(|e| panic!("read {}: {e}", jsonl.display()));
+    assert!(
+        events.lines().count() > 0,
+        "telemetry run emitted no events"
+    );
+
+    for dir in [dir_a, dir_b, dir_t] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

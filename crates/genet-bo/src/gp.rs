@@ -68,6 +68,7 @@ impl GaussianProcess {
             }
             k.add_at(i, i, params.noise_var);
         }
+        // genet-lint: allow(panic-in-library) kernel + noise_var*I is SPD by construction; adaptive jitter makes failure unreachable
         let chol = Cholesky::decompose(&k).expect("kernel matrix must be SPD with noise");
         let alpha = chol.solve(&ys);
         Self {

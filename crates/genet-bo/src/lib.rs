@@ -21,6 +21,8 @@
 //! `BO.GetNextChoice()` / `BO.Update(p, adv)` pair of the paper's
 //! Algorithm 2.
 
+#![forbid(unsafe_code)]
+
 pub mod acquisition;
 pub mod bayes;
 pub mod gp;

@@ -40,7 +40,7 @@ impl Proposer for RandomSearch {
     fn best(&self) -> Option<(&EnvConfig, f64)> {
         self.obs
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite values"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(c, v)| (c, *v))
     }
 }

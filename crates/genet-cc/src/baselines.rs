@@ -352,6 +352,7 @@ pub fn baseline_by_name(name: &str) -> Box<dyn CcAlgorithm> {
         "cubic" => Box::new(Cubic::default()),
         "vivace" => Box::new(Vivace::default()),
         "copa" => Box::new(Copa::default()),
+        // genet-lint: allow(panic-in-library) documented "# Panics" contract: baseline names are compile-time constants
         other => panic!("unknown CC baseline: {other}"),
     }
 }

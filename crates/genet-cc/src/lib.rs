@@ -16,6 +16,8 @@
 //! Reward per MI (Table 1): `a·throughput + b·latency + c·loss` with
 //! `a = 120` (Mbps), `b = −1000` (s), `c = −2000` (fraction).
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod env;
 pub mod oracle;

@@ -309,6 +309,7 @@ impl CcSim {
             // Duration ended mid-interval: close what we have.
             self.close_mi();
         }
+        // genet-lint: allow(panic-in-library) the loop above guarantees at least one closed MI
         *self.completed.last().expect("an MI was just closed")
     }
 

@@ -46,6 +46,7 @@ impl IntrinsicSchedule {
                 easy: 2500.0,
                 hard: 100.0,
             },
+            // genet-lint: allow(panic-in-library) scenario names are compile-time constants (cc/abr/lb)
             other => panic!("no CL1 schedule for scenario {other}"),
         }
     }
@@ -81,6 +82,7 @@ pub fn cl1_train(
 ) -> Cl1Result {
     let dim_idx = space
         .index_of(schedule.dim)
+        // genet-lint: allow(panic-in-library) schedule dims come from the static CL1 table and always exist in the scenario space
         .unwrap_or_else(|| panic!("schedule dim {} not in space", schedule.dim));
     let mut agent = make_agent(scenario, derive_seed(seed, 0xC11));
     let mut dist = CurriculumDist::uniform(space.clone(), cfg.w);

@@ -9,6 +9,7 @@
 use genet_env::{EnvConfig, Policy, Scenario};
 use genet_math::derive_seed;
 use genet_telemetry::{counters, Collector, Event};
+// genet-lint: allow(wall-clock-in-result-path) Instant here feeds telemetry busy-time spans only; results never read it
 use std::time::Instant;
 
 /// Parallel deterministic map: applies `f` to each item index, preserving
@@ -42,6 +43,7 @@ where
         .min(n);
     let mut results = vec![T::default(); n];
     if threads <= 1 {
+        // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
         let t0 = enabled.then(Instant::now);
         for (i, slot) in results.iter_mut().enumerate() {
             *slot = f(i);
@@ -58,6 +60,7 @@ where
         for ((ti, slice), busy_slot) in results.chunks_mut(chunk).enumerate().zip(busy.iter_mut()) {
             let f = &f;
             s.spawn(move |_| {
+                // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
                 let t0 = enabled.then(Instant::now);
                 for (j, slot) in slice.iter_mut().enumerate() {
                     *slot = f(ti * chunk + j);
@@ -68,6 +71,7 @@ where
             });
         }
     })
+    // genet-lint: allow(panic-in-library) re-raises a child-thread panic on the caller; not a new failure mode
     .expect("evaluation thread panicked");
     if enabled {
         record_eval_batch(collector, label, n, workers, busy.iter().sum());

@@ -276,6 +276,7 @@ where
             }
             bo.observe(p, obj);
         }
+        // genet-lint: allow(panic-in-library) GenetConfig validation rejects bo_trials == 0, so an observation always exists
         let (best, value) = bo.best().expect("bo_trials >= 1");
         promoted.push((best.clone(), value));
         if collector.enabled() {

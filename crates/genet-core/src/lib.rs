@@ -24,6 +24,8 @@
 //!   (Gilad et al., ref. 19 of the paper),
 //! * [`metrics`] — TSV emission for the benchmark harness.
 
+#![forbid(unsafe_code)]
+
 pub mod curricula;
 pub mod evaluate;
 pub mod gap;

@@ -69,6 +69,7 @@ pub struct RobustifyResult {
 /// occasional jumps — jagged enough to stress ABR, smooth enough to survive
 /// the ρ penalty sometimes (the scorer decides).
 fn candidate_trace(rng: &mut StdRng, duration_s: f64) -> BandwidthTrace {
+    // genet-lint: allow(truncating-cast) trace step count: explicit ceil of a positive duration
     let steps = duration_s.ceil() as usize;
     let mut ts = Vec::with_capacity(steps);
     let mut bw = Vec::with_capacity(steps);
@@ -131,6 +132,7 @@ pub fn robustify_abr_train(cfg: &RobustifyConfig, seed: u64) -> RobustifyResult 
                 best = Some((s, t));
             }
         }
+        // genet-lint: allow(panic-in-library) the candidate loop above runs at least once (candidates >= 1 is validated)
         let (_, worst_case) = best.expect("candidates >= 1");
         adversarial.push(worst_case);
         // Retrain with the adversarial pool mixed in.

@@ -23,6 +23,8 @@
 //! * [`Policy`] — anything that maps observations to actions (the trained
 //!   RL policy or a wrapped rule-based scheme).
 
+#![forbid(unsafe_code)]
+
 pub mod distribution;
 pub mod env;
 pub mod param;

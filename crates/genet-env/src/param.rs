@@ -373,6 +373,7 @@ impl EnvConfig {
     pub fn get_named(&self, space: &ParamSpace, name: &str) -> f64 {
         let idx = space
             .index_of(name)
+            // genet-lint: allow(panic-in-library) documented "# Panics" contract: parameter names are compile-time constants
             .unwrap_or_else(|| panic!("unknown parameter name: {name}"));
         self.values[idx]
     }

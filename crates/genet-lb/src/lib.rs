@@ -15,6 +15,8 @@
 //! "most-loaded-first" rule from §5.4, and an omniscient oracle that sees
 //! remaining work.
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod env;
 pub mod scenario;

@@ -258,7 +258,7 @@ mod tests {
         );
         // Load server 0 heavily, then check the observed position of the
         // big count moves around.
-        let mut positions = std::collections::HashSet::new();
+        let mut positions = std::collections::BTreeSet::new();
         for _ in 0..100 {
             with_shuffle.dispatch(0);
             let obs = with_shuffle.context().observed_counts;
@@ -325,5 +325,35 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn deterministic_with_observation_shuffle() {
+        // The shuffle RNG (stale-monitoring noise) must replay identically:
+        // two same-seed runs that *read* the shuffled observations and
+        // dispatch based on them produce byte-identical delay sequences.
+        let run = |seed| {
+            let mut sim = LbSim::new(
+                LbParams {
+                    shuffle_prob: 0.5,
+                    ..params(60)
+                },
+                seed,
+            );
+            let mut delays = Vec::new();
+            while !sim.finished() {
+                let ctx = sim.context();
+                let least = ctx
+                    .observed_counts
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &c)| c)
+                    .map(|(i, _)| i)
+                    .unwrap();
+                delays.push(sim.dispatch(least).to_bits());
+            }
+            delays
+        };
+        assert_eq!(run(11), run(11));
     }
 }

@@ -1,0 +1,139 @@
+//! Per-crate rule configuration, loaded from `genet-lint.toml` at the
+//! workspace root. Minimal TOML subset: `[crate.<name>]` sections with an
+//! `allow = ["rule", ...]` key and `#` comments.
+//!
+//! ```toml
+//! [crate.genet-telemetry]
+//! allow = ["wall-clock-in-result-path"]
+//! ```
+
+use crate::rules::RuleId;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Workspace lint configuration: which rules are switched off per crate.
+#[derive(Debug, Default, Clone)]
+pub struct LintConfig {
+    per_crate_allows: BTreeMap<String, Vec<RuleId>>,
+}
+
+impl LintConfig {
+    /// Loads `genet-lint.toml` from `root`; a missing file is an empty
+    /// config, a malformed file is an error.
+    pub fn load(root: &Path) -> Result<LintConfig, String> {
+        let path = root.join("genet-lint.toml");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => LintConfig::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(LintConfig::default()),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<LintConfig, String> {
+        let mut config = LintConfig::default();
+        let mut current: Option<String> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = strip_toml_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let section = section.trim();
+                current = match section.strip_prefix("crate.") {
+                    Some(name) => Some(name.trim().to_string()),
+                    None => {
+                        return Err(format!(
+                            "line {}: unknown section [{section}] (expected [crate.<name>])",
+                            idx + 1
+                        ))
+                    }
+                };
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", idx + 1));
+            };
+            let crate_name = current
+                .clone()
+                .ok_or_else(|| format!("line {}: key outside [crate.<name>] section", idx + 1))?;
+            match key.trim() {
+                "allow" => {
+                    let rules = parse_string_array(value.trim())
+                        .map_err(|e| format!("line {}: {e}", idx + 1))?;
+                    let mut ids = Vec::new();
+                    for rule in rules {
+                        let id = RuleId::from_name(&rule)
+                            .ok_or_else(|| format!("line {}: unknown rule `{rule}`", idx + 1))?;
+                        ids.push(id);
+                    }
+                    config
+                        .per_crate_allows
+                        .entry(crate_name)
+                        .or_default()
+                        .extend(ids);
+                }
+                other => return Err(format!("line {}: unknown key `{other}`", idx + 1)),
+            }
+        }
+        Ok(config)
+    }
+
+    /// Is `rule` switched off wholesale for `crate_name`?
+    pub fn crate_allows(&self, crate_name: &str, rule: RuleId) -> bool {
+        self.per_crate_allows
+            .get(crate_name)
+            .is_some_and(|rules| rules.contains(&rule))
+    }
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    // Good enough for this config dialect: no `#` inside strings.
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a [\"...\"] array, got `{value}`"))?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let s = part
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or_else(|| format!("expected a quoted string, got `{part}`"))?;
+        out.push(s.to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_allows() {
+        let cfg = LintConfig::parse(
+            "# comment\n[crate.genet-telemetry]\nallow = [\"wall-clock-in-result-path\"]\n\n[crate.genet-bench]\nallow = [\"panic-in-library\", \"wall-clock-in-result-path\"]\n",
+        )
+        .expect("parses");
+        assert!(cfg.crate_allows("genet-telemetry", RuleId::WallClock));
+        assert!(!cfg.crate_allows("genet-telemetry", RuleId::PanicInLibrary));
+        assert!(cfg.crate_allows("genet-bench", RuleId::PanicInLibrary));
+        assert!(!cfg.crate_allows("genet-core", RuleId::WallClock));
+    }
+
+    #[test]
+    fn rejects_unknown_rules_and_sections() {
+        assert!(LintConfig::parse("[crate.x]\nallow = [\"no-such-rule\"]\n").is_err());
+        assert!(LintConfig::parse("[lint]\n").is_err());
+        assert!(LintConfig::parse("allow = [\"unseeded-rng\"]\n").is_err());
+    }
+}

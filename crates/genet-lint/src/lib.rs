@@ -1,0 +1,12 @@
+//! Determinism & numeric-safety static analysis for the Genet workspace.
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod manifest;
+pub mod rules;
+pub mod scan;
+pub mod tokenizer;
+
+pub use config::LintConfig;
+pub use rules::{Diagnostic, RuleId, TargetKind};
+pub use scan::{find_workspace_root, lint_source, lint_workspace};

@@ -1,0 +1,78 @@
+//! CLI for the Genet determinism & numeric-safety lint.
+//!
+//! Usage: `cargo run -p genet-lint --release -- --workspace [--root <dir>]`
+//!
+//! Exits 0 on a clean tree, 1 with `file:line: [rule] message` diagnostics
+//! on violations, 2 on usage/IO errors.
+
+use genet_lint::lint_workspace;
+use genet_lint::scan::find_workspace_root;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory argument"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "genet-lint: determinism & numeric-safety static analysis\n\n\
+                     USAGE:\n    genet-lint --workspace [--root <dir>]\n\n\
+                     Scans crates/*/src/**/*.rs and every Cargo.toml for violations of\n\
+                     the workspace determinism invariants (see DESIGN.md). Rules:\n"
+                );
+                for rule in genet_lint::RuleId::ALL {
+                    println!("    {}", rule.name());
+                }
+                println!(
+                    "\nEscape hatch: `// genet-lint: allow(<rule>) <justification>` on or\n\
+                     above the offending line; per-crate opt-outs live in genet-lint.toml."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !workspace {
+        return usage("pass --workspace to scan the workspace");
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(root) => root,
+        None => return usage("could not locate the workspace root (try --root)"),
+    };
+
+    match lint_workspace(&root) {
+        Ok(diagnostics) if diagnostics.is_empty() => {
+            eprintln!("genet-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(diagnostics) => {
+            for d in &diagnostics {
+                println!("{d}");
+            }
+            eprintln!("genet-lint: {} violation(s)", diagnostics.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("genet-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("genet-lint: {msg}\nusage: genet-lint --workspace [--root <dir>]");
+    ExitCode::from(2)
+}

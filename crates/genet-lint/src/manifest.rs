@@ -1,0 +1,211 @@
+//! Dependency-hygiene rule: parses Cargo manifests (a minimal TOML subset —
+//! sections, `key = value`, inline tables, `#` comments) and enforces the
+//! repo's zero-registry-dependency policy:
+//!
+//! - member crates may only declare dependencies as `{ workspace = true }`
+//!   (or a direct `{ path = "..." }` inside the repo);
+//! - the root `[workspace.dependencies]` must resolve every entry to an
+//!   in-tree `path`, never a registry `version`, `git`, or `registry` key.
+
+use crate::rules::{Diagnostic, RuleId};
+use std::path::Path;
+
+/// Checks a member crate's `Cargo.toml`.
+pub fn check_member_manifest(path: &Path, text: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let file = path.display().to_string();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_string();
+            // Dotted dependency section: [dependencies.foo] etc.
+            if let Some(dep) = dep_section_entry(&section) {
+                // Inspect the whole sub-table: collected below via keys.
+                // We record the entry and validate on the fly by scanning
+                // its keys until the next section; handled by the
+                // `in_dep_subtable` state.
+                let _ = dep;
+            }
+            continue;
+        }
+        if is_dep_section(&section) {
+            if let Some((name, value)) = line.split_once('=') {
+                let name = name.trim();
+                let value = value.trim();
+                if !dep_value_ok(value) {
+                    out.push(Diagnostic {
+                        file: file.clone(),
+                        line: idx + 1,
+                        rule: RuleId::DependencyHygiene,
+                        message: format!(
+                            "dependency `{name}` must be `{{ workspace = true }}` (or an \
+                             in-tree path); registry/git dependencies are forbidden: `{value}`"
+                        ),
+                    });
+                }
+            }
+        } else if let Some(dep) = dep_section_entry(&section) {
+            // Inside [dependencies.foo]: only workspace/path/package/features
+            // keys are acceptable.
+            if let Some((key, _)) = line.split_once('=') {
+                let key = key.trim();
+                if matches!(
+                    key,
+                    "version" | "git" | "registry" | "branch" | "tag" | "rev"
+                ) {
+                    out.push(Diagnostic {
+                        file: file.clone(),
+                        line: idx + 1,
+                        rule: RuleId::DependencyHygiene,
+                        message: format!(
+                            "dependency `{dep}` uses `{key}`: registry/git dependencies \
+                             are forbidden (use `workspace = true` or an in-tree path)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks the root workspace `Cargo.toml`.
+pub fn check_workspace_manifest(path: &Path, text: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let file = path.display().to_string();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_string();
+            if section.starts_with("patch") {
+                out.push(Diagnostic {
+                    file: file.clone(),
+                    line: idx + 1,
+                    rule: RuleId::DependencyHygiene,
+                    message: "[patch] sections are forbidden; vendor the crate under \
+                              third_party/ instead"
+                        .to_string(),
+                });
+            }
+            continue;
+        }
+        if section == "workspace.dependencies" {
+            if let Some((name, value)) = line.split_once('=') {
+                let name = name.trim();
+                let value = value.trim();
+                let has_path = value.contains("path");
+                let registryish = ["version", "git =", "registry =", "branch ="]
+                    .iter()
+                    .any(|k| value.contains(k))
+                    || value.starts_with('"');
+                if !has_path || registryish {
+                    out.push(Diagnostic {
+                        file: file.clone(),
+                        line: idx + 1,
+                        rule: RuleId::DependencyHygiene,
+                        message: format!(
+                            "workspace dependency `{name}` must resolve to an in-tree \
+                             `path` (crates/ or third_party/), not a registry/git source: \
+                             `{value}`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_dep_section(section: &str) -> bool {
+    matches!(
+        section,
+        "dependencies" | "dev-dependencies" | "build-dependencies"
+    )
+}
+
+fn dep_section_entry(section: &str) -> Option<&str> {
+    for prefix in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+        if let Some(rest) = section.strip_prefix(prefix) {
+            return Some(rest);
+        }
+    }
+    None
+}
+
+/// An inline dependency value is acceptable iff it pins to the workspace
+/// table or an in-tree path and names no registry/git source.
+fn dep_value_ok(value: &str) -> bool {
+    let workspace = value.contains("workspace") && value.contains("true");
+    let path = value.contains("path") && value.contains("\"");
+    let registryish = value.starts_with('"')
+        || value.contains("version")
+        || value.contains("git ")
+        || value.contains("git=")
+        || value.contains("registry");
+    (workspace || path) && !registryish
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` never appears inside strings in this repo's manifests.
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn member(text: &str) -> Vec<Diagnostic> {
+        check_member_manifest(&PathBuf::from("crates/x/Cargo.toml"), text)
+    }
+
+    fn workspace(text: &str) -> Vec<Diagnostic> {
+        check_workspace_manifest(&PathBuf::from("Cargo.toml"), text)
+    }
+
+    #[test]
+    fn workspace_true_and_path_ok() {
+        let d = member(
+            "[package]\nname = \"x\"\n[dependencies]\nrand = { workspace = true }\ngenet-math = { path = \"../genet-math\" }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn registry_versions_flagged() {
+        let d = member("[dependencies]\nserde = \"1.0\"\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::DependencyHygiene);
+        let d = member("[dependencies]\ntokio = { version = \"1\", features = [\"full\"] }\n");
+        assert_eq!(d.len(), 1);
+        let d = member("[dependencies.serde]\nversion = \"1.0\"\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn workspace_deps_must_be_paths() {
+        let d = workspace("[workspace.dependencies]\nrand = { path = \"third_party/rand\" }\n");
+        assert!(d.is_empty(), "{d:?}");
+        let d = workspace("[workspace.dependencies]\nrand = \"0.9\"\n");
+        assert_eq!(d.len(), 1);
+        let d = workspace("[workspace.dependencies]\nx = { git = \"https://e.com/x\" }\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn patch_sections_forbidden() {
+        let d = workspace("[patch.crates-io]\nrand = { path = \"vendored\" }\n");
+        assert_eq!(d.len(), 1);
+    }
+}

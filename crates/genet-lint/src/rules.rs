@@ -1,0 +1,366 @@
+//! The determinism & numeric-safety rules and the per-line scanners behind
+//! them. Each rule documents the experiment invariant it protects; the
+//! rationale lives in DESIGN.md ("Determinism invariants").
+
+use crate::tokenizer::{find_token, CleanLine};
+
+/// Stable rule identifiers (the names used in `allow(...)` annotations and
+/// per-crate config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// `HashMap`/`HashSet` in result-path code: iteration order is
+    /// randomized per-process, which silently breaks seeded reproducibility.
+    UnorderedIteration,
+    /// `Instant::now`/`SystemTime` outside telemetry/benchmark timing:
+    /// wall-clock must never influence experiment results.
+    WallClock,
+    /// RNG constructed from ambient entropy instead of an explicit seed.
+    UnseededRng,
+    /// `as <int>` applied to a float expression: silent truncation/UB-adjacent
+    /// saturation; must be an annotated, deliberate site.
+    TruncatingCast,
+    /// `.unwrap()`/`.expect(`/`panic!` in library (non-test) code.
+    PanicInLibrary,
+    /// Cargo.toml dependency that does not resolve inside the repository.
+    DependencyHygiene,
+    /// An `allow` annotation that suppressed nothing (stale escape hatch).
+    UnusedAllow,
+    /// An `allow` annotation without a written justification.
+    MissingJustification,
+}
+
+impl RuleId {
+    pub const ALL: [RuleId; 6] = [
+        RuleId::UnorderedIteration,
+        RuleId::WallClock,
+        RuleId::UnseededRng,
+        RuleId::TruncatingCast,
+        RuleId::PanicInLibrary,
+        RuleId::DependencyHygiene,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::UnorderedIteration => "unordered-iteration",
+            RuleId::WallClock => "wall-clock-in-result-path",
+            RuleId::UnseededRng => "unseeded-rng",
+            RuleId::TruncatingCast => "truncating-cast",
+            RuleId::PanicInLibrary => "panic-in-library",
+            RuleId::DependencyHygiene => "dependency-hygiene",
+            RuleId::UnusedAllow => "unused-allow",
+            RuleId::MissingJustification => "missing-justification",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+/// What kind of compilation target a source file belongs to; decides which
+/// rules apply (e.g. panic hygiene is a library-only rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// `src/**` of a library crate.
+    Lib,
+    /// `src/bin/**` or `src/main.rs` — executable code.
+    Bin,
+    /// `tests/**`, `benches/**`, `examples/**`.
+    TestOrBench,
+}
+
+/// A single finding, formatted as `file:line: [rule] message`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: usize,
+    pub rule: RuleId,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Scans one cleaned line for source-level violations. `kind` and
+/// `in_test` gate rule applicability; suppression by annotations/config is
+/// applied by the caller.
+pub fn scan_line(line: &CleanLine, kind: TargetKind) -> Vec<(RuleId, String)> {
+    let mut found = Vec::new();
+    if !line.has_code {
+        return found;
+    }
+    let code = line.code.as_str();
+
+    // unseeded-rng: applies everywhere, `#[cfg(test)]` regions included —
+    // unseeded tests flake.
+    for token in [
+        "thread_rng",
+        "from_entropy",
+        "from_os_rng",
+        "OsRng",
+        "rand::rng",
+    ] {
+        if find_token(code, token).is_some() {
+            found.push((
+                RuleId::UnseededRng,
+                format!("{token}: every RNG must be constructed from an explicit seed"),
+            ));
+        }
+    }
+
+    // All remaining rules only apply outside test regions.
+    if line.in_test {
+        return found;
+    }
+
+    // unordered-iteration: any appearance in lib/bin code — even a
+    // non-iterated HashMap invites a later `for` loop; ordered containers
+    // or an annotated justification are required.
+    if kind != TargetKind::TestOrBench {
+        for token in ["HashMap", "HashSet"] {
+            if find_token(code, token).is_some() {
+                found.push((
+                    RuleId::UnorderedIteration,
+                    format!(
+                        "{token} in result-path code: iteration order is unstable; \
+                         use BTreeMap/BTreeSet or a sorted Vec (or annotate why \
+                         ordering can never escape)"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // wall-clock-in-result-path.
+    if kind != TargetKind::TestOrBench {
+        for token in ["Instant", "SystemTime"] {
+            if find_token(code, token).is_some() {
+                found.push((
+                    RuleId::WallClock,
+                    format!(
+                        "{token} in result-path code: wall-clock reads must stay \
+                         inside genet-telemetry or annotated timing-only sites"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // truncating-cast.
+    if kind != TargetKind::TestOrBench {
+        for (rule, msg) in truncating_casts(code) {
+            found.push((rule, msg));
+        }
+    }
+
+    // panic-in-library.
+    if kind == TargetKind::Lib {
+        for token in [
+            ".unwrap()",
+            ".expect(",
+            "panic!",
+            "unreachable!",
+            "todo!",
+            "unimplemented!",
+        ] {
+            let hit = if token.starts_with('.') {
+                code.contains(token)
+            } else {
+                find_token(code, token).is_some()
+            };
+            if hit {
+                found.push((
+                    RuleId::PanicInLibrary,
+                    format!(
+                        "{} in library code: return Result or annotate why this \
+                         cannot fail",
+                        token.trim_start_matches('.')
+                    ),
+                ));
+            }
+        }
+    }
+
+    found
+}
+
+const INT_TARGETS: [&str; 10] = [
+    "usize", "isize", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+];
+
+/// Detects `<float expression> as <integer type>` on a single line. The
+/// float-ness heuristic looks for float literals, `f32`/`f64` tokens, or
+/// float-producing method calls in the expression segment left of `as`.
+fn truncating_casts(code: &str) -> Vec<(RuleId, String)> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(" as ") {
+        let at = from + rel;
+        let after = code[at + 4..].trim_start();
+        let target = INT_TARGETS.iter().find(|t| {
+            after.starts_with(**t)
+                && !after[t.len()..].starts_with(|c: char| c.is_alphanumeric() || c == '_')
+        });
+        if let Some(target) = target {
+            let segment = expression_segment(&code[..at]);
+            if looks_float(segment) {
+                out.push((
+                    RuleId::TruncatingCast,
+                    format!(
+                        "float expression cast with `as {target}` truncates; use \
+                         .round()/.floor() with an annotated justification or \
+                         checked conversion"
+                    ),
+                ));
+            }
+        }
+        from = at + 4;
+    }
+    out
+}
+
+/// The slice of `code` belonging to the expression being cast: scan
+/// backwards from the cast, balancing brackets, and cut at the first
+/// top-level delimiter or unmatched opening bracket.
+fn expression_segment(before: &str) -> &str {
+    let mut depth = 0i32;
+    let mut cut = 0;
+    for (i, c) in before.char_indices().rev() {
+        match c {
+            ')' | ']' | '}' => depth += 1,
+            '(' | '[' | '{' => {
+                if depth > 0 {
+                    depth -= 1;
+                } else {
+                    cut = i + c.len_utf8();
+                    break;
+                }
+            }
+            '=' | ',' | ';' if depth == 0 => {
+                cut = i + c.len_utf8();
+                break;
+            }
+            _ => {}
+        }
+    }
+    &before[cut..]
+}
+
+fn looks_float(segment: &str) -> bool {
+    if find_token(segment, "f64").is_some() || find_token(segment, "f32").is_some() {
+        return true;
+    }
+    for m in [
+        ".floor()", ".ceil()", ".round()", ".trunc()", ".sqrt()", ".abs()",
+    ] {
+        if segment.contains(m) {
+            return true;
+        }
+    }
+    // Float literal: digit '.' digit anywhere in the segment.
+    let b: Vec<char> = segment.chars().collect();
+    b.windows(3)
+        .any(|w| w[0].is_ascii_digit() && w[1] == '.' && w[2].is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn scan_snippet(src: &str, kind: TargetKind) -> Vec<RuleId> {
+        let (lines, _) = tokenize(src);
+        lines
+            .iter()
+            .flat_map(|l| scan_line(l, kind))
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    #[test]
+    fn truncating_cast_positive_and_negative() {
+        assert_eq!(
+            scan_snippet("let i = (x_s / 0.5) as usize;\n", TargetKind::Lib),
+            vec![RuleId::TruncatingCast]
+        );
+        assert_eq!(
+            scan_snippet("let i = t.elapsed().as_nanos() as u64;\n", TargetKind::Lib),
+            Vec::<RuleId>::new()
+        );
+        assert_eq!(
+            scan_snippet("let i = (r.floor()) as i64;\n", TargetKind::Lib),
+            vec![RuleId::TruncatingCast]
+        );
+        assert_eq!(
+            scan_snippet("let n = items.len() as u64;\n", TargetKind::Lib),
+            Vec::<RuleId>::new()
+        );
+    }
+
+    #[test]
+    fn unwrap_only_in_lib_nontest() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }\n";
+        assert_eq!(
+            scan_snippet(src, TargetKind::Lib),
+            vec![RuleId::PanicInLibrary]
+        );
+        assert_eq!(scan_snippet(src, TargetKind::Bin), Vec::<RuleId>::new());
+    }
+
+    #[test]
+    fn unwrap_or_family_not_flagged() {
+        let src = "let a = x.unwrap_or(0); let b = y.unwrap_or_else(|| 1); let c = z.unwrap_or_default();\n";
+        assert_eq!(scan_snippet(src, TargetKind::Lib), Vec::<RuleId>::new());
+    }
+
+    #[test]
+    fn hash_containers_flagged_outside_tests() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            scan_snippet(src, TargetKind::Lib),
+            vec![RuleId::UnorderedIteration]
+        );
+        assert_eq!(
+            scan_snippet(src, TargetKind::TestOrBench),
+            Vec::<RuleId>::new()
+        );
+    }
+
+    #[test]
+    fn wall_clock_flagged() {
+        let src = "let t0 = Instant::now();\n";
+        assert_eq!(scan_snippet(src, TargetKind::Lib), vec![RuleId::WallClock]);
+        assert_eq!(scan_snippet(src, TargetKind::Bin), vec![RuleId::WallClock]);
+        assert_eq!(
+            scan_snippet(src, TargetKind::TestOrBench),
+            Vec::<RuleId>::new()
+        );
+    }
+
+    #[test]
+    fn unseeded_rng_flagged_even_in_tests() {
+        let src = "let mut rng = rand::rng();\n";
+        assert_eq!(
+            scan_snippet(src, TargetKind::TestOrBench),
+            vec![RuleId::UnseededRng]
+        );
+        let in_test_region =
+            "#[cfg(test)]\nmod tests {\n    fn t() { let mut rng = rand::rng(); }\n}\n";
+        assert_eq!(
+            scan_snippet(in_test_region, TargetKind::Lib),
+            vec![RuleId::UnseededRng]
+        );
+        let ok = "let mut rng = StdRng::seed_from_u64(42);\n";
+        assert_eq!(scan_snippet(ok, TargetKind::Lib), Vec::<RuleId>::new());
+    }
+}

@@ -1,0 +1,274 @@
+//! Workspace walking and per-file orchestration: tokenizes each source
+//! file, applies the rules, then subtracts `allow` annotations and
+//! per-crate config, reporting stale annotations as findings of their own.
+
+use crate::config::LintConfig;
+use crate::manifest;
+use crate::rules::{scan_line, Diagnostic, RuleId, TargetKind};
+use crate::tokenizer::tokenize;
+use std::path::{Path, PathBuf};
+
+/// Lints one source file's text. `file` is the label used in diagnostics;
+/// `crate_name` selects per-crate config.
+pub fn lint_source(
+    file: &str,
+    crate_name: &str,
+    kind: TargetKind,
+    source: &str,
+    config: &LintConfig,
+) -> Vec<Diagnostic> {
+    let (lines, mut annotations) = tokenize(source);
+    let mut out = Vec::new();
+
+    for line in &lines {
+        for (rule, message) in scan_line(line, kind) {
+            if config.crate_allows(crate_name, rule) {
+                continue;
+            }
+            let suppressed = annotations.iter_mut().find(|a| {
+                a.target_line == line.number && a.rule == rule.name() && !a.justification.is_empty()
+            });
+            if let Some(annotation) = suppressed {
+                annotation.used = true;
+                continue;
+            }
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: line.number,
+                rule,
+                message,
+            });
+        }
+    }
+
+    for annotation in &annotations {
+        if RuleId::from_name(&annotation.rule).is_none() {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: annotation.comment_line,
+                rule: RuleId::UnusedAllow,
+                message: format!("allow({}) names an unknown rule", annotation.rule),
+            });
+            continue;
+        }
+        if annotation.justification.is_empty() {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: annotation.comment_line,
+                rule: RuleId::MissingJustification,
+                message: format!(
+                    "allow({}) needs a written justification after the closing paren",
+                    annotation.rule
+                ),
+            });
+            continue;
+        }
+        if !annotation.used {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: annotation.comment_line,
+                rule: RuleId::UnusedAllow,
+                message: format!(
+                    "allow({}) suppresses nothing on line {} — remove the stale annotation",
+                    annotation.rule, annotation.target_line
+                ),
+            });
+        }
+    }
+
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+/// Lints the whole workspace rooted at `root`: every `crates/*/src/**/*.rs`
+/// plus dependency hygiene over all manifests.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let config = LintConfig::load(root)?;
+    let mut out = Vec::new();
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs = list_dir(&crates_dir)?;
+    crate_dirs.sort();
+    for crate_dir in &crate_dirs {
+        if !crate_dir.is_dir() {
+            continue;
+        }
+        let crate_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_default();
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            let mut files = Vec::new();
+            collect_rs_files(&src, &mut files)?;
+            files.sort();
+            for path in files {
+                let kind = classify(&src, &path);
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                let label = relative_label(root, &path);
+                out.extend(lint_source(&label, &crate_name, kind, &text, &config));
+            }
+        }
+        let manifest_path = crate_dir.join("Cargo.toml");
+        if manifest_path.is_file() {
+            let text = std::fs::read_to_string(&manifest_path)
+                .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+            let label = PathBuf::from(relative_label(root, &manifest_path));
+            out.extend(manifest::check_member_manifest(&label, &text));
+        }
+    }
+
+    // third_party shims: manifest hygiene only (their sources mirror
+    // external APIs and are exempt from the style rules by design).
+    let third_party = root.join("third_party");
+    if third_party.is_dir() {
+        let mut shim_dirs = list_dir(&third_party)?;
+        shim_dirs.sort();
+        for dir in shim_dirs {
+            let manifest_path = dir.join("Cargo.toml");
+            if manifest_path.is_file() {
+                let text = std::fs::read_to_string(&manifest_path)
+                    .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+                let label = PathBuf::from(relative_label(root, &manifest_path));
+                out.extend(manifest::check_member_manifest(&label, &text));
+            }
+        }
+    }
+
+    let root_manifest = root.join("Cargo.toml");
+    let text = std::fs::read_to_string(&root_manifest)
+        .map_err(|e| format!("{}: {e}", root_manifest.display()))?;
+    out.extend(manifest::check_workspace_manifest(
+        Path::new("Cargo.toml"),
+        &text,
+    ));
+
+    Ok(out)
+}
+
+/// Finds the workspace root by walking up from `start` until a `Cargo.toml`
+/// containing `[workspace]` appears.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn classify(src_root: &Path, path: &Path) -> TargetKind {
+    let rel = path.strip_prefix(src_root).unwrap_or(path);
+    let rel_str = rel.to_string_lossy();
+    if rel_str.starts_with("bin/") || rel_str == "main.rs" {
+        TargetKind::Bin
+    } else {
+        TargetKind::Lib
+    }
+}
+
+fn list_dir(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        out.push(entry.path());
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for path in list_dir(dir)? {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str, kind: TargetKind) -> Vec<Diagnostic> {
+        lint_source("test.rs", "genet-test", kind, src, &LintConfig::default())
+    }
+
+    #[test]
+    fn annotation_suppresses_and_is_marked_used() {
+        let src = "let t0 = Instant::now(); // genet-lint: allow(wall-clock-in-result-path) telemetry-only busy-time, never in results\n";
+        assert!(lint(src, TargetKind::Lib).is_empty());
+    }
+
+    #[test]
+    fn annotation_without_justification_fails() {
+        let src = "let t0 = Instant::now(); // genet-lint: allow(wall-clock-in-result-path)\n";
+        let d = lint(src, TargetKind::Lib);
+        assert!(
+            d.iter().any(|d| d.rule == RuleId::MissingJustification),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn stale_annotation_fails() {
+        let src = "let x = 1; // genet-lint: allow(unordered-iteration) nothing here\n";
+        let d = lint(src, TargetKind::Lib);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::UnusedAllow);
+    }
+
+    #[test]
+    fn unknown_rule_annotation_fails() {
+        let src = "let x = 1; // genet-lint: allow(no-such-rule) whatever\n";
+        let d = lint(src, TargetKind::Lib);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::UnusedAllow);
+    }
+
+    #[test]
+    fn preceding_line_annotation_targets_next_code_line() {
+        let src = "// genet-lint: allow(unordered-iteration) lookup only, iteration never escapes\nuse std::collections::HashMap;\n";
+        assert!(lint(src, TargetKind::Lib).is_empty());
+    }
+
+    #[test]
+    fn crate_config_switches_rule_off() {
+        let cfg =
+            LintConfig::parse("[crate.genet-test]\nallow = [\"wall-clock-in-result-path\"]\n")
+                .expect("parses");
+        let src = "let t0 = Instant::now();\n";
+        let d = lint_source("t.rs", "genet-test", TargetKind::Lib, src, &cfg);
+        assert!(d.is_empty(), "{d:?}");
+        let d = lint_source("t.rs", "genet-other", TargetKind::Lib, src, &cfg);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn diagnostics_point_at_lines() {
+        let src = "fn ok() {}\nuse std::collections::HashSet;\n";
+        let d = lint(src, TargetKind::Lib);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        assert!(d[0]
+            .to_string()
+            .contains("test.rs:2: [unordered-iteration]"));
+    }
+}

@@ -1,0 +1,455 @@
+//! Line-oriented Rust tokenizer: strips comments, string/char literals, and
+//! locates `#[cfg(test)]` regions and `genet-lint: allow(...)` annotations,
+//! so the rule scanners only ever look at real code text.
+//!
+//! This is deliberately not a full parser (no `syn`, zero dependencies). It
+//! tracks exactly the lexical state needed to blank out non-code text:
+//! nested block comments, line comments, string literals (including raw
+//! strings with hashes and byte strings), and char literals vs lifetimes.
+
+/// One source line after lexical cleaning.
+#[derive(Debug, Clone)]
+pub struct CleanLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// Code text with comments and literals blanked by spaces (same length
+    /// as the raw line, so column positions survive).
+    pub code: String,
+    /// Comment text on this line (concatenated, without `//` / `/*`), used
+    /// for annotation parsing.
+    pub comment: String,
+    /// True if the line has any non-whitespace code at all.
+    pub has_code: bool,
+    /// True if this line lies inside a `#[cfg(test)]` block.
+    pub in_test: bool,
+}
+
+/// Parsed `genet-lint: allow(<rule>) <justification>` annotation.
+#[derive(Debug, Clone)]
+pub struct AllowAnnotation {
+    /// Line the annotation comment sits on.
+    pub comment_line: usize,
+    /// Line the annotation applies to (same line for trailing comments,
+    /// next code line for whole-line comments).
+    pub target_line: usize,
+    pub rule: String,
+    pub justification: String,
+    /// Set by the scanner when the annotation suppresses a diagnostic.
+    pub used: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Lex {
+    Code,
+    Block { depth: usize },
+    Str,
+    RawStr { hashes: usize },
+}
+
+/// Tokenizes a whole file into cleaned lines plus annotations.
+pub fn tokenize(source: &str) -> (Vec<CleanLine>, Vec<AllowAnnotation>) {
+    let mut state = Lex::Code;
+    let mut lines = Vec::new();
+    let mut raw_comments: Vec<(usize, String, bool)> = Vec::new(); // (line, text, line_has_code)
+
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            match state {
+                Lex::Block { depth } => {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            Lex::Code
+                        } else {
+                            Lex::Block { depth: depth - 1 }
+                        };
+                        code.push_str("  ");
+                        i += 2;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = Lex::Block { depth: depth + 1 };
+                        code.push_str("  ");
+                        i += 2;
+                    } else {
+                        comment.push(chars[i]);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Lex::Str => {
+                    if chars[i] == '\\' {
+                        code.push_str("  ");
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        state = Lex::Code;
+                        code.push('"');
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Lex::RawStr { hashes } => {
+                    if chars[i] == '"' && closes_raw(&chars, i + 1, hashes) {
+                        state = Lex::Code;
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push(' ');
+                        }
+                        i += 1 + hashes;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Lex::Code => {
+                    let c = chars[i];
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        // Line comment: rest of line. Doc comments (`///`,
+                        // `//!`) are documentation *about* code — they may
+                        // describe the annotation syntax but never carry a
+                        // real suppression, so their text is not collected.
+                        let is_doc = matches!(chars.get(i + 2), Some(&'/') | Some(&'!'));
+                        if !is_doc {
+                            let text: String = chars[i + 2..].iter().collect();
+                            comment.push_str(&text);
+                        }
+                        for _ in i..chars.len() {
+                            code.push(' ');
+                        }
+                        break;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = Lex::Block { depth: 1 };
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        state = Lex::Str;
+                        code.push('"');
+                        i += 1;
+                    } else if let Some((consumed, hashes)) = raw_string_start(&chars, i) {
+                        state = Lex::RawStr { hashes };
+                        code.push('r');
+                        for _ in 0..consumed - 2 {
+                            code.push(' ');
+                        }
+                        code.push('"');
+                        i += consumed;
+                    } else if c == 'b' && chars.get(i + 1) == Some(&'"') && !prev_is_ident(&code) {
+                        state = Lex::Str;
+                        code.push_str("b\"");
+                        i += 2;
+                    } else if c == '\'' {
+                        if let Some(consumed) = char_literal(&chars, i) {
+                            code.push('\'');
+                            for _ in 1..consumed {
+                                code.push(' ');
+                            }
+                            i += consumed;
+                        } else {
+                            // Lifetime tick.
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let has_code = code.trim().chars().any(|c| !c.is_whitespace());
+        if !comment.trim().is_empty() {
+            raw_comments.push((number, comment.clone(), has_code));
+        }
+        lines.push(CleanLine {
+            number,
+            code,
+            comment,
+            has_code,
+            in_test: false,
+        });
+    }
+
+    mark_test_regions(&mut lines);
+    let annotations = parse_annotations(&raw_comments, &lines);
+    (lines, annotations)
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .last()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Matches `r"`, `r#"`, `br"`, `br##"` ... at position `i`; returns
+/// `(consumed chars through the opening quote, hash count)`.
+fn raw_string_start(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return None;
+        }
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((j + 1 - i, hashes))
+    } else {
+        None
+    }
+}
+
+fn closes_raw(chars: &[char], from: usize, hashes: usize) -> bool {
+    (0..hashes).all(|k| chars.get(from + k) == Some(&'#'))
+}
+
+/// Matches a char literal `'x'`, `'\n'`, `'\u{1F600}'` at `i`; returns its
+/// length in chars, or `None` for a lifetime tick.
+fn char_literal(chars: &[char], i: usize) -> Option<usize> {
+    debug_assert_eq!(chars.get(i), Some(&'\''));
+    let mut j = i + 1;
+    match chars.get(j)? {
+        '\\' => {
+            j += 1;
+            if chars.get(j) == Some(&'u') {
+                while j < chars.len() && chars[j] != '\'' {
+                    j += 1;
+                }
+            } else {
+                j += 1;
+            }
+        }
+        '\'' => return None, // '' is not a char literal
+        _ => j += 1,
+    }
+    if chars.get(j) == Some(&'\'') {
+        Some(j + 1 - i)
+    } else {
+        None // lifetime like 'a or 'static
+    }
+}
+
+/// Flags every line inside a `#[cfg(test)] { ... }` region (the block that
+/// the attribute introduces, typically `mod tests`).
+fn mark_test_regions(lines: &mut [CleanLine]) {
+    let mut pending_attr = false;
+    let mut region_depth: Option<i64> = None;
+    for line in lines.iter_mut() {
+        let code = line.code.clone();
+        if let Some(depth) = region_depth.as_mut() {
+            line.in_test = true;
+            *depth += brace_delta(&code);
+            if *depth <= 0 {
+                region_depth = None;
+            }
+            continue;
+        }
+        if code.contains("#[cfg(test)]") {
+            pending_attr = true;
+            // Same-line open brace (e.g. `#[cfg(test)] mod t {`)?
+            if let Some(pos) = code.find("#[cfg(test)]") {
+                let rest = &code[pos..];
+                if rest.contains('{') {
+                    line.in_test = true;
+                    let d = brace_delta(rest);
+                    if d > 0 {
+                        region_depth = Some(d);
+                    }
+                    pending_attr = false;
+                    continue;
+                }
+            }
+            line.in_test = true; // the attribute line itself
+            continue;
+        }
+        if pending_attr {
+            line.in_test = true;
+            if line.has_code {
+                let d = brace_delta(&code);
+                if d > 0 {
+                    region_depth = Some(d);
+                    pending_attr = false;
+                } else if code.contains(';') {
+                    // `#[cfg(test)] mod foo;` — out-of-line module.
+                    pending_attr = false;
+                }
+            }
+        }
+    }
+}
+
+fn brace_delta(code: &str) -> i64 {
+    let mut d = 0;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Extracts `genet-lint: allow(rule) justification` annotations and computes
+/// the code line each one targets.
+fn parse_annotations(
+    comments: &[(usize, String, bool)],
+    lines: &[CleanLine],
+) -> Vec<AllowAnnotation> {
+    let mut out = Vec::new();
+    for (line_no, text, line_has_code) in comments {
+        let Some(pos) = text.find("genet-lint:") else {
+            continue;
+        };
+        let rest = text[pos + "genet-lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let justification = rest[close + 1..].trim().to_string();
+        let target_line = if *line_has_code {
+            *line_no
+        } else {
+            lines
+                .iter()
+                .find(|l| l.number > *line_no && l.has_code)
+                .map(|l| l.number)
+                .unwrap_or(*line_no)
+        };
+        out.push(AllowAnnotation {
+            comment_line: *line_no,
+            target_line,
+            rule,
+            justification,
+            used: false,
+        });
+    }
+    out
+}
+
+/// True when `token` occurs in `code` as a standalone identifier-ish token
+/// (not embedded in a longer identifier).
+pub fn find_token(code: &str, token: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(token) {
+        let at = from + rel;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = code[at + token.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + token.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let src = "let x = 1; // HashMap here\nlet y = /* HashSet */ 2;\n";
+        let (lines, _) = tokenize(src);
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].comment.contains("HashMap"));
+        assert!(!lines[1].code.contains("HashSet"));
+        assert!(lines[1].code.contains("let y ="));
+    }
+
+    #[test]
+    fn strips_string_literals_and_keeps_char_positions() {
+        let src = "let s = \"HashMap in a string\"; let t = 5;\n";
+        let (lines, _) = tokenize(src);
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].code.contains("let t = 5;"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let src =
+            "let s = r#\"Instant::now \"quoted\"\"#; let c = '\\''; let l: &'static str = \"x\";\n";
+        let (lines, _) = tokenize(src);
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[0].code.contains("'static"));
+    }
+
+    #[test]
+    fn multiline_block_comment_and_string() {
+        let src = "/* start\nHashMap\n*/ let a = 1;\nlet s = \"multi\nInstant::now\n line\"; let b = 2;\n";
+        let (lines, _) = tokenize(src);
+        assert!(!lines[1].code.contains("HashMap"));
+        assert!(lines[2].code.contains("let a = 1;"));
+        assert!(!lines[4].code.contains("Instant"));
+        assert!(lines[5].code.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let ok = 1;\n";
+        let (lines, _) = tokenize(src);
+        assert!(lines[0].code.contains("let ok = 1;"));
+        assert!(!lines[0].code.contains("inner"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let (lines, _) = tokenize(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn annotations_trailing_and_preceding() {
+        let src = "let a = m.unwrap(); // genet-lint: allow(panic-in-library) startup only\n// genet-lint: allow(unordered-iteration) order never escapes\nlet b: HashMap<u32, u32> = HashMap::new();\n";
+        let (_, anns) = tokenize(src);
+        assert_eq!(anns.len(), 2);
+        assert_eq!(anns[0].target_line, 1);
+        assert_eq!(anns[0].rule, "panic-in-library");
+        assert!(anns[0].justification.contains("startup"));
+        assert_eq!(anns[1].target_line, 3);
+        assert_eq!(anns[1].rule, "unordered-iteration");
+    }
+
+    #[test]
+    fn doc_comments_never_carry_annotations() {
+        let src = "/// Write `// genet-lint: allow(some-rule) why` above the line.\n//! Docs may mention genet-lint: allow(other-rule) too.\nfn f() {}\n";
+        let (_, anns) = tokenize(src);
+        assert!(anns.is_empty(), "{anns:?}");
+    }
+
+    #[test]
+    fn find_token_respects_boundaries() {
+        assert!(find_token("let m: HashMap<u8, u8>;", "HashMap").is_some());
+        assert!(find_token("let m = MyHashMapLike::new();", "HashMap").is_none());
+        assert!(find_token("rand::rngs::StdRng", "rand::rng").is_none());
+        assert!(find_token("let r = rand::rng();", "rand::rng").is_some());
+    }
+}

@@ -1,0 +1,196 @@
+//! Fixture-driven tests: each file under `tests/fixtures/` exercises one
+//! rule with positive, negative, and `allow`-annotated cases. Lines that
+//! must be flagged carry a `// POSITIVE line N` marker; the driver derives
+//! the expected line set from those markers so fixture and expectation
+//! cannot drift apart.
+
+use genet_lint::{lint_source, LintConfig, RuleId, TargetKind};
+use std::path::PathBuf;
+
+const UNORDERED: &str = include_str!("fixtures/unordered_iteration.rs");
+const WALL_CLOCK: &str = include_str!("fixtures/wall_clock.rs");
+const UNSEEDED: &str = include_str!("fixtures/unseeded_rng.rs");
+const TRUNCATING: &str = include_str!("fixtures/truncating_cast.rs");
+const PANIC: &str = include_str!("fixtures/panic_in_library.rs");
+const ANNOTATIONS: &str = include_str!("fixtures/annotations.rs");
+
+/// Lines carrying a `POSITIVE line N` marker; panics if a marker's stated
+/// number disagrees with its actual position (stale fixture).
+fn positive_lines(src: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let Some(rest) = line.split("POSITIVE line").nth(1) else {
+            continue;
+        };
+        let stated: usize = rest
+            .trim_start()
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable POSITIVE marker on line {}", idx + 1));
+        assert_eq!(
+            stated,
+            idx + 1,
+            "stale POSITIVE marker: says {stated}, is on {}",
+            idx + 1
+        );
+        out.push(idx + 1);
+    }
+    assert!(!out.is_empty(), "fixture has no POSITIVE markers");
+    out
+}
+
+/// Lints a fixture as library code with no per-crate config and checks the
+/// flagged lines against the markers: exactly the marked lines, exactly the
+/// expected rule, no annotation complaints.
+fn check_rule_fixture(name: &str, src: &str, rule: RuleId) {
+    let diags = lint_source(
+        name,
+        "genet-fixture",
+        TargetKind::Lib,
+        src,
+        &LintConfig::default(),
+    );
+    for d in &diags {
+        assert_eq!(d.rule, rule, "unexpected rule in {name}: {d}");
+    }
+    let mut flagged: Vec<usize> = diags.iter().map(|d| d.line).collect();
+    flagged.dedup();
+    assert_eq!(
+        flagged,
+        positive_lines(src),
+        "flagged lines mismatch in {name}"
+    );
+}
+
+#[test]
+fn unordered_iteration_fixture() {
+    check_rule_fixture(
+        "unordered_iteration.rs",
+        UNORDERED,
+        RuleId::UnorderedIteration,
+    );
+}
+
+#[test]
+fn wall_clock_fixture() {
+    check_rule_fixture("wall_clock.rs", WALL_CLOCK, RuleId::WallClock);
+}
+
+#[test]
+fn unseeded_rng_fixture() {
+    // The unseeded-rng rule is the one rule that also fires inside
+    // `#[cfg(test)]` regions; the fixture's last POSITIVE marker sits in one.
+    check_rule_fixture("unseeded_rng.rs", UNSEEDED, RuleId::UnseededRng);
+}
+
+#[test]
+fn truncating_cast_fixture() {
+    check_rule_fixture("truncating_cast.rs", TRUNCATING, RuleId::TruncatingCast);
+}
+
+#[test]
+fn panic_in_library_fixture() {
+    check_rule_fixture("panic_in_library.rs", PANIC, RuleId::PanicInLibrary);
+}
+
+#[test]
+fn panic_fixture_outside_library_targets() {
+    // panic-in-library is a Lib-only rule: in a binary or test target none
+    // of the unwraps fire — which in turn makes the fixture's in-file allow
+    // annotation stale, and staleness is itself reported.
+    for kind in [TargetKind::Bin, TargetKind::TestOrBench] {
+        let diags = lint_source(
+            "panic_in_library.rs",
+            "genet-fixture",
+            kind,
+            PANIC,
+            &LintConfig::default(),
+        );
+        let hits: Vec<(usize, RuleId)> = diags.iter().map(|d| (d.line, d.rule)).collect();
+        assert_eq!(hits, vec![(22, RuleId::UnusedAllow)], "{kind:?}: {diags:?}");
+    }
+}
+
+#[test]
+fn crate_config_suppresses_whole_fixture() {
+    let cfg = LintConfig::parse("[crate.genet-fixture]\nallow = [\"wall-clock-in-result-path\"]\n")
+        .expect("config parses");
+    // Every wall-clock hit is switched off crate-wide; the one remaining
+    // diagnostic is the now-redundant in-file annotation.
+    let diags = lint_source(
+        "wall_clock.rs",
+        "genet-fixture",
+        TargetKind::Lib,
+        WALL_CLOCK,
+        &cfg,
+    );
+    let hits: Vec<(usize, RuleId)> = diags.iter().map(|d| (d.line, d.rule)).collect();
+    assert_eq!(hits, vec![(19, RuleId::UnusedAllow)], "{diags:?}");
+    // …and the config only applies to the named crate.
+    let diags = lint_source(
+        "wall_clock.rs",
+        "genet-other",
+        TargetKind::Lib,
+        WALL_CLOCK,
+        &cfg,
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == RuleId::WallClock),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn annotation_edge_cases_fixture() {
+    let diags = lint_source(
+        "annotations.rs",
+        "genet-fixture",
+        TargetKind::Lib,
+        ANNOTATIONS,
+        &LintConfig::default(),
+    );
+    let hits: Vec<(usize, RuleId)> = diags.iter().map(|d| (d.line, d.rule)).collect();
+    assert_eq!(
+        hits,
+        vec![
+            (5, RuleId::UnusedAllow),           // stale: suppresses nothing
+            (10, RuleId::MissingJustification), // bare allow without rationale
+            (11, RuleId::PanicInLibrary),       // …so the unwrap still fires
+            (15, RuleId::UnusedAllow),          // unknown rule name
+            (16, RuleId::PanicInLibrary),       // …and suppresses nothing
+        ],
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn manifest_hygiene_member_cases() {
+    let ok = "[package]\nname = \"x\"\n\n[dependencies]\nrand = { workspace = true }\n\
+              genet-math = { path = \"../genet-math\" }\n";
+    let diags =
+        genet_lint::manifest::check_member_manifest(&PathBuf::from("crates/x/Cargo.toml"), ok);
+    assert!(diags.is_empty(), "{diags:?}");
+
+    let bad = "[dependencies]\nserde = \"1.0\"\ntokio = { version = \"1\" }\n\
+               good = { workspace = true }\n\n[dev-dependencies.quick]\ngit = \"https://e.com/q\"\n";
+    let diags =
+        genet_lint::manifest::check_member_manifest(&PathBuf::from("crates/x/Cargo.toml"), bad);
+    let lines: Vec<usize> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![2, 3, 7], "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == RuleId::DependencyHygiene));
+}
+
+#[test]
+fn manifest_hygiene_workspace_cases() {
+    let ok = "[workspace.dependencies]\nrand = { path = \"third_party/rand\" }\n";
+    let diags = genet_lint::manifest::check_workspace_manifest(&PathBuf::from("Cargo.toml"), ok);
+    assert!(diags.is_empty(), "{diags:?}");
+
+    let bad = "[workspace.dependencies]\nrand = \"0.9\"\nx = { git = \"https://e.com/x\" }\n\n\
+               [patch.crates-io]\ny = { path = \"v\" }\n";
+    let diags = genet_lint::manifest::check_workspace_manifest(&PathBuf::from("Cargo.toml"), bad);
+    let lines: Vec<usize> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![2, 3, 5], "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == RuleId::DependencyHygiene));
+}

@@ -1,0 +1,17 @@
+// Fixture: annotation edge cases — stale allows, missing justifications,
+// unknown rules.
+
+pub fn stale() -> u32 {
+    // genet-lint: allow(panic-in-library) nothing on the next line panics
+    1 + 1
+}
+
+pub fn missing_justification(x: Option<u32>) -> u32 {
+    // genet-lint: allow(panic-in-library)
+    x.unwrap()
+}
+
+pub fn unknown_rule(x: Option<u32>) -> u32 {
+    // genet-lint: allow(no-such-rule) some words
+    x.unwrap()
+}

@@ -1,0 +1,32 @@
+// Fixture: panic-in-library positives, negatives, and allow cases.
+
+pub fn positive(x: Option<u32>) -> u32 {
+    x.unwrap() // POSITIVE line 4
+}
+
+pub fn positive_expect(x: Option<u32>) -> u32 {
+    x.expect("value must exist") // POSITIVE line 8
+}
+
+pub fn positive_macro(flag: bool) {
+    if flag {
+        panic!("boom"); // POSITIVE line 13
+    }
+}
+
+pub fn negative(x: Option<u32>) -> u32 {
+    x.unwrap_or(0) + x.unwrap_or_default() + x.unwrap_or_else(|| 1)
+}
+
+pub fn allowed(xs: &[u32]) -> u32 {
+    // genet-lint: allow(panic-in-library) xs is non-empty by construction (asserted by every caller)
+    *xs.last().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_ok_in_tests() {
+        Some(1u32).unwrap();
+    }
+}

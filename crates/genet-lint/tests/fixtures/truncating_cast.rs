@@ -1,0 +1,30 @@
+// Fixture: truncating-cast positives, negatives, and allow cases.
+
+pub fn positive(x_s: f64) -> usize {
+    (x_s / 0.5) as usize // POSITIVE line 4
+}
+
+pub fn positive_method(r: f64) -> i64 {
+    (r.floor()) as i64 // POSITIVE line 8 — explicit floor still needs a justification
+}
+
+pub fn negative(items: &[u8]) -> u64 {
+    items.len() as u64 // integer-to-integer: not flagged
+}
+
+pub fn negative_elapsed(nanos: u128) -> u64 {
+    nanos as u64
+}
+
+pub fn allowed(rank: f64) -> usize {
+    // genet-lint: allow(truncating-cast) rank is a non-negative in-range index by construction
+    rank.floor() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cast_ok_in_tests() {
+        let _ = (1.5f64 * 2.0) as usize;
+    }
+}

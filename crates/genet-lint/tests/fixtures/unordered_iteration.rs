@@ -1,0 +1,28 @@
+// Fixture: unordered-iteration positives, negatives, and allow cases.
+use std::collections::HashMap; // POSITIVE line 2
+use std::collections::BTreeMap; // negative: ordered container
+
+pub fn positive() {
+    let mut m: HashMap<u32, u32> = HashMap::new(); // POSITIVE line 6
+    m.insert(1, 2);
+}
+
+pub fn negative() {
+    let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+    m.insert(1, 2);
+    let _doc = "HashMap in a string literal is not code";
+}
+
+pub fn allowed() {
+    // genet-lint: allow(unordered-iteration) membership-only set; iteration order never escapes
+    let mut s = std::collections::HashSet::new();
+    s.insert(1);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hash_ok_in_tests() {
+        let _m: std::collections::HashMap<u8, u8> = std::collections::HashMap::new();
+    }
+}

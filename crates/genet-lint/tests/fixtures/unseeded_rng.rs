@@ -1,0 +1,27 @@
+// Fixture: unseeded-rng positives, negatives, and allow cases.
+
+pub fn positive() {
+    let _rng = rand::rng(); // POSITIVE line 4
+}
+
+pub fn positive_thread_rng() {
+    let _rng = rand::thread_rng(); // POSITIVE line 8
+}
+
+pub fn negative() {
+    use rand::SeedableRng;
+    let _rng = rand::rngs::StdRng::seed_from_u64(42);
+}
+
+pub fn allowed() {
+    // genet-lint: allow(unseeded-rng) interactive demo binary; reproducibility not required here
+    let _rng = rand::rng();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unseeded_flagged_even_here() {
+        let _rng = rand::rng(); // POSITIVE line 25 — tests must be seeded too
+    }
+}

@@ -1,0 +1,29 @@
+// Fixture: wall-clock-in-result-path positives, negatives, and allow cases.
+use std::time::Instant; // POSITIVE line 2
+
+pub fn positive() -> f64 {
+    let t0 = Instant::now(); // POSITIVE line 5
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn positive_systemtime() {
+    let _ = std::time::SystemTime::now(); // POSITIVE line 10
+}
+
+pub fn negative() -> u64 {
+    // A Duration value is fine; only clock *reads* are flagged.
+    std::time::Duration::from_secs(1).as_secs()
+}
+
+pub fn allowed() {
+    // genet-lint: allow(wall-clock-in-result-path) progress logging only; never feeds results
+    let _ = std::time::Instant::now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_ok_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

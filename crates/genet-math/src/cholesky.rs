@@ -111,6 +111,10 @@ impl Cholesky {
                 sum -= self.l.get(i, k) * z[k];
             }
             z[i] = sum / self.l.get(i, i);
+            debug_assert!(
+                z[i].is_finite(),
+                "non-finite forward-substitution result at row {i}"
+            );
         }
         z
     }
@@ -126,6 +130,10 @@ impl Cholesky {
                 sum -= self.l.get(k, i) * x[k];
             }
             x[i] = sum / self.l.get(i, i);
+            debug_assert!(
+                x[i].is_finite(),
+                "non-finite backward-substitution result at row {i}"
+            );
         }
         x
     }

@@ -18,6 +18,8 @@
 //! Everything is implemented from scratch on `std` + `rand` so the workspace
 //! builds fully offline and the numerical behaviour is auditable.
 
+#![forbid(unsafe_code)]
+
 pub mod cholesky;
 pub mod matrix;
 pub mod rng;

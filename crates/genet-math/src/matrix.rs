@@ -37,6 +37,10 @@ impl Matrix {
             "shape mismatch: {rows}x{cols} vs {}",
             data.len()
         );
+        debug_assert!(
+            data.iter().all(|v| v.is_finite()),
+            "non-finite element in matrix data"
+        );
         Self {
             rows,
             cols,
@@ -79,12 +83,20 @@ impl Matrix {
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
         debug_assert!(r < self.rows && c < self.cols);
+        debug_assert!(
+            v.is_finite(),
+            "non-finite matrix element at ({r}, {c}): {v}"
+        );
         self.data[r * self.cols + c] = v;
     }
 
     /// Adds `v` to element `(r, c)`.
     #[inline]
     pub fn add_at(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(
+            v.is_finite(),
+            "non-finite matrix increment at ({r}, {c}): {v}"
+        );
         self.data[r * self.cols + c] += v;
     }
 

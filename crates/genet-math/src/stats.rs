@@ -36,11 +36,13 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    debug_assert!(xs.iter().all(|v| !v.is_nan()), "NaN in percentile input");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    // genet-lint: allow(truncating-cast) rank is in [0, len-1] by the asserts above; floor/ceil then truncate is the textbook order-statistic index
     let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
+    let hi = rank.ceil() as usize; // genet-lint: allow(truncating-cast) same in-range rank as `lo`
     if lo == hi {
         sorted[lo]
     } else {

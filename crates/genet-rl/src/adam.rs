@@ -66,6 +66,10 @@ impl Adam {
     pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), self.m.len(), "param length mismatch");
         assert_eq!(grads.len(), self.m.len(), "grad length mismatch");
+        debug_assert!(
+            grads.iter().all(|g| g.is_finite()),
+            "non-finite gradient handed to Adam"
+        );
         let scale = match self.max_grad_norm {
             Some(max) => {
                 let norm = grads

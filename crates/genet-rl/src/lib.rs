@@ -21,6 +21,8 @@
 //! * [`ppo`] — the PPO-clip trainer and the [`ppo::PpoPolicy`] evaluation
 //!   wrappers implementing `genet_env::Policy`.
 
+#![forbid(unsafe_code)]
+
 pub mod adam;
 pub mod buffer;
 pub mod mlp;

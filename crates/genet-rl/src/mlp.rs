@@ -84,6 +84,7 @@ impl Mlp {
 
     /// Output dimensionality.
     pub fn output_dim(&self) -> usize {
+        // genet-lint: allow(panic-in-library) sizes is non-empty by construction (asserted in the constructor)
         *self.sizes.last().unwrap()
     }
 
@@ -139,6 +140,7 @@ impl Mlp {
                 }
             }
         }
+        // genet-lint: allow(panic-in-library) scratch always holds one activation buffer per layer
         scratch.acts.last().unwrap()
     }
 

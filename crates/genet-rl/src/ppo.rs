@@ -246,6 +246,14 @@ impl PpoAgent {
                     mb_entropy += softmax::entropy(&probs);
                     mb_kl += t.log_prob - logp;
                 }
+                debug_assert!(
+                    mb_policy_loss.is_finite() && mb_value_loss.is_finite(),
+                    "non-finite PPO loss: policy {mb_policy_loss} value {mb_value_loss}"
+                );
+                debug_assert!(
+                    grads_a.iter().chain(grads_c.iter()).all(|g| g.is_finite()),
+                    "non-finite gradient in PPO update"
+                );
                 self.opt_actor.step(self.actor.params_mut(), &grads_a);
                 self.opt_critic.step(self.critic.params_mut(), &grads_c);
 

@@ -25,6 +25,8 @@
 //! attached produces bit-identical rewards and promotions to a run without
 //! (enforced by `genet-core`'s `telemetry_transparency` integration test).
 
+#![forbid(unsafe_code)]
+
 pub mod collector;
 pub mod event;
 pub mod json;

@@ -21,6 +21,8 @@
 //! [`io`] gives traces a trivial text serialization so experiments can dump
 //! and reload them.
 
+#![forbid(unsafe_code)]
+
 pub mod corpus;
 pub mod index;
 pub mod io;

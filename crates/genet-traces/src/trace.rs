@@ -84,10 +84,7 @@ impl BandwidthTrace {
             0.0
         };
         // Binary search for the segment containing t.
-        match self
-            .timestamps
-            .binary_search_by(|ts| ts.partial_cmp(&t).expect("finite timestamps"))
-        {
+        match self.timestamps.binary_search_by(|ts| ts.total_cmp(&t)) {
             Ok(i) => self.bandwidth_mbps[i],
             Err(0) => self.bandwidth_mbps[0],
             Err(i) => self.bandwidth_mbps[i - 1],

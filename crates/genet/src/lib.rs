@@ -20,6 +20,8 @@
 //! println!("rl {:.3} vs mpc {:.3}", genet::math::mean(&rl), genet::math::mean(&mpc));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use genet_abr as abr;
 pub use genet_bo as bo;
 pub use genet_cc as cc;

@@ -1,0 +1,22 @@
+//! The whole workspace must lint clean: `cargo test` fails the moment a
+//! determinism or numeric-safety violation lands without an annotated
+//! justification. This is the test-suite twin of
+//! `cargo run -p genet-lint --release -- --workspace` (and the CI lint job).
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = genet_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/genet");
+    let diagnostics = genet_lint::lint_workspace(&root).expect("lint run succeeds");
+    assert!(
+        diagnostics.is_empty(),
+        "genet-lint found {} violation(s):\n{}",
+        diagnostics.len(),
+        diagnostics
+            .iter()
+            .map(|d| format!("  {d}\n"))
+            .collect::<String>()
+    );
+}

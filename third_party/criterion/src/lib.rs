@@ -1,0 +1,164 @@
+//! In-tree micro-benchmark shim covering the subset of the Criterion API
+//! that the Genet benches use: `Criterion::bench_function`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros. Reports min/mean
+//! per-iteration wall time to stdout — no statistics engine, no plots.
+//!
+//! This is the one deliberate wall-clock user outside `genet-telemetry`:
+//! benchmarks measure time; they never feed experiment results.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver. Each `bench_function` runs a short calibration pass,
+/// then measures a fixed batch of iterations.
+pub struct Criterion {
+    /// Target wall-time per measured batch.
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Calibration: grow the iteration count until one batch fills the
+        // warm-up window.
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= self.warm_up_time || b.iters >= 1 << 20 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (self.warm_up_time.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            b.iters = (b.iters * grow).min(1 << 20);
+        }
+
+        // Measurement: repeat batches until the measurement window is spent.
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut batches = 0u32;
+        let start = Instant::now();
+        while start.elapsed() < self.measurement_time || batches < 3 {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            let per_iter = b.elapsed / b.iters.max(1) as u32;
+            best = best.min(per_iter);
+            total += per_iter;
+            batches += 1;
+            if batches >= 1000 {
+                break;
+            }
+        }
+        let mean = total / batches.max(1);
+        println!(
+            "{id:<40} min {:>12} mean {:>12} ({} iters/batch, {batches} batches)",
+            format_ns(best),
+            format_ns(mean),
+            b.iters,
+        );
+        self
+    }
+}
+
+fn format_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Timing handle passed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `routine`, keeping the result alive so
+    /// the optimiser cannot discard the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+/// Re-export for parity with `criterion::black_box` users.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,87 @@
+//! In-tree shim of the `crossbeam::scope` API used by the Genet workspace,
+//! implemented on top of `std::thread::scope` (stable since 1.63). Keeps the
+//! tree building with zero registry dependencies.
+//!
+//! Matches crossbeam 0.8 semantics where it matters to callers:
+//! `scope(|s| ...)` returns `Err` (instead of unwinding) when a spawned
+//! thread panicked, and spawn closures receive a `&Scope` they can use to
+//! spawn further work.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope: `Err` carries the payload of the first detected
+    /// panic from a spawned thread.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Wrapper over [`std::thread::Scope`] mirroring crossbeam's `Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope, so it
+        /// can spawn nested work, exactly like crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the caller.
+    /// All spawned threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let mut data = vec![0u64; 64];
+        super::scope(|s| {
+            for (i, chunk) in data.chunks_mut(16).enumerate() {
+                s.spawn(move |_| {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = (i * 16 + j) as u64;
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(data, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn scope_reports_panics_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let r = super::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().map(|v| v * 2).unwrap())
+                .join()
+                .unwrap()
+        })
+        .expect("no panics");
+        assert_eq!(r, 42);
+    }
+}

@@ -185,11 +185,24 @@ pub fn test_env_count(full: bool) -> usize {
     }
 }
 
+/// Version stamp baked into every model-cache filename. Bump it whenever a
+/// change alters the sampled training stream (and therefore the weights a
+/// tag would train to), so stale cached policies are ignored rather than
+/// silently reused. v2: the parallel rollout engine's per-episode seed
+/// derivation replaced the serial shared-RNG rollout stream.
+pub const MODEL_CACHE_VERSION: u32 = 2;
+
 /// Where cached models live.
 pub fn model_dir() -> PathBuf {
     let dir = bench_out_dir().join("models");
     let _ = std::fs::create_dir_all(&dir);
     dir
+}
+
+/// Cache file for a training-recipe tag, stamped with
+/// [`MODEL_CACHE_VERSION`].
+pub fn model_cache_path(tag: &str) -> PathBuf {
+    model_dir().join(format!("{tag}.v{MODEL_CACHE_VERSION}.model"))
 }
 
 /// Loads a cached agent or trains it with `train` and caches the result.
@@ -204,7 +217,7 @@ where
     F: FnOnce() -> PpoAgent,
 {
     let collector = args.collector();
-    let path = model_dir().join(format!("{tag}.model"));
+    let path = model_cache_path(tag);
     let use_cache = !args.fresh && !collector.enabled();
     if use_cache && path.exists() {
         let mut agent = make_agent(scenario, 0);

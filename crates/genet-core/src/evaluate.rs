@@ -9,14 +9,83 @@
 use genet_env::{EnvConfig, Policy, Scenario};
 use genet_math::derive_seed;
 use genet_telemetry::{counters, Collector, Event};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 // genet-lint: allow(wall-clock-in-result-path) Instant here feeds telemetry busy-time spans only; results never read it
 use std::time::Instant;
+
+/// Upper bound on any configured worker count (a sanity rail for
+/// `GENET_THREADS`, far above real hardware).
+const MAX_THREADS: usize = 1024;
+
+/// Programmatic worker-count override (0 = unset). Used by tests and
+/// benchmarks that sweep thread counts in-process; see
+/// [`override_worker_threads`].
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `GENET_THREADS`, parsed and validated once per process. Invalid values
+/// (non-integer, 0, or > [`MAX_THREADS`]) warn once on stderr and fall back
+/// to the hardware default.
+fn genet_threads_env() -> Option<usize> {
+    static PARSED: OnceLock<Option<usize>> = OnceLock::new();
+    *PARSED.get_or_init(|| match std::env::var("GENET_THREADS") {
+        Err(_) => None,
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(t) if (1..=MAX_THREADS).contains(&t) => Some(t),
+            _ => {
+                eprintln!(
+                    "warning: ignoring invalid GENET_THREADS={raw:?} \
+                     (expected an integer in 1..={MAX_THREADS})"
+                );
+                None
+            }
+        },
+    })
+}
+
+/// Caps or forces the worker count of every subsequent parallel batch
+/// (evaluation and rollout), taking precedence over `GENET_THREADS` and the
+/// hardware default; `None` restores the environment/hardware behaviour.
+///
+/// This is a test/bench hook for sweeping thread counts inside one process.
+/// Worker counts never influence results (each work item derives its state
+/// from its index alone), so flipping this concurrently with running
+/// batches is observable only in telemetry.
+pub fn override_worker_threads(threads: Option<usize>) {
+    let v = threads.map_or(0, |t| t.clamp(1, MAX_THREADS));
+    THREAD_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+/// Worker threads a batch of `n` items fans out over: the programmatic
+/// override if set, else validated `GENET_THREADS`, else
+/// `available_parallelism`; never more than `n`.
+pub fn worker_count(n: usize) -> usize {
+    let cap = match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => genet_threads_env().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        }),
+        t => t,
+    };
+    cap.min(n).max(1)
+}
+
+/// Worker accounting of one parallel batch, for telemetry events
+/// ([`Event::EvalBatch`] / [`Event::RolloutBatch`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchProfile {
+    /// Worker threads the batch actually used.
+    pub workers: usize,
+    /// Summed per-worker busy time (0 unless timing was requested).
+    pub busy_nanos: u64,
+}
 
 /// Parallel deterministic map: applies `f` to each item index, preserving
 /// order. `f` must be `Sync` (it is called from many threads).
 pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
 where
-    T: Send + Default + Clone,
+    T: Send,
     F: Fn(usize) -> T + Sync,
 {
     par_map_with(n, f, genet_telemetry::noop(), "eval")
@@ -30,53 +99,80 @@ where
 /// event itself — are deterministic even though the workers race.
 pub fn par_map_with<T, F>(n: usize, f: F, collector: &dyn Collector, label: &str) -> Vec<T>
 where
-    T: Send + Default + Clone,
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let enabled = collector.enabled();
+    let (results, profile) = par_map_profiled(n, f, enabled);
+    if enabled && n > 0 {
+        record_eval_batch(collector, label, n, profile.workers, profile.busy_nanos);
+    }
+    results
+}
+
+/// The engine under [`par_map`]/[`par_map_with`] and the training rollout
+/// fan-out: maps `f` over `0..n` across [`worker_count`] threads and
+/// returns the results in input order plus a [`BatchProfile`]. Busy-time is
+/// only measured when `timed` (collectors read no clock when disabled).
+///
+/// Determinism: item `i`'s result depends only on `i` (`f` is `Sync` and
+/// receives nothing else), each worker writes disjoint `Option<T>` slots
+/// chosen by index, and slots are unwrapped in index order after the scope
+/// joins — so neither the worker count nor OS scheduling can reorder or
+/// alter the output.
+pub fn par_map_profiled<T, F>(n: usize, f: F, timed: bool) -> (Vec<T>, BatchProfile)
+where
+    T: Send,
     F: Fn(usize) -> T + Sync,
 {
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), BatchProfile::default());
     }
-    let enabled = collector.enabled();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    let mut results = vec![T::default(); n];
-    if threads <= 1 {
+    let threads = worker_count(n);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let profile = if threads <= 1 {
         // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
-        let t0 = enabled.then(Instant::now);
-        for (i, slot) in results.iter_mut().enumerate() {
-            *slot = f(i);
+        let t0 = timed.then(Instant::now);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(i));
         }
-        if let Some(t0) = t0 {
-            record_eval_batch(collector, label, n, 1, t0.elapsed().as_nanos() as u64);
+        BatchProfile {
+            workers: 1,
+            busy_nanos: t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64),
         }
-        return results;
-    }
-    let chunk = n.div_ceil(threads);
-    let workers = n.div_ceil(chunk);
-    let mut busy = vec![0u64; workers];
-    crossbeam::scope(|s| {
-        for ((ti, slice), busy_slot) in results.chunks_mut(chunk).enumerate().zip(busy.iter_mut()) {
-            let f = &f;
-            s.spawn(move |_| {
-                // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
-                let t0 = enabled.then(Instant::now);
-                for (j, slot) in slice.iter_mut().enumerate() {
-                    *slot = f(ti * chunk + j);
-                }
-                if let Some(t0) = t0 {
-                    *busy_slot = t0.elapsed().as_nanos() as u64;
-                }
-            });
+    } else {
+        let chunk = n.div_ceil(threads);
+        let workers = n.div_ceil(chunk);
+        let mut busy = vec![0u64; workers];
+        crossbeam::scope(|s| {
+            for ((ti, slice), busy_slot) in slots.chunks_mut(chunk).enumerate().zip(busy.iter_mut())
+            {
+                let f = &f;
+                s.spawn(move |_| {
+                    // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
+                    let t0 = timed.then(Instant::now);
+                    for (j, slot) in slice.iter_mut().enumerate() {
+                        *slot = Some(f(ti * chunk + j));
+                    }
+                    if let Some(t0) = t0 {
+                        *busy_slot = t0.elapsed().as_nanos() as u64;
+                    }
+                });
+            }
+        })
+        // genet-lint: allow(panic-in-library) re-raises a child-thread panic on the caller; not a new failure mode
+        .expect("evaluation thread panicked");
+        BatchProfile {
+            workers,
+            busy_nanos: busy.iter().sum(),
         }
-    })
-    // genet-lint: allow(panic-in-library) re-raises a child-thread panic on the caller; not a new failure mode
-    .expect("evaluation thread panicked");
-    if enabled {
-        record_eval_batch(collector, label, n, workers, busy.iter().sum());
-    }
-    results
+    };
+    let results = slots
+        .into_iter()
+        // genet-lint: allow(panic-in-library) every index in 0..n is written exactly once by the loops above
+        .map(|slot| slot.expect("par_map worker left a slot unfilled"))
+        .collect();
+    (results, profile)
 }
 
 fn record_eval_batch(
@@ -193,6 +289,40 @@ mod tests {
     fn par_map_empty() {
         let out: Vec<usize> = par_map(0, |i| i);
         assert!(out.is_empty());
+    }
+
+    /// A result type with no `Default`/`Clone` — the relaxed `T: Send`
+    /// bound must accept it.
+    struct NoDefault(usize);
+
+    #[test]
+    fn par_map_accepts_non_default_non_clone_types() {
+        let out = par_map(100, NoDefault);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.0, i);
+        }
+    }
+
+    #[test]
+    fn par_map_profiled_reports_workers() {
+        let (out, profile) = par_map_profiled(64, |i| i + 1, false);
+        assert_eq!(out.len(), 64);
+        assert!(profile.workers >= 1 && profile.workers <= 64);
+        // Untimed batches read no clock.
+        assert_eq!(profile.busy_nanos, 0);
+        let (empty, profile) = par_map_profiled(0, |i| i, true);
+        assert!(empty.is_empty());
+        assert_eq!(profile.workers, 0);
+    }
+
+    #[test]
+    fn worker_count_is_bounded() {
+        // Whatever the environment/hardware dictate, the count stays within
+        // [1, n].
+        for n in [1usize, 2, 7, 1000] {
+            let w = worker_count(n);
+            assert!(w >= 1 && w <= n, "worker_count({n}) = {w}");
+        }
     }
 
     #[test]

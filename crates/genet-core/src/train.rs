@@ -7,8 +7,9 @@
 //! (the RL1/RL2/RL3 baselines) and becomes curriculum training when the
 //! distribution is a `CurriculumDist` that Genet keeps re-weighting.
 
+use crate::evaluate::par_map_profiled;
 use genet_env::{CurriculumDist, EnvConfig, ParamSpace, Scenario};
-use genet_math::derive_seed;
+use genet_math::{derive_seed, derive_seed3};
 use genet_rl::{PpoAgent, RolloutBuffer, UpdateStats};
 use genet_telemetry::{counters, Collector, Event};
 use rand::rngs::StdRng;
@@ -181,13 +182,36 @@ pub fn train_rl(
     )
 }
 
+/// Stream label separating the rollout engine's seed tree from the
+/// iteration RNG stream (`0x7124`).
+const ROLLOUT_STREAM: u64 = 0x9011;
+/// Episode-local stream label for environment instantiation.
+const EP_ENV_STREAM: u64 = 0xE17;
+/// Episode-local stream label for action sampling.
+const EP_ACTION_STREAM: u64 = 0xAC7;
+
 /// [`train_rl`] with an attached telemetry collector.
 ///
-/// Emits one [`Event::TrainIter`] per iteration (reward plus the full PPO
-/// `UpdateStats`), wall-clock spans `{scope}/rollout` and
+/// Emits one [`Event::TrainIter`] and one [`Event::RolloutBatch`] per
+/// iteration (reward plus the full PPO `UpdateStats`; rollout worker count
+/// and summed busy time), wall-clock spans `{scope}/rollout` and
 /// `{scope}/ppo-update`, and the episode/env-step/gradient-update counters.
 /// `scope` names the phase in span paths and events (`train/initial`,
 /// `train/sequencing/round-3`, …).
+///
+/// # Parallel rollout engine
+///
+/// Each iteration pre-samples its `K` configurations from the iteration RNG,
+/// then collects the `K × N` episodes as an embarrassingly parallel,
+/// order-independent map (fanned out via [`par_map_profiled`], worker count
+/// from [`crate::evaluate::worker_count`]): episode `e` of iteration `i`
+/// derives its own seed `derive_seed3(rollout_seed, i, e)` from which its
+/// environment seed and its private action-sampling RNG are split, and the
+/// finished [`genet_rl::EpisodeBuffer`]s are concatenated in episode-index
+/// order before the PPO update. No RNG is shared across episodes, so the
+/// concatenated batch — and therefore the updated weights — are
+/// bit-identical for any thread count or scheduling order (see
+/// `tests/thread_invariance.rs` and DESIGN.md §10).
 ///
 /// Telemetry is strictly observational: the collector is never consulted
 /// for control flow and no timing feeds any seeded path, so results are
@@ -204,27 +228,40 @@ pub fn train_rl_with(
     scope: &str,
 ) -> TrainLog {
     let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x7124));
+    let rollout_seed = derive_seed(seed, ROLLOUT_STREAM);
     let mut buffer = RolloutBuffer::new();
     let mut log = TrainLog::default();
-    let mut env_counter: u64 = derive_seed(seed, 0xE17);
     let scale = scenario.reward_scale().max(1e-9);
+    let inv_scale = 1.0 / scale;
+    let episodes = cfg.configs_per_iter * cfg.envs_per_config;
     for iter in 0..iterations {
-        let mut iter_reward = 0.0;
-        let mut episodes = 0usize;
-        {
+        // Pre-sample all K configurations for the iteration from the
+        // iteration RNG; episode workers then need no shared mutable state.
+        let configs: Vec<EnvConfig> = (0..cfg.configs_per_iter)
+            .map(|_| source.sample_config(&mut rng))
+            .collect();
+        let (batch, profile) = {
             let _rollout = collector.span(format!("{scope}/rollout"));
-            for _k in 0..cfg.configs_per_iter {
-                let config = source.sample_config(&mut rng);
-                for _n in 0..cfg.envs_per_config {
-                    env_counter = env_counter.wrapping_add(1);
+            let policy = agent.frozen();
+            par_map_profiled(
+                episodes,
+                |e| {
+                    let config = &configs[e / cfg.envs_per_config];
+                    let ep_seed = derive_seed3(rollout_seed, iter as u64, e as u64);
                     let mut env = ScaledEnv {
-                        inner: scenario.make_env(&config, env_counter),
-                        inv_scale: 1.0 / scale,
+                        inner: scenario.make_env(config, derive_seed(ep_seed, EP_ENV_STREAM)),
+                        inv_scale,
                     };
-                    iter_reward += scale * agent.collect_episode(&mut env, &mut buffer, &mut rng);
-                    episodes += 1;
-                }
-            }
+                    let mut ep_rng = StdRng::seed_from_u64(derive_seed(ep_seed, EP_ACTION_STREAM));
+                    policy.rollout_episode(&mut env, &mut ep_rng)
+                },
+                collector.enabled(),
+            )
+        };
+        let mut iter_reward = 0.0;
+        for episode in batch {
+            iter_reward += scale * episode.mean_step_reward();
+            buffer.absorb(episode);
         }
         let env_steps = buffer.len();
         let stats = {
@@ -236,6 +273,13 @@ pub fn train_rl_with(
             collector.counter_add(counters::EPISODES, episodes as u64);
             collector.counter_add(counters::ENV_STEPS, env_steps as u64);
             collector.counter_add(counters::GRAD_UPDATES, 1);
+            collector.record(&Event::RolloutBatch {
+                scope: scope.to_string(),
+                iter: iter as u64,
+                episodes: episodes as u64,
+                workers: profile.workers as u64,
+                busy_nanos: profile.busy_nanos,
+            });
             collector.record(&Event::TrainIter {
                 scope: scope.to_string(),
                 iter: iter as u64,
@@ -338,6 +382,82 @@ mod tests {
             .count();
         let frac = hits as f64 / n as f64;
         assert!((frac - 0.3).abs() < 0.02, "{frac}");
+    }
+
+    #[test]
+    fn mean_stats_empty_window_is_nan() {
+        let log = TrainLog::default();
+        let s = log.mean_stats(0, 0);
+        assert!(s.policy_loss.is_nan());
+        assert!(s.value_loss.is_nan());
+        assert!(s.entropy.is_nan());
+        assert!(s.approx_kl.is_nan());
+    }
+
+    #[test]
+    fn mean_stats_from_at_or_past_to_is_nan() {
+        let mut log = TrainLog::default();
+        for i in 0..4 {
+            log.iter_rewards.push(i as f64);
+            log.update_stats.push(UpdateStats {
+                policy_loss: i as f32,
+                value_loss: 2.0 * i as f32,
+                entropy: 1.0,
+                approx_kl: 0.0,
+            });
+        }
+        assert!(log.mean_stats(2, 2).policy_loss.is_nan());
+        assert!(log.mean_stats(3, 1).policy_loss.is_nan());
+        // `from` past the end entirely.
+        assert!(log.mean_stats(9, 12).policy_loss.is_nan());
+    }
+
+    #[test]
+    fn mean_stats_clamps_out_of_range_to() {
+        let mut log = TrainLog::default();
+        for i in 0..3 {
+            log.update_stats.push(UpdateStats {
+                policy_loss: i as f32,
+                value_loss: 0.0,
+                entropy: 0.0,
+                approx_kl: 0.0,
+            });
+        }
+        // to = 100 clamps to len = 3: mean of {0, 1, 2}.
+        let s = log.mean_stats(0, 100);
+        assert!((s.policy_loss - 1.0).abs() < 1e-6, "{}", s.policy_loss);
+        // Window [2, 100) clamps to the single final element.
+        let tail = log.mean_stats(2, 100);
+        assert!((tail.policy_loss - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_set_source_is_deterministic_under_fixed_seed() {
+        let s = LbScenario;
+        let configs = crate::evaluate::test_configs(&s.full_space(), 5, 11);
+        let src = FixedSetSource(configs);
+        let draw = |seed: u64| -> Vec<EnvConfig> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..40).map(|_| src.sample_config(&mut rng)).collect()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4), "distinct seeds should permute draws");
+    }
+
+    #[test]
+    fn mixture_source_is_deterministic_under_fixed_seed() {
+        let s = LbScenario;
+        let src = MixtureSource {
+            a: FixedSetSource(vec![s.full_space().midpoint()]),
+            b: UniformSource(s.full_space()),
+            p_a: 0.4,
+        };
+        let draw = |seed: u64| -> Vec<EnvConfig> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..40).map(|_| src.sample_config(&mut rng)).collect()
+        };
+        assert_eq!(draw(8), draw(8));
+        assert_ne!(draw(8), draw(9));
     }
 
     #[test]

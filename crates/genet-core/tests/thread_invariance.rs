@@ -1,0 +1,83 @@
+//! The parallel rollout engine's core guarantee: the worker count is a pure
+//! performance knob. Trained weights and the full `TrainLog` must be
+//! bit-identical whether episodes are collected serially (1 worker), across
+//! 2 workers, or with the hardware-default fan-out — because every episode
+//! derives its RNG stream from `(seed, iteration, episode index)` alone and
+//! episode buffers concatenate in episode-index order.
+//!
+//! Both scenarios run inside a single `#[test]` so the global
+//! `override_worker_threads` hook is never mutated by two tests at once.
+
+use genet_cc::CcScenario;
+use genet_core::evaluate::override_worker_threads;
+use genet_core::train::{make_agent, train_rl, TrainConfig, UniformSource};
+use genet_env::{RangeLevel, Scenario};
+use genet_lb::LbScenario;
+
+/// Bit-exact fingerprint of a trained agent + its log.
+#[derive(PartialEq, Debug)]
+struct RunFingerprint {
+    actor_bits: Vec<u32>,
+    critic_bits: Vec<u32>,
+    reward_bits: Vec<u64>,
+    stat_bits: Vec<[u32; 4]>,
+}
+
+fn train_fingerprint(scenario: &dyn Scenario, threads: Option<usize>) -> RunFingerprint {
+    override_worker_threads(threads);
+    let mut agent = make_agent(scenario, 7);
+    let src = UniformSource(scenario.space(RangeLevel::Rl1));
+    let cfg = TrainConfig {
+        configs_per_iter: 4,
+        envs_per_config: 2,
+    };
+    let log = train_rl(&mut agent, scenario, &src, cfg, 3, 7);
+    override_worker_threads(None);
+    RunFingerprint {
+        actor_bits: agent.actor_params().iter().map(|p| p.to_bits()).collect(),
+        critic_bits: agent.critic_params().iter().map(|p| p.to_bits()).collect(),
+        reward_bits: log.iter_rewards.iter().map(|r| r.to_bits()).collect(),
+        stat_bits: log
+            .update_stats
+            .iter()
+            .map(|s| {
+                [
+                    s.policy_loss.to_bits(),
+                    s.value_loss.to_bits(),
+                    s.entropy.to_bits(),
+                    s.approx_kl.to_bits(),
+                ]
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn trained_weights_and_log_are_thread_count_invariant() {
+    // LB plus CC — two different simulators, reward scales and episode
+    // lengths, per the acceptance bar (LB + one of ABR/CC). Scenarios run
+    // sequentially in one test because the worker-count override is global.
+    let scenarios: [&dyn Scenario; 2] = [&LbScenario, &CcScenario::new()];
+    for scenario in scenarios {
+        let serial = train_fingerprint(scenario, Some(1));
+        let two = train_fingerprint(scenario, Some(2));
+        let default = train_fingerprint(scenario, None);
+        assert!(
+            !serial.actor_bits.is_empty() && !serial.reward_bits.is_empty(),
+            "{}: degenerate fingerprint",
+            scenario.name()
+        );
+        assert_eq!(
+            serial,
+            two,
+            "{}: 1 vs 2 workers diverged — rollout depends on thread count",
+            scenario.name()
+        );
+        assert_eq!(
+            serial,
+            default,
+            "{}: 1 worker vs hardware default diverged",
+            scenario.name()
+        );
+    }
+}

@@ -28,7 +28,7 @@ pub mod stats;
 
 pub use cholesky::Cholesky;
 pub use matrix::Matrix;
-pub use rng::{derive_seed, split_seed};
+pub use rng::{derive_seed, derive_seed3, split_seed};
 pub use samplers::{
     clamp, poisson_interarrival, sample_exponential, sample_gaussian, sample_pareto,
     sample_standard_gaussian,

@@ -21,6 +21,62 @@ pub struct Transition {
     pub done: bool,
 }
 
+/// One episode's transitions, collected independently of every other
+/// episode — the unit of work of the parallel rollout engine.
+///
+/// Workers fill `EpisodeBuffer`s concurrently (each with its own
+/// episode-local RNG) and the trainer concatenates them into the shared
+/// [`RolloutBuffer`] in episode-index order via [`RolloutBuffer::absorb`],
+/// so the flattened batch is independent of thread count and scheduling.
+#[derive(Debug, Default)]
+pub struct EpisodeBuffer {
+    transitions: Vec<Transition>,
+    total_reward: f64,
+}
+
+impl EpisodeBuffer {
+    /// Creates an empty episode buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one transition; the episode's last push must have
+    /// `done == true`.
+    pub fn push(&mut self, t: Transition) {
+        self.total_reward += t.reward as f64;
+        self.transitions.push(t);
+    }
+
+    /// Number of steps recorded so far.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// True before the first push.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Recorded transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Sum of rewards over the episode (in the env's reward units).
+    pub fn total_reward(&self) -> f64 {
+        self.total_reward
+    }
+
+    /// Mean per-step reward; 0 for an empty buffer.
+    pub fn mean_step_reward(&self) -> f64 {
+        if self.transitions.is_empty() {
+            0.0
+        } else {
+            self.total_reward / self.transitions.len() as f64
+        }
+    }
+}
+
 /// Accumulates transitions and derives GAE advantages + returns.
 #[derive(Debug, Default)]
 pub struct RolloutBuffer {
@@ -41,6 +97,13 @@ impl RolloutBuffer {
     /// must end with `done == true` before [`RolloutBuffer::finish`].
     pub fn push(&mut self, t: Transition) {
         self.transitions.push(t);
+    }
+
+    /// Appends a complete episode collected independently (the parallel
+    /// rollout path). Callers must absorb episodes in episode-index order
+    /// for the flattened batch to be deterministic.
+    pub fn absorb(&mut self, episode: EpisodeBuffer) {
+        self.transitions.extend(episode.transitions);
     }
 
     /// Number of stored transitions.
@@ -105,7 +168,13 @@ impl RolloutBuffer {
             self.returns[i] = gae + t.value;
             next_value = t.value;
         }
-        // Normalize advantages.
+        // Normalize advantages. A single-transition batch has zero sample
+        // variance; dividing by the clamped near-zero std would blow the
+        // lone advantage up to ±1e6-scale, so normalization is skipped when
+        // there are fewer than two samples.
+        if n < 2 {
+            return;
+        }
         let mean = self.advantages.iter().sum::<f32>() / n as f32;
         let var = self
             .advantages
@@ -184,6 +253,52 @@ mod tests {
         let mut buf = RolloutBuffer::new();
         buf.push(tr(1.0, 0.0, false));
         buf.finish(0.9, 0.9);
+    }
+
+    #[test]
+    fn single_transition_finish_skips_normalization() {
+        // Regression: a one-step buffer has zero sample variance; the old
+        // code divided by the clamped std (1e-6), inflating the advantage
+        // by ~10^6. It must survive unnormalized instead.
+        let mut buf = RolloutBuffer::new();
+        buf.push(tr(2.0, 0.5, true));
+        buf.finish(0.9, 0.95);
+        let adv = buf.advantages()[0];
+        // GAE on a terminal step: delta = reward - value = 1.5.
+        assert!((adv - 1.5).abs() < 1e-6, "advantage was rescaled: {adv}");
+        assert!((buf.returns()[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn absorb_concatenates_in_call_order() {
+        let mut ep_a = EpisodeBuffer::new();
+        ep_a.push(tr(1.0, 0.0, false));
+        ep_a.push(tr(2.0, 0.0, true));
+        let mut ep_b = EpisodeBuffer::new();
+        ep_b.push(tr(3.0, 0.0, true));
+        assert_eq!(ep_a.len(), 2);
+        assert!((ep_a.total_reward() - 3.0).abs() < 1e-9);
+        assert!((ep_a.mean_step_reward() - 1.5).abs() < 1e-9);
+
+        let mut direct = RolloutBuffer::new();
+        for t in ep_a.transitions().iter().chain(ep_b.transitions()) {
+            direct.push(t.clone());
+        }
+        let mut absorbed = RolloutBuffer::new();
+        absorbed.absorb(ep_a);
+        absorbed.absorb(ep_b);
+        assert_eq!(absorbed.len(), direct.len());
+        direct.finish(0.9, 0.95);
+        absorbed.finish(0.9, 0.95);
+        assert_eq!(direct.advantages(), absorbed.advantages());
+        assert_eq!(direct.returns(), absorbed.returns());
+    }
+
+    #[test]
+    fn empty_episode_buffer_mean_is_zero() {
+        let ep = EpisodeBuffer::new();
+        assert!(ep.is_empty());
+        assert_eq!(ep.mean_step_reward(), 0.0);
     }
 
     #[test]

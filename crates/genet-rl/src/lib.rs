@@ -30,6 +30,6 @@ pub mod ppo;
 pub mod softmax;
 
 pub use adam::Adam;
-pub use buffer::{RolloutBuffer, Transition};
+pub use buffer::{EpisodeBuffer, RolloutBuffer, Transition};
 pub use mlp::Mlp;
-pub use ppo::{train_on, PolicyMode, PpoAgent, PpoConfig, PpoPolicy, UpdateStats};
+pub use ppo::{train_on, FrozenPolicy, PolicyMode, PpoAgent, PpoConfig, PpoPolicy, UpdateStats};

@@ -7,7 +7,7 @@
 //! the `Train`/`Test` API.
 
 use crate::adam::Adam;
-use crate::buffer::{RolloutBuffer, Transition};
+use crate::buffer::{EpisodeBuffer, RolloutBuffer, Transition};
 use crate::mlp::{Mlp, MlpScratch};
 use crate::softmax;
 use genet_env::{Env, Policy};
@@ -144,6 +144,16 @@ impl PpoAgent {
         softmax::argmax(logits)
     }
 
+    /// A `Sync` read-only snapshot of the behaviour policy (actor + critic
+    /// by reference) that rollout workers can drive without `&mut` access
+    /// to the agent — the handle the parallel rollout engine fans out.
+    pub fn frozen(&self) -> FrozenPolicy<'_> {
+        FrozenPolicy {
+            actor: &self.actor,
+            critic: &self.critic,
+        }
+    }
+
     /// Runs one full episode on `env`, pushing transitions into `buffer`.
     /// Returns the mean per-step reward of the episode.
     pub fn collect_episode(
@@ -152,32 +162,20 @@ impl PpoAgent {
         buffer: &mut RolloutBuffer,
         rng: &mut StdRng,
     ) -> f64 {
-        let mut obs = vec![0.0f32; env.obs_dim()];
-        let mut total = 0.0f64;
-        let mut steps = 0usize;
-        loop {
-            env.observe(&mut obs);
-            let (action, log_prob, value) = self.act_sample(&obs, rng);
-            let out = env.step(action);
-            total += out.reward;
-            steps += 1;
-            buffer.push(Transition {
-                obs: obs.clone(),
-                action,
-                log_prob,
-                value,
-                reward: out.reward as f32,
-                done: out.done,
-            });
-            if out.done {
-                break;
-            }
-            assert!(
-                steps < genet_env::MAX_EPISODE_STEPS,
-                "environment did not terminate"
-            );
-        }
-        total / steps as f64
+        let episode = self.frozen().rollout_episode(env, rng);
+        let mean = episode.mean_step_reward();
+        buffer.absorb(episode);
+        mean
+    }
+
+    /// Flat actor parameters (weight-identity checks in tests).
+    pub fn actor_params(&self) -> &[f32] {
+        self.actor.params()
+    }
+
+    /// Flat critic parameters (weight-identity checks in tests).
+    pub fn critic_params(&self) -> &[f32] {
+        self.critic.params()
     }
 
     /// One PPO update over the buffer's contents. The buffer must contain
@@ -342,6 +340,69 @@ impl PpoAgent {
             }
         }
         Ok(())
+    }
+}
+
+/// A `Sync`, read-only behaviour-policy snapshot borrowed from a
+/// [`PpoAgent`] — actor and critic by shared reference, no optimizer state,
+/// no scratch. Rollout workers each call [`FrozenPolicy::rollout_episode`]
+/// with an episode-local RNG, so `K × N` episodes of one training iteration
+/// can be collected concurrently and in any order while the agent itself
+/// stays untouched until the PPO update.
+#[derive(Debug, Clone, Copy)]
+pub struct FrozenPolicy<'a> {
+    actor: &'a Mlp,
+    critic: &'a Mlp,
+}
+
+impl FrozenPolicy<'_> {
+    /// Samples an action for `obs`, returning `(action, log_prob, value)`.
+    /// Forward passes run in the caller-provided scratch buffers.
+    pub fn act_sample(
+        &self,
+        obs: &[f32],
+        scratch_a: &mut MlpScratch,
+        scratch_c: &mut MlpScratch,
+        rng: &mut StdRng,
+    ) -> (usize, f32, f32) {
+        let logits = self.actor.forward(obs, scratch_a);
+        let probs = softmax::softmax(logits);
+        let action = softmax::sample_categorical(&probs, rng);
+        let log_prob = softmax::log_prob(&probs, action);
+        let value = self.critic.forward(obs, scratch_c)[0];
+        (action, log_prob, value)
+    }
+
+    /// Runs one full episode on `env` with the episode-local `rng`,
+    /// returning its transitions as an [`EpisodeBuffer`]. Allocates its own
+    /// forward-pass scratch, so concurrent calls never share mutable state.
+    pub fn rollout_episode(&self, env: &mut dyn Env, rng: &mut StdRng) -> EpisodeBuffer {
+        let mut scratch_a = self.actor.scratch();
+        let mut scratch_c = self.critic.scratch();
+        let mut obs = vec![0.0f32; env.obs_dim()];
+        let mut episode = EpisodeBuffer::new();
+        loop {
+            env.observe(&mut obs);
+            let (action, log_prob, value) =
+                self.act_sample(&obs, &mut scratch_a, &mut scratch_c, rng);
+            let out = env.step(action);
+            episode.push(Transition {
+                obs: obs.clone(),
+                action,
+                log_prob,
+                value,
+                reward: out.reward as f32,
+                done: out.done,
+            });
+            if out.done {
+                break;
+            }
+            assert!(
+                episode.len() < genet_env::MAX_EPISODE_STEPS,
+                "environment did not terminate"
+            );
+        }
+        episode
     }
 }
 
@@ -543,6 +604,31 @@ mod tests {
         a.save(&path).unwrap();
         let mut b = PpoAgent::new(5, 4, PpoConfig::default(), 0);
         assert!(b.load(&path).is_err());
+    }
+
+    #[test]
+    fn frozen_policy_is_sync_and_matches_collect_episode() {
+        fn assert_sync<T: Sync + Send>(_: &T) {}
+        let mut agent = PpoAgent::new(2, 2, PpoConfig::default(), 5);
+        let frozen = agent.frozen();
+        assert_sync(&frozen);
+
+        // Same weights, same RNG stream → bit-identical transitions whether
+        // collected through the agent or the frozen snapshot.
+        let mut r1 = StdRng::seed_from_u64(13);
+        let episode = frozen.rollout_episode(&mut Bandit { t: 0 }, &mut r1);
+        let mut buffer = RolloutBuffer::new();
+        let mut r2 = StdRng::seed_from_u64(13);
+        let mean = agent.collect_episode(&mut Bandit { t: 0 }, &mut buffer, &mut r2);
+        assert_eq!(episode.len(), buffer.len());
+        assert!((episode.mean_step_reward() - mean).abs() < 1e-12);
+        for (a, b) in episode.transitions().iter().zip(buffer.transitions()) {
+            assert_eq!(a.action, b.action);
+            assert_eq!(a.log_prob.to_bits(), b.log_prob.to_bits());
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+            assert_eq!(a.reward.to_bits(), b.reward.to_bits());
+            assert_eq!(a.done, b.done);
+        }
     }
 
     #[test]

@@ -56,6 +56,23 @@ pub enum Event {
         /// Its selection-criterion value.
         value: f64,
     },
+    /// One parallel rollout batch: the `K × N` episodes of a single
+    /// training iteration, collected by the parallel rollout engine.
+    /// Mirrors [`Event::EvalBatch`] so eval and rollout fan-out can be
+    /// profiled with the same tooling.
+    RolloutBatch {
+        /// Span-style phase scope, e.g. `train/initial`.
+        scope: String,
+        /// Iteration index within the scope.
+        iter: u64,
+        /// Episodes rolled out in the batch.
+        episodes: u64,
+        /// Worker threads used.
+        workers: u64,
+        /// Sum of per-worker busy time, merged deterministically in worker
+        /// index order.
+        busy_nanos: u64,
+    },
     /// One parallel evaluation batch (`evaluate::par_map`).
     EvalBatch {
         /// Caller-supplied label, e.g. `eval/genet`.
@@ -87,6 +104,7 @@ impl Event {
             Event::TrainIter { .. } => "train_iter",
             Event::BoTrial { .. } => "bo_trial",
             Event::Promotion { .. } => "promotion",
+            Event::RolloutBatch { .. } => "rollout_batch",
             Event::EvalBatch { .. } => "eval_batch",
             Event::CacheHit { .. } => "cache_hit",
             Event::CacheMiss { .. } => "cache_miss",
@@ -148,6 +166,19 @@ impl Event {
                 w.num_array("config", config);
                 w.num("value", *value);
             }
+            Event::RolloutBatch {
+                scope,
+                iter,
+                episodes,
+                workers,
+                busy_nanos,
+            } => {
+                w.str("scope", scope);
+                w.uint("iter", *iter);
+                w.uint("episodes", *episodes);
+                w.uint("workers", *workers);
+                w.uint("busy_nanos", *busy_nanos);
+            }
             Event::EvalBatch {
                 label,
                 n,
@@ -199,6 +230,13 @@ impl Event {
                 round: u("round")?,
                 config: v.get("config")?.as_f64_array()?,
                 value: f("value")?,
+            }),
+            "rollout_batch" => Some(Event::RolloutBatch {
+                scope: s("scope")?,
+                iter: u("iter")?,
+                episodes: u("episodes")?,
+                workers: u("workers")?,
+                busy_nanos: u("busy_nanos")?,
             }),
             "eval_batch" => Some(Event::EvalBatch {
                 label: s("label")?,
@@ -256,6 +294,13 @@ mod tests {
             round: 8,
             config: vec![4.0],
             value: 0.5,
+        });
+        roundtrip(Event::RolloutBatch {
+            scope: "train/initial".into(),
+            iter: 3,
+            episodes: 20,
+            workers: 8,
+            busy_nanos: 9_876_543,
         });
         roundtrip(Event::EvalBatch {
             label: "eval/genet".into(),

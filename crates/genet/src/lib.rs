@@ -40,7 +40,8 @@ pub mod prelude {
     pub use genet_core::curricula::{cl1_train, IntrinsicSchedule};
     pub use genet_core::evaluate::{
         eval_baseline_many, eval_baseline_many_with, eval_oracle_many, eval_oracle_many_with,
-        eval_policy_many, eval_policy_many_with, par_map, par_map_with, test_configs,
+        eval_policy_many, eval_policy_many_with, override_worker_threads, par_map,
+        par_map_profiled, par_map_with, test_configs, worker_count, BatchProfile,
     };
     pub use genet_core::gap::{baseline_badness, gap_to_baseline, gap_to_optimum};
     pub use genet_core::genet::{
@@ -58,7 +59,9 @@ pub mod prelude {
     };
     pub use genet_lb::LbScenario;
     pub use genet_math::{mean, pearson, percentile, std_dev, Summary};
-    pub use genet_rl::{PolicyMode, PpoAgent, PpoConfig, PpoPolicy};
+    pub use genet_rl::{
+        EpisodeBuffer, FrozenPolicy, PolicyMode, PpoAgent, PpoConfig, PpoPolicy, RolloutBuffer,
+    };
     pub use genet_telemetry::{
         noop, Collector, Event, JsonlSink, MemorySink, NoopCollector, StderrSummary, Tee,
     };

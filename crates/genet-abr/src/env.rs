@@ -96,10 +96,11 @@ pub fn run_abr_policy(sim: AbrSim, policy: &dyn genet_env::Policy, seed: u64) ->
     let mut env = AbrEnv::new(sim);
     let mut rng = rand::rngs::StdRng::seed_from_u64(genet_math::derive_seed(seed, 0xAB9));
     let mut obs = vec![0.0f32; env.obs_dim()];
+    let mut scratch = genet_env::PolicyScratch::new();
     let mut outs = Vec::new();
     loop {
         env.observe(&mut obs);
-        let action = policy.act(&obs, &mut rng);
+        let action = policy.act_with(&obs, &mut rng, &mut scratch);
         let out = env.step_detailed(action);
         let finished = out.finished;
         outs.push(out);

@@ -1,7 +1,9 @@
-//! Criterion micro-benchmarks of the hand-rolled RL substrate.
+//! Criterion micro-benchmarks of the hand-rolled RL substrate, including
+//! the scalar-vs-batched MLP kernel comparison that motivates the parallel
+//! PPO update engine (DESIGN.md §11).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use genet::rl::{Mlp, PpoAgent, PpoConfig, RolloutBuffer, Transition};
+use genet::rl::{Mlp, MlpBatchScratch, PpoAgent, PpoConfig, RolloutBuffer, StepMeta};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -26,26 +28,87 @@ fn bench_mlp(c: &mut Criterion) {
     });
 }
 
+/// Scalar per-sample forward/backward vs the batched row-major kernels on
+/// the same 32-sample minibatch shard. The batched variants amortize the
+/// per-call layer walk and keep weights hot across rows.
+fn bench_mlp_batch(c: &mut Criterion) {
+    const BATCH: usize = 32;
+    const DIM: usize = 20;
+    const OUT: usize = 9;
+    let mlp = Mlp::new(&[DIM, 32, 16, OUT], 0);
+    let inputs: Vec<f32> = (0..BATCH * DIM).map(|i| (i % 17) as f32 * 0.05).collect();
+
+    c.bench_function("mlp_forward_scalar_x32", |b| {
+        let mut scratch = mlp.scratch();
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for s in 0..BATCH {
+                let out = mlp.forward(black_box(&inputs[s * DIM..(s + 1) * DIM]), &mut scratch);
+                acc += out[0];
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("mlp_forward_batch_x32", |b| {
+        let mut scratch = MlpBatchScratch::default();
+        b.iter(|| {
+            let out = mlp.forward_batch(black_box(&inputs), BATCH, &mut scratch);
+            black_box(out[0])
+        })
+    });
+
+    let gouts: Vec<f32> = (0..BATCH * OUT)
+        .map(|i| (i % 7) as f32 * 0.01 - 0.02)
+        .collect();
+    c.bench_function("mlp_backward_scalar_x32", |b| {
+        let mut scratch = mlp.scratch();
+        let mut grads = vec![0.0f32; mlp.param_count()];
+        b.iter(|| {
+            grads.iter_mut().for_each(|g| *g = 0.0);
+            for s in 0..BATCH {
+                mlp.forward(black_box(&inputs[s * DIM..(s + 1) * DIM]), &mut scratch);
+                mlp.backward(&gouts[s * OUT..(s + 1) * OUT], &mut scratch, &mut grads);
+            }
+            black_box(grads[0])
+        })
+    });
+    c.bench_function("mlp_backward_batch_x32", |b| {
+        let mut scratch = MlpBatchScratch::default();
+        let mut rows = vec![0.0f32; BATCH * mlp.param_count()];
+        b.iter(|| {
+            mlp.forward_batch(black_box(&inputs), BATCH, &mut scratch);
+            mlp.backward_batch(&gouts, BATCH, &mut scratch, &mut rows);
+            black_box(rows[0])
+        })
+    });
+}
+
+fn fill_buffer(buffer: &mut RolloutBuffer) {
+    for i in 0..1024usize {
+        buffer.push_step(
+            &vec![(i % 17) as f32 * 0.05; 20],
+            StepMeta {
+                action: i % 9,
+                log_prob: -2.2,
+                value: 0.1,
+                reward: ((i % 5) as f32 - 2.0) * 0.3,
+                done: i % 128 == 127,
+            },
+        );
+    }
+}
+
 fn bench_ppo_update(c: &mut Criterion) {
     c.bench_function("ppo_update_1024_transitions", |b| {
         let mut agent = PpoAgent::new(20, 9, PpoConfig::default(), 0);
         let mut rng = StdRng::seed_from_u64(0);
         b.iter(|| {
             let mut buffer = RolloutBuffer::new();
-            for i in 0..1024usize {
-                buffer.push(Transition {
-                    obs: vec![(i % 17) as f32 * 0.05; 20],
-                    action: i % 9,
-                    log_prob: -2.2,
-                    value: 0.1,
-                    reward: ((i % 5) as f32 - 2.0) * 0.3,
-                    done: i % 128 == 127,
-                });
-            }
+            fill_buffer(&mut buffer);
             black_box(agent.update(&mut buffer, &mut rng))
         })
     });
 }
 
-criterion_group!(benches, bench_mlp, bench_ppo_update);
+criterion_group!(benches, bench_mlp, bench_mlp_batch, bench_ppo_update);
 criterion_main!(benches);

@@ -86,12 +86,21 @@ fn build_collector(figure: &str, seed: u64, full: bool, dir: Option<&Path>) -> A
     };
     let mode = if full { "full" } else { "quick" };
     let path = dir.join(format!("{figure}_s{seed}_{mode}.jsonl"));
+    // The BENCH_<figure>.json perf summary lands next to the TSVs (see
+    // DESIGN.md §11 for the schema).
+    let perf = Arc::new(crate::perfjson::BenchJsonSink::new(
+        &bench_out_dir(),
+        figure,
+        seed,
+        full,
+    ));
     match JsonlSink::create(&path) {
         Ok(jsonl) => {
             eprintln!("[telemetry] writing {}", path.display());
             Arc::new(Tee::new(vec![
                 Arc::new(jsonl),
                 Arc::new(StderrSummary::new()),
+                perf,
             ]))
         }
         Err(e) => {
@@ -99,7 +108,7 @@ fn build_collector(figure: &str, seed: u64, full: bool, dir: Option<&Path>) -> A
                 "warning: cannot create {}: {e}; stderr summary only",
                 path.display()
             );
-            Arc::new(StderrSummary::new())
+            Arc::new(Tee::new(vec![Arc::new(StderrSummary::new()), perf]))
         }
     }
 }

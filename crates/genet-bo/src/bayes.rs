@@ -9,7 +9,7 @@
 //! observation list.
 
 use crate::acquisition::expected_improvement;
-use crate::gp::{GaussianProcess, GpParams};
+use crate::gp::{GaussianProcess, GpParams, GpScratch};
 use crate::Proposer;
 use genet_env::{EnvConfig, ParamSpace};
 use rand::rngs::StdRng;
@@ -84,9 +84,12 @@ impl Proposer for BayesOpt {
             let best = self.obs_y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let mut best_cfg = self.space.sample(rng);
             let mut best_ei = f64::NEG_INFINITY;
+            // One scratch across the whole candidate pool: `predict_into` is
+            // bit-identical to `predict` but skips 2 allocations per query.
+            let mut scratch = GpScratch::default();
             for _ in 0..self.n_candidates {
                 let cand = self.space.sample(rng);
-                let (m, v) = gp.predict(&self.space.normalize(&cand));
+                let (m, v) = gp.predict_into(&self.space.normalize(&cand), &mut scratch);
                 let ei = expected_improvement(m, v, best, self.xi);
                 if ei > best_ei {
                     best_ei = ei;

@@ -93,25 +93,44 @@ impl GaussianProcess {
 
     /// Posterior mean and variance at a query point (original target units).
     pub fn predict(&self, q: &[f64]) -> (f64, f64) {
+        self.predict_into(q, &mut GpScratch::default())
+    }
+
+    /// [`Self::predict`] with caller-held scratch buffers — the same
+    /// operation sequence (bit-identical results), zero allocation after the
+    /// first call. Query loops (the EI candidate pool evaluates hundreds of
+    /// points against one fitted GP) keep one [`GpScratch`] across calls.
+    pub fn predict_into(&self, q: &[f64], scratch: &mut GpScratch) -> (f64, f64) {
         let n = self.x.len();
-        let mut kstar = vec![0.0; n];
-        for (ks, xi) in kstar.iter_mut().zip(self.x.iter()) {
+        scratch.kstar.resize(n, 0.0);
+        scratch.z.resize(n, 0.0);
+        for (ks, xi) in scratch.kstar.iter_mut().zip(self.x.iter()) {
             *ks = rbf(q, xi, &self.params);
         }
-        let mean_std: f64 = kstar
+        let mean_std: f64 = scratch
+            .kstar
             .iter()
             .zip(self.alpha.iter())
             .map(|(a, b)| a * b)
             .sum();
         // var = k(q,q) - k*^T K^{-1} k*
-        let v = self.chol.solve_lower(&kstar);
-        let explained: f64 = v.iter().map(|z| z * z).sum();
+        self.chol.solve_lower_into(&scratch.kstar, &mut scratch.z);
+        let explained: f64 = scratch.z.iter().map(|z| z * z).sum();
         let var_std = (self.params.signal_var + self.params.noise_var - explained).max(1e-12);
         (
             mean_std * self.y_std + self.y_mean,
             var_std * self.y_std * self.y_std,
         )
     }
+}
+
+/// Reusable buffers for [`GaussianProcess::predict_into`]: the `k*` kernel
+/// column and the forward-substitution solution. One scratch serves GPs of
+/// any size (buffers resize to the training-set length on each call).
+#[derive(Debug, Default, Clone)]
+pub struct GpScratch {
+    kstar: Vec<f64>,
+    z: Vec<f64>,
 }
 
 fn rbf(a: &[f64], b: &[f64], p: &GpParams) -> f64 {
@@ -216,5 +235,31 @@ mod tests {
     #[should_panic(expected = "at least one observation")]
     fn rejects_empty() {
         let _ = GaussianProcess::fit(&[], &[], GpParams::default());
+    }
+
+    #[test]
+    fn predict_into_bit_equal_to_predict() {
+        let x = grid_1d(9);
+        let y: Vec<f64> = x.iter().map(|p| (p[0] * 5.0).cos() * 2.0 - 0.5).collect();
+        let gp = GaussianProcess::fit(&x, &y, GpParams::default());
+        // One scratch reused across queries — including after serving a
+        // *larger* GP, so stale buffer contents must not leak through.
+        let big = GaussianProcess::fit(
+            &grid_1d(12),
+            &vec![1.0; 12],
+            GpParams {
+                noise_var: 0.1,
+                ..GpParams::default()
+            },
+        );
+        let mut scratch = GpScratch::default();
+        let _ = big.predict_into(&[0.123], &mut scratch);
+        for i in 0..50 {
+            let q = [i as f64 * 0.02 - 0.1];
+            let (m0, v0) = gp.predict(&q);
+            let (m1, v1) = gp.predict_into(&q, &mut scratch);
+            assert_eq!(m0.to_bits(), m1.to_bits(), "mean at {q:?}");
+            assert_eq!(v0.to_bits(), v1.to_bits(), "var at {q:?}");
+        }
     }
 }

@@ -30,7 +30,7 @@ pub mod search;
 
 pub use acquisition::expected_improvement;
 pub use bayes::BayesOpt;
-pub use gp::GaussianProcess;
+pub use gp::{GaussianProcess, GpScratch};
 pub use search::{GridSearch, RandomSearch};
 
 use genet_env::EnvConfig;

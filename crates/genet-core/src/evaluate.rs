@@ -9,87 +9,15 @@
 use genet_env::{EnvConfig, Policy, Scenario};
 use genet_math::derive_seed;
 use genet_telemetry::{counters, Collector, Event};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
-// genet-lint: allow(wall-clock-in-result-path) Instant here feeds telemetry busy-time spans only; results never read it
-use std::time::Instant;
 
-/// Upper bound on any configured worker count (a sanity rail for
-/// `GENET_THREADS`, far above real hardware).
-const MAX_THREADS: usize = 1024;
-
-/// Programmatic worker-count override (0 = unset). Used by tests and
-/// benchmarks that sweep thread counts in-process; see
-/// [`override_worker_threads`].
-static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
-
-/// `GENET_THREADS`, parsed and validated once per process. Invalid values
-/// (non-integer, 0, or > [`MAX_THREADS`]) warn once on stderr and fall back
-/// to the hardware default.
-fn genet_threads_env() -> Option<usize> {
-    static PARSED: OnceLock<Option<usize>> = OnceLock::new();
-    *PARSED.get_or_init(|| match std::env::var("GENET_THREADS") {
-        Err(_) => None,
-        Ok(raw) => match raw.trim().parse::<usize>() {
-            Ok(t) if (1..=MAX_THREADS).contains(&t) => Some(t),
-            _ => {
-                eprintln!(
-                    "warning: ignoring invalid GENET_THREADS={raw:?} \
-                     (expected an integer in 1..={MAX_THREADS})"
-                );
-                None
-            }
-        },
-    })
-}
-
-/// Caps or forces the worker count of every subsequent parallel batch
-/// (evaluation and rollout), taking precedence over `GENET_THREADS` and the
-/// hardware default; `None` restores the environment/hardware behaviour.
-///
-/// This is a test/bench hook for sweeping thread counts inside one process.
-/// Worker counts never influence results (each work item derives its state
-/// from its index alone), so flipping this concurrently with running
-/// batches is observable only in telemetry.
-pub fn override_worker_threads(threads: Option<usize>) {
-    let v = threads.map_or(0, |t| t.clamp(1, MAX_THREADS));
-    THREAD_OVERRIDE.store(v, Ordering::SeqCst);
-}
-
-/// Worker threads a batch of `n` items fans out over: the programmatic
-/// override if set, else validated `GENET_THREADS`, else
-/// `available_parallelism`; never more than `n`.
-pub fn worker_count(n: usize) -> usize {
-    let cap = match THREAD_OVERRIDE.load(Ordering::SeqCst) {
-        0 => genet_threads_env().unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(4)
-        }),
-        t => t,
-    };
-    cap.min(n).max(1)
-}
-
-/// Worker accounting of one parallel batch, for telemetry events
-/// ([`Event::EvalBatch`] / [`Event::RolloutBatch`]).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct BatchProfile {
-    /// Worker threads the batch actually used.
-    pub workers: usize,
-    /// Summed per-worker busy time (0 unless timing was requested).
-    pub busy_nanos: u64,
-}
-
-/// Parallel deterministic map: applies `f` to each item index, preserving
-/// order. `f` must be `Sync` (it is called from many threads).
-pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    par_map_with(n, f, genet_telemetry::noop(), "eval")
-}
+// The engine itself (worker-count resolution, the deterministic fan-out and
+// the ordered gradient fold) lives in `genet-par` so that `genet-rl` can use
+// it for the PPO update stage without a dependency cycle. These re-exports
+// keep every pre-existing `genet_core::evaluate::*` path working.
+pub use genet_par::{
+    configured_threads, fold_rows_ordered, override_worker_threads, par_map, par_map_profiled,
+    worker_count, BatchProfile,
+};
 
 /// [`par_map`] with an attached telemetry collector: emits one
 /// [`Event::EvalBatch`] per call (batch size, worker count, summed
@@ -108,71 +36,6 @@ where
         record_eval_batch(collector, label, n, profile.workers, profile.busy_nanos);
     }
     results
-}
-
-/// The engine under [`par_map`]/[`par_map_with`] and the training rollout
-/// fan-out: maps `f` over `0..n` across [`worker_count`] threads and
-/// returns the results in input order plus a [`BatchProfile`]. Busy-time is
-/// only measured when `timed` (collectors read no clock when disabled).
-///
-/// Determinism: item `i`'s result depends only on `i` (`f` is `Sync` and
-/// receives nothing else), each worker writes disjoint `Option<T>` slots
-/// chosen by index, and slots are unwrapped in index order after the scope
-/// joins — so neither the worker count nor OS scheduling can reorder or
-/// alter the output.
-pub fn par_map_profiled<T, F>(n: usize, f: F, timed: bool) -> (Vec<T>, BatchProfile)
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if n == 0 {
-        return (Vec::new(), BatchProfile::default());
-    }
-    let threads = worker_count(n);
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let profile = if threads <= 1 {
-        // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
-        let t0 = timed.then(Instant::now);
-        for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(f(i));
-        }
-        BatchProfile {
-            workers: 1,
-            busy_nanos: t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64),
-        }
-    } else {
-        let chunk = n.div_ceil(threads);
-        let workers = n.div_ceil(chunk);
-        let mut busy = vec![0u64; workers];
-        crossbeam::scope(|s| {
-            for ((ti, slice), busy_slot) in slots.chunks_mut(chunk).enumerate().zip(busy.iter_mut())
-            {
-                let f = &f;
-                s.spawn(move |_| {
-                    // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
-                    let t0 = timed.then(Instant::now);
-                    for (j, slot) in slice.iter_mut().enumerate() {
-                        *slot = Some(f(ti * chunk + j));
-                    }
-                    if let Some(t0) = t0 {
-                        *busy_slot = t0.elapsed().as_nanos() as u64;
-                    }
-                });
-            }
-        })
-        // genet-lint: allow(panic-in-library) re-raises a child-thread panic on the caller; not a new failure mode
-        .expect("evaluation thread panicked");
-        BatchProfile {
-            workers,
-            busy_nanos: busy.iter().sum(),
-        }
-    };
-    let results = slots
-        .into_iter()
-        // genet-lint: allow(panic-in-library) every index in 0..n is written exactly once by the loops above
-        .map(|slot| slot.expect("par_map worker left a slot unfilled"))
-        .collect();
-    (results, profile)
 }
 
 fn record_eval_batch(

@@ -192,10 +192,11 @@ const EP_ACTION_STREAM: u64 = 0xAC7;
 
 /// [`train_rl`] with an attached telemetry collector.
 ///
-/// Emits one [`Event::TrainIter`] and one [`Event::RolloutBatch`] per
-/// iteration (reward plus the full PPO `UpdateStats`; rollout worker count
-/// and summed busy time), wall-clock spans `{scope}/rollout` and
-/// `{scope}/ppo-update`, and the episode/env-step/gradient-update counters.
+/// Emits one [`Event::TrainIter`], one [`Event::RolloutBatch`] and one
+/// [`Event::UpdateBatch`] per iteration (reward plus the full PPO
+/// `UpdateStats`; rollout and update worker counts and summed busy times),
+/// wall-clock spans `{scope}/rollout` and `{scope}/ppo-update`, and the
+/// episode/env-step/gradient-update counters.
 /// `scope` names the phase in span paths and events (`train/initial`,
 /// `train/sequencing/round-3`, …).
 ///
@@ -264,9 +265,9 @@ pub fn train_rl_with(
             buffer.absorb(episode);
         }
         let env_steps = buffer.len();
-        let stats = {
+        let (stats, update_profile) = {
             let _update = collector.span(format!("{scope}/ppo-update"));
-            agent.update(&mut buffer, &mut rng)
+            agent.update_profiled(&mut buffer, &mut rng, collector.enabled())
         };
         let mean_reward = iter_reward / episodes as f64;
         if collector.enabled() {
@@ -279,6 +280,13 @@ pub fn train_rl_with(
                 episodes: episodes as u64,
                 workers: profile.workers as u64,
                 busy_nanos: profile.busy_nanos,
+            });
+            collector.record(&Event::UpdateBatch {
+                scope: scope.to_string(),
+                iter: iter as u64,
+                samples: update_profile.samples,
+                workers: update_profile.workers as u64,
+                busy_nanos: update_profile.busy_nanos,
             });
             collector.record(&Event::TrainIter {
                 scope: scope.to_string(),

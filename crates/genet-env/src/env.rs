@@ -8,6 +8,7 @@
 //! gap-to-baseline and curriculum training once for all scenarios.
 
 use rand::rngs::StdRng;
+use std::any::Any;
 
 /// Result of advancing an environment by one decision step.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +37,45 @@ pub trait Env {
     fn step(&mut self, action: usize) -> StepOutcome;
 }
 
+/// Opaque per-rollout scratch storage for [`Policy::act_with`].
+///
+/// Episode/evaluation loops create one of these per rollout and thread it
+/// through every step, so a policy can keep its forward-pass buffers alive
+/// across steps instead of allocating per call. The storage is type-erased
+/// (`Box<dyn Any>`): `genet-env` needs no knowledge of any concrete
+/// policy's scratch layout, and policies that need none ignore it.
+#[derive(Debug, Default)]
+pub struct PolicyScratch(Option<Box<dyn Any + Send>>);
+
+impl PolicyScratch {
+    /// An empty scratch slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached value of type `T`, initializing it with `init` on first
+    /// use — or re-initializing if a different type (or a value `reuse`
+    /// rejects, e.g. a buffer sized for another network) is cached.
+    pub fn get_or_insert_with<T, F, R>(&mut self, reuse: R, init: F) -> &mut T
+    where
+        T: Any + Send,
+        F: FnOnce() -> T,
+        R: FnOnce(&T) -> bool,
+    {
+        let fits = self
+            .0
+            .as_ref()
+            .and_then(|b| b.downcast_ref::<T>())
+            .is_some_and(|v| reuse(v));
+        if !fits {
+            self.0 = Some(Box::new(init()));
+        }
+        let slot = self.0.as_mut().and_then(|b| b.downcast_mut::<T>());
+        // genet-lint: allow(panic-in-library) the slot was just filled with a T above if it did not already hold one
+        slot.expect("PolicyScratch slot holds the just-inserted type")
+    }
+}
+
 /// Anything that maps observations to discrete actions.
 ///
 /// The RNG parameter lets stochastic policies (softmax sampling during
@@ -44,6 +84,15 @@ pub trait Env {
 pub trait Policy {
     /// Chooses an action for the observation.
     fn act(&self, obs: &[f32], rng: &mut StdRng) -> usize;
+
+    /// [`Policy::act`] with caller-held scratch storage. Rollout loops call
+    /// this once per step with a rollout-local [`PolicyScratch`]; policies
+    /// with per-call buffers (e.g. MLP activations) cache them there. Must
+    /// return exactly what `act` would — the scratch is a pure allocation
+    /// optimization and never carries state between decisions.
+    fn act_with(&self, obs: &[f32], rng: &mut StdRng, _scratch: &mut PolicyScratch) -> usize {
+        self.act(obs, rng)
+    }
 }
 
 impl<F> Policy for F
@@ -103,5 +152,32 @@ mod tests {
             }
         }
         assert_eq!(total, 5.0);
+    }
+
+    #[test]
+    fn act_with_default_matches_act() {
+        let policy = |obs: &[f32], _rng: &mut StdRng| obs[0] as usize;
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut scratch = PolicyScratch::new();
+        assert_eq!(
+            policy.act(&[1.0], &mut rng),
+            policy.act_with(&[1.0], &mut rng, &mut scratch)
+        );
+    }
+
+    #[test]
+    fn policy_scratch_caches_and_reinitializes() {
+        let mut scratch = PolicyScratch::new();
+        let v = scratch.get_or_insert_with(|_: &Vec<u8>| true, || vec![1u8, 2]);
+        v.push(3);
+        // Accepted by `reuse` → same value survives.
+        let v = scratch.get_or_insert_with(|_: &Vec<u8>| true, || vec![9u8]);
+        assert_eq!(v, &vec![1u8, 2, 3]);
+        // Rejected by `reuse` → re-initialized.
+        let v = scratch.get_or_insert_with(|_: &Vec<u8>| false, || vec![9u8]);
+        assert_eq!(v, &vec![9u8]);
+        // Different type → re-initialized.
+        let s = scratch.get_or_insert_with(|_: &String| true, || "x".to_string());
+        assert_eq!(s, "x");
     }
 }

@@ -31,6 +31,6 @@ pub mod param;
 pub mod scenario;
 
 pub use distribution::CurriculumDist;
-pub use env::{Env, Policy, StepOutcome};
+pub use env::{Env, Policy, PolicyScratch, StepOutcome};
 pub use param::{EnvConfig, ParamDim, ParamSpace, RangeLevel};
 pub use scenario::{rollout_policy, rollout_rewards, Scenario, MAX_EPISODE_STEPS};

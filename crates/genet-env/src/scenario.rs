@@ -85,14 +85,17 @@ pub trait Scenario: Sync {
 }
 
 /// Runs `policy` on `env` to termination; returns the mean per-step reward
-/// (the paper's rewards are per-decision averages, Table 1).
+/// (the paper's rewards are per-decision averages, Table 1). Drives the
+/// policy through [`Policy::act_with`] with a rollout-local scratch, so MLP
+/// policies reuse their forward-pass buffers across every step.
 pub fn rollout_policy(env: &mut dyn Env, policy: &dyn Policy, rng: &mut StdRng) -> f64 {
     let mut obs = vec![0.0f32; env.obs_dim()];
+    let mut scratch = crate::env::PolicyScratch::new();
     let mut total = 0.0;
     let mut steps = 0usize;
     loop {
         env.observe(&mut obs);
-        let action = policy.act(&obs, rng);
+        let action = policy.act_with(&obs, rng, &mut scratch);
         debug_assert!(
             action < env.action_count(),
             "policy produced out-of-range action"
@@ -112,10 +115,11 @@ pub fn rollout_policy(env: &mut dyn Env, policy: &dyn Policy, rng: &mut StdRng) 
 /// used by experiments that need reward breakdowns rather than the mean.
 pub fn rollout_rewards(env: &mut dyn Env, policy: &dyn Policy, rng: &mut StdRng) -> Vec<f64> {
     let mut obs = vec![0.0f32; env.obs_dim()];
+    let mut scratch = crate::env::PolicyScratch::new();
     let mut rewards = Vec::new();
     loop {
         env.observe(&mut obs);
-        let action = policy.act(&obs, rng);
+        let action = policy.act_with(&obs, rng, &mut scratch);
         let out = env.step(action);
         rewards.push(out.reward);
         if out.done {

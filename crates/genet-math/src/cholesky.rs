@@ -102,9 +102,18 @@ impl Cholesky {
 
     /// Solves `L z = b` (forward substitution).
     pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let mut z = vec![0.0; self.l.rows()];
+        self.solve_lower_into(b, &mut z);
+        z
+    }
+
+    /// [`Self::solve_lower`] into a caller-held buffer — same operation
+    /// sequence, zero allocation. `z` must have length `n`; prior contents
+    /// are overwritten.
+    pub fn solve_lower_into(&self, b: &[f64], z: &mut [f64]) {
         let n = self.l.rows();
         assert_eq!(b.len(), n, "rhs length mismatch");
-        let mut z = vec![0.0; n];
+        assert_eq!(z.len(), n, "output length mismatch");
         for i in 0..n {
             let mut sum = b[i];
             for k in 0..i {
@@ -116,7 +125,6 @@ impl Cholesky {
                 "non-finite forward-substitution result at row {i}"
             );
         }
-        z
     }
 
     /// Solves `L^T x = z` (backward substitution).

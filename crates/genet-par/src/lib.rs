@@ -1,0 +1,349 @@
+//! # genet-par
+//!
+//! The deterministic parallel execution engine shared by evaluation
+//! (`genet-core::evaluate`), the rollout engine (`train_rl_with`) and the
+//! PPO update stage (`genet-rl::PpoAgent::update`).
+//!
+//! Everything here upholds one invariant: **the worker count is a pure
+//! performance knob**. Work items derive their state from their index alone,
+//! results are collected in input order, and reductions add floating-point
+//! contributions in a fixed sequence — so neither `GENET_THREADS`, the
+//! programmatic override, nor OS scheduling can alter a single bit of any
+//! result (see DESIGN.md §10–§11 and the thread-invariance test suites).
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+// genet-lint: allow(wall-clock-in-result-path) Instant here feeds telemetry busy-time spans only; results never read it
+use std::time::Instant;
+
+/// Upper bound on any configured worker count (a sanity rail for
+/// `GENET_THREADS`, far above real hardware).
+const MAX_THREADS: usize = 1024;
+
+/// Programmatic worker-count override (0 = unset). Used by tests and
+/// benchmarks that sweep thread counts in-process; see
+/// [`override_worker_threads`].
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `GENET_THREADS`, parsed and validated once per process. Invalid values
+/// (non-integer, 0, or > [`MAX_THREADS`]) warn once on stderr and fall back
+/// to the hardware default.
+fn genet_threads_env() -> Option<usize> {
+    static PARSED: OnceLock<Option<usize>> = OnceLock::new();
+    *PARSED.get_or_init(|| match std::env::var("GENET_THREADS") {
+        Err(_) => None,
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(t) if (1..=MAX_THREADS).contains(&t) => Some(t),
+            _ => {
+                eprintln!(
+                    "warning: ignoring invalid GENET_THREADS={raw:?} \
+                     (expected an integer in 1..={MAX_THREADS})"
+                );
+                None
+            }
+        },
+    })
+}
+
+/// Caps or forces the worker count of every subsequent parallel batch
+/// (evaluation, rollout and the PPO update stage), taking precedence over
+/// `GENET_THREADS` and the hardware default; `None` restores the
+/// environment/hardware behaviour.
+///
+/// This is a test/bench hook for sweeping thread counts inside one process.
+/// Worker counts never influence results (each work item derives its state
+/// from its index alone), so flipping this concurrently with running
+/// batches is observable only in telemetry.
+pub fn override_worker_threads(threads: Option<usize>) {
+    let v = threads.map_or(0, |t| t.clamp(1, MAX_THREADS));
+    THREAD_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+/// Worker threads a batch of `n` items fans out over: the programmatic
+/// override if set, else validated `GENET_THREADS`, else
+/// `available_parallelism`; never more than `n`.
+pub fn worker_count(n: usize) -> usize {
+    let cap = match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => genet_threads_env().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        }),
+        t => t,
+    };
+    cap.min(n).max(1)
+}
+
+/// The configured worker ceiling with no batch-size cap applied —
+/// override → `GENET_THREADS` → hardware. What `BENCH_*.json` reports as
+/// `threads`.
+pub fn configured_threads() -> usize {
+    worker_count(MAX_THREADS)
+}
+
+/// Worker accounting of one parallel batch, for telemetry events
+/// (`eval_batch` / `rollout_batch` / `update_batch`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchProfile {
+    /// Worker threads the batch actually used.
+    pub workers: usize,
+    /// Summed per-worker busy time (0 unless timing was requested).
+    pub busy_nanos: u64,
+}
+
+/// Parallel deterministic map: applies `f` to each item index, preserving
+/// order. `f` must be `Sync` (it is called from many threads).
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_profiled(n, f, false).0
+}
+
+/// The engine under every parallel batch: maps `f` over `0..n` across
+/// [`worker_count`] threads and returns the results in input order plus a
+/// [`BatchProfile`]. Busy-time is only measured when `timed` (callers with
+/// disabled telemetry read no clock).
+///
+/// Determinism: item `i`'s result depends only on `i` (`f` is `Sync` and
+/// receives nothing else), each worker writes disjoint `Option<T>` slots
+/// chosen by index, and slots are unwrapped in index order after the scope
+/// joins — so neither the worker count nor OS scheduling can reorder or
+/// alter the output.
+pub fn par_map_profiled<T, F>(n: usize, f: F, timed: bool) -> (Vec<T>, BatchProfile)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return (Vec::new(), BatchProfile::default());
+    }
+    let threads = worker_count(n);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let profile = if threads <= 1 {
+        // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
+        let t0 = timed.then(Instant::now);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(i));
+        }
+        BatchProfile {
+            workers: 1,
+            busy_nanos: t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64),
+        }
+    } else {
+        let chunk = n.div_ceil(threads);
+        let workers = n.div_ceil(chunk);
+        let mut busy = vec![0u64; workers];
+        crossbeam::scope(|s| {
+            for ((ti, slice), busy_slot) in slots.chunks_mut(chunk).enumerate().zip(busy.iter_mut())
+            {
+                let f = &f;
+                s.spawn(move |_| {
+                    // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
+                    let t0 = timed.then(Instant::now);
+                    for (j, slot) in slice.iter_mut().enumerate() {
+                        *slot = Some(f(ti * chunk + j));
+                    }
+                    if let Some(t0) = t0 {
+                        *busy_slot = t0.elapsed().as_nanos() as u64;
+                    }
+                });
+            }
+        })
+        // genet-lint: allow(panic-in-library) re-raises a child-thread panic on the caller; not a new failure mode
+        .expect("parallel worker panicked");
+        BatchProfile {
+            workers,
+            busy_nanos: busy.iter().sum(),
+        }
+    };
+    let results = slots
+        .into_iter()
+        // genet-lint: allow(panic-in-library) every index in 0..n is written exactly once by the loops above
+        .map(|slot| slot.expect("par_map worker left a slot unfilled"))
+        .collect();
+    (results, profile)
+}
+
+/// Runs `f` on the calling thread, measuring its busy time only when
+/// `timed` — the 1-worker analogue of [`par_map_profiled`]'s accounting,
+/// for engines with a dedicated serial fast path (e.g. the PPO update's
+/// direct-accumulation branch).
+pub fn time_serial<T>(timed: bool, f: impl FnOnce() -> T) -> (T, u64) {
+    // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
+    let t0 = timed.then(Instant::now);
+    let out = f();
+    (out, t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64))
+}
+
+/// Below this many element-additions the scoped-thread spawn cost exceeds
+/// the fold itself; a serial fold is both faster and trivially in-order.
+const FOLD_PAR_THRESHOLD: usize = 1 << 16;
+
+/// Ordered row reduction: `out[p] += Σ_s rows[s][p]`, with the additions
+/// into each `out[p]` performed **strictly in ascending row order** — the
+/// exact floating-point sequence a serial per-sample accumulation would
+/// produce. Parallelism comes from partitioning the *parameter axis* into
+/// disjoint ranges: each worker folds every row's slice of its range in row
+/// order, so the per-parameter addition sequence is identical for any
+/// worker count or partition (only *independent* sums run concurrently).
+///
+/// This is the reduction step of the parallel PPO update engine
+/// (DESIGN.md §11): `rows` are per-sample gradient contributions and `out`
+/// is the minibatch gradient accumulator.
+///
+/// # Panics
+/// Panics if any row's length differs from `out.len()`.
+pub fn fold_rows_ordered(rows: &[&[f32]], out: &mut [f32], timed: bool) -> BatchProfile {
+    for (s, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), out.len(), "row {s} length mismatch");
+    }
+    if rows.is_empty() || out.is_empty() {
+        return BatchProfile {
+            workers: 1,
+            busy_nanos: 0,
+        };
+    }
+    let threads = worker_count(out.len());
+    let small = rows.len().saturating_mul(out.len()) < FOLD_PAR_THRESHOLD;
+    if threads <= 1 || small {
+        // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
+        let t0 = timed.then(Instant::now);
+        for row in rows {
+            for (o, v) in out.iter_mut().zip(row.iter()) {
+                *o += *v;
+            }
+        }
+        return BatchProfile {
+            workers: 1,
+            busy_nanos: t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64),
+        };
+    }
+    let chunk = out.len().div_ceil(threads);
+    let workers = out.len().div_ceil(chunk);
+    let mut busy = vec![0u64; workers];
+    crossbeam::scope(|s| {
+        for ((wi, slice), busy_slot) in out.chunks_mut(chunk).enumerate().zip(busy.iter_mut()) {
+            s.spawn(move |_| {
+                // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
+                let t0 = timed.then(Instant::now);
+                let lo = wi * chunk;
+                let hi = lo + slice.len();
+                for row in rows {
+                    for (o, v) in slice.iter_mut().zip(row[lo..hi].iter()) {
+                        *o += *v;
+                    }
+                }
+                if let Some(t0) = t0 {
+                    *busy_slot = t0.elapsed().as_nanos() as u64;
+                }
+            });
+        }
+    })
+    // genet-lint: allow(panic-in-library) re-raises a child-thread panic on the caller; not a new failure mode
+    .expect("fold worker panicked");
+    BatchProfile {
+        workers,
+        busy_nanos: busy.iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_and_coverage() {
+        let out = par_map(257, |i| i * 2);
+        assert_eq!(out.len(), 257);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let out: Vec<usize> = par_map(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_count_is_bounded() {
+        for n in [1usize, 2, 7, 1000] {
+            let w = worker_count(n);
+            assert!(w >= 1 && w <= n, "worker_count({n}) = {w}");
+        }
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn fold_rows_ordered_matches_serial_bitwise() {
+        // Rows big enough to clear FOLD_PAR_THRESHOLD so the parallel path
+        // actually runs under multi-core hosts.
+        let p = 1 << 12;
+        let n = 64;
+        let rows_data: Vec<Vec<f32>> = (0..n)
+            .map(|s| {
+                (0..p)
+                    .map(|j| ((s * 31 + j * 7) % 1000) as f32 * 1e-3 - 0.5)
+                    .collect()
+            })
+            .collect();
+        let rows: Vec<&[f32]> = rows_data.iter().map(|r| r.as_slice()).collect();
+
+        let mut serial = vec![0.0f32; p];
+        for row in &rows_data {
+            for (o, v) in serial.iter_mut().zip(row.iter()) {
+                *o += *v;
+            }
+        }
+        for threads in [Some(1), Some(2), Some(7), None] {
+            override_worker_threads(threads);
+            let mut out = vec![0.0f32; p];
+            fold_rows_ordered(&rows, &mut out, false);
+            override_worker_threads(None);
+            let a: Vec<u32> = serial.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "fold diverged at threads={threads:?}");
+        }
+    }
+
+    #[test]
+    fn fold_rows_ordered_handles_empty() {
+        let mut out = vec![1.0f32; 4];
+        let profile = fold_rows_ordered(&[], &mut out, false);
+        assert_eq!(profile.workers, 1);
+        assert_eq!(out, vec![1.0f32; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fold_rows_ordered_rejects_ragged_rows() {
+        let row = vec![1.0f32; 3];
+        let mut out = vec![0.0f32; 4];
+        fold_rows_ordered(&[&row], &mut out, false);
+    }
+
+    #[test]
+    fn time_serial_only_reads_clock_when_asked() {
+        let (v, nanos) = time_serial(false, || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(nanos, 0);
+        let (v, _nanos) = time_serial(true, || "ok");
+        assert_eq!(v, "ok");
+    }
+
+    #[test]
+    fn par_map_profiled_reports_workers() {
+        let (out, profile) = par_map_profiled(64, |i| i + 1, false);
+        assert_eq!(out.len(), 64);
+        assert!(profile.workers >= 1 && profile.workers <= 64);
+        assert_eq!(profile.busy_nanos, 0);
+        let (empty, profile) = par_map_profiled(0, |i| i, true);
+        assert!(empty.is_empty());
+        assert_eq!(profile.workers, 0);
+    }
+}

@@ -3,21 +3,25 @@
 //! One training iteration (Algorithm 1 of the paper) collects rollouts from
 //! `K × N` environments; the buffer accumulates all their transitions,
 //! computes per-episode advantages/returns, and hands PPO flat minibatches.
+//!
+//! Observations live in a flat arena (`steps × obs_dim`, row-major) rather
+//! than one `Vec<f32>` per step: the rollout hot path copies each
+//! observation into the arena instead of allocating, and the PPO update
+//! engine gathers minibatch rows straight out of contiguous storage.
 
-/// One environment transition.
-#[derive(Debug, Clone)]
-pub struct Transition {
-    /// Observation at decision time.
-    pub obs: Vec<f32>,
+/// Per-step scalar record — everything about a transition except the
+/// observation, which lives in the owning buffer's flat arena.
+#[derive(Debug, Clone, Copy)]
+pub struct StepMeta {
     /// Action taken.
     pub action: usize,
     /// Log-probability of `action` under the behaviour policy.
     pub log_prob: f32,
-    /// Critic's value estimate for `obs`.
+    /// Critic's value estimate for the observation.
     pub value: f32,
     /// Immediate reward.
     pub reward: f32,
-    /// True if this transition ended the episode.
+    /// True if this step ended the episode.
     pub done: bool,
 }
 
@@ -30,7 +34,11 @@ pub struct Transition {
 /// so the flattened batch is independent of thread count and scheduling.
 #[derive(Debug, Default)]
 pub struct EpisodeBuffer {
-    transitions: Vec<Transition>,
+    /// Flat observation arena, `len() × obs_dim` row-major.
+    obs: Vec<f32>,
+    /// Observation width; 0 until the first push.
+    obs_dim: usize,
+    meta: Vec<StepMeta>,
     total_reward: f64,
 }
 
@@ -40,26 +48,47 @@ impl EpisodeBuffer {
         Self::default()
     }
 
-    /// Adds one transition; the episode's last push must have
-    /// `done == true`.
-    pub fn push(&mut self, t: Transition) {
-        self.total_reward += t.reward as f64;
-        self.transitions.push(t);
+    /// Adds one step, copying `obs` into the arena (no per-step
+    /// allocation once the arena has grown). The episode's last push must
+    /// have `meta.done == true`.
+    ///
+    /// # Panics
+    /// Panics if `obs` is empty or its width differs from earlier pushes.
+    pub fn push_step(&mut self, obs: &[f32], meta: StepMeta) {
+        assert!(!obs.is_empty(), "empty observation");
+        if self.meta.is_empty() {
+            self.obs_dim = obs.len();
+        } else {
+            assert_eq!(obs.len(), self.obs_dim, "observation width changed");
+        }
+        self.obs.extend_from_slice(obs);
+        self.total_reward += meta.reward as f64;
+        self.meta.push(meta);
     }
 
     /// Number of steps recorded so far.
     pub fn len(&self) -> usize {
-        self.transitions.len()
+        self.meta.len()
     }
 
     /// True before the first push.
     pub fn is_empty(&self) -> bool {
-        self.transitions.is_empty()
+        self.meta.is_empty()
     }
 
-    /// Recorded transitions.
-    pub fn transitions(&self) -> &[Transition] {
-        &self.transitions
+    /// Observation width (0 for an empty buffer).
+    pub fn obs_dim(&self) -> usize {
+        self.obs_dim
+    }
+
+    /// Observation of step `i`.
+    pub fn obs(&self, i: usize) -> &[f32] {
+        &self.obs[i * self.obs_dim..(i + 1) * self.obs_dim]
+    }
+
+    /// Per-step scalar records.
+    pub fn meta(&self) -> &[StepMeta] {
+        &self.meta
     }
 
     /// Sum of rewards over the episode (in the env's reward units).
@@ -69,10 +98,10 @@ impl EpisodeBuffer {
 
     /// Mean per-step reward; 0 for an empty buffer.
     pub fn mean_step_reward(&self) -> f64 {
-        if self.transitions.is_empty() {
+        if self.meta.is_empty() {
             0.0
         } else {
-            self.total_reward / self.transitions.len() as f64
+            self.total_reward / self.meta.len() as f64
         }
     }
 }
@@ -80,7 +109,11 @@ impl EpisodeBuffer {
 /// Accumulates transitions and derives GAE advantages + returns.
 #[derive(Debug, Default)]
 pub struct RolloutBuffer {
-    transitions: Vec<Transition>,
+    /// Flat observation arena, `len() × obs_dim` row-major.
+    obs: Vec<f32>,
+    /// Observation width; 0 until the first push.
+    obs_dim: usize,
+    meta: Vec<StepMeta>,
     /// Per-transition advantage (filled by [`RolloutBuffer::finish`]).
     advantages: Vec<f32>,
     /// Per-transition return target for the critic.
@@ -93,32 +126,68 @@ impl RolloutBuffer {
         Self::default()
     }
 
-    /// Adds one transition. Episodes must be pushed contiguously and each
-    /// must end with `done == true` before [`RolloutBuffer::finish`].
-    pub fn push(&mut self, t: Transition) {
-        self.transitions.push(t);
+    /// Adds one step, copying `obs` into the arena. Episodes must be pushed
+    /// contiguously and each must end with `meta.done == true` before
+    /// [`RolloutBuffer::finish`].
+    ///
+    /// # Panics
+    /// Panics if `obs` is empty or its width differs from earlier pushes.
+    pub fn push_step(&mut self, obs: &[f32], meta: StepMeta) {
+        assert!(!obs.is_empty(), "empty observation");
+        if self.meta.is_empty() {
+            self.obs_dim = obs.len();
+        } else {
+            assert_eq!(obs.len(), self.obs_dim, "observation width changed");
+        }
+        self.obs.extend_from_slice(obs);
+        self.meta.push(meta);
     }
 
     /// Appends a complete episode collected independently (the parallel
-    /// rollout path). Callers must absorb episodes in episode-index order
-    /// for the flattened batch to be deterministic.
+    /// rollout path); the episode's arena is moved, not re-copied, when
+    /// this buffer is empty. Callers must absorb episodes in episode-index
+    /// order for the flattened batch to be deterministic.
+    ///
+    /// # Panics
+    /// Panics if the episode's observation width differs from this
+    /// buffer's.
     pub fn absorb(&mut self, episode: EpisodeBuffer) {
-        self.transitions.extend(episode.transitions);
+        if episode.meta.is_empty() {
+            return;
+        }
+        if self.meta.is_empty() {
+            self.obs_dim = episode.obs_dim;
+            self.obs = episode.obs;
+        } else {
+            assert_eq!(episode.obs_dim, self.obs_dim, "observation width changed");
+            self.obs.extend_from_slice(&episode.obs);
+        }
+        self.meta.extend_from_slice(&episode.meta);
     }
 
     /// Number of stored transitions.
     pub fn len(&self) -> usize {
-        self.transitions.len()
+        self.meta.len()
     }
 
     /// True when no transitions are stored.
     pub fn is_empty(&self) -> bool {
-        self.transitions.is_empty()
+        self.meta.is_empty()
     }
 
-    /// Stored transitions.
-    pub fn transitions(&self) -> &[Transition] {
-        &self.transitions
+    /// Observation width (0 for an empty buffer).
+    pub fn obs_dim(&self) -> usize {
+        self.obs_dim
+    }
+
+    /// Observation of transition `i`.
+    pub fn obs(&self, i: usize) -> &[f32] {
+        &self.obs[i * self.obs_dim..(i + 1) * self.obs_dim]
+    }
+
+    /// Per-transition scalar records.
+    pub fn meta(&self) -> &[StepMeta] {
+        &self.meta
     }
 
     /// Advantages (valid after [`RolloutBuffer::finish`]).
@@ -131,9 +200,11 @@ impl RolloutBuffer {
         &self.returns
     }
 
-    /// Clears everything for the next iteration.
+    /// Clears everything for the next iteration (arena capacity is kept).
     pub fn clear(&mut self) {
-        self.transitions.clear();
+        self.obs.clear();
+        self.obs_dim = 0;
+        self.meta.clear();
         self.advantages.clear();
         self.returns.clear();
     }
@@ -145,10 +216,10 @@ impl RolloutBuffer {
     /// # Panics
     /// Panics if the buffer does not end on an episode boundary.
     pub fn finish(&mut self, gamma: f32, lambda: f32) {
-        let n = self.transitions.len();
+        let n = self.meta.len();
         assert!(n > 0, "finish() on empty buffer");
         assert!(
-            self.transitions[n - 1].done,
+            self.meta[n - 1].done,
             "rollout buffer must end on an episode boundary"
         );
         self.advantages = vec![0.0; n];
@@ -156,7 +227,7 @@ impl RolloutBuffer {
         let mut gae = 0.0f32;
         let mut next_value = 0.0f32;
         for i in (0..n).rev() {
-            let t = &self.transitions[i];
+            let t = &self.meta[i];
             if t.done {
                 // Terminal: no bootstrap beyond the episode.
                 next_value = 0.0;
@@ -193,9 +264,8 @@ impl RolloutBuffer {
 mod tests {
     use super::*;
 
-    fn tr(reward: f32, value: f32, done: bool) -> Transition {
-        Transition {
-            obs: vec![0.0],
+    fn tr(reward: f32, value: f32, done: bool) -> StepMeta {
+        StepMeta {
             action: 0,
             log_prob: 0.0,
             value,
@@ -207,9 +277,9 @@ mod tests {
     #[test]
     fn single_episode_returns_are_discounted_sums() {
         let mut buf = RolloutBuffer::new();
-        buf.push(tr(1.0, 0.0, false));
-        buf.push(tr(1.0, 0.0, false));
-        buf.push(tr(1.0, 0.0, true));
+        buf.push_step(&[0.0], tr(1.0, 0.0, false));
+        buf.push_step(&[0.0], tr(1.0, 0.0, false));
+        buf.push_step(&[0.0], tr(1.0, 0.0, true));
         // With value==0 and lambda==1, return(t) = advantage(t) = discounted sum.
         buf.finish(0.5, 1.0);
         let expect = [1.0 + 0.5 + 0.25, 1.0 + 0.5, 1.0];
@@ -221,8 +291,8 @@ mod tests {
     #[test]
     fn episodes_do_not_leak_across_done() {
         let mut buf = RolloutBuffer::new();
-        buf.push(tr(0.0, 0.0, true)); // episode 1: single zero-reward step
-        buf.push(tr(100.0, 0.0, true)); // episode 2: big reward
+        buf.push_step(&[0.0], tr(0.0, 0.0, true)); // episode 1: single zero-reward step
+        buf.push_step(&[0.0], tr(100.0, 0.0, true)); // episode 2: big reward
         buf.finish(0.99, 0.95);
         // Episode 1's return must not include episode 2's reward.
         assert!((buf.returns()[0] - 0.0).abs() < 1e-6);
@@ -233,7 +303,7 @@ mod tests {
     fn advantages_are_normalized() {
         let mut buf = RolloutBuffer::new();
         for i in 0..50 {
-            buf.push(tr(i as f32, 0.5, i % 10 == 9));
+            buf.push_step(&[0.0], tr(i as f32, 0.5, i % 10 == 9));
         }
         buf.finish(0.9, 0.9);
         let mean = buf.advantages().iter().sum::<f32>() / 50.0;
@@ -251,7 +321,7 @@ mod tests {
     #[should_panic(expected = "episode boundary")]
     fn finish_requires_terminal_end() {
         let mut buf = RolloutBuffer::new();
-        buf.push(tr(1.0, 0.0, false));
+        buf.push_step(&[0.0], tr(1.0, 0.0, false));
         buf.finish(0.9, 0.9);
     }
 
@@ -261,7 +331,7 @@ mod tests {
         // code divided by the clamped std (1e-6), inflating the advantage
         // by ~10^6. It must survive unnormalized instead.
         let mut buf = RolloutBuffer::new();
-        buf.push(tr(2.0, 0.5, true));
+        buf.push_step(&[0.0], tr(2.0, 0.5, true));
         buf.finish(0.9, 0.95);
         let adv = buf.advantages()[0];
         // GAE on a terminal step: delta = reward - value = 1.5.
@@ -272,22 +342,28 @@ mod tests {
     #[test]
     fn absorb_concatenates_in_call_order() {
         let mut ep_a = EpisodeBuffer::new();
-        ep_a.push(tr(1.0, 0.0, false));
-        ep_a.push(tr(2.0, 0.0, true));
+        ep_a.push_step(&[1.0, 10.0], tr(1.0, 0.0, false));
+        ep_a.push_step(&[2.0, 20.0], tr(2.0, 0.0, true));
         let mut ep_b = EpisodeBuffer::new();
-        ep_b.push(tr(3.0, 0.0, true));
+        ep_b.push_step(&[3.0, 30.0], tr(3.0, 0.0, true));
         assert_eq!(ep_a.len(), 2);
+        assert_eq!(ep_a.obs_dim(), 2);
+        assert_eq!(ep_a.obs(1), &[2.0, 20.0]);
         assert!((ep_a.total_reward() - 3.0).abs() < 1e-9);
         assert!((ep_a.mean_step_reward() - 1.5).abs() < 1e-9);
 
         let mut direct = RolloutBuffer::new();
-        for t in ep_a.transitions().iter().chain(ep_b.transitions()) {
-            direct.push(t.clone());
+        for (i, m) in ep_a.meta().iter().chain(ep_b.meta()).enumerate() {
+            let obs = [(i + 1) as f32, ((i + 1) * 10) as f32];
+            direct.push_step(&obs, *m);
         }
         let mut absorbed = RolloutBuffer::new();
         absorbed.absorb(ep_a);
         absorbed.absorb(ep_b);
         assert_eq!(absorbed.len(), direct.len());
+        for i in 0..direct.len() {
+            assert_eq!(absorbed.obs(i), direct.obs(i));
+        }
         direct.finish(0.9, 0.95);
         absorbed.finish(0.9, 0.95);
         assert_eq!(direct.advantages(), absorbed.advantages());
@@ -302,12 +378,21 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "observation width changed")]
+    fn push_rejects_width_change() {
+        let mut buf = RolloutBuffer::new();
+        buf.push_step(&[1.0, 2.0], tr(0.0, 0.0, false));
+        buf.push_step(&[1.0], tr(0.0, 0.0, true));
+    }
+
+    #[test]
     fn clear_resets() {
         let mut buf = RolloutBuffer::new();
-        buf.push(tr(1.0, 0.0, true));
+        buf.push_step(&[0.0], tr(1.0, 0.0, true));
         buf.finish(0.9, 0.9);
         buf.clear();
         assert!(buf.is_empty());
+        assert_eq!(buf.obs_dim(), 0);
         assert!(buf.advantages().is_empty());
     }
 }

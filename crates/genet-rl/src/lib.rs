@@ -30,6 +30,8 @@ pub mod ppo;
 pub mod softmax;
 
 pub use adam::Adam;
-pub use buffer::{EpisodeBuffer, RolloutBuffer, Transition};
-pub use mlp::Mlp;
-pub use ppo::{train_on, FrozenPolicy, PolicyMode, PpoAgent, PpoConfig, PpoPolicy, UpdateStats};
+pub use buffer::{EpisodeBuffer, RolloutBuffer, StepMeta};
+pub use mlp::{Mlp, MlpBatchScratch, MlpScratch};
+pub use ppo::{
+    train_on, FrozenPolicy, PolicyMode, PpoAgent, PpoConfig, PpoPolicy, UpdateProfile, UpdateStats,
+};

@@ -10,6 +10,13 @@ use genet_math::derive_seed;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Register-block width of the batched kernels: this many batch lanes are
+/// processed together, each lane owning one scalar accumulator that lives
+/// in a register for the whole reduction. 8 × f32 = two 128-bit or one
+/// 256-bit vector register — wide enough to saturate the FP units, small
+/// enough that LLVM keeps the block entirely in registers.
+const LANES: usize = 8;
+
 /// A multi-layer perceptron: `sizes[0]` inputs, tanh hidden layers, linear
 /// outputs of width `sizes.last()`.
 #[derive(Debug, Clone)]
@@ -31,6 +38,70 @@ pub struct MlpScratch {
     acts: Vec<Vec<f32>>,
     /// Backpropagated deltas per layer.
     deltas: Vec<Vec<f32>>,
+}
+
+/// Scratch space for one batched forward/backward pass. Internally the
+/// activations and deltas live *unit-major* (transposed: element `(unit i,
+/// sample s)` at `i * batch + s`), so the hot kernel loops iterate across
+/// the batch axis — independent samples, one per SIMD lane — while each
+/// lane replays the exact scalar floating-point sequence. The public
+/// inputs/outputs of [`Mlp::forward_batch`] / [`Mlp::backward_batch`] stay
+/// sample-major; the kernels transpose at the (small) input/output edges
+/// only. Grows on demand and is reusable across minibatches of any size.
+#[derive(Debug, Clone, Default)]
+pub struct MlpBatchScratch {
+    /// Sample capacity the buffers are currently sized for.
+    batch: usize,
+    /// Post-activation values per layer, unit-major `sizes[l] × batch`.
+    acts: Vec<Vec<f32>>,
+    /// Backpropagated deltas per layer, same layout.
+    deltas: Vec<Vec<f32>>,
+    /// Sample-major copy of the last layer's outputs (the API return).
+    out: Vec<f32>,
+    /// Sample-major staging copy of one layer's activations for the
+    /// weight-gradient kernels (`batch × layer width`): the gradient rows
+    /// are contiguous per `(sample, output)`, so they want the inputs
+    /// contiguous too — a 13 KB transpose buys a vectorized inner loop.
+    xt: Vec<f32>,
+    /// Sample-major staging copy of one layer's deltas, same purpose.
+    dt: Vec<f32>,
+}
+
+impl MlpBatchScratch {
+    fn ensure(&mut self, sizes: &[usize], batch: usize) {
+        // genet-lint: allow(panic-in-library) sizes is non-empty by construction (asserted in the constructor)
+        let out_width = *sizes.last().unwrap();
+        if self.acts.len() == sizes.len()
+            && self.batch >= batch
+            && self
+                .acts
+                .iter()
+                .zip(sizes)
+                .all(|(a, &n)| a.len() >= self.batch * n)
+        {
+            self.out.resize(self.batch * out_width, 0.0);
+            return;
+        }
+        let cap = batch.max(self.batch);
+        let widest = sizes.iter().copied().max().unwrap_or(0);
+        self.acts = sizes.iter().map(|&s| vec![0.0; cap * s]).collect();
+        self.deltas = sizes.iter().map(|&s| vec![0.0; cap * s]).collect();
+        self.out = vec![0.0; cap * out_width];
+        self.xt = vec![0.0; cap * widest];
+        self.dt = vec![0.0; cap * widest];
+        self.batch = cap;
+    }
+}
+
+/// Copies a unit-major `width × batch` buffer into sample-major rows
+/// (`batch × width`). Pure data movement — no arithmetic, so it cannot
+/// perturb any floating-point sequence.
+fn transpose_to_rows(src: &[f32], batch: usize, width: usize, dst: &mut [f32]) {
+    for (s, row) in dst[..batch * width].chunks_exact_mut(width).enumerate() {
+        for (o, v) in row.iter_mut().enumerate() {
+            *v = src[o * batch + s];
+        }
+    }
 }
 
 impl Mlp {
@@ -142,6 +213,339 @@ impl Mlp {
         }
         // genet-lint: allow(panic-in-library) scratch always holds one activation buffer per layer
         scratch.acts.last().unwrap()
+    }
+
+    /// True when `scratch` was allocated for this network's layer sizes
+    /// (guards cached-scratch reuse across policies).
+    pub fn scratch_fits(&self, scratch: &MlpScratch) -> bool {
+        scratch.acts.len() == self.sizes.len()
+            && scratch
+                .acts
+                .iter()
+                .zip(self.sizes.iter())
+                .all(|(a, &n)| a.len() == n)
+    }
+
+    /// Batched forward pass over `batch` samples stored row-major in
+    /// `inputs` (`batch × input_dim`). Leaves all intermediate activations
+    /// in `scratch` for a subsequent [`Mlp::backward_batch`] /
+    /// [`Mlp::backward_batch_accum`] and returns the flat
+    /// `batch × output_dim` output rows (sample-major).
+    ///
+    /// Bit-compatibility: each sample is computed with the exact
+    /// floating-point operation sequence of the scalar [`Mlp::forward`] —
+    /// per output neuron, the accumulator starts at the bias and adds `w·x`
+    /// products in ascending input order, with hidden activations getting a
+    /// `tanh` afterwards — so row `s` of the result is bit-identical to
+    /// `forward(&inputs[s*d..(s+1)*d], ..)`.
+    ///
+    /// Internally the batch is processed *unit-major* (see
+    /// [`MlpBatchScratch`]) in register blocks of [`LANES`] samples: per
+    /// output neuron, `LANES` accumulators — one batch lane each — start at
+    /// the bias and sweep the weight row once, `acc[s] += w[o][i] * x[i][s]`.
+    /// Lanes are independent, so the compiler vectorizes across samples
+    /// while each lane's addition order — bias first, then ascending `i` —
+    /// is untouched. This is what makes the batched kernel faster than
+    /// `batch` scalar calls: the scalar dot product is one latency-bound
+    /// chain, the lane block is a throughput-bound SIMD sweep whose
+    /// accumulators never leave the registers.
+    ///
+    /// # Panics
+    /// Panics if `batch == 0` or `inputs.len() != batch * input_dim`.
+    pub fn forward_batch<'s>(
+        &self,
+        inputs: &[f32],
+        batch: usize,
+        scratch: &'s mut MlpBatchScratch,
+    ) -> &'s [f32] {
+        assert!(batch > 0, "empty batch");
+        assert_eq!(
+            inputs.len(),
+            batch * self.sizes[0],
+            "batch input size mismatch"
+        );
+        scratch.ensure(&self.sizes, batch);
+        let n_layers = self.sizes.len() - 1;
+        // Transpose the sample-major inputs onto the unit-major batch axis.
+        {
+            let n0 = self.sizes[0];
+            let a0 = &mut scratch.acts[0][..batch * n0];
+            for (s, x) in inputs.chunks_exact(n0).enumerate() {
+                for (i, v) in x.iter().enumerate() {
+                    a0[i * batch + s] = *v;
+                }
+            }
+        }
+        for l in 0..n_layers {
+            let (n_in, n_out) = (self.sizes[l], self.sizes[l + 1]);
+            let w = &self.params[self.w_off[l]..self.w_off[l] + n_out * n_in];
+            let b = &self.params[self.b_off[l]..self.b_off[l] + n_out];
+            let (lo, hi) = scratch.acts.split_at_mut(l + 1);
+            let xs = &lo[l][..batch * n_in];
+            let ys = &mut hi[0][..batch * n_out];
+            for o in 0..n_out {
+                let yo = &mut ys[o * batch..(o + 1) * batch];
+                let bias = b[o];
+                let row = &w[o * n_in..(o + 1) * n_in];
+                // Register-blocked lanes: LANES accumulators start at b[o]
+                // (exactly the scalar path's `acc = b[o]`), take their
+                // `w·x` adds in ascending input order, and store once.
+                let mut s = 0;
+                while s + LANES <= batch {
+                    let mut acc = [bias; LANES];
+                    for (i, wi) in row.iter().enumerate() {
+                        let x = &xs[i * batch + s..i * batch + s + LANES];
+                        for (a, xv) in acc.iter_mut().zip(x.iter()) {
+                            *a += wi * xv;
+                        }
+                    }
+                    yo[s..s + LANES].copy_from_slice(&acc);
+                    s += LANES;
+                }
+                // Ragged tail, one lane at a time with the same sequence.
+                while s < batch {
+                    let mut acc = bias;
+                    for (i, wi) in row.iter().enumerate() {
+                        acc += wi * xs[i * batch + s];
+                    }
+                    yo[s] = acc;
+                    s += 1;
+                }
+            }
+            // One fused tanh pass over the whole layer; the final layer
+            // stays linear.
+            if l + 1 < self.sizes.len() - 1 {
+                for v in ys.iter_mut() {
+                    *v = v.tanh();
+                }
+            }
+        }
+        // Transpose the last layer back to the sample-major API layout.
+        let n_out = self.output_dim();
+        let ys = &scratch.acts[n_layers][..batch * n_out];
+        let out = &mut scratch.out[..batch * n_out];
+        for (s, row) in out.chunks_exact_mut(n_out).enumerate() {
+            for (o, v) in row.iter_mut().enumerate() {
+                *v = ys[o * batch + s];
+            }
+        }
+        &scratch.out[..batch * n_out]
+    }
+
+    /// Batched backward pass. `grad_out` holds `dLoss/dOutput` rows
+    /// (`batch × output_dim`) for the batch whose forward pass most recently
+    /// filled `scratch`. Writes sample `s`'s parameter gradients into row
+    /// `s` of `per_sample_grads` (`batch × param_count`, zeroed here) —
+    /// rows are *not* summed, so a reducer can fold them in any fixed
+    /// sample order.
+    ///
+    /// Bit-compatibility: per sample, every parameter receives exactly the
+    /// operation sequence of the scalar [`Mlp::backward`] (including the
+    /// zero-delta skip, which leaves row entries at +0.0).
+    ///
+    /// # Panics
+    /// Panics on any size mismatch.
+    pub fn backward_batch(
+        &self,
+        grad_out: &[f32],
+        batch: usize,
+        scratch: &mut MlpBatchScratch,
+        per_sample_grads: &mut [f32],
+    ) {
+        let p = self.params.len();
+        let n_layers = self.sizes.len() - 1;
+        assert_eq!(
+            grad_out.len(),
+            batch * self.output_dim(),
+            "grad dim mismatch"
+        );
+        assert_eq!(per_sample_grads.len(), batch * p, "grads buffer mismatch");
+        assert!(
+            scratch.acts.len() == self.sizes.len() && scratch.batch >= batch,
+            "scratch not filled by a matching forward_batch"
+        );
+        per_sample_grads.iter_mut().for_each(|g| *g = 0.0);
+        self.seed_output_deltas(grad_out, batch, scratch);
+        for l in (0..n_layers).rev() {
+            let (n_in, n_out) = (self.sizes[l], self.sizes[l + 1]);
+            self.fold_tanh_deltas(l, batch, scratch);
+            // Parameter grads, one row per sample. Stage the layer's
+            // activations and deltas back to sample-major first so the
+            // inner `g += d·x` loop runs over two contiguous rows.
+            {
+                transpose_to_rows(&scratch.acts[l], batch, n_in, &mut scratch.xt);
+                transpose_to_rows(&scratch.deltas[l + 1], batch, n_out, &mut scratch.dt);
+                let xt = &scratch.xt[..batch * n_in];
+                let dt = &scratch.dt[..batch * n_out];
+                for (s, grads) in per_sample_grads.chunks_exact_mut(p).enumerate() {
+                    let x = &xt[s * n_in..(s + 1) * n_in];
+                    let d_row = &dt[s * n_out..(s + 1) * n_out];
+                    let gw = &mut grads[self.w_off[l]..self.w_off[l] + n_out * n_in];
+                    for (o, &d) in d_row.iter().enumerate() {
+                        if d == 0.0 {
+                            continue;
+                        }
+                        let row = &mut gw[o * n_in..(o + 1) * n_in];
+                        for (g, xi) in row.iter_mut().zip(x.iter()) {
+                            *g += d * xi;
+                        }
+                    }
+                    let gb = &mut grads[self.b_off[l]..self.b_off[l] + n_out];
+                    for (g, d) in gb.iter_mut().zip(d_row.iter()) {
+                        *g += d;
+                    }
+                }
+            }
+            self.propagate_input_deltas(l, batch, scratch);
+        }
+    }
+
+    /// Transposes the sample-major `grad_out` rows into the unit-major
+    /// top-layer delta buffer.
+    fn seed_output_deltas(&self, grad_out: &[f32], batch: usize, scratch: &mut MlpBatchScratch) {
+        let n_layers = self.sizes.len() - 1;
+        let n_out = self.output_dim();
+        let dl = &mut scratch.deltas[n_layers][..batch * n_out];
+        for (s, row) in grad_out.chunks_exact(n_out).enumerate() {
+            for (o, v) in row.iter().enumerate() {
+                dl[o * batch + s] = *v;
+            }
+        }
+    }
+
+    /// If layer `l`'s output is a hidden activation, folds tanh' into its
+    /// delta buffer (elementwise — each element's value is independent, so
+    /// the traversal order is irrelevant to bit-exactness).
+    fn fold_tanh_deltas(&self, l: usize, batch: usize, scratch: &mut MlpBatchScratch) {
+        let n_layers = self.sizes.len() - 1;
+        let n_out = self.sizes[l + 1];
+        if l + 1 < n_layers {
+            let act = &scratch.acts[l + 1][..batch * n_out];
+            let delta = &mut scratch.deltas[l + 1][..batch * n_out];
+            for (d, a) in delta.iter_mut().zip(act.iter()) {
+                *d *= 1.0 - a * a;
+            }
+        }
+    }
+
+    /// Computes layer `l`'s input deltas from its output deltas (skipped
+    /// for the input layer). Register-blocked lanes across the batch axis:
+    /// each lane's accumulator starts at +0.0 and adds `d[o]·w[o][i]`
+    /// contributions in ascending `o` order exactly like the scalar path.
+    /// The scalar path's `d == 0.0` skip is dropped here: adding the
+    /// resulting `±0.0` product is bit-identical, because an accumulator
+    /// that starts at +0.0 can never become −0.0 under round-to-nearest
+    /// (DESIGN.md §11), and it keeps the lanes branch-free.
+    fn propagate_input_deltas(&self, l: usize, batch: usize, scratch: &mut MlpBatchScratch) {
+        if l == 0 {
+            return;
+        }
+        let (n_in, n_out) = (self.sizes[l], self.sizes[l + 1]);
+        let w = &self.params[self.w_off[l]..self.w_off[l] + n_out * n_in];
+        let (lo, hi) = scratch.deltas.split_at_mut(l + 1);
+        let dxs = &mut lo[l][..batch * n_in];
+        let d_ups = &hi[0][..batch * n_out];
+        for i in 0..n_in {
+            let dxi = &mut dxs[i * batch..(i + 1) * batch];
+            let mut s = 0;
+            while s + LANES <= batch {
+                let mut acc = [0.0f32; LANES];
+                for o in 0..n_out {
+                    let wi = w[o * n_in + i];
+                    let d = &d_ups[o * batch + s..o * batch + s + LANES];
+                    for (a, dv) in acc.iter_mut().zip(d.iter()) {
+                        *a += dv * wi;
+                    }
+                }
+                dxi[s..s + LANES].copy_from_slice(&acc);
+                s += LANES;
+            }
+            while s < batch {
+                let mut acc = 0.0f32;
+                for o in 0..n_out {
+                    acc += d_ups[o * batch + s] * w[o * n_in + i];
+                }
+                dxi[s] = acc;
+                s += 1;
+            }
+        }
+    }
+
+    /// Batched backward pass that *accumulates* the whole batch's parameter
+    /// gradients directly into `grads` (same layout/length as `params`),
+    /// iterating samples in ascending order — the serial reference sequence
+    /// — without materializing per-sample rows. This is the serial fast
+    /// path of the PPO update engine: when only one worker would run, the
+    /// `batch × param_count` row buffer of [`Mlp::backward_batch`] plus the
+    /// ordered fold is pure overhead, and folding rows in sample order is
+    /// bit-identical to accumulating in sample order (the accumulator
+    /// starts at +0.0 and round-to-nearest addition can never produce
+    /// −0.0 from it, so `acc += (0.0 + c)` ≡ `acc += c`; DESIGN.md §11).
+    ///
+    /// Per parameter, the additions land in sample order exactly as the
+    /// scalar [`Mlp::backward`] loop over samples would produce them
+    /// (parameters belong to exactly one layer, so the layer-major walk
+    /// does not reorder any accumulator's sequence).
+    ///
+    /// # Panics
+    /// Panics on any size mismatch.
+    pub fn backward_batch_accum(
+        &self,
+        grad_out: &[f32],
+        batch: usize,
+        scratch: &mut MlpBatchScratch,
+        grads: &mut [f32],
+    ) {
+        let n_layers = self.sizes.len() - 1;
+        assert_eq!(
+            grad_out.len(),
+            batch * self.output_dim(),
+            "grad dim mismatch"
+        );
+        assert_eq!(grads.len(), self.params.len(), "grads buffer mismatch");
+        assert!(
+            scratch.acts.len() == self.sizes.len() && scratch.batch >= batch,
+            "scratch not filled by a matching forward_batch"
+        );
+        self.seed_output_deltas(grad_out, batch, scratch);
+        for l in (0..n_layers).rev() {
+            let (n_in, n_out) = (self.sizes[l], self.sizes[l + 1]);
+            self.fold_tanh_deltas(l, batch, scratch);
+            // Parameter grads, samples outermost so every parameter's
+            // accumulator takes its additions in ascending sample order —
+            // the serial reference chain. Keeping the sample loop outside
+            // also keeps the reduction chains *short* (length `n_in` /
+            // `n_out` per sample) and independent across `o`, which is what
+            // lets the CPU overlap them; a per-parameter fold over the
+            // whole batch axis would be one long latency-bound chain. The
+            // layer's activations and deltas are staged back to
+            // sample-major so the inner loop runs over contiguous rows.
+            // Weights and biases are contiguous per layer, so one split
+            // yields both mutable views.
+            {
+                transpose_to_rows(&scratch.acts[l], batch, n_in, &mut scratch.xt);
+                transpose_to_rows(&scratch.deltas[l + 1], batch, n_out, &mut scratch.dt);
+                let xt = &scratch.xt[..batch * n_in];
+                let dt = &scratch.dt[..batch * n_out];
+                let (gw, rest) = grads[self.w_off[l]..].split_at_mut(n_out * n_in);
+                let gb = &mut rest[..n_out];
+                for (x, d_row) in xt.chunks_exact(n_in).zip(dt.chunks_exact(n_out)) {
+                    for (o, &d) in d_row.iter().enumerate() {
+                        if d == 0.0 {
+                            continue;
+                        }
+                        let row = &mut gw[o * n_in..(o + 1) * n_in];
+                        for (g, xi) in row.iter_mut().zip(x.iter()) {
+                            *g += d * xi;
+                        }
+                    }
+                    for (g, d) in gb.iter_mut().zip(d_row.iter()) {
+                        *g += d;
+                    }
+                }
+            }
+            self.propagate_input_deltas(l, batch, scratch);
+        }
     }
 
     /// Backward pass. `grad_out` is `dLoss/dOutput` for the sample whose
@@ -289,5 +693,153 @@ mod tests {
         let mlp = Mlp::new(&[3, 2], 0);
         let mut s = mlp.scratch();
         let _ = mlp.forward(&[1.0], &mut s);
+    }
+
+    /// A pseudo-random but deterministic batch of inputs.
+    fn test_batch(dim: usize, batch: usize) -> Vec<f32> {
+        (0..batch * dim)
+            .map(|i| ((i * 37 + 11) % 200) as f32 * 0.01 - 1.0)
+            .collect()
+    }
+
+    #[test]
+    fn forward_batch_rows_bit_equal_scalar_forward() {
+        let mlp = Mlp::new(&[4, 32, 16, 3], 21);
+        let batch = 13;
+        let inputs = test_batch(4, batch);
+        let mut bs = MlpBatchScratch::default();
+        let ys = mlp.forward_batch(&inputs, batch, &mut bs).to_vec();
+        let mut s = mlp.scratch();
+        for b in 0..batch {
+            let y = mlp.forward(&inputs[b * 4..(b + 1) * 4], &mut s);
+            for (o, (scalar, batched)) in y.iter().zip(&ys[b * 3..(b + 1) * 3]).enumerate() {
+                assert_eq!(
+                    scalar.to_bits(),
+                    batched.to_bits(),
+                    "sample {b} output {o}: scalar {scalar} vs batched {batched}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_batch_rows_bit_equal_scalar_backward() {
+        let mlp = Mlp::new(&[4, 32, 16, 3], 22);
+        let batch = 9;
+        let inputs = test_batch(4, batch);
+        // Per-sample dL/dy rows; include exact zeros to exercise the
+        // zero-delta skip.
+        let gouts: Vec<f32> = (0..batch * 3)
+            .map(|i| {
+                if i % 5 == 0 {
+                    0.0
+                } else {
+                    (i % 7) as f32 * 0.1 - 0.3
+                }
+            })
+            .collect();
+        let mut bs = MlpBatchScratch::default();
+        let _ = mlp.forward_batch(&inputs, batch, &mut bs);
+        let p = mlp.param_count();
+        let mut rows = vec![0.0f32; batch * p];
+        mlp.backward_batch(&gouts, batch, &mut bs, &mut rows);
+        let mut s = mlp.scratch();
+        for b in 0..batch {
+            let _ = mlp.forward(&inputs[b * 4..(b + 1) * 4], &mut s);
+            let mut grads = vec![0.0f32; p];
+            mlp.backward(&gouts[b * 3..(b + 1) * 3], &mut s, &mut grads);
+            let row = &rows[b * p..(b + 1) * p];
+            for (i, (scalar, batched)) in grads.iter().zip(row.iter()).enumerate() {
+                assert_eq!(
+                    scalar.to_bits(),
+                    batched.to_bits(),
+                    "sample {b} param {i}: scalar {scalar} vs batched {batched}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_batch_accum_bit_equal_rows_fold_and_scalar() {
+        let mlp = Mlp::new(&[4, 32, 16, 3], 23);
+        let batch = 11;
+        let inputs = test_batch(4, batch);
+        let gouts: Vec<f32> = (0..batch * 3)
+            .map(|i| {
+                if i % 4 == 0 {
+                    0.0
+                } else {
+                    (i % 9) as f32 * 0.07 - 0.2
+                }
+            })
+            .collect();
+        let p = mlp.param_count();
+
+        // Reference 1: scalar per-sample accumulation (the serial loop).
+        let mut s = mlp.scratch();
+        let mut scalar = vec![0.0f32; p];
+        for b in 0..batch {
+            let _ = mlp.forward(&inputs[b * 4..(b + 1) * 4], &mut s);
+            mlp.backward(&gouts[b * 3..(b + 1) * 3], &mut s, &mut scalar);
+        }
+
+        // Reference 2: per-sample rows folded in sample order.
+        let mut bs = MlpBatchScratch::default();
+        let _ = mlp.forward_batch(&inputs, batch, &mut bs);
+        let mut rows = vec![0.0f32; batch * p];
+        mlp.backward_batch(&gouts, batch, &mut bs, &mut rows);
+        let mut folded = vec![0.0f32; p];
+        for row in rows.chunks_exact(p) {
+            for (o, v) in folded.iter_mut().zip(row.iter()) {
+                *o += *v;
+            }
+        }
+
+        // Under test: direct batched accumulation.
+        let _ = mlp.forward_batch(&inputs, batch, &mut bs);
+        let mut accum = vec![0.0f32; p];
+        mlp.backward_batch_accum(&gouts, batch, &mut bs, &mut accum);
+
+        for i in 0..p {
+            assert_eq!(
+                scalar[i].to_bits(),
+                accum[i].to_bits(),
+                "param {i}: scalar {} vs accum {}",
+                scalar[i],
+                accum[i]
+            );
+            assert_eq!(
+                folded[i].to_bits(),
+                accum[i].to_bits(),
+                "param {i}: rows-fold {} vs accum {}",
+                folded[i],
+                accum[i]
+            );
+        }
+    }
+
+    #[test]
+    fn batch_scratch_grows_and_is_reusable() {
+        let mlp = Mlp::new(&[2, 8, 2], 3);
+        let mut bs = MlpBatchScratch::default();
+        let small = test_batch(2, 3);
+        let first = mlp.forward_batch(&small, 3, &mut bs).to_vec();
+        // Larger batch forces a regrow; smaller batch after that reuses.
+        let big = test_batch(2, 17);
+        let _ = mlp.forward_batch(&big, 17, &mut bs);
+        let again = mlp.forward_batch(&small, 3, &mut bs).to_vec();
+        assert_eq!(
+            first.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            again.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn scratch_fits_detects_shape_mismatch() {
+        let a = Mlp::new(&[3, 5, 2], 0);
+        let b = Mlp::new(&[3, 6, 2], 0);
+        let s = a.scratch();
+        assert!(a.scratch_fits(&s));
+        assert!(!b.scratch_fits(&s));
     }
 }

@@ -7,10 +7,10 @@
 //! the `Train`/`Test` API.
 
 use crate::adam::Adam;
-use crate::buffer::{EpisodeBuffer, RolloutBuffer, Transition};
-use crate::mlp::{Mlp, MlpScratch};
+use crate::buffer::{EpisodeBuffer, RolloutBuffer, StepMeta};
+use crate::mlp::{Mlp, MlpBatchScratch, MlpScratch};
 use crate::softmax;
-use genet_env::{Env, Policy};
+use genet_env::{Env, Policy, PolicyScratch};
 use genet_math::derive_seed;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -72,6 +72,58 @@ pub struct UpdateStats {
     pub entropy: f32,
     /// Approximate KL(old ‖ new) over the batch.
     pub approx_kl: f32,
+}
+
+/// Worker accounting of one PPO update (all epochs), for the
+/// `update_batch` telemetry event. Observation-only: none of these values
+/// feed back into training.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpdateProfile {
+    /// Gradient samples processed (`buffer len × epochs`).
+    pub samples: u64,
+    /// Most worker threads any minibatch fanned out over.
+    pub workers: usize,
+    /// Summed per-worker busy time across all minibatches (0 unless timing
+    /// was requested).
+    pub busy_nanos: u64,
+}
+
+/// Samples per parallel gradient work item. Fixed (never derived from the
+/// worker count) so shard boundaries — and therefore every per-sample
+/// gradient row — are identical at any thread count.
+const UPDATE_SHARD: usize = 32;
+
+/// Per-sample loss-term contributions, folded into minibatch stats in
+/// sample order with the exact op sequence of the serial loop.
+#[derive(Debug, Clone, Copy)]
+struct SampleStats {
+    surrogate: f32,
+    half_sq_verr: f32,
+    entropy: f32,
+    kl: f32,
+}
+
+/// One gradient shard's output: per-sample gradient rows for both nets
+/// plus per-sample stats, all in shard-index order.
+struct ShardOut {
+    rows_a: Vec<f32>,
+    rows_c: Vec<f32>,
+    stats: Vec<SampleStats>,
+}
+
+/// Reusable buffers for one shard's batched passes. The serial fast path
+/// keeps one instance alive across a whole update (so no per-shard
+/// allocation at all); the parallel path builds one per shard task.
+#[derive(Default)]
+struct ShardScratch {
+    xs: Vec<f32>,
+    scratch_a: MlpBatchScratch,
+    scratch_c: MlpBatchScratch,
+    gouts_a: Vec<f32>,
+    gouts_c: Vec<f32>,
+    grad_logits: Vec<f32>,
+    g_ent: Vec<f32>,
+    stats: Vec<SampleStats>,
 }
 
 /// The trainable PPO agent.
@@ -181,68 +233,132 @@ impl PpoAgent {
     /// One PPO update over the buffer's contents. The buffer must contain
     /// complete episodes; `finish` is called here.
     pub fn update(&mut self, buffer: &mut RolloutBuffer, rng: &mut StdRng) -> UpdateStats {
+        self.update_profiled(buffer, rng, false).0
+    }
+
+    /// [`PpoAgent::update`] with worker accounting for the `update_batch`
+    /// telemetry event. `timed` requests busy-time measurement (callers
+    /// with disabled telemetry read no clock).
+    ///
+    /// Gradient computation fans out across the deterministic parallel
+    /// engine: the shuffled minibatch is cut into fixed-size shards
+    /// ([`UPDATE_SHARD`]), each shard runs batched forward/backward passes
+    /// producing *per-sample* gradient rows, and the rows are reduced into
+    /// the minibatch gradient strictly in sample-index order
+    /// (`genet_par::fold_rows_ordered`). Every per-parameter floating-point
+    /// addition therefore happens in the exact sequence of a serial
+    /// sample-at-a-time loop, so weights and [`UpdateStats`] are
+    /// bit-identical at any worker count (DESIGN.md §11).
+    ///
+    /// When the resolved worker count is 1 (single-core hosts,
+    /// `GENET_THREADS=1`), a serial fast path runs the same batched kernels
+    /// but accumulates each shard's gradients directly in sample order
+    /// ([`Mlp::backward_batch_accum`]) — the identical FP sequence without
+    /// materializing, writing and re-reading `batch × param_count` gradient
+    /// rows per shard.
+    pub fn update_profiled(
+        &mut self,
+        buffer: &mut RolloutBuffer,
+        rng: &mut StdRng,
+        timed: bool,
+    ) -> (UpdateStats, UpdateProfile) {
         buffer.finish(self.cfg.gamma, self.cfg.lambda);
+        let Self {
+            actor,
+            critic,
+            opt_actor,
+            opt_critic,
+            cfg,
+            ..
+        } = self;
         let n = buffer.len();
         let mut indices: Vec<usize> = (0..n).collect();
-        let mut grads_a = vec![0.0f32; self.actor.param_count()];
-        let mut grads_c = vec![0.0f32; self.critic.param_count()];
-        let actions = self.actor.output_dim();
-        let mut grad_logits = vec![0.0f32; actions];
-        let mut g_ent = vec![0.0f32; actions];
+        let pa = actor.param_count();
+        let pc = critic.param_count();
+        let mut grads_a = vec![0.0f32; pa];
+        let mut grads_c = vec![0.0f32; pc];
         let mut stats = UpdateStats::default();
         let mut stat_batches = 0usize;
+        let mut profile = UpdateProfile {
+            samples: (n * cfg.epochs) as u64,
+            workers: 1,
+            busy_nanos: 0,
+        };
 
-        for _epoch in 0..self.cfg.epochs {
+        let mut ss = ShardScratch::default();
+        for _epoch in 0..cfg.epochs {
             indices.shuffle(rng);
-            for chunk in indices.chunks(self.cfg.minibatch) {
+            for chunk in indices.chunks(cfg.minibatch) {
+                let inv = 1.0 / chunk.len() as f32;
+                // Shard boundaries depend only on the chunk, never on the
+                // worker count.
+                let shards: Vec<&[usize]> = chunk.chunks(UPDATE_SHARD).collect();
+                let buffer = &*buffer;
                 grads_a.iter_mut().for_each(|g| *g = 0.0);
                 grads_c.iter_mut().for_each(|g| *g = 0.0);
                 let mut mb_policy_loss = 0.0f32;
                 let mut mb_value_loss = 0.0f32;
                 let mut mb_entropy = 0.0f32;
                 let mut mb_kl = 0.0f32;
-                let inv = 1.0 / chunk.len() as f32;
-                for &i in chunk {
-                    let t = &buffer.transitions()[i];
-                    let adv = buffer.advantages()[i];
-                    let ret = buffer.returns()[i];
+                if genet_par::worker_count(shards.len()) <= 1 {
+                    // Serial fast path: one worker would replay the sample
+                    // order anyway, so skip the sharding, the per-sample
+                    // rows and the fold — one batched pass over the whole
+                    // minibatch, accumulating gradients directly. The
+                    // per-parameter addition sequence is still ascending
+                    // sample order, so this is bit-identical
+                    // (`Mlp::backward_batch_accum`) and free of the rows'
+                    // O(batch × params) memory traffic.
+                    let ((), nanos) = genet_par::time_serial(timed, || {
+                        shard_loss_passes(actor, critic, cfg, buffer, chunk, inv, &mut ss);
+                        let m = chunk.len();
+                        actor.backward_batch_accum(&ss.gouts_a, m, &mut ss.scratch_a, &mut grads_a);
+                        critic.backward_batch_accum(
+                            &ss.gouts_c,
+                            m,
+                            &mut ss.scratch_c,
+                            &mut grads_c,
+                        );
+                        for st in &ss.stats {
+                            mb_policy_loss -= st.surrogate;
+                            mb_value_loss += st.half_sq_verr;
+                            mb_entropy += st.entropy;
+                            mb_kl += st.kl;
+                        }
+                    });
+                    profile.busy_nanos += nanos;
+                } else {
+                    let (shard_outs, bp) = genet_par::par_map_profiled(
+                        shards.len(),
+                        |si| compute_shard(actor, critic, cfg, buffer, shards[si], inv),
+                        timed,
+                    );
+                    profile.workers = profile.workers.max(bp.workers);
+                    profile.busy_nanos += bp.busy_nanos;
 
-                    // ---- actor ----
-                    let logits = self.actor.forward(&t.obs, &mut self.scratch_a);
-                    let probs = softmax::softmax(logits);
-                    let logp = softmax::log_prob(&probs, t.action);
-                    let ratio = (logp - t.log_prob).exp();
-                    let unclipped = ratio * adv;
-                    let clipped = ratio.clamp(1.0 - self.cfg.clip, 1.0 + self.cfg.clip) * adv;
-                    let surrogate = unclipped.min(clipped);
-                    // Gradient flows only when the unclipped branch is
-                    // active (the standard PPO subgradient).
-                    let pass_through = if adv >= 0.0 {
-                        ratio <= 1.0 + self.cfg.clip
-                    } else {
-                        ratio >= 1.0 - self.cfg.clip
-                    };
-                    let coef = if pass_through { ratio * adv } else { 0.0 };
-                    softmax::grad_log_prob(&probs, t.action, &mut grad_logits);
-                    softmax::grad_entropy(&probs, &mut g_ent);
-                    // Loss = −surrogate − c_ent·H; accumulate dLoss/dlogits.
-                    for j in 0..actions {
-                        grad_logits[j] =
-                            (-coef * grad_logits[j] - self.cfg.entropy_coef * g_ent[j]) * inv;
+                    // Ordered reduction: rows enter each accumulator in
+                    // ascending sample order — the serial FP addition
+                    // sequence.
+                    let rows_a: Vec<&[f32]> = shard_outs
+                        .iter()
+                        .flat_map(|so| so.rows_a.chunks_exact(pa))
+                        .collect();
+                    let fold_a = genet_par::fold_rows_ordered(&rows_a, &mut grads_a, timed);
+                    let rows_c: Vec<&[f32]> = shard_outs
+                        .iter()
+                        .flat_map(|so| so.rows_c.chunks_exact(pc))
+                        .collect();
+                    let fold_c = genet_par::fold_rows_ordered(&rows_c, &mut grads_c, timed);
+                    profile.busy_nanos += fold_a.busy_nanos + fold_c.busy_nanos;
+
+                    // Stats fold, same ops in the same (sample) order as
+                    // the serial loop.
+                    for st in shard_outs.iter().flat_map(|so| so.stats.iter()) {
+                        mb_policy_loss -= st.surrogate;
+                        mb_value_loss += st.half_sq_verr;
+                        mb_entropy += st.entropy;
+                        mb_kl += st.kl;
                     }
-                    self.actor
-                        .backward(&grad_logits, &mut self.scratch_a, &mut grads_a);
-
-                    // ---- critic ----
-                    let value = self.critic.forward(&t.obs, &mut self.scratch_c)[0];
-                    let verr = value - ret;
-                    self.critic
-                        .backward(&[verr * inv], &mut self.scratch_c, &mut grads_c);
-
-                    mb_policy_loss -= surrogate;
-                    mb_value_loss += 0.5 * verr * verr;
-                    mb_entropy += softmax::entropy(&probs);
-                    mb_kl += t.log_prob - logp;
                 }
                 debug_assert!(
                     mb_policy_loss.is_finite() && mb_value_loss.is_finite(),
@@ -252,8 +368,8 @@ impl PpoAgent {
                     grads_a.iter().chain(grads_c.iter()).all(|g| g.is_finite()),
                     "non-finite gradient in PPO update"
                 );
-                self.opt_actor.step(self.actor.params_mut(), &grads_a);
-                self.opt_critic.step(self.critic.params_mut(), &grads_c);
+                opt_actor.step(actor.params_mut(), &grads_a);
+                opt_critic.step(critic.params_mut(), &grads_c);
 
                 stats.policy_loss += mb_policy_loss * inv;
                 stats.value_loss += mb_value_loss * inv;
@@ -270,7 +386,7 @@ impl PpoAgent {
             stats.approx_kl *= s;
         }
         buffer.clear();
-        stats
+        (stats, profile)
     }
 
     /// An immutable evaluation snapshot implementing [`genet_env::Policy`].
@@ -317,7 +433,15 @@ impl PpoAgent {
                     format!("expected section {tag}, got {got_tag}"),
                 ));
             }
-            let sizes: Vec<usize> = parts.map(|p| p.parse().unwrap_or(0)).collect();
+            let mut sizes: Vec<usize> = Vec::new();
+            for p in parts {
+                sizes.push(p.parse().map_err(|_| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unparsable layer size {p:?} in {tag} header"),
+                    )
+                })?);
+            }
             if sizes != net.sizes() {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
@@ -340,6 +464,110 @@ impl PpoAgent {
             }
         }
         Ok(())
+    }
+}
+
+/// The shared per-shard forward + loss math of both update paths: batched
+/// actor and critic forward passes over `idxs` (one fixed-size shard of
+/// the shuffled minibatch), per-sample loss terms into `ss.stats`, and
+/// `dLoss/dOutput` rows into `ss.gouts_a` / `ss.gouts_c`. Leaves each
+/// net's activations in its scratch for the caller's backward pass of
+/// choice (per-sample rows or direct accumulation).
+///
+/// Bit-compatibility with the serial loop: the batched kernels reproduce
+/// the scalar per-sample op sequence exactly ([`Mlp::forward_batch`]), and
+/// all per-sample scalar math here (softmax, ratio/clip, gradient-of-logits
+/// scaling) is the verbatim serial code. Actor and critic passes touch
+/// disjoint state, so their relative order changes no FP value.
+fn shard_loss_passes(
+    actor: &Mlp,
+    critic: &Mlp,
+    cfg: &PpoConfig,
+    buffer: &RolloutBuffer,
+    idxs: &[usize],
+    inv: f32,
+    ss: &mut ShardScratch,
+) {
+    let m = idxs.len();
+    let obs_dim = actor.input_dim();
+    let actions = actor.output_dim();
+    ss.xs.resize(m * obs_dim, 0.0);
+    for (x, &i) in ss.xs.chunks_exact_mut(obs_dim).zip(idxs) {
+        x.copy_from_slice(buffer.obs(i));
+    }
+    ss.gouts_a.resize(m * actions, 0.0);
+    ss.gouts_c.resize(m, 0.0);
+    ss.grad_logits.resize(actions, 0.0);
+    ss.g_ent.resize(actions, 0.0);
+    ss.stats.clear();
+
+    // ---- actor ----
+    let logits_all = actor.forward_batch(&ss.xs, m, &mut ss.scratch_a);
+    for (s, &i) in idxs.iter().enumerate() {
+        let t = &buffer.meta()[i];
+        let adv = buffer.advantages()[i];
+        let logits = &logits_all[s * actions..(s + 1) * actions];
+        let probs = softmax::softmax(logits);
+        let logp = softmax::log_prob(&probs, t.action);
+        let ratio = (logp - t.log_prob).exp();
+        let unclipped = ratio * adv;
+        let clipped = ratio.clamp(1.0 - cfg.clip, 1.0 + cfg.clip) * adv;
+        let surrogate = unclipped.min(clipped);
+        // Gradient flows only when the unclipped branch is active (the
+        // standard PPO subgradient).
+        let pass_through = if adv >= 0.0 {
+            ratio <= 1.0 + cfg.clip
+        } else {
+            ratio >= 1.0 - cfg.clip
+        };
+        let coef = if pass_through { ratio * adv } else { 0.0 };
+        softmax::grad_log_prob(&probs, t.action, &mut ss.grad_logits);
+        softmax::grad_entropy(&probs, &mut ss.g_ent);
+        // Loss = −surrogate − c_ent·H; dLoss/dlogits for this sample.
+        for j in 0..actions {
+            ss.gouts_a[s * actions + j] =
+                (-coef * ss.grad_logits[j] - cfg.entropy_coef * ss.g_ent[j]) * inv;
+        }
+        ss.stats.push(SampleStats {
+            surrogate,
+            half_sq_verr: 0.0,
+            entropy: softmax::entropy(&probs),
+            kl: t.log_prob - logp,
+        });
+    }
+
+    // ---- critic ----
+    let values = critic.forward_batch(&ss.xs, m, &mut ss.scratch_c);
+    for (s, &i) in idxs.iter().enumerate() {
+        let ret = buffer.returns()[i];
+        let verr = values[s] - ret;
+        ss.gouts_c[s] = verr * inv;
+        ss.stats[s].half_sq_verr = 0.5 * verr * verr;
+    }
+}
+
+/// One parallel work item of the update engine: [`shard_loss_passes`] plus
+/// batched backward passes emitting *per-sample* gradient rows, so the
+/// reducer can fold them in ascending sample order at any worker count.
+fn compute_shard(
+    actor: &Mlp,
+    critic: &Mlp,
+    cfg: &PpoConfig,
+    buffer: &RolloutBuffer,
+    idxs: &[usize],
+    inv: f32,
+) -> ShardOut {
+    let m = idxs.len();
+    let mut ss = ShardScratch::default();
+    shard_loss_passes(actor, critic, cfg, buffer, idxs, inv, &mut ss);
+    let mut rows_a = vec![0.0f32; m * actor.param_count()];
+    actor.backward_batch(&ss.gouts_a, m, &mut ss.scratch_a, &mut rows_a);
+    let mut rows_c = vec![0.0f32; m * critic.param_count()];
+    critic.backward_batch(&ss.gouts_c, m, &mut ss.scratch_c, &mut rows_c);
+    ShardOut {
+        rows_a,
+        rows_c,
+        stats: ss.stats,
     }
 }
 
@@ -375,7 +603,9 @@ impl FrozenPolicy<'_> {
 
     /// Runs one full episode on `env` with the episode-local `rng`,
     /// returning its transitions as an [`EpisodeBuffer`]. Allocates its own
-    /// forward-pass scratch, so concurrent calls never share mutable state.
+    /// forward-pass scratch once per episode (observations are copied into
+    /// the buffer's flat arena, so the step loop itself allocates nothing),
+    /// and concurrent calls never share mutable state.
     pub fn rollout_episode(&self, env: &mut dyn Env, rng: &mut StdRng) -> EpisodeBuffer {
         let mut scratch_a = self.actor.scratch();
         let mut scratch_c = self.critic.scratch();
@@ -386,14 +616,16 @@ impl FrozenPolicy<'_> {
             let (action, log_prob, value) =
                 self.act_sample(&obs, &mut scratch_a, &mut scratch_c, rng);
             let out = env.step(action);
-            episode.push(Transition {
-                obs: obs.clone(),
-                action,
-                log_prob,
-                value,
-                reward: out.reward as f32,
-                done: out.done,
-            });
+            episode.push_step(
+                &obs,
+                StepMeta {
+                    action,
+                    log_prob,
+                    value,
+                    reward: out.reward as f32,
+                    done: out.done,
+                },
+            );
             if out.done {
                 break;
             }
@@ -417,19 +649,21 @@ pub enum PolicyMode {
 
 /// A frozen actor snapshot usable wherever `genet_env::Policy` is expected.
 ///
-/// `act` allocates its own scratch per call, which keeps the policy `Sync`
-/// so evaluations can fan out across threads; the nets are small enough
-/// that the allocation is noise next to the simulator step.
+/// The policy holds no mutable state, which keeps it `Sync` so evaluations
+/// can fan out across threads. Rollout loops that thread a
+/// [`PolicyScratch`] through [`Policy::act_with`] reuse one forward-pass
+/// buffer for the whole episode; the bare [`Policy::act`] allocates a fresh
+/// scratch per call.
 #[derive(Debug, Clone)]
 pub struct PpoPolicy {
     actor: Mlp,
     mode: PolicyMode,
 }
 
-impl Policy for PpoPolicy {
-    fn act(&self, obs: &[f32], rng: &mut StdRng) -> usize {
-        let mut scratch = self.actor.scratch();
-        let logits = self.actor.forward(obs, &mut scratch);
+impl PpoPolicy {
+    /// The shared decision core of `act`/`act_with`.
+    fn decide(&self, obs: &[f32], rng: &mut StdRng, scratch: &mut MlpScratch) -> usize {
+        let logits = self.actor.forward(obs, scratch);
         match self.mode {
             PolicyMode::Greedy => softmax::argmax(logits),
             PolicyMode::Stochastic => {
@@ -437,6 +671,22 @@ impl Policy for PpoPolicy {
                 softmax::sample_categorical(&probs, rng)
             }
         }
+    }
+}
+
+impl Policy for PpoPolicy {
+    fn act(&self, obs: &[f32], rng: &mut StdRng) -> usize {
+        let mut scratch = self.actor.scratch();
+        self.decide(obs, rng, &mut scratch)
+    }
+
+    fn act_with(&self, obs: &[f32], rng: &mut StdRng, scratch: &mut PolicyScratch) -> usize {
+        let cached = scratch.get_or_insert_with(
+            // A scratch cached by a different-shape policy is re-allocated.
+            |s: &MlpScratch| self.actor.scratch_fits(s),
+            || self.actor.scratch(),
+        );
+        self.decide(obs, rng, cached)
     }
 }
 
@@ -622,13 +872,99 @@ mod tests {
         let mean = agent.collect_episode(&mut Bandit { t: 0 }, &mut buffer, &mut r2);
         assert_eq!(episode.len(), buffer.len());
         assert!((episode.mean_step_reward() - mean).abs() < 1e-12);
-        for (a, b) in episode.transitions().iter().zip(buffer.transitions()) {
+        for (i, (a, b)) in episode.meta().iter().zip(buffer.meta()).enumerate() {
+            assert_eq!(episode.obs(i), buffer.obs(i));
             assert_eq!(a.action, b.action);
             assert_eq!(a.log_prob.to_bits(), b.log_prob.to_bits());
             assert_eq!(a.value.to_bits(), b.value.to_bits());
             assert_eq!(a.reward.to_bits(), b.reward.to_bits());
             assert_eq!(a.done, b.done);
         }
+    }
+
+    #[test]
+    fn load_rejects_unparsable_header_size() {
+        let dir = std::env::temp_dir().join("genet_rl_test_badheader");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("agent.txt");
+        let a = PpoAgent::new(3, 4, PpoConfig::default(), 0);
+        a.save(&path).unwrap();
+        // Corrupt one header size token.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corrupted = text.replacen("actor 3", "actor 3x", 1);
+        assert_ne!(text, corrupted, "corruption failed to apply");
+        std::fs::write(&path, corrupted).unwrap();
+        let mut b = PpoAgent::new(3, 4, PpoConfig::default(), 0);
+        let err = b.load(&path).unwrap_err();
+        // Regression: this used to parse as 0 and surface as a misleading
+        // "shape mismatch"; the error must name the unparsable token.
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("unparsable layer size") && msg.contains("3x"),
+            "unexpected error: {msg}"
+        );
+    }
+
+    #[test]
+    fn act_with_matches_act_and_reuses_scratch() {
+        let agent = PpoAgent::new(3, 4, PpoConfig::default(), 17);
+        let p = agent.policy(PolicyMode::Stochastic);
+        let mut scratch = genet_env::PolicyScratch::new();
+        for i in 0..32 {
+            let obs = [i as f32 * 0.1 - 1.0, 0.4, -0.2];
+            // Identical RNG streams → identical samples.
+            let mut r1 = StdRng::seed_from_u64(i);
+            let mut r2 = StdRng::seed_from_u64(i);
+            assert_eq!(
+                p.act(&obs, &mut r1),
+                p.act_with(&obs, &mut r2, &mut scratch)
+            );
+        }
+        // A different-shape policy must survive a stale cached scratch.
+        let other = PpoAgent::new(5, 2, PpoConfig::default(), 18).policy(PolicyMode::Greedy);
+        let mut rng = StdRng::seed_from_u64(0);
+        let obs5 = [0.1, 0.2, 0.3, 0.4, 0.5];
+        assert_eq!(
+            other.act(&obs5, &mut rng),
+            other.act_with(&obs5, &mut rng, &mut scratch)
+        );
+    }
+
+    #[test]
+    fn update_is_thread_count_invariant() {
+        // One update() on a fixed pre-filled buffer must produce
+        // bit-identical weights and stats at 1 / 2 / default workers.
+        // (The cross-stage train-loop invariance test lives in
+        // genet-core/tests/thread_invariance.rs; a standalone
+        // update-stage test also runs in genet-rl/tests/.)
+        let fingerprint = |threads: Option<usize>| {
+            genet_par::override_worker_threads(threads);
+            let mut agent = PpoAgent::new(2, 2, PpoConfig::default(), 77);
+            let mut buffer = RolloutBuffer::new();
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..6 {
+                agent.collect_episode(&mut Bandit { t: 0 }, &mut buffer, &mut rng);
+            }
+            let stats = agent.update(&mut buffer, &mut rng);
+            genet_par::override_worker_threads(None);
+            let mut bits: Vec<u32> = agent.actor_params().iter().map(|v| v.to_bits()).collect();
+            bits.extend(agent.critic_params().iter().map(|v| v.to_bits()));
+            bits.extend(
+                [
+                    stats.policy_loss,
+                    stats.value_loss,
+                    stats.entropy,
+                    stats.approx_kl,
+                ]
+                .iter()
+                .map(|v| v.to_bits()),
+            );
+            bits
+        };
+        let serial = fingerprint(Some(1));
+        assert_eq!(serial, fingerprint(Some(2)), "2 workers diverged");
+        assert_eq!(serial, fingerprint(None), "default workers diverged");
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! The parallel PPO *update* engine's core guarantee, mirroring the rollout
+//! engine's (`genet-core/tests/thread_invariance.rs`): the worker count is a
+//! pure performance knob. Starting from identical weights and an identical
+//! pre-filled `RolloutBuffer`, `update` must produce bit-identical weights
+//! and `UpdateStats` whether gradient shards are folded serially (1 worker),
+//! across 2 workers, or with the hardware-default fan-out — because
+//! per-sample gradient rows are computed independently and folded in sample
+//! index order regardless of how shards land on threads (DESIGN.md §11).
+//!
+//! All scenarios run inside a single `#[test]` so the global
+//! `override_worker_threads` hook is never mutated by two tests at once.
+
+use genet_par::override_worker_threads;
+use genet_rl::{PpoAgent, PpoConfig, RolloutBuffer, StepMeta, UpdateStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const OBS_DIM: usize = 12;
+const ACTIONS: usize = 5;
+
+/// Deterministic synthetic rollout: several "episodes" of varying length
+/// with exercised done flags, varied rewards and non-uniform observations.
+/// 700 steps spans multiple 256-sample minibatches and a ragged tail.
+fn fill_buffer(buffer: &mut RolloutBuffer) {
+    let mut obs = vec![0.0f32; OBS_DIM];
+    for i in 0..700usize {
+        for (j, o) in obs.iter_mut().enumerate() {
+            *o = (((i * 31 + j * 17) % 97) as f32) * 0.021 - 1.0;
+        }
+        buffer.push_step(
+            &obs,
+            StepMeta {
+                action: (i * 7) % ACTIONS,
+                log_prob: -1.6 - ((i % 13) as f32) * 0.05,
+                value: ((i % 11) as f32) * 0.1 - 0.5,
+                reward: ((i % 5) as f32 - 2.0) * 0.4,
+                done: i % 89 == 88 || i == 699,
+            },
+        );
+    }
+}
+
+#[derive(PartialEq, Debug)]
+struct UpdateFingerprint {
+    actor_bits: Vec<u32>,
+    critic_bits: Vec<u32>,
+    stat_bits: [u32; 4],
+}
+
+fn stat_bits(s: &UpdateStats) -> [u32; 4] {
+    [
+        s.policy_loss.to_bits(),
+        s.value_loss.to_bits(),
+        s.entropy.to_bits(),
+        s.approx_kl.to_bits(),
+    ]
+}
+
+fn update_fingerprint(threads: Option<usize>) -> UpdateFingerprint {
+    override_worker_threads(threads);
+    let mut agent = PpoAgent::new(OBS_DIM, ACTIONS, PpoConfig::default(), 77);
+    let mut buffer = RolloutBuffer::new();
+    fill_buffer(&mut buffer);
+    // Same RNG seed at every thread count — the minibatch shuffle must be
+    // the only RNG consumer during the update.
+    let mut rng = StdRng::seed_from_u64(123);
+    let stats = agent.update(&mut buffer, &mut rng);
+    override_worker_threads(None);
+    UpdateFingerprint {
+        actor_bits: agent.actor_params().iter().map(|p| p.to_bits()).collect(),
+        critic_bits: agent.critic_params().iter().map(|p| p.to_bits()).collect(),
+        stat_bits: stat_bits(&stats),
+    }
+}
+
+#[test]
+fn update_from_fixed_buffer_is_thread_count_invariant() {
+    let serial = update_fingerprint(Some(1));
+    let two = update_fingerprint(Some(2));
+    let eight = update_fingerprint(Some(8));
+    let default = update_fingerprint(None);
+    assert!(
+        !serial.actor_bits.is_empty() && !serial.critic_bits.is_empty(),
+        "degenerate fingerprint"
+    );
+    assert_eq!(
+        serial, two,
+        "1 vs 2 workers diverged — update depends on thread count"
+    );
+    assert_eq!(serial, eight, "1 vs 8 workers diverged");
+    assert_eq!(serial, default, "1 worker vs hardware default diverged");
+}

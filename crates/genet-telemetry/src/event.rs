@@ -73,6 +73,22 @@ pub enum Event {
         /// index order.
         busy_nanos: u64,
     },
+    /// One parallel PPO update: all epochs × minibatches of a single
+    /// `PpoAgent::update_profiled` call, gradient shards fanned out by the
+    /// parallel update engine. Mirrors [`Event::RolloutBatch`].
+    UpdateBatch {
+        /// Span-style phase scope, e.g. `train/initial`.
+        scope: String,
+        /// Iteration index within the scope.
+        iter: u64,
+        /// Gradient samples processed (buffer length × epochs).
+        samples: u64,
+        /// Most worker threads any minibatch used.
+        workers: u64,
+        /// Sum of per-worker busy time across all minibatches, merged
+        /// deterministically in worker index order.
+        busy_nanos: u64,
+    },
     /// One parallel evaluation batch (`evaluate::par_map`).
     EvalBatch {
         /// Caller-supplied label, e.g. `eval/genet`.
@@ -105,6 +121,7 @@ impl Event {
             Event::BoTrial { .. } => "bo_trial",
             Event::Promotion { .. } => "promotion",
             Event::RolloutBatch { .. } => "rollout_batch",
+            Event::UpdateBatch { .. } => "update_batch",
             Event::EvalBatch { .. } => "eval_batch",
             Event::CacheHit { .. } => "cache_hit",
             Event::CacheMiss { .. } => "cache_miss",
@@ -179,6 +196,19 @@ impl Event {
                 w.uint("workers", *workers);
                 w.uint("busy_nanos", *busy_nanos);
             }
+            Event::UpdateBatch {
+                scope,
+                iter,
+                samples,
+                workers,
+                busy_nanos,
+            } => {
+                w.str("scope", scope);
+                w.uint("iter", *iter);
+                w.uint("samples", *samples);
+                w.uint("workers", *workers);
+                w.uint("busy_nanos", *busy_nanos);
+            }
             Event::EvalBatch {
                 label,
                 n,
@@ -235,6 +265,13 @@ impl Event {
                 scope: s("scope")?,
                 iter: u("iter")?,
                 episodes: u("episodes")?,
+                workers: u("workers")?,
+                busy_nanos: u("busy_nanos")?,
+            }),
+            "update_batch" => Some(Event::UpdateBatch {
+                scope: s("scope")?,
+                iter: u("iter")?,
+                samples: u("samples")?,
                 workers: u("workers")?,
                 busy_nanos: u("busy_nanos")?,
             }),
@@ -301,6 +338,13 @@ mod tests {
             episodes: 20,
             workers: 8,
             busy_nanos: 9_876_543,
+        });
+        roundtrip(Event::UpdateBatch {
+            scope: "train/initial".into(),
+            iter: 3,
+            samples: 4_872,
+            workers: 8,
+            busy_nanos: 1_234_567,
         });
         roundtrip(Event::EvalBatch {
             label: "eval/genet".into(),

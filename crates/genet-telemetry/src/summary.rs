@@ -103,10 +103,10 @@ impl Collector for StderrSummary {
                 st.rewards_since_round.clear();
                 st.bo_trials_since_round = 0;
             }
-            // Per-iteration rollout batches are too chatty for the stderr
-            // narration (one per training iteration); the span profile and
-            // JSONL stream carry them.
-            Event::RolloutBatch { .. } => {}
+            // Per-iteration rollout/update batches are too chatty for the
+            // stderr narration (one each per training iteration); the span
+            // profile and JSONL stream carry them.
+            Event::RolloutBatch { .. } | Event::UpdateBatch { .. } => {}
             Event::EvalBatch {
                 label, n, workers, ..
             } => {

@@ -55,12 +55,14 @@ pub mod prelude {
         TrainConfig, TrainLog, UniformSource,
     };
     pub use genet_env::{
-        CurriculumDist, Env, EnvConfig, ParamDim, ParamSpace, Policy, RangeLevel, Scenario,
+        CurriculumDist, Env, EnvConfig, ParamDim, ParamSpace, Policy, PolicyScratch, RangeLevel,
+        Scenario,
     };
     pub use genet_lb::LbScenario;
     pub use genet_math::{mean, pearson, percentile, std_dev, Summary};
     pub use genet_rl::{
         EpisodeBuffer, FrozenPolicy, PolicyMode, PpoAgent, PpoConfig, PpoPolicy, RolloutBuffer,
+        StepMeta, UpdateProfile,
     };
     pub use genet_telemetry::{
         noop, Collector, Event, JsonlSink, MemorySink, NoopCollector, StderrSummary, Tee,

@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the telemetry substrate.
+//!
+//! The headline comparison: `SpanTree::add` with its raw-path intern table
+//! (one map lookup, zero allocation in the steady state) against a naive
+//! walk that re-splits and re-canonicalizes the path on every add — the
+//! per-span cost every instrumented iteration pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genet::telemetry::spans::canonical_segment;
+use genet::telemetry::SpanTree;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+/// The naive aggregation the intern table replaces: canonicalize the whole
+/// path and bump a flat map entry, allocating on every add.
+#[derive(Default)]
+struct NaiveSpanMap {
+    totals: BTreeMap<String, (u64, u64)>,
+}
+
+impl NaiveSpanMap {
+    fn add(&mut self, path: &str, nanos: u64) {
+        let canon: Vec<String> = path
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(canonical_segment)
+            .collect();
+        let entry = self.totals.entry(canon.join("/")).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += nanos;
+    }
+}
+
+/// The span mix of one instrumented training run: a handful of distinct
+/// raw paths (numbered rounds), each recorded many times.
+fn span_stream() -> Vec<String> {
+    let mut paths = Vec::new();
+    for round in 0..5 {
+        paths.push(format!("train/sequencing/round-{round}/rollout"));
+        paths.push(format!("train/sequencing/round-{round}/ppo-update"));
+        for trial in 0..8 {
+            paths.push(format!("train/sequencing/round-{round}/bo/trial-{trial}"));
+        }
+    }
+    paths
+}
+
+fn bench_span_add(c: &mut Criterion) {
+    let stream = span_stream();
+    c.bench_function("span_tree_add_interned", |b| {
+        let mut tree = SpanTree::new();
+        // Pre-intern so the loop measures the steady state the training
+        // loop actually runs in.
+        for p in &stream {
+            tree.add(p, 1);
+        }
+        b.iter(|| {
+            for p in &stream {
+                tree.add(black_box(p), 7);
+            }
+        })
+    });
+    c.bench_function("span_tree_add_naive_rewalk", |b| {
+        let mut map = NaiveSpanMap::default();
+        for p in &stream {
+            map.add(p, 1);
+        }
+        b.iter(|| {
+            for p in &stream {
+                map.add(black_box(p), 7);
+            }
+        })
+    });
+}
+
+fn bench_first_intern(c: &mut Criterion) {
+    let stream = span_stream();
+    c.bench_function("span_tree_build_from_cold", |b| {
+        b.iter(|| {
+            let mut tree = SpanTree::new();
+            for p in &stream {
+                tree.add(p, 7);
+            }
+            black_box(tree.interned_paths())
+        })
+    });
+}
+
+criterion_group!(benches, bench_span_add, bench_first_intern);
+criterion_main!(benches);

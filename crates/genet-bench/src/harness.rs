@@ -78,6 +78,33 @@ fn parse_seed(value: Option<&str>) -> u64 {
     }
 }
 
+/// Validates a `--telemetry` output directory before any work runs: creates
+/// it and probes writability with a throwaway file, so a typo'd or
+/// read-only path fails up front with the offending path — not after
+/// minutes of training when the sink first flushes.
+fn validate_telemetry_dir(dir: &Path) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!(
+            "error: --telemetry directory {} cannot be created: {e}",
+            dir.display()
+        );
+        std::process::exit(2);
+    }
+    let probe = dir.join(".genet_telemetry_probe");
+    match std::fs::write(&probe, b"probe") {
+        Ok(()) => {
+            let _ = std::fs::remove_file(&probe);
+        }
+        Err(e) => {
+            eprintln!(
+                "error: --telemetry directory {} is not writable: {e}",
+                dir.display()
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Builds the `--telemetry` collector: a JSONL sink named after the figure,
 /// seed and budget, teed with the stderr summarizer.
 fn build_collector(figure: &str, seed: u64, full: bool, dir: Option<&Path>) -> Arc<dyn Collector> {
@@ -87,7 +114,7 @@ fn build_collector(figure: &str, seed: u64, full: bool, dir: Option<&Path>) -> A
     let mode = if full { "full" } else { "quick" };
     let path = dir.join(format!("{figure}_s{seed}_{mode}.jsonl"));
     // The BENCH_<figure>.json perf summary lands next to the TSVs (see
-    // DESIGN.md §11 for the schema).
+    // DESIGN.md §12 for the schema).
     let perf = Arc::new(crate::perfjson::BenchJsonSink::new(
         &bench_out_dir(),
         figure,
@@ -136,7 +163,7 @@ impl Args {
                 "--full" | "full" => full = true,
                 "--fresh" => fresh = true,
                 "--seed" => seed = parse_seed(raw.next().as_deref()),
-                "--telemetry" => telemetry = Some(bench_out_dir().join("telemetry")),
+                "--telemetry" => telemetry = Some(telemetry_dir()),
                 other => {
                     if let Some(v) = other.strip_prefix("--seed=") {
                         seed = parse_seed(Some(v));
@@ -147,6 +174,9 @@ impl Args {
                     }
                 }
             }
+        }
+        if let Some(dir) = &telemetry {
+            validate_telemetry_dir(dir);
         }
         let collector = build_collector(&figure, seed, full, telemetry.as_deref());
         Args {

@@ -3,34 +3,39 @@
 //! Whenever `--telemetry` is active, every figure binary drops one JSON
 //! file next to its TSVs summarizing where the wall-clock went: total run
 //! time, the aggregated span tree (total/self nanoseconds and call counts
-//! per canonical phase path), counter totals, and the run coordinates
-//! (seed, quick/full mode, configured worker-thread count). CI's perf-smoke
-//! job parses it; perf-trajectory tooling diffs it across commits. The
-//! schema is documented in DESIGN.md §11.
+//! per canonical phase path), counter totals, per-stage worker utilization
+//! (items, per-worker busy time, imbalance, throughput), and the run
+//! coordinates (seed, quick/full mode, configured worker-thread count).
+//! CI's perf-smoke job parses it; `genet-perf` reports, diffs, archives and
+//! gates it across commits. The schema (`genet-bench-perf-v2`, a strict
+//! additive extension of v1) is documented in DESIGN.md §12.
 //!
 //! Like every collector, the sink only *observes*: results stay
 //! bit-identical with or without it (`telemetry_transparency`).
 
 use genet::prelude::{Collector, Event};
 use genet::telemetry::json::ObjWriter;
-use genet::telemetry::{SpanNode, SpanTree};
+use genet::telemetry::{SpanTree, StageAgg};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 // genet-lint: allow(wall-clock-in-result-path) observation-only perf sink; no timing feeds back into results
 use std::time::Instant;
 
-/// Format version of `BENCH_<figure>.json`.
-pub const BENCH_JSON_SCHEMA: &str = "genet-bench-perf-v1";
+/// Format version of `BENCH_<figure>.json`. v2 adds the `stages` object
+/// (worker-level utilization per parallel stage); every v1 field is
+/// unchanged, so v1 consumers keep working on v2 files.
+pub const BENCH_JSON_SCHEMA: &str = "genet-bench-perf-v2";
 
 #[derive(Default)]
 struct State {
     spans: SpanTree,
     counters: BTreeMap<&'static str, u64>,
+    stages: BTreeMap<String, StageAgg>,
     finished: bool,
 }
 
-/// Collector that accumulates spans/counters and writes
+/// Collector that accumulates spans/counters/stage utilization and writes
 /// `BENCH_<figure>.json` when finished (or dropped).
 pub struct BenchJsonSink {
     path: PathBuf,
@@ -76,6 +81,7 @@ impl BenchJsonSink {
             self.full,
             wall_ms,
             &st.counters,
+            &st.stages,
             &st.spans,
         );
         if let Err(e) = std::fs::write(&self.path, json) {
@@ -93,7 +99,28 @@ impl Drop for BenchJsonSink {
 }
 
 impl Collector for BenchJsonSink {
-    fn record(&self, _event: &Event) {}
+    fn record(&self, event: &Event) {
+        if let Event::ParStage {
+            stage,
+            items,
+            workers,
+            busy_nanos,
+            busy_ns,
+            worker_items,
+            ..
+        } = event
+        {
+            // genet-lint: allow(panic-in-library) mutex-poisoning check; crash-fast like every telemetry sink
+            let mut st = self.state.lock().unwrap();
+            st.stages.entry(stage.clone()).or_default().absorb(
+                *items,
+                *workers,
+                *busy_nanos,
+                busy_ns,
+                worker_items,
+            );
+        }
+    }
 
     fn span_end(&self, path: &str, nanos: u64) {
         // genet-lint: allow(panic-in-library) mutex-poisoning check; crash-fast like every telemetry sink
@@ -112,6 +139,7 @@ fn render(
     full: bool,
     wall_ms: f64,
     counters: &BTreeMap<&'static str, u64>,
+    stages: &BTreeMap<String, StageAgg>,
     spans: &SpanTree,
 ) -> String {
     let mut w = ObjWriter::new();
@@ -138,28 +166,36 @@ fn render(
         let obj = cw.finish();
         body.push_str(&obj[1..obj.len() - 1]);
     }
-    body.push_str("},\"phases\":[");
-    let mut first = true;
-    let mut stack: Vec<(String, &SpanNode)> = spans
-        .roots()
-        .iter()
-        .rev()
-        .map(|(name, node)| (name.clone(), node))
-        .collect();
-    while let Some((path, node)) = stack.pop() {
-        if !first {
+    body.push_str("},\"stages\":{");
+    for (i, (stage, agg)) in stages.iter().enumerate() {
+        if i > 0 {
             body.push(',');
         }
-        first = false;
+        let mut sw = ObjWriter::new();
+        sw.uint("items", agg.items);
+        sw.uint("batches", agg.batches);
+        sw.uint("max_workers", agg.max_workers);
+        sw.uint("busy_nanos", agg.busy_nanos);
+        sw.uint_array("worker_busy_ns", &agg.worker_busy);
+        sw.uint_array("worker_items", &agg.worker_items);
+        sw.num("imbalance", agg.imbalance());
+        sw.num("items_per_sec", agg.items_per_sec().unwrap_or(0.0));
+        body.push('"');
+        genet::telemetry::json::escape_into(&mut body, stage);
+        body.push_str("\":");
+        body.push_str(&sw.finish());
+    }
+    body.push_str("},\"phases\":[");
+    for (i, (path, node)) in spans.preorder().into_iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
         let mut pw = ObjWriter::new();
         pw.str("path", &path);
         pw.uint("calls", node.calls);
-        pw.uint("total_nanos", node.effective_nanos());
-        pw.uint("self_nanos", node.self_nanos());
+        pw.uint("total_nanos", spans.effective_nanos(node));
+        pw.uint("self_nanos", spans.self_nanos(node));
         body.push_str(&pw.finish());
-        for (child, cn) in node.children.iter().rev() {
-            stack.push((format!("{path}/{child}"), cn));
-        }
     }
     body.push_str("]}\n");
     body
@@ -179,7 +215,19 @@ mod tests {
         let mut counters = BTreeMap::new();
         counters.insert("episodes", 12u64);
         counters.insert("env_steps", 3400u64);
-        render("fig04_xy_example", 42, false, 123.5, &counters, &spans)
+        let mut stages = BTreeMap::new();
+        let mut agg = StageAgg::default();
+        agg.absorb(8, 2, 1_000_000_000, &[600_000_000, 400_000_000], &[4, 4]);
+        stages.insert("rollout".to_string(), agg);
+        render(
+            "fig04_xy_example",
+            42,
+            false,
+            123.5,
+            &counters,
+            &stages,
+            &spans,
+        )
     }
 
     #[test]
@@ -225,18 +273,56 @@ mod tests {
     }
 
     #[test]
-    fn sink_writes_file_on_finish() {
+    fn stages_section_carries_worker_utilization() {
+        let doc = parse(sample_json().trim()).unwrap();
+        let rollout = doc.get("stages").unwrap().get("rollout").unwrap();
+        assert_eq!(rollout.get("items").unwrap().as_u64(), Some(8));
+        assert_eq!(rollout.get("batches").unwrap().as_u64(), Some(1));
+        assert_eq!(rollout.get("max_workers").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            rollout.get("busy_nanos").unwrap().as_u64(),
+            Some(1_000_000_000)
+        );
+        assert_eq!(
+            rollout.get("worker_busy_ns").unwrap().as_u64_array(),
+            Some(vec![600_000_000, 400_000_000])
+        );
+        assert_eq!(
+            rollout.get("worker_items").unwrap().as_u64_array(),
+            Some(vec![4, 4])
+        );
+        // max/mean = 600ms / 500ms.
+        assert!((rollout.get("imbalance").unwrap().as_f64().unwrap() - 1.2).abs() < 1e-9);
+        // 8 items in 1s of summed busy time.
+        assert!((rollout.get("items_per_sec").unwrap().as_f64().unwrap() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sink_writes_file_on_finish_and_aggregates_par_stages() {
         let dir = std::env::temp_dir().join("genet_perfjson_test");
         let _ = std::fs::create_dir_all(&dir);
         let sink = BenchJsonSink::new(&dir, "figtest", 7, true);
         sink.span_end("train", 1000);
         sink.counter_add("episodes", 3);
+        sink.record(&Event::ParStage {
+            stage: "eval/policy".into(),
+            scope: String::new(),
+            items: 16,
+            workers: 4,
+            busy_nanos: 40,
+            busy_ns: vec![10, 10, 10, 10],
+            worker_items: vec![4, 4, 4, 4],
+            imbalance: 1.0,
+        });
         sink.finish();
         sink.finish(); // idempotent
         let text = std::fs::read_to_string(sink.path()).unwrap();
         let doc = parse(text.trim()).unwrap();
         assert_eq!(doc.get("mode").unwrap().as_str().unwrap(), "full");
         assert_eq!(doc.get("seed").unwrap().as_u64(), Some(7));
+        let stage = doc.get("stages").unwrap().get("eval/policy").unwrap();
+        assert_eq!(stage.get("items").unwrap().as_u64(), Some(16));
+        assert_eq!(stage.get("max_workers").unwrap().as_u64(), Some(4));
         let _ = std::fs::remove_file(sink.path());
     }
 }

@@ -20,11 +20,12 @@ pub use genet_par::{
 };
 
 /// [`par_map`] with an attached telemetry collector: emits one
-/// [`Event::EvalBatch`] per call (batch size, worker count, summed
-/// busy-time across workers) plus the evaluated-environment counter.
-/// Per-worker busy times are accumulated in worker-local buffers and merged
-/// in worker-index order after the scope joins, so the results — and the
-/// event itself — are deterministic even though the workers race.
+/// [`Event::EvalBatch`] and one worker-level [`Event::ParStage`] per call
+/// (batch size, worker count, per-worker busy time/items, imbalance) plus
+/// the evaluated-environment and eval-busy-time counters. Per-worker busy
+/// times are accumulated in worker-local buffers and merged in worker-index
+/// order after the scope joins, so the results — and the events — are
+/// deterministic even though the workers race.
 pub fn par_map_with<T, F>(n: usize, f: F, collector: &dyn Collector, label: &str) -> Vec<T>
 where
     T: Send,
@@ -33,24 +34,29 @@ where
     let enabled = collector.enabled();
     let (results, profile) = par_map_profiled(n, f, enabled);
     if enabled && n > 0 {
-        record_eval_batch(collector, label, n, profile.workers, profile.busy_nanos);
+        record_eval_batch(collector, label, n, &profile);
     }
     results
 }
 
-fn record_eval_batch(
-    collector: &dyn Collector,
-    label: &str,
-    n: usize,
-    workers: usize,
-    busy_nanos: u64,
-) {
+fn record_eval_batch(collector: &dyn Collector, label: &str, n: usize, profile: &BatchProfile) {
     collector.counter_add(counters::EVAL_ENVS, n as u64);
+    collector.counter_add(counters::EVAL_BUSY_NANOS, profile.busy_nanos);
     collector.record(&Event::EvalBatch {
         label: label.to_string(),
         n: n as u64,
-        workers: workers as u64,
-        busy_nanos,
+        workers: profile.workers as u64,
+        busy_nanos: profile.busy_nanos,
+    });
+    collector.record(&Event::ParStage {
+        stage: format!("eval/{label}"),
+        scope: String::new(),
+        items: n as u64,
+        workers: profile.workers as u64,
+        busy_nanos: profile.busy_nanos,
+        busy_ns: profile.worker_busy.clone(),
+        worker_items: profile.worker_items.clone(),
+        imbalance: profile.imbalance(),
     });
 }
 

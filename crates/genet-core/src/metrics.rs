@@ -89,15 +89,13 @@ pub fn fmt(v: f64) -> String {
     format!("{v:.4}")
 }
 
-/// The default output directory: `$GENET_BENCH_OUT` when set and non-empty,
-/// else `bench_out/` under the workspace root or the current directory.
-pub fn bench_out_dir() -> PathBuf {
-    match std::env::var_os("GENET_BENCH_OUT") {
-        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
-        // When run via `cargo run -p genet-bench`, CWD is the workspace root.
-        _ => PathBuf::from("bench_out"),
-    }
-}
+// The default output directory (`$GENET_BENCH_OUT` when set and non-empty,
+// else `bench_out/`) and its derived paths resolve in one place —
+// `genet_telemetry::paths` — so TSVs, model cache, telemetry streams and
+// perf summaries can never disagree about the root.
+pub use genet_telemetry::paths::{
+    bench_json_path, bench_out_dir, perf_history_path, telemetry_dir,
+};
 
 #[cfg(test)]
 mod tests {
@@ -129,10 +127,21 @@ mod tests {
 
     #[test]
     fn bench_out_dir_honors_env_override() {
-        // Only this test touches the variable, so set/restore is safe even
-        // under the parallel test runner.
+        // Only this test (in this test binary) touches the variable, so
+        // set/restore is safe even under the parallel test runner.
         std::env::set_var("GENET_BENCH_OUT", "custom_out");
         assert_eq!(bench_out_dir(), PathBuf::from("custom_out"));
+        // Every derived observability path follows the same root — the
+        // regression the shared `genet_telemetry::paths` helper exists for.
+        assert_eq!(telemetry_dir(), PathBuf::from("custom_out/telemetry"));
+        assert_eq!(
+            bench_json_path("fig09_asymptotic"),
+            PathBuf::from("custom_out/BENCH_fig09_asymptotic.json")
+        );
+        assert_eq!(
+            perf_history_path(),
+            PathBuf::from("custom_out/perf_history.jsonl")
+        );
         std::env::set_var("GENET_BENCH_OUT", "");
         assert_eq!(bench_out_dir(), PathBuf::from("bench_out"));
         std::env::remove_var("GENET_BENCH_OUT");

@@ -102,6 +102,52 @@ fn collector_does_not_perturb_genet_training() {
     assert!(paths.contains(&"train/sequencing/round-1/bo/trial-3"));
     // The root span closes last.
     assert_eq!(spans.last().unwrap().0, "train");
+
+    // Worker-level stage accounting: one rollout + one ppo-update par_stage
+    // event per training iteration, internally consistent (per-worker busy
+    // times sum to the batch total, item counts cover the batch), plus the
+    // stage busy-time / sample counters.
+    let par_stages = sink.events_of("par_stage");
+    let mut rollout_stages = 0usize;
+    let mut update_stages = 0usize;
+    for event in &par_stages {
+        let Event::ParStage {
+            stage,
+            items,
+            workers,
+            busy_nanos,
+            busy_ns,
+            worker_items,
+            imbalance,
+            ..
+        } = event
+        else {
+            unreachable!()
+        };
+        assert!(*workers >= 1);
+        assert!(*imbalance >= 1.0, "{stage}: imbalance {imbalance}");
+        assert!(
+            busy_ns.len() <= *workers as usize,
+            "{stage}: {} busy slots for {workers} workers",
+            busy_ns.len()
+        );
+        assert_eq!(busy_ns.iter().sum::<u64>(), *busy_nanos, "{stage}");
+        match stage.as_str() {
+            "rollout" => {
+                rollout_stages += 1;
+                // Rollout worker items are episodes and cover the batch.
+                assert_eq!(worker_items.iter().sum::<u64>(), *items, "{stage}");
+            }
+            "ppo-update" => update_stages += 1,
+            other => panic!("unexpected stage {other} during training"),
+        }
+    }
+    assert_eq!(rollout_stages, iters);
+    assert_eq!(update_stages, iters);
+    assert_eq!(sink.counter(counters::EPISODES), episodes as u64);
+    assert!(sink.counter(counters::ROLLOUT_BUSY_NANOS) > 0);
+    assert!(sink.counter(counters::UPDATE_BUSY_NANOS) > 0);
+    assert!(sink.counter(counters::UPDATE_SAMPLES) > 0);
 }
 
 #[test]

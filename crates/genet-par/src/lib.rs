@@ -84,13 +84,84 @@ pub fn configured_threads() -> usize {
 }
 
 /// Worker accounting of one parallel batch, for telemetry events
-/// (`eval_batch` / `rollout_batch` / `update_batch`).
-#[derive(Debug, Clone, Copy, Default)]
+/// (`eval_batch` / `rollout_batch` / `update_batch` / `par_stage`).
+///
+/// The per-worker vectors are indexed by worker (= shard) index, which is a
+/// pure function of the batch size and the resolved worker count — never of
+/// OS scheduling — so every field is deterministic given identical timing
+/// inputs, and the vectors are empty when timing was not requested.
+#[derive(Debug, Clone, Default)]
 pub struct BatchProfile {
     /// Worker threads the batch actually used.
     pub workers: usize,
     /// Summed per-worker busy time (0 unless timing was requested).
     pub busy_nanos: u64,
+    /// Per-worker busy nanoseconds in worker-index order (empty unless
+    /// timing was requested).
+    pub worker_busy: Vec<u64>,
+    /// Per-worker items processed in worker-index order (empty unless
+    /// timing was requested). For `par_map_profiled` an item is one work
+    /// index; for [`fold_rows_ordered`] it is one parameter slot.
+    pub worker_items: Vec<u64>,
+}
+
+impl BatchProfile {
+    /// Busy-time imbalance of the batch: max over mean of the per-worker
+    /// busy times. `1.0` for ≤1 worker, untimed batches, or an all-idle
+    /// batch — a perfectly balanced fan-out also reads `1.0`.
+    pub fn imbalance(&self) -> f64 {
+        if self.worker_busy.len() <= 1 {
+            return 1.0;
+        }
+        let max = self.worker_busy.iter().copied().max().unwrap_or(0);
+        let sum: u64 = self.worker_busy.iter().sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        let mean = sum as f64 / self.worker_busy.len() as f64;
+        max as f64 / mean
+    }
+
+    /// `(min, median, max)` of the per-worker shard durations, or `None`
+    /// when the batch was untimed. The median of an even count is the
+    /// integer midpoint of the two middle values.
+    pub fn shard_duration_stats(&self) -> Option<(u64, u64, u64)> {
+        if self.worker_busy.is_empty() {
+            return None;
+        }
+        let mut sorted = self.worker_busy.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            let lo = sorted[n / 2 - 1];
+            let hi = sorted[n / 2];
+            lo + (hi - lo) / 2
+        };
+        Some((sorted[0], median, sorted[n - 1]))
+    }
+
+    /// Folds another batch's accounting into this one, worker index by
+    /// worker index (used by engines that run many batches per stage, e.g.
+    /// the PPO update's minibatch loop). `workers` keeps the maximum,
+    /// busy times and item counts accumulate.
+    pub fn absorb(&mut self, other: &BatchProfile) {
+        self.workers = self.workers.max(other.workers);
+        self.busy_nanos += other.busy_nanos;
+        if self.worker_busy.len() < other.worker_busy.len() {
+            self.worker_busy.resize(other.worker_busy.len(), 0);
+        }
+        for (acc, v) in self.worker_busy.iter_mut().zip(other.worker_busy.iter()) {
+            *acc += *v;
+        }
+        if self.worker_items.len() < other.worker_items.len() {
+            self.worker_items.resize(other.worker_items.len(), 0);
+        }
+        for (acc, v) in self.worker_items.iter_mut().zip(other.worker_items.iter()) {
+            *acc += *v;
+        }
+    }
 }
 
 /// Parallel deterministic map: applies `f` to each item index, preserving
@@ -129,21 +200,30 @@ where
         for (i, slot) in slots.iter_mut().enumerate() {
             *slot = Some(f(i));
         }
+        let busy = t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
         BatchProfile {
             workers: 1,
-            busy_nanos: t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64),
+            busy_nanos: busy,
+            worker_busy: if timed { vec![busy] } else { Vec::new() },
+            worker_items: if timed { vec![n as u64] } else { Vec::new() },
         }
     } else {
         let chunk = n.div_ceil(threads);
         let workers = n.div_ceil(chunk);
         let mut busy = vec![0u64; workers];
+        let mut items = vec![0u64; workers];
         crossbeam::scope(|s| {
-            for ((ti, slice), busy_slot) in slots.chunks_mut(chunk).enumerate().zip(busy.iter_mut())
+            for (((ti, slice), busy_slot), item_slot) in slots
+                .chunks_mut(chunk)
+                .enumerate()
+                .zip(busy.iter_mut())
+                .zip(items.iter_mut())
             {
                 let f = &f;
                 s.spawn(move |_| {
                     // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
                     let t0 = timed.then(Instant::now);
+                    *item_slot = slice.len() as u64;
                     for (j, slot) in slice.iter_mut().enumerate() {
                         *slot = Some(f(ti * chunk + j));
                     }
@@ -158,6 +238,8 @@ where
         BatchProfile {
             workers,
             busy_nanos: busy.iter().sum(),
+            worker_busy: if timed { busy } else { Vec::new() },
+            worker_items: if timed { items } else { Vec::new() },
         }
     };
     let results = slots
@@ -205,6 +287,8 @@ pub fn fold_rows_ordered(rows: &[&[f32]], out: &mut [f32], timed: bool) -> Batch
         return BatchProfile {
             workers: 1,
             busy_nanos: 0,
+            worker_busy: Vec::new(),
+            worker_items: Vec::new(),
         };
     }
     let threads = worker_count(out.len());
@@ -217,21 +301,35 @@ pub fn fold_rows_ordered(rows: &[&[f32]], out: &mut [f32], timed: bool) -> Batch
                 *o += *v;
             }
         }
+        let busy = t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
         return BatchProfile {
             workers: 1,
-            busy_nanos: t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64),
+            busy_nanos: busy,
+            worker_busy: if timed { vec![busy] } else { Vec::new() },
+            worker_items: if timed {
+                vec![out.len() as u64]
+            } else {
+                Vec::new()
+            },
         };
     }
     let chunk = out.len().div_ceil(threads);
     let workers = out.len().div_ceil(chunk);
     let mut busy = vec![0u64; workers];
+    let mut items = vec![0u64; workers];
     crossbeam::scope(|s| {
-        for ((wi, slice), busy_slot) in out.chunks_mut(chunk).enumerate().zip(busy.iter_mut()) {
+        for (((wi, slice), busy_slot), item_slot) in out
+            .chunks_mut(chunk)
+            .enumerate()
+            .zip(busy.iter_mut())
+            .zip(items.iter_mut())
+        {
             s.spawn(move |_| {
                 // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
                 let t0 = timed.then(Instant::now);
                 let lo = wi * chunk;
                 let hi = lo + slice.len();
+                *item_slot = slice.len() as u64;
                 for row in rows {
                     for (o, v) in slice.iter_mut().zip(row[lo..hi].iter()) {
                         *o += *v;
@@ -248,6 +346,8 @@ pub fn fold_rows_ordered(rows: &[&[f32]], out: &mut [f32], timed: bool) -> Batch
     BatchProfile {
         workers,
         busy_nanos: busy.iter().sum(),
+        worker_busy: if timed { busy } else { Vec::new() },
+        worker_items: if timed { items } else { Vec::new() },
     }
 }
 
@@ -342,8 +442,79 @@ mod tests {
         assert_eq!(out.len(), 64);
         assert!(profile.workers >= 1 && profile.workers <= 64);
         assert_eq!(profile.busy_nanos, 0);
+        // Untimed batches record no per-worker detail.
+        assert!(profile.worker_busy.is_empty());
+        assert!(profile.worker_items.is_empty());
         let (empty, profile) = par_map_profiled(0, |i| i, true);
         assert!(empty.is_empty());
         assert_eq!(profile.workers, 0);
+    }
+
+    #[test]
+    fn timed_batches_record_per_worker_accounting() {
+        for threads in [Some(1), Some(3)] {
+            override_worker_threads(threads);
+            let (out, profile) = par_map_profiled(10, |i| i, true);
+            override_worker_threads(None);
+            assert_eq!(out.len(), 10);
+            assert_eq!(profile.worker_busy.len(), profile.workers);
+            assert_eq!(profile.worker_items.len(), profile.workers);
+            assert_eq!(profile.worker_items.iter().sum::<u64>(), 10);
+            assert_eq!(profile.worker_busy.iter().sum::<u64>(), profile.busy_nanos);
+            assert!(profile.imbalance() >= 1.0);
+            let (min, median, max) = profile.shard_duration_stats().unwrap();
+            assert!(min <= median && median <= max);
+        }
+    }
+
+    #[test]
+    fn imbalance_and_shard_stats_edge_cases() {
+        let p = BatchProfile::default();
+        assert_eq!(p.imbalance(), 1.0);
+        assert!(p.shard_duration_stats().is_none());
+        let p = BatchProfile {
+            workers: 4,
+            busy_nanos: 100,
+            worker_busy: vec![10, 20, 30, 40],
+            worker_items: vec![1, 1, 1, 1],
+        };
+        // max 40 / mean 25.
+        assert!((p.imbalance() - 1.6).abs() < 1e-12);
+        assert_eq!(p.shard_duration_stats(), Some((10, 25, 40)));
+        let odd = BatchProfile {
+            workers: 3,
+            busy_nanos: 60,
+            worker_busy: vec![30, 10, 20],
+            worker_items: vec![1, 1, 1],
+        };
+        assert_eq!(odd.shard_duration_stats(), Some((10, 20, 30)));
+        let idle = BatchProfile {
+            workers: 2,
+            busy_nanos: 0,
+            worker_busy: vec![0, 0],
+            worker_items: vec![1, 1],
+        };
+        assert_eq!(idle.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn absorb_accumulates_by_worker_index() {
+        let mut acc = BatchProfile::default();
+        acc.absorb(&BatchProfile {
+            workers: 2,
+            busy_nanos: 30,
+            worker_busy: vec![10, 20],
+            worker_items: vec![3, 2],
+        });
+        acc.absorb(&BatchProfile {
+            workers: 3,
+            busy_nanos: 60,
+            worker_busy: vec![10, 20, 30],
+            worker_items: vec![1, 1, 1],
+        });
+        assert_eq!(acc.workers, 3);
+        assert_eq!(acc.busy_nanos, 90);
+        assert_eq!(acc.worker_busy, vec![20, 40, 30]);
+        assert_eq!(acc.worker_items, vec![4, 3, 1]);
     }
 }

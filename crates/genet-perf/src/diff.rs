@@ -1,0 +1,193 @@
+//! Span-by-span comparison of two BENCH documents.
+
+use crate::doc::BenchDoc;
+use genet_telemetry::spans::fmt_nanos;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Thresholds for flagging a delta.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Relative change that counts as significant (0.10 = ±10%).
+    pub rel_threshold: f64,
+    /// Absolute floor in nanoseconds — deltas on spans smaller than this
+    /// are noise no matter the ratio (a 3µs span doubling is not news).
+    pub abs_floor_nanos: u64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        Self {
+            rel_threshold: 0.10,
+            abs_floor_nanos: 5_000_000, // 5ms
+        }
+    }
+}
+
+/// One compared span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Canonical span path (or `(wall)` for the run totals).
+    pub path: String,
+    /// Subtree nanos in A (`None` when the span only exists in B).
+    pub a_nanos: Option<u64>,
+    /// Subtree nanos in B (`None` when the span only exists in A).
+    pub b_nanos: Option<u64>,
+    /// Signed relative change B vs A (`None` when either side is missing
+    /// or A is zero).
+    pub rel_change: Option<f64>,
+    /// Whether the delta clears both thresholds.
+    pub flagged: bool,
+}
+
+/// The comparison result.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// All compared spans, `(wall)` first, then path order.
+    pub rows: Vec<DiffRow>,
+    /// Count of flagged rows.
+    pub flagged: usize,
+}
+
+impl DiffReport {
+    /// Renders the comparison as an aligned table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<42} {:>10} {:>10} {:>8}", "span", "a", "b", "delta");
+        for row in &self.rows {
+            let fmt_side = |v: Option<u64>| match v {
+                Some(n) => fmt_nanos(n),
+                None => "-".to_string(),
+            };
+            let delta = match row.rel_change {
+                Some(r) => format!("{:+.1}%", r * 100.0),
+                None => match (row.a_nanos, row.b_nanos) {
+                    (None, Some(_)) => "added".to_string(),
+                    (Some(_), None) => "removed".to_string(),
+                    _ => "-".to_string(),
+                },
+            };
+            let mark = if row.flagged { "  <-- " } else { "" };
+            let _ = writeln!(
+                out,
+                "{:<42} {:>10} {:>10} {:>8}{mark}",
+                row.path,
+                fmt_side(row.a_nanos),
+                fmt_side(row.b_nanos),
+                delta
+            );
+        }
+        let _ = writeln!(out, "{} significant delta(s)", self.flagged);
+        out
+    }
+}
+
+/// Compares B against A. Spans present on only one side are reported but
+/// never flagged (a restructured span tree is not a perf regression);
+/// zero-duration spans produce no ratio.
+pub fn diff(a: &BenchDoc, b: &BenchDoc, cfg: &DiffConfig) -> DiffReport {
+    let mut paths: BTreeMap<String, (Option<u64>, Option<u64>)> = BTreeMap::new();
+    for p in &a.phases {
+        paths.entry(p.path.clone()).or_default().0 = Some(p.total_nanos);
+    }
+    for p in &b.phases {
+        paths.entry(p.path.clone()).or_default().1 = Some(p.total_nanos);
+    }
+    let wall = (
+        Some(crate::doc::ms_to_nanos(a.wall_ms)),
+        Some(crate::doc::ms_to_nanos(b.wall_ms)),
+    );
+    let mut rows = Vec::with_capacity(paths.len() + 1);
+    let mut flagged = 0usize;
+    for (path, (av, bv)) in std::iter::once(("(wall)".to_string(), wall)).chain(paths) {
+        let rel_change = match (av, bv) {
+            (Some(an), Some(bn)) if an > 0 => Some((bn as f64 - an as f64) / an as f64),
+            _ => None,
+        };
+        let is_flagged = match (av, bv, rel_change) {
+            (Some(an), Some(bn), Some(r)) => {
+                let abs_delta = bn.abs_diff(an);
+                r.abs() > cfg.rel_threshold && abs_delta > cfg.abs_floor_nanos
+            }
+            _ => false,
+        };
+        if is_flagged {
+            flagged += 1;
+        }
+        rows.push(DiffRow {
+            path,
+            a_nanos: av,
+            b_nanos: bv,
+            rel_change,
+            flagged: is_flagged,
+        });
+    }
+    DiffReport { rows, flagged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::sample_v2;
+
+    fn doc_with(phases: &[(&str, u64)], wall_ms: f64) -> BenchDoc {
+        let mut doc = BenchDoc::parse(sample_v2()).unwrap();
+        doc.wall_ms = wall_ms;
+        doc.phases = phases
+            .iter()
+            .map(|(p, n)| crate::doc::PhaseRow {
+                path: p.to_string(),
+                calls: 1,
+                total_nanos: *n,
+                self_nanos: *n,
+            })
+            .collect();
+        doc
+    }
+
+    #[test]
+    fn flags_only_deltas_clearing_both_thresholds() {
+        let a = doc_with(&[("train", 100_000_000), ("eval", 1_000)], 200.0);
+        // train +50% (clears both), eval doubled but under the floor.
+        let b = doc_with(&[("train", 150_000_000), ("eval", 2_000)], 260.0);
+        let report = diff(&a, &b, &DiffConfig::default());
+        let train = report.rows.iter().find(|r| r.path == "train").unwrap();
+        assert!(train.flagged);
+        assert!((train.rel_change.unwrap() - 0.5).abs() < 1e-9);
+        let eval = report.rows.iter().find(|r| r.path == "eval").unwrap();
+        assert!(!eval.flagged, "sub-floor span must not flag");
+        let wall = report.rows.iter().find(|r| r.path == "(wall)").unwrap();
+        assert!(wall.flagged, "wall +30% over the floor must flag");
+        assert_eq!(report.flagged, 2);
+        let text = report.render();
+        assert!(text.contains("+50.0%"), "{text}");
+        assert!(text.contains("2 significant delta(s)"), "{text}");
+    }
+
+    #[test]
+    fn spans_missing_one_side_report_but_never_flag() {
+        let a = doc_with(&[("old", 100_000_000)], 100.0);
+        let b = doc_with(&[("new", 100_000_000)], 100.0);
+        let report = diff(&a, &b, &DiffConfig::default());
+        let old = report.rows.iter().find(|r| r.path == "old").unwrap();
+        assert_eq!((old.a_nanos, old.b_nanos), (Some(100_000_000), None));
+        assert!(!old.flagged);
+        let new = report.rows.iter().find(|r| r.path == "new").unwrap();
+        assert_eq!(new.a_nanos, None);
+        assert!(!new.flagged);
+        assert_eq!(report.flagged, 0);
+        let text = report.render();
+        assert!(text.contains("removed"), "{text}");
+        assert!(text.contains("added"), "{text}");
+    }
+
+    #[test]
+    fn zero_duration_spans_produce_no_ratio() {
+        let a = doc_with(&[("idle", 0)], 100.0);
+        let b = doc_with(&[("idle", 50_000_000)], 100.0);
+        let report = diff(&a, &b, &DiffConfig::default());
+        let idle = report.rows.iter().find(|r| r.path == "idle").unwrap();
+        assert_eq!(idle.rel_change, None);
+        assert!(!idle.flagged);
+    }
+}

@@ -1,0 +1,350 @@
+//! The noise-aware perf regression gate.
+//!
+//! Rule: for each span (and the run wall-clock), the **minimum** over the
+//! current run's N repeats must not exceed the **median** of the archived
+//! baseline runs with matching coordinates (figure, mode, thread count) by
+//! more than the relative threshold — and the absolute delta must clear a
+//! floor, so microsecond spans can't trip the gate on scheduler jitter.
+//! Min-of-N discards one-off slow repeats; the median baseline discards
+//! one-off slow archive entries. An empty history passes (the first
+//! archived run *is* the baseline).
+
+use crate::doc::BenchDoc;
+use crate::history::HistoryEntry;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Gate thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Relative slowdown that fails the gate (0.30 = +30% over baseline).
+    pub rel_threshold: f64,
+    /// Absolute floor in nanoseconds below which deltas never fail.
+    pub abs_floor_nanos: u64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self {
+            rel_threshold: 0.30,
+            abs_floor_nanos: 20_000_000, // 20ms
+        }
+    }
+}
+
+/// One gated span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanVerdict {
+    /// Canonical span path (or `(wall)`).
+    pub path: String,
+    /// Min subtree nanos over the current repeats.
+    pub current_nanos: u64,
+    /// Median subtree nanos over the matching baseline runs.
+    pub baseline_nanos: u64,
+    /// current / baseline (1.0 when the baseline is zero).
+    pub ratio: f64,
+    /// Whether this span fails the gate.
+    pub regressed: bool,
+}
+
+/// The gate's decision with its full reasoning.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Every span compared against a baseline.
+    pub verdicts: Vec<SpanVerdict>,
+    /// Spans skipped (missing on one side) and other context.
+    pub notes: Vec<String>,
+    /// Baseline runs consulted.
+    pub baseline_runs: usize,
+    /// Overall verdict.
+    pub pass: bool,
+}
+
+impl GateReport {
+    /// Renders the verdict for CI logs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        for v in &self.verdicts {
+            let _ = writeln!(
+                out,
+                "{} {:<42} current {:>12}ns  baseline {:>12}ns  x{:.2}",
+                if v.regressed { "FAIL" } else { "  ok" },
+                v.path,
+                v.current_nanos,
+                v.baseline_nanos,
+                v.ratio
+            );
+        }
+        let regressed = self.verdicts.iter().filter(|v| v.regressed).count();
+        let _ = writeln!(
+            out,
+            "gate: {} ({} span(s) checked against {} baseline run(s), {} regressed)",
+            if self.pass { "PASS" } else { "FAIL" },
+            self.verdicts.len(),
+            self.baseline_runs,
+            regressed
+        );
+        out
+    }
+}
+
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    let n = xs.len();
+    if n == 0 {
+        return 0;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        let lo = xs[n / 2 - 1];
+        let hi = xs[n / 2];
+        lo + (hi - lo) / 2
+    }
+}
+
+/// Runs the gate: `current` holds one or more repeats of the same figure /
+/// mode / thread count (their per-span minimum is the measurement);
+/// `history` is the full archive (non-matching entries are ignored).
+pub fn gate(
+    current: &[BenchDoc],
+    history: &[HistoryEntry],
+    cfg: &GateConfig,
+) -> Result<GateReport, String> {
+    let first = current
+        .first()
+        .ok_or("gate needs at least one current BENCH document")?;
+    for doc in current {
+        if doc.figure != first.figure || doc.mode != first.mode || doc.threads != first.threads {
+            return Err(format!(
+                "current runs disagree on coordinates: {}/{}/t{} vs {}/{}/t{}",
+                first.figure, first.mode, first.threads, doc.figure, doc.mode, doc.threads
+            ));
+        }
+    }
+    let baseline: Vec<&HistoryEntry> = history
+        .iter()
+        .filter(|e| e.matches(&first.figure, &first.mode, first.threads))
+        .collect();
+    let mut report = GateReport {
+        verdicts: Vec::new(),
+        notes: Vec::new(),
+        baseline_runs: baseline.len(),
+        pass: true,
+    };
+    if baseline.is_empty() {
+        report.notes.push(format!(
+            "no baseline runs for {}/{}/threads={} in the archive; passing (archive this run to seed it)",
+            first.figure, first.mode, first.threads
+        ));
+        return Ok(report);
+    }
+
+    // Current measurement: per-span min over the repeats (spans must be in
+    // every repeat to count — a span that vanished mid-repeat is noise).
+    let mut cur: BTreeMap<String, u64> = first
+        .phases
+        .iter()
+        .map(|p| (p.path.clone(), p.total_nanos))
+        .collect();
+    cur.insert("(wall)".to_string(), crate::doc::ms_to_nanos(first.wall_ms));
+    for doc in &current[1..] {
+        let mut seen: BTreeMap<String, u64> = doc
+            .phases
+            .iter()
+            .map(|p| (p.path.clone(), p.total_nanos))
+            .collect();
+        seen.insert("(wall)".to_string(), crate::doc::ms_to_nanos(doc.wall_ms));
+        cur.retain(|path, _| seen.contains_key(path));
+        for (path, nanos) in cur.iter_mut() {
+            if let Some(v) = seen.get(path) {
+                *nanos = (*nanos).min(*v);
+            }
+        }
+    }
+
+    for (path, &cur_nanos) in &cur {
+        let samples: Vec<u64> = if path == "(wall)" {
+            baseline
+                .iter()
+                .map(|e| crate::doc::ms_to_nanos(e.wall_ms))
+                .collect()
+        } else {
+            baseline
+                .iter()
+                .filter_map(|e| e.phases.get(path).copied())
+                .collect()
+        };
+        if samples.is_empty() {
+            report
+                .notes
+                .push(format!("span {path} has no baseline; skipped"));
+            continue;
+        }
+        let base = median(samples);
+        let ratio = if base > 0 {
+            cur_nanos as f64 / base as f64
+        } else {
+            1.0
+        };
+        let regressed = base > 0
+            && ratio > 1.0 + cfg.rel_threshold
+            && cur_nanos.saturating_sub(base) > cfg.abs_floor_nanos;
+        if regressed {
+            report.pass = false;
+        }
+        report.verdicts.push(SpanVerdict {
+            path: path.clone(),
+            current_nanos: cur_nanos,
+            baseline_nanos: base,
+            ratio,
+            regressed,
+        });
+    }
+    for e in &baseline {
+        for path in e.phases.keys() {
+            if !cur.contains_key(path) && !report.notes.iter().any(|n| n.contains(path)) {
+                report.notes.push(format!(
+                    "baseline span {path} absent from the current run; skipped"
+                ));
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::{sample_v2, PhaseRow};
+
+    fn doc_with(phases: &[(&str, u64)], wall_ms: f64) -> BenchDoc {
+        let mut doc = BenchDoc::parse(sample_v2()).unwrap();
+        doc.wall_ms = wall_ms;
+        doc.phases = phases
+            .iter()
+            .map(|(p, n)| PhaseRow {
+                path: p.to_string(),
+                calls: 1,
+                total_nanos: *n,
+                self_nanos: *n,
+            })
+            .collect();
+        doc
+    }
+
+    fn entry(doc: &BenchDoc) -> HistoryEntry {
+        HistoryEntry::from_doc(doc, "base")
+    }
+
+    #[test]
+    fn empty_history_passes_with_note() {
+        let doc = doc_with(&[("train", 100)], 10.0);
+        let report = gate(&[doc], &[], &GateConfig::default()).unwrap();
+        assert!(report.pass);
+        assert_eq!(report.baseline_runs, 0);
+        assert!(
+            report.notes[0].contains("no baseline"),
+            "{:?}",
+            report.notes
+        );
+        assert!(report.render().contains("PASS"));
+    }
+
+    #[test]
+    fn injected_two_x_slowdown_is_flagged() {
+        // Three healthy baseline runs around 100ms on the hot span...
+        let base: Vec<HistoryEntry> = [98_000_000u64, 100_000_000, 104_000_000]
+            .iter()
+            .map(|&n| entry(&doc_with(&[("train", n)], 150.0)))
+            .collect();
+        // ...and a current run where it doubled.
+        let slow = doc_with(&[("train", 200_000_000)], 150.0);
+        let report = gate(&[slow], &base, &GateConfig::default()).unwrap();
+        assert!(!report.pass, "{}", report.render());
+        let v = report.verdicts.iter().find(|v| v.path == "train").unwrap();
+        assert!(v.regressed);
+        assert!((v.ratio - 2.0).abs() < 0.01);
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn min_of_repeats_forgives_one_slow_run() {
+        let base = vec![entry(&doc_with(&[("train", 100_000_000)], 150.0))];
+        // One repeat was 3x slow (machine hiccup), the other healthy: the
+        // min is what gets gated.
+        let slow = doc_with(&[("train", 300_000_000)], 150.0);
+        let healthy = doc_with(&[("train", 101_000_000)], 150.0);
+        let report = gate(&[slow, healthy], &base, &GateConfig::default()).unwrap();
+        assert!(report.pass, "{}", report.render());
+    }
+
+    #[test]
+    fn sub_floor_and_sub_threshold_deltas_pass() {
+        let base = vec![entry(&doc_with(
+            &[("tiny", 1_000), ("big", 1_000_000_000)],
+            150.0,
+        ))];
+        // tiny: 10x but microseconds; big: +10% under the 30% threshold.
+        let cur = doc_with(&[("tiny", 10_000), ("big", 1_100_000_000)], 150.0);
+        let report = gate(&[cur], &base, &GateConfig::default()).unwrap();
+        assert!(report.pass, "{}", report.render());
+    }
+
+    #[test]
+    fn zero_duration_baseline_never_divides_by_zero() {
+        let base = vec![entry(&doc_with(&[("idle", 0)], 150.0))];
+        let cur = doc_with(&[("idle", 500_000_000)], 150.0);
+        let report = gate(&[cur], &base, &GateConfig::default()).unwrap();
+        let v = report.verdicts.iter().find(|v| v.path == "idle").unwrap();
+        assert!((v.ratio - 1.0).abs() < 1e-12);
+        assert!(report.pass);
+    }
+
+    #[test]
+    fn non_matching_history_is_ignored_and_missing_spans_noted() {
+        let mut other = doc_with(&[("train", 1)], 1.0);
+        other.threads = 99;
+        let base = vec![
+            entry(&other),
+            entry(&doc_with(
+                &[("train", 100_000_000), ("gone", 50_000_000)],
+                150.0,
+            )),
+        ];
+        let cur = doc_with(&[("train", 100_000_000), ("fresh", 70_000_000)], 150.0);
+        let report = gate(&[cur], &base, &GateConfig::default()).unwrap();
+        assert_eq!(report.baseline_runs, 1, "threads=99 entry must not count");
+        assert!(report.pass);
+        assert!(
+            report.notes.iter().any(|n| n.contains("gone")),
+            "{:?}",
+            report.notes
+        );
+        assert!(
+            report.notes.iter().any(|n| n.contains("fresh")),
+            "{:?}",
+            report.notes
+        );
+    }
+
+    #[test]
+    fn mismatched_current_coordinates_error() {
+        let a = doc_with(&[("train", 1)], 1.0);
+        let mut b = a.clone();
+        b.mode = "full".to_string();
+        assert!(gate(&[a, b], &[], &GateConfig::default()).is_err());
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(vec![]), 0);
+        assert_eq!(median(vec![5]), 5);
+        assert_eq!(median(vec![1, 9]), 5);
+        assert_eq!(median(vec![1, 2, 100]), 2);
+        assert_eq!(median(vec![1, 2, 3, 100]), 2);
+    }
+}

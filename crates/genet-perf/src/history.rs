@@ -1,0 +1,224 @@
+//! The perf-trajectory archive: `bench_out/perf_history.jsonl`.
+//!
+//! One line per archived run — the run coordinates (figure, seed, mode,
+//! threads, git sha), total wall time and every phase's subtree time. The
+//! gate consults the archive for its baseline medians; `archive` appends
+//! to it after a healthy run.
+
+use crate::doc::BenchDoc;
+use genet_telemetry::json::{escape_into, parse, JsonValue, ObjWriter};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Schema tag of one `perf_history.jsonl` line.
+pub const HISTORY_SCHEMA: &str = "genet-perf-history-v1";
+
+/// One archived run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// Short git sha the run was built from (`unknown` outside a checkout).
+    pub git_sha: String,
+    /// Figure binary name.
+    pub figure: String,
+    /// Master seed.
+    pub seed: u64,
+    /// `quick` or `full`.
+    pub mode: String,
+    /// Resolved worker-thread count.
+    pub threads: u64,
+    /// Total run wall-clock in milliseconds.
+    pub wall_ms: f64,
+    /// Canonical phase path → subtree nanoseconds.
+    pub phases: BTreeMap<String, u64>,
+}
+
+impl HistoryEntry {
+    /// Builds the archive line for a run.
+    pub fn from_doc(doc: &BenchDoc, git_sha: &str) -> HistoryEntry {
+        HistoryEntry {
+            git_sha: git_sha.to_string(),
+            figure: doc.figure.clone(),
+            seed: doc.seed,
+            mode: doc.mode.clone(),
+            threads: doc.threads,
+            wall_ms: doc.wall_ms,
+            phases: doc
+                .phases
+                .iter()
+                .map(|p| (p.path.clone(), p.total_nanos))
+                .collect(),
+        }
+    }
+
+    /// Whether this entry is a baseline for runs with those coordinates.
+    /// Seeds and shas differ across history; figure, mode and thread count
+    /// must match (they change what the numbers *mean*).
+    pub fn matches(&self, figure: &str, mode: &str, threads: u64) -> bool {
+        self.figure == figure && self.mode == mode && self.threads == threads
+    }
+
+    /// Serializes the entry as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut w = ObjWriter::new();
+        w.str("schema", HISTORY_SCHEMA);
+        w.str("git_sha", &self.git_sha);
+        w.str("figure", &self.figure);
+        w.uint("seed", self.seed);
+        w.str("mode", &self.mode);
+        w.uint("threads", self.threads);
+        w.num("wall_ms", self.wall_ms);
+        let mut body = w.finish();
+        body.pop(); // reopen to splice the phases object
+        body.push_str(",\"phases\":{");
+        for (i, (path, nanos)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push('"');
+            escape_into(&mut body, path);
+            body.push_str(&format!("\":{nanos}"));
+        }
+        body.push_str("}}");
+        body
+    }
+
+    /// Parses one archive line.
+    pub fn from_json(line: &str) -> Result<HistoryEntry, String> {
+        let v = parse(line.trim())?;
+        let schema = v
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing schema")?;
+        if schema != HISTORY_SCHEMA {
+            return Err(format!("unsupported history schema {schema:?}"));
+        }
+        let field = |k: &str| -> Result<&JsonValue, String> {
+            v.get(k).ok_or_else(|| format!("missing field {k:?}"))
+        };
+        let mut phases = BTreeMap::new();
+        if let JsonValue::Obj(fields) = field("phases")? {
+            for (path, nv) in fields {
+                phases.insert(
+                    path.clone(),
+                    nv.as_u64()
+                        .ok_or_else(|| format!("phase {path:?} is not an integer"))?,
+                );
+            }
+        }
+        Ok(HistoryEntry {
+            git_sha: field("git_sha")?.as_str().ok_or("git_sha")?.to_string(),
+            figure: field("figure")?.as_str().ok_or("figure")?.to_string(),
+            seed: field("seed")?.as_u64().ok_or("seed")?,
+            mode: field("mode")?.as_str().ok_or("mode")?.to_string(),
+            threads: field("threads")?.as_u64().ok_or("threads")?,
+            wall_ms: field("wall_ms")?.as_f64().ok_or("wall_ms")?,
+            phases,
+        })
+    }
+}
+
+/// Appends one run to the archive (creating file and directories as
+/// needed).
+pub fn append(path: &Path, doc: &BenchDoc, git_sha: &str) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    writeln!(f, "{}", HistoryEntry::from_doc(doc, git_sha).to_json())
+        .map_err(|e| format!("cannot append to {}: {e}", path.display()))
+}
+
+/// Loads the archive. A missing file is an empty history (the gate's
+/// first-run case), not an error; a malformed line is an error (a corrupt
+/// archive must not silently weaken the baseline).
+pub fn load(path: &Path) -> Result<Vec<HistoryEntry>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+        .map(|(i, l)| {
+            HistoryEntry::from_json(l)
+                .map_err(|e| format!("{} line {}: {e}", path.display(), i + 1))
+        })
+        .collect()
+}
+
+/// The short git sha for archive keys: `$GENET_GIT_SHA` when set (CI passes
+/// it explicitly), else `git rev-parse --short HEAD`, else `unknown`.
+pub fn resolve_git_sha() -> String {
+    if let Ok(sha) = std::env::var("GENET_GIT_SHA") {
+        let sha = sha.trim().to_string();
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output();
+    match out {
+        Ok(o) if o.status.success() => {
+            let sha = String::from_utf8_lossy(&o.stdout).trim().to_string();
+            if sha.is_empty() {
+                "unknown".to_string()
+            } else {
+                sha
+            }
+        }
+        _ => "unknown".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::sample_v2;
+
+    #[test]
+    fn entry_roundtrips_through_jsonl() {
+        let doc = BenchDoc::parse(sample_v2()).unwrap();
+        let entry = HistoryEntry::from_doc(&doc, "abc1234");
+        let back = HistoryEntry::from_json(&entry.to_json()).unwrap();
+        assert_eq!(entry, back);
+        assert_eq!(back.phases["train/rollout"], 600);
+        assert!(back.matches("fig04", "quick", 4));
+        assert!(!back.matches("fig04", "full", 4));
+        assert!(!back.matches("fig04", "quick", 8));
+    }
+
+    #[test]
+    fn append_and_load_roundtrip_and_missing_file_is_empty() {
+        let dir = std::env::temp_dir().join("genet_perf_history_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("perf_history.jsonl");
+        assert_eq!(load(&path).unwrap(), Vec::new());
+        let doc = BenchDoc::parse(sample_v2()).unwrap();
+        append(&path, &doc, "sha1").unwrap();
+        append(&path, &doc, "sha2").unwrap();
+        let entries = load(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].git_sha, "sha1");
+        assert_eq!(entries[1].git_sha, "sha2");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_lines_error_with_line_number() {
+        let dir = std::env::temp_dir().join("genet_perf_history_corrupt");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("perf_history.jsonl");
+        std::fs::write(&path, "{\"schema\":\"bogus\"}\n").unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

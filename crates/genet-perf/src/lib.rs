@@ -1,0 +1,38 @@
+//! # genet-perf
+//!
+//! Perf-trajectory tooling over the `BENCH_<figure>.json` summaries the
+//! benchmark harness drops under `--telemetry` (schema
+//! `genet-bench-perf-v2`, DESIGN.md §12; v1 files parse too).
+//!
+//! Four operations, exposed by the `genet-perf` binary:
+//!
+//! * [`report`] — one run as a human-readable table: run coordinates, the
+//!   span-tree phases (total/self time, calls), per-stage worker
+//!   utilization and throughput, counters.
+//! * [`diff`] — two runs span by span, flagging deltas that exceed a
+//!   relative threshold *and* an absolute floor (tiny spans are all noise).
+//! * [`history::append`] — archive a run into `perf_history.jsonl`, keyed
+//!   by figure / seed / mode / thread count / git sha.
+//! * [`gate`] — the noise-aware CI check: the **minimum** over the current
+//!   run's repeats must not exceed the archived **median** by the
+//!   per-span threshold. Min-vs-median makes one slow machine moment in
+//!   either direction survivable; empty history passes (first run seeds
+//!   the archive).
+//!
+//! Everything is `Result`-based — no panics in library paths — and the
+//! only dependency is `genet-telemetry` (the hand-rolled JSON and the
+//! shared `bench_out/` path helpers).
+
+#![forbid(unsafe_code)]
+
+pub mod diff;
+pub mod doc;
+pub mod gate;
+pub mod history;
+pub mod report;
+
+pub use diff::{diff, DiffConfig, DiffReport, DiffRow};
+pub use doc::{BenchDoc, PhaseRow, StageRow};
+pub use gate::{gate, GateConfig, GateReport, SpanVerdict};
+pub use history::HistoryEntry;
+pub use report::report;

@@ -1,0 +1,178 @@
+//! `genet-perf` — perf-trajectory tooling over `BENCH_<figure>.json`.
+//!
+//! ```text
+//! genet-perf report  <BENCH.json>...
+//! genet-perf diff    <A.json> <B.json> [--rel 0.10] [--abs-ms 5]
+//! genet-perf archive <BENCH.json>... [--history PATH] [--sha SHA]
+//! genet-perf gate    <BENCH.json>... [--history PATH] [--rel 0.30] [--abs-ms 20]
+//! ```
+//!
+//! `gate` exits 1 on a regression (readable verdict on stdout), 0 on pass;
+//! usage/IO errors exit 2. Multiple BENCH files passed to `gate` are
+//! repeats of the same run — their per-span minimum is the measurement.
+
+use genet_perf::{diff, gate, history, report, BenchDoc, DiffConfig, GateConfig};
+use genet_telemetry::perf_history_path;
+use std::path::PathBuf;
+
+const HELP: &str = "\
+genet-perf: perf-trajectory tooling over BENCH_<figure>.json (DESIGN.md §12)
+
+USAGE:
+    genet-perf report  <BENCH.json>...
+    genet-perf diff    <A.json> <B.json> [--rel F] [--abs-ms N]
+    genet-perf archive <BENCH.json>... [--history PATH] [--sha SHA]
+    genet-perf gate    <BENCH.json>... [--history PATH] [--rel F] [--abs-ms N]
+
+SUBCOMMANDS:
+    report    render each run as a span/stage/counter table
+    diff      compare run B against run A span by span
+    archive   append runs to the perf-history archive (default
+              bench_out/perf_history.jsonl), keyed by figure/seed/mode/
+              threads/git-sha ($GENET_GIT_SHA overrides sha detection)
+    gate      noise-aware regression check: min over the given repeats vs
+              the archived median for the same figure/mode/threads; exits 1
+              on regression
+
+OPTIONS:
+    --history PATH  archive location (default bench_out/perf_history.jsonl)
+    --sha SHA       git sha recorded by archive (default: $GENET_GIT_SHA,
+                    then `git rev-parse --short HEAD`, then 'unknown')
+    --rel F         relative threshold (diff default 0.10, gate 0.30)
+    --abs-ms N      absolute floor in milliseconds (diff 5, gate 20)
+    -h, --help      this help";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg} (try --help)");
+    std::process::exit(2);
+}
+
+struct Opts {
+    files: Vec<PathBuf>,
+    history: PathBuf,
+    sha: Option<String>,
+    rel: Option<f64>,
+    abs_ms: Option<f64>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut opts = Opts {
+        files: Vec::new(),
+        history: perf_history_path(),
+        sha: None,
+        rel: None,
+        abs_ms: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "-h" | "--help" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            "--history" => opts.history = PathBuf::from(value("--history")),
+            "--sha" => opts.sha = Some(value("--sha")),
+            "--rel" => {
+                let v = value("--rel");
+                opts.rel = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("--rel needs a number, got {v:?}"))),
+                );
+            }
+            "--abs-ms" => {
+                let v = value("--abs-ms");
+                opts.abs_ms = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("--abs-ms needs a number, got {v:?}"))),
+                );
+            }
+            other if other.starts_with('-') => fail(&format!("unknown option {other}")),
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    opts
+}
+
+fn load_docs(opts: &Opts, at_least: usize) -> Vec<BenchDoc> {
+    if opts.files.len() < at_least {
+        fail(&format!("need at least {at_least} BENCH json file(s)"));
+    }
+    opts.files
+        .iter()
+        .map(|p| BenchDoc::load(p).unwrap_or_else(|e| fail(&e)))
+        .collect()
+}
+
+fn abs_floor_nanos(ms: f64) -> u64 {
+    genet_perf::doc::ms_to_nanos(ms)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        println!("{HELP}");
+        std::process::exit(2);
+    };
+    let opts = parse_opts(rest);
+    match cmd.as_str() {
+        "-h" | "--help" => println!("{HELP}"),
+        "report" => {
+            for doc in load_docs(&opts, 1) {
+                print!("{}", report(&doc));
+            }
+        }
+        "diff" => {
+            let docs = load_docs(&opts, 2);
+            if docs.len() != 2 {
+                fail("diff takes exactly two BENCH json files");
+            }
+            let mut cfg = DiffConfig::default();
+            if let Some(r) = opts.rel {
+                cfg.rel_threshold = r;
+            }
+            if let Some(ms) = opts.abs_ms {
+                cfg.abs_floor_nanos = abs_floor_nanos(ms);
+            }
+            print!("{}", diff(&docs[0], &docs[1], &cfg).render());
+        }
+        "archive" => {
+            let docs = load_docs(&opts, 1);
+            let sha = opts.sha.clone().unwrap_or_else(history::resolve_git_sha);
+            for doc in &docs {
+                if let Err(e) = history::append(&opts.history, doc, &sha) {
+                    fail(&e);
+                }
+                println!(
+                    "archived {} seed={} mode={} threads={} sha={sha} -> {}",
+                    doc.figure,
+                    doc.seed,
+                    doc.mode,
+                    doc.threads,
+                    opts.history.display()
+                );
+            }
+        }
+        "gate" => {
+            let docs = load_docs(&opts, 1);
+            let entries = history::load(&opts.history).unwrap_or_else(|e| fail(&e));
+            let mut cfg = GateConfig::default();
+            if let Some(r) = opts.rel {
+                cfg.rel_threshold = r;
+            }
+            if let Some(ms) = opts.abs_ms {
+                cfg.abs_floor_nanos = abs_floor_nanos(ms);
+            }
+            let report = gate(&docs, &entries, &cfg).unwrap_or_else(|e| fail(&e));
+            print!("{}", report.render());
+            if !report.pass {
+                std::process::exit(1);
+            }
+        }
+        other => fail(&format!("unknown subcommand {other:?}")),
+    }
+}

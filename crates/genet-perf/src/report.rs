@@ -1,0 +1,90 @@
+//! Human-readable rendering of one BENCH document.
+
+use crate::doc::BenchDoc;
+use genet_telemetry::spans::fmt_nanos;
+use std::fmt::Write as _;
+
+/// Renders a run as an indented span-tree table plus stage-utilization and
+/// counter sections.
+pub fn report(doc: &BenchDoc) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} seed={} mode={} threads={} wall={:.1}ms [{}]",
+        doc.figure, doc.seed, doc.mode, doc.threads, doc.wall_ms, doc.schema
+    );
+    if !doc.phases.is_empty() {
+        let _ = writeln!(out, "phases:");
+        for p in &doc.phases {
+            let depth = p.path.matches('/').count();
+            let name = p.path.rsplit('/').next().unwrap_or(&p.path);
+            let label = format!("{}{name}", "  ".repeat(depth));
+            let _ = writeln!(
+                out,
+                "  {label:<38} total {:>9}  self {:>9}  calls {:>6}",
+                fmt_nanos(p.total_nanos),
+                fmt_nanos(p.self_nanos),
+                p.calls
+            );
+        }
+    }
+    if !doc.stages.is_empty() {
+        let wall_nanos = doc.wall_ms * 1e6;
+        let _ = writeln!(out, "stages (worker utilization):");
+        for (name, s) in &doc.stages {
+            // Share of the whole machine's capacity this stage's busy time
+            // represents; >100% is impossible, ~100%/threads means serial.
+            let util = if wall_nanos > 0.0 && s.max_workers > 0 {
+                100.0 * s.busy_nanos as f64 / (wall_nanos * doc.threads as f64)
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<20} items {:>9}  busy {:>9}  workers<={:<3} \
+                 imbalance {:.2}  {:>12.1} items/s  {util:>5.1}% of capacity",
+                s.items,
+                fmt_nanos(s.busy_nanos),
+                s.max_workers,
+                s.imbalance,
+                s.items_per_sec,
+            );
+        }
+    }
+    if !doc.counters.is_empty() {
+        let cells: Vec<String> = doc
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let _ = writeln!(out, "counters: {}", cells.join(" "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::{sample_v1, sample_v2};
+
+    #[test]
+    fn report_renders_all_sections() {
+        let doc = BenchDoc::parse(sample_v2()).unwrap();
+        let text = report(&doc);
+        assert!(
+            text.contains("fig04 seed=42 mode=quick threads=4"),
+            "{text}"
+        );
+        assert!(text.contains("rollout"), "{text}");
+        assert!(text.contains("eval/policy"), "{text}");
+        assert!(text.contains("items/s"), "{text}");
+        assert!(text.contains("episodes=12"), "{text}");
+    }
+
+    #[test]
+    fn report_omits_stage_section_for_v1() {
+        let doc = BenchDoc::parse(sample_v1()).unwrap();
+        let text = report(&doc);
+        assert!(!text.contains("stages"), "{text}");
+    }
+}

@@ -75,9 +75,9 @@ pub struct UpdateStats {
 }
 
 /// Worker accounting of one PPO update (all epochs), for the
-/// `update_batch` telemetry event. Observation-only: none of these values
-/// feed back into training.
-#[derive(Debug, Clone, Copy, Default)]
+/// `update_batch` and `par_stage` telemetry events. Observation-only:
+/// none of these values feed back into training.
+#[derive(Debug, Clone, Default)]
 pub struct UpdateProfile {
     /// Gradient samples processed (`buffer len × epochs`).
     pub samples: u64,
@@ -86,6 +86,11 @@ pub struct UpdateProfile {
     /// Summed per-worker busy time across all minibatches (0 unless timing
     /// was requested).
     pub busy_nanos: u64,
+    /// Per-worker accounting summed by worker index across all minibatch
+    /// fan-outs and gradient folds of the update (empty unless timing was
+    /// requested). Worker indices are a pure function of the batch shape,
+    /// so the aggregation order is deterministic.
+    pub stage: genet_par::BatchProfile,
 }
 
 /// Samples per parallel gradient work item. Fixed (never derived from the
@@ -283,6 +288,7 @@ impl PpoAgent {
             samples: (n * cfg.epochs) as u64,
             workers: 1,
             busy_nanos: 0,
+            stage: genet_par::BatchProfile::default(),
         };
 
         let mut ss = ShardScratch::default();
@@ -327,6 +333,14 @@ impl PpoAgent {
                         }
                     });
                     profile.busy_nanos += nanos;
+                    if timed {
+                        profile.stage.absorb(&genet_par::BatchProfile {
+                            workers: 1,
+                            busy_nanos: nanos,
+                            worker_busy: vec![nanos],
+                            worker_items: vec![chunk.len() as u64],
+                        });
+                    }
                 } else {
                     let (shard_outs, bp) = genet_par::par_map_profiled(
                         shards.len(),
@@ -335,6 +349,7 @@ impl PpoAgent {
                     );
                     profile.workers = profile.workers.max(bp.workers);
                     profile.busy_nanos += bp.busy_nanos;
+                    profile.stage.absorb(&bp);
 
                     // Ordered reduction: rows enter each accumulator in
                     // ascending sample order — the serial FP addition
@@ -350,6 +365,15 @@ impl PpoAgent {
                         .collect();
                     let fold_c = genet_par::fold_rows_ordered(&rows_c, &mut grads_c, timed);
                     profile.busy_nanos += fold_a.busy_nanos + fold_c.busy_nanos;
+                    // Fold profiles carry parameter-slot counts as items —
+                    // a different unit than gradient samples — so only
+                    // their busy time joins the per-worker accounting.
+                    let mut fa = fold_a;
+                    fa.worker_items.clear();
+                    profile.stage.absorb(&fa);
+                    let mut fc = fold_c;
+                    fc.worker_items.clear();
+                    profile.stage.absorb(&fc);
 
                     // Stats fold, same ops in the same (sample) order as
                     // the serial loop.

@@ -16,6 +16,20 @@ pub mod counters {
     pub const EVAL_ENVS: &str = "eval_envs";
     /// BO trials executed.
     pub const BO_TRIALS: &str = "bo_trials";
+    /// Gradient samples processed by the PPO update engine
+    /// (buffer length × epochs, summed across update calls).
+    pub const UPDATE_SAMPLES: &str = "update_samples";
+    /// Summed worker busy time of the rollout stage, nanoseconds.
+    /// `episodes / (rollout_busy_nanos / 1e9)` is the rollout throughput.
+    pub const ROLLOUT_BUSY_NANOS: &str = "rollout_busy_nanos";
+    /// Summed worker busy time of the PPO update stage, nanoseconds.
+    /// `update_samples / (update_busy_nanos / 1e9)` is the update
+    /// throughput in samples/sec.
+    pub const UPDATE_BUSY_NANOS: &str = "update_busy_nanos";
+    /// Summed worker busy time of parallel evaluation, nanoseconds.
+    /// `eval_envs / (eval_busy_nanos / 1e9)` is the evaluation throughput
+    /// in decisions over whole environments per second.
+    pub const EVAL_BUSY_NANOS: &str = "eval_busy_nanos";
 }
 
 /// A telemetry sink. Implementations must be cheap and `&self`-threadsafe

@@ -89,6 +89,33 @@ pub enum Event {
         /// deterministically in worker index order.
         busy_nanos: u64,
     },
+    /// Worker-level accounting of one parallel engine stage: the per-worker
+    /// busy times and item counts of a `par_map_profiled` fan-out (or the
+    /// aggregate over the minibatch fan-outs of one PPO update call). The
+    /// arrays are indexed by worker index — a pure function of the batch
+    /// shape, never of OS scheduling — so the event is deterministically
+    /// ordered. Emitted alongside the coarser `*_batch` events; consumers
+    /// that only need totals can keep ignoring it.
+    ParStage {
+        /// Stage name: `rollout`, `ppo-update`, or `eval/<label>`.
+        stage: String,
+        /// Span-style phase scope (`train/initial`, …; empty when the
+        /// stage runs outside a training phase, e.g. evaluation).
+        scope: String,
+        /// Items processed (episodes / gradient samples / environments).
+        items: u64,
+        /// Worker threads used (max across constituent batches).
+        workers: u64,
+        /// Sum of per-worker busy time.
+        busy_nanos: u64,
+        /// Per-worker busy nanoseconds, worker-index order.
+        busy_ns: Vec<u64>,
+        /// Per-worker items processed, worker-index order.
+        worker_items: Vec<u64>,
+        /// Busy-time imbalance: max/mean of `busy_ns` (1.0 when balanced
+        /// or ≤1 worker).
+        imbalance: f64,
+    },
     /// One parallel evaluation batch (`evaluate::par_map`).
     EvalBatch {
         /// Caller-supplied label, e.g. `eval/genet`.
@@ -122,6 +149,7 @@ impl Event {
             Event::Promotion { .. } => "promotion",
             Event::RolloutBatch { .. } => "rollout_batch",
             Event::UpdateBatch { .. } => "update_batch",
+            Event::ParStage { .. } => "par_stage",
             Event::EvalBatch { .. } => "eval_batch",
             Event::CacheHit { .. } => "cache_hit",
             Event::CacheMiss { .. } => "cache_miss",
@@ -209,6 +237,25 @@ impl Event {
                 w.uint("workers", *workers);
                 w.uint("busy_nanos", *busy_nanos);
             }
+            Event::ParStage {
+                stage,
+                scope,
+                items,
+                workers,
+                busy_nanos,
+                busy_ns,
+                worker_items,
+                imbalance,
+            } => {
+                w.str("stage", stage);
+                w.str("scope", scope);
+                w.uint("items", *items);
+                w.uint("workers", *workers);
+                w.uint("busy_nanos", *busy_nanos);
+                w.uint_array("busy_ns", busy_ns);
+                w.uint_array("worker_items", worker_items);
+                w.num("imbalance", *imbalance);
+            }
             Event::EvalBatch {
                 label,
                 n,
@@ -274,6 +321,16 @@ impl Event {
                 samples: u("samples")?,
                 workers: u("workers")?,
                 busy_nanos: u("busy_nanos")?,
+            }),
+            "par_stage" => Some(Event::ParStage {
+                stage: s("stage")?,
+                scope: s("scope")?,
+                items: u("items")?,
+                workers: u("workers")?,
+                busy_nanos: u("busy_nanos")?,
+                busy_ns: v.get("busy_ns")?.as_u64_array()?,
+                worker_items: v.get("worker_items")?.as_u64_array()?,
+                imbalance: f("imbalance")?,
             }),
             "eval_batch" => Some(Event::EvalBatch {
                 label: s("label")?,
@@ -345,6 +402,26 @@ mod tests {
             samples: 4_872,
             workers: 8,
             busy_nanos: 1_234_567,
+        });
+        roundtrip(Event::ParStage {
+            stage: "rollout".into(),
+            scope: "train/initial".into(),
+            items: 20,
+            workers: 4,
+            busy_nanos: 100,
+            busy_ns: vec![30, 20, 25, 25],
+            worker_items: vec![5, 5, 5, 5],
+            imbalance: 1.2,
+        });
+        roundtrip(Event::ParStage {
+            stage: "eval/policy".into(),
+            scope: String::new(),
+            items: 0,
+            workers: 0,
+            busy_nanos: 0,
+            busy_ns: vec![],
+            worker_items: vec![],
+            imbalance: 1.0,
         });
         roundtrip(Event::EvalBatch {
             label: "eval/genet".into(),

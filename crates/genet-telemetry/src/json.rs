@@ -99,6 +99,19 @@ impl ObjWriter {
         self.buf.push(']');
     }
 
+    /// Adds an array-of-unsigned-integers field.
+    pub fn uint_array(&mut self, k: &str, vs: &[u64]) {
+        self.key(k);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push(']');
+    }
+
     /// Closes the object and returns the JSON text.
     pub fn finish(mut self) -> String {
         self.buf.push('}');
@@ -166,6 +179,14 @@ impl JsonValue {
     pub fn as_f64_array(&self) -> Option<Vec<f64>> {
         match self {
             JsonValue::Arr(items) => items.iter().map(JsonValue::as_f64).collect(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` vector, if it is an all-integral array.
+    pub fn as_u64_array(&self) -> Option<Vec<u64>> {
+        match self {
+            JsonValue::Arr(items) => items.iter().map(JsonValue::as_u64).collect(),
             _ => None,
         }
     }
@@ -426,6 +447,20 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse(r#"{"a":1}extra"#).is_err());
         assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn uint_array_roundtrips() {
+        let mut w = ObjWriter::new();
+        w.uint_array("ws", &[0, 7, u64::from(u32::MAX) + 1]);
+        w.uint_array("empty", &[]);
+        let doc = parse(&w.finish()).unwrap();
+        assert_eq!(
+            doc.get("ws").unwrap().as_u64_array().unwrap(),
+            vec![0, 7, u64::from(u32::MAX) + 1]
+        );
+        assert_eq!(doc.get("empty").unwrap().as_u64_array().unwrap(), vec![]);
+        assert_eq!(parse("[1,2.5]").unwrap().as_u64_array(), None);
     }
 
     #[test]

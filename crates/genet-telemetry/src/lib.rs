@@ -31,6 +31,7 @@ pub mod collector;
 pub mod event;
 pub mod json;
 pub mod jsonl;
+pub mod paths;
 pub mod sinks;
 pub mod spans;
 pub mod summary;
@@ -39,6 +40,7 @@ pub use collector::{counters, noop, Collector, NoopCollector, SpanGuard};
 pub use event::Event;
 pub use json::JsonValue;
 pub use jsonl::JsonlSink;
+pub use paths::{bench_json_path, bench_out_dir, perf_history_path, telemetry_dir};
 pub use sinks::{MemorySink, Tee};
 pub use spans::{SpanNode, SpanTree};
-pub use summary::StderrSummary;
+pub use summary::{StageAgg, StderrSummary};

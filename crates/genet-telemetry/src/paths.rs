@@ -1,0 +1,61 @@
+//! The single resolution point for every observability output path.
+//!
+//! `GENET_BENCH_OUT` relocates the whole output tree; before this module,
+//! TSV/model paths and telemetry/BENCH-json paths each re-derived the root
+//! themselves, which is exactly how one of them drifts out from under the
+//! env override. Everything below `bench_out/` — TSVs, the model cache,
+//! JSONL telemetry, `BENCH_<figure>.json` perf summaries and the
+//! `perf_history.jsonl` trajectory archive — must resolve through these
+//! helpers (regression-tested here and in `genet-core::metrics`).
+
+use std::path::PathBuf;
+
+/// The output root: `$GENET_BENCH_OUT` when set and non-empty, else
+/// `bench_out/` under the workspace root or the current directory.
+pub fn bench_out_dir() -> PathBuf {
+    match std::env::var_os("GENET_BENCH_OUT") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        // When run via `cargo run -p genet-bench`, CWD is the workspace root.
+        _ => PathBuf::from("bench_out"),
+    }
+}
+
+/// Default directory for `--telemetry` JSONL streams.
+pub fn telemetry_dir() -> PathBuf {
+    bench_out_dir().join("telemetry")
+}
+
+/// Where a figure's `BENCH_<figure>.json` perf summary lands.
+pub fn bench_json_path(figure: &str) -> PathBuf {
+    bench_out_dir().join(format!("BENCH_{figure}.json"))
+}
+
+/// The cross-run perf-trajectory archive appended by `genet-perf archive`
+/// and consulted by `genet-perf gate`.
+pub fn perf_history_path() -> PathBuf {
+    bench_out_dir().join("perf_history.jsonl")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_output_paths_share_the_bench_out_root() {
+        // Only this test (per test binary) touches the variable, so
+        // set/restore is safe under the parallel test runner.
+        std::env::set_var("GENET_BENCH_OUT", "relocated_out");
+        let root = PathBuf::from("relocated_out");
+        assert_eq!(bench_out_dir(), root);
+        assert_eq!(telemetry_dir(), root.join("telemetry"));
+        assert_eq!(bench_json_path("fig04"), root.join("BENCH_fig04.json"));
+        assert_eq!(perf_history_path(), root.join("perf_history.jsonl"));
+        std::env::set_var("GENET_BENCH_OUT", "");
+        assert_eq!(bench_out_dir(), PathBuf::from("bench_out"));
+        std::env::remove_var("GENET_BENCH_OUT");
+        assert_eq!(
+            telemetry_dir(),
+            PathBuf::from("bench_out").join("telemetry")
+        );
+    }
+}

@@ -4,6 +4,12 @@
 //! Paths are slash-separated; numbered segments (`round-3`, `trial-7`) are
 //! canonicalized to `round-*` / `trial-*` so repeated instances of the same
 //! structural span aggregate into one profile node.
+//!
+//! The tree stores its nodes in an arena and **interns raw paths**: the
+//! first `add` of a path walks its segments (canonicalizing and allocating
+//! as it goes) and memoizes `raw path → node`, so every later add of the
+//! same string — the steady state for per-iteration spans like
+//! `train/initial/rollout` — is a single map lookup with zero allocation.
 
 use std::collections::BTreeMap;
 
@@ -17,38 +23,35 @@ pub fn canonical_segment(seg: &str) -> String {
     }
 }
 
-/// One node of the aggregated span tree.
+/// One node of the aggregated span tree. Children are stored as arena ids
+/// inside the owning [`SpanTree`]; use [`SpanTree::children`] /
+/// [`SpanTree::preorder`] to traverse.
 #[derive(Debug, Clone, Default)]
 pub struct SpanNode {
     /// Number of span instances aggregated here.
     pub calls: u64,
     /// Total wall-clock nanoseconds across instances.
     pub total_nanos: u64,
-    /// Child spans, ordered by (canonical) name.
-    pub children: BTreeMap<String, SpanNode>,
-}
-
-impl SpanNode {
-    /// Wall-clock attributed to this subtree: the node's own recorded time,
-    /// or its children's when the node is a pure grouping segment (e.g. the
-    /// `bo` in `round-3/bo/trial-7`) that never carried a span itself.
-    pub fn effective_nanos(&self) -> u64 {
-        let child_total: u64 = self.children.values().map(|c| c.effective_nanos()).sum();
-        self.total_nanos.max(child_total)
-    }
-
-    /// Total time minus time attributed to children (clamped at zero:
-    /// children recorded without an enclosing parent span can exceed it).
-    pub fn self_nanos(&self) -> u64 {
-        let child_total: u64 = self.children.values().map(|c| c.effective_nanos()).sum();
-        self.total_nanos.saturating_sub(child_total)
-    }
+    /// Child node ids, ordered by (canonical) name.
+    children: BTreeMap<String, usize>,
 }
 
 /// The aggregated tree over all recorded spans.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SpanTree {
-    root: SpanNode,
+    /// Arena; `nodes[0]` is the synthetic root.
+    nodes: Vec<SpanNode>,
+    /// Raw (pre-canonicalization) path → arena id memo.
+    interned: BTreeMap<String, usize>,
+}
+
+impl Default for SpanTree {
+    fn default() -> Self {
+        Self {
+            nodes: vec![SpanNode::default()],
+            interned: BTreeMap::new(),
+        }
+    }
 }
 
 impl SpanTree {
@@ -59,46 +62,137 @@ impl SpanTree {
 
     /// Whether any span has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.root.children.is_empty()
+        self.nodes[0].children.is_empty()
+    }
+
+    /// Number of raw paths interned so far (diagnostics/tests).
+    pub fn interned_paths(&self) -> usize {
+        self.interned.len()
     }
 
     /// Folds one span record into the tree. Interior segments only group;
-    /// calls/time are attributed to the full (canonical) path.
+    /// calls/time are attributed to the full (canonical) path. The first
+    /// add of a raw path walks and interns it; repeated adds are a single
+    /// allocation-free lookup.
     pub fn add(&mut self, path: &str, nanos: u64) {
-        let mut node = &mut self.root;
-        for seg in path.split('/').filter(|s| !s.is_empty()) {
-            node = node.children.entry(canonical_segment(seg)).or_default();
-        }
-        node.calls += 1;
-        node.total_nanos += nanos;
+        let id = match self.interned.get(path) {
+            Some(&id) => id,
+            None => {
+                let mut node = 0usize;
+                for seg in path.split('/').filter(|s| !s.is_empty()) {
+                    let canon = canonical_segment(seg);
+                    node = if let Some(&child) = self.nodes[node].children.get(&canon) {
+                        child
+                    } else {
+                        let child = self.nodes.len();
+                        self.nodes.push(SpanNode::default());
+                        self.nodes[node].children.insert(canon, child);
+                        child
+                    };
+                }
+                self.interned.insert(path.to_string(), node);
+                node
+            }
+        };
+        self.nodes[id].calls += 1;
+        self.nodes[id].total_nanos += nanos;
     }
 
-    /// Root-level children (for tests and custom rendering).
-    pub fn roots(&self) -> &BTreeMap<String, SpanNode> {
-        &self.root.children
+    /// Root-level children, ordered by canonical name.
+    pub fn roots(&self) -> impl Iterator<Item = (&str, &SpanNode)> {
+        self.children(&self.nodes[0])
+    }
+
+    /// A node's children, ordered by canonical name.
+    pub fn children<'a>(
+        &'a self,
+        node: &'a SpanNode,
+    ) -> impl Iterator<Item = (&'a str, &'a SpanNode)> {
+        node.children
+            .iter()
+            .map(|(name, &id)| (name.as_str(), &self.nodes[id]))
     }
 
     /// Looks a node up by canonical path.
     pub fn node(&self, path: &str) -> Option<&SpanNode> {
-        let mut node = &self.root;
+        let mut id = 0usize;
         for seg in path.split('/').filter(|s| !s.is_empty()) {
-            node = node.children.get(seg)?;
+            id = *self.nodes[id].children.get(seg)?;
         }
-        Some(node)
+        Some(&self.nodes[id])
+    }
+
+    /// Wall-clock attributed to a subtree: the node's own recorded time,
+    /// or its children's when the node is a pure grouping segment (e.g.
+    /// the `bo` in `round-3/bo/trial-7`) that never carried a span itself.
+    pub fn effective_nanos(&self, node: &SpanNode) -> u64 {
+        let child_total: u64 = node
+            .children
+            .values()
+            .map(|&id| self.effective_nanos(&self.nodes[id]))
+            .sum();
+        node.total_nanos.max(child_total)
+    }
+
+    /// Total time minus time attributed to children (clamped at zero:
+    /// children recorded without an enclosing parent span can exceed it).
+    pub fn self_nanos(&self, node: &SpanNode) -> u64 {
+        let child_total: u64 = node
+            .children
+            .values()
+            .map(|&id| self.effective_nanos(&self.nodes[id]))
+            .sum();
+        node.total_nanos.saturating_sub(child_total)
+    }
+
+    /// Pre-order traversal: every node with its full canonical path,
+    /// children visited in name order.
+    pub fn preorder(&self) -> Vec<(String, &SpanNode)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(String, usize)> = self.nodes[0]
+            .children
+            .iter()
+            .rev()
+            .map(|(name, &id)| (name.clone(), id))
+            .collect();
+        while let Some((path, id)) = stack.pop() {
+            let node = &self.nodes[id];
+            for (name, &child) in node.children.iter().rev() {
+                stack.push((format!("{path}/{name}"), child));
+            }
+            out.push((path, node));
+        }
+        out
     }
 
     /// Renders the profile as indented text, one span per line with
     /// total time, self time and call count.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for (name, node) in &self.root.children {
-            render_node(&mut out, name, node, 0);
+        for (name, &id) in &self.nodes[0].children {
+            self.render_node(&mut out, name, id, 0);
         }
         out
     }
+
+    fn render_node(&self, out: &mut String, name: &str, id: usize, depth: usize) {
+        let node = &self.nodes[id];
+        let indent = "  ".repeat(depth);
+        let label = format!("{indent}{name}");
+        out.push_str(&format!(
+            "{label:<40} total {:>9}  self {:>9}  calls {:>6}\n",
+            fmt_nanos(self.effective_nanos(node)),
+            fmt_nanos(self.self_nanos(node)),
+            node.calls
+        ));
+        for (child_name, &child) in &node.children {
+            self.render_node(out, child_name, child, depth + 1);
+        }
+    }
 }
 
-fn fmt_nanos(nanos: u64) -> String {
+/// Formats nanoseconds as a compact human-readable duration.
+pub fn fmt_nanos(nanos: u64) -> String {
     let s = nanos as f64 / 1e9;
     if s >= 1.0 {
         format!("{s:.2}s")
@@ -106,20 +200,6 @@ fn fmt_nanos(nanos: u64) -> String {
         format!("{:.2}ms", s * 1e3)
     } else {
         format!("{:.1}us", s * 1e6)
-    }
-}
-
-fn render_node(out: &mut String, name: &str, node: &SpanNode, depth: usize) {
-    let indent = "  ".repeat(depth);
-    let label = format!("{indent}{name}");
-    out.push_str(&format!(
-        "{label:<40} total {:>9}  self {:>9}  calls {:>6}\n",
-        fmt_nanos(node.effective_nanos()),
-        fmt_nanos(node.self_nanos()),
-        node.calls
-    ));
-    for (child_name, child) in &node.children {
-        render_node(out, child_name, child, depth + 1);
     }
 }
 
@@ -153,7 +233,7 @@ mod tests {
         assert_eq!(round.calls, 2);
         assert_eq!(round.total_nanos, 2000);
         // Children: bo (600) + rollout (800) → self = 600.
-        assert_eq!(round.self_nanos(), 600);
+        assert_eq!(t.self_nanos(round), 600);
 
         let trial = t.node("train/sequencing/round-*/bo/trial-*").unwrap();
         assert_eq!(trial.calls, 4);
@@ -161,7 +241,7 @@ mod tests {
 
         let train = t.node("train").unwrap();
         assert_eq!(train.calls, 1);
-        assert_eq!(train.self_nanos(), 5000 - 2000);
+        assert_eq!(t.self_nanos(train), 5000 - 2000);
     }
 
     #[test]
@@ -170,7 +250,8 @@ mod tests {
         t.add("a/b", 100);
         // Parent recorded with less time than its child (no enclosing span).
         t.add("a", 50);
-        assert_eq!(t.node("a").unwrap().self_nanos(), 0);
+        let a = t.node("a").unwrap();
+        assert_eq!(t.self_nanos(a), 0);
     }
 
     #[test]
@@ -188,5 +269,49 @@ mod tests {
     fn empty_tree_reports_empty() {
         assert!(SpanTree::new().is_empty());
         assert_eq!(SpanTree::new().render(), "");
+    }
+
+    #[test]
+    fn interning_memoizes_raw_paths_onto_canonical_nodes() {
+        let mut t = SpanTree::new();
+        // Distinct raw paths, same canonical node.
+        t.add("train/sequencing/round-0", 10);
+        t.add("train/sequencing/round-1", 20);
+        // Repeats of an already-interned path.
+        t.add("train/sequencing/round-0", 30);
+        assert_eq!(t.interned_paths(), 2);
+        let round = t.node("train/sequencing/round-*").unwrap();
+        assert_eq!(round.calls, 3);
+        assert_eq!(round.total_nanos, 60);
+    }
+
+    #[test]
+    fn preorder_lists_paths_in_name_order() {
+        let mut t = SpanTree::new();
+        t.add("eval", 900);
+        t.add("train/initial/rollout", 100);
+        t.add("train/initial/ppo-update", 300);
+        t.add("train/initial", 500);
+        let paths: Vec<String> = t.preorder().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "eval".to_string(),
+                "train".to_string(),
+                "train/initial".to_string(),
+                "train/initial/ppo-update".to_string(),
+                "train/initial/rollout".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn children_iterates_in_order() {
+        let mut t = SpanTree::new();
+        t.add("root/b", 1);
+        t.add("root/a", 2);
+        let root = t.node("root").unwrap();
+        let names: Vec<&str> = t.children(root).map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
     }
 }

@@ -3,14 +3,80 @@
 
 use crate::collector::Collector;
 use crate::event::Event;
-use crate::spans::SpanTree;
+use crate::spans::{fmt_nanos, SpanTree};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
+
+/// Per-stage aggregation of [`Event::ParStage`] worker accounting, shared
+/// by the stderr utilization table and the `BENCH_<figure>.json` `stages`
+/// section. Keyed by stage name; scopes are merged (the span tree already
+/// splits time by phase).
+#[derive(Debug, Clone, Default)]
+pub struct StageAgg {
+    /// Items processed across all batches of the stage.
+    pub items: u64,
+    /// Parallel batches aggregated.
+    pub batches: u64,
+    /// Max worker count any batch used.
+    pub max_workers: u64,
+    /// Summed busy time across workers and batches.
+    pub busy_nanos: u64,
+    /// Per-worker busy time, summed by worker index across batches.
+    pub worker_busy: Vec<u64>,
+    /// Per-worker items, summed by worker index across batches.
+    pub worker_items: Vec<u64>,
+}
+
+impl StageAgg {
+    /// Folds one `par_stage` event into the aggregate.
+    pub fn absorb(&mut self, items: u64, workers: u64, busy_nanos: u64, busy: &[u64], wi: &[u64]) {
+        self.items += items;
+        self.batches += 1;
+        self.max_workers = self.max_workers.max(workers);
+        self.busy_nanos += busy_nanos;
+        if self.worker_busy.len() < busy.len() {
+            self.worker_busy.resize(busy.len(), 0);
+        }
+        for (acc, v) in self.worker_busy.iter_mut().zip(busy.iter()) {
+            *acc += *v;
+        }
+        if self.worker_items.len() < wi.len() {
+            self.worker_items.resize(wi.len(), 0);
+        }
+        for (acc, v) in self.worker_items.iter_mut().zip(wi.iter()) {
+            *acc += *v;
+        }
+    }
+
+    /// Busy-time imbalance across workers: max/mean (1.0 when ≤1 worker
+    /// or all idle).
+    pub fn imbalance(&self) -> f64 {
+        if self.worker_busy.len() <= 1 {
+            return 1.0;
+        }
+        let max = self.worker_busy.iter().copied().max().unwrap_or(0);
+        let sum: u64 = self.worker_busy.iter().sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        max as f64 / (sum as f64 / self.worker_busy.len() as f64)
+    }
+
+    /// Items per second of summed worker busy time (`None` when no busy
+    /// time was recorded).
+    pub fn items_per_sec(&self) -> Option<f64> {
+        if self.busy_nanos == 0 {
+            return None;
+        }
+        Some(self.items as f64 / (self.busy_nanos as f64 / 1e9))
+    }
+}
 
 #[derive(Default)]
 struct State {
     spans: SpanTree,
     counters: BTreeMap<&'static str, u64>,
+    stages: BTreeMap<String, StageAgg>,
     /// Mean rewards of train iterations since the last promotion line.
     rewards_since_round: Vec<f64>,
     /// Last-seen entropy (prints alongside the round line — entropy
@@ -46,6 +112,23 @@ impl StderrSummary {
                 .map(|(k, v)| format!("{k}={v}"))
                 .collect();
             eprintln!("[telemetry] counters: {}", parts.join(" "));
+        }
+        if !st.stages.is_empty() {
+            eprintln!("[telemetry] stage utilization (busy time summed across workers):");
+            for (stage, agg) in &st.stages {
+                let throughput = agg
+                    .items_per_sec()
+                    .map(|r| format!("{r:.1} items/s"))
+                    .unwrap_or_else(|| "- items/s".into());
+                eprintln!(
+                    "[telemetry]   {stage:<20} items {:>9}  busy {:>9}  workers<={:<3} \
+                     imbalance {:.2}  {throughput}",
+                    agg.items,
+                    fmt_nanos(agg.busy_nanos),
+                    agg.max_workers,
+                    agg.imbalance(),
+                );
+            }
         }
         if !st.spans.is_empty() {
             eprintln!("[telemetry] span profile (total/self wall-clock, call counts):");
@@ -107,6 +190,25 @@ impl Collector for StderrSummary {
             // stderr narration (one each per training iteration); the span
             // profile and JSONL stream carry them.
             Event::RolloutBatch { .. } | Event::UpdateBatch { .. } => {}
+            // Worker-level stage accounting folds into the end-of-run
+            // utilization table.
+            Event::ParStage {
+                stage,
+                items,
+                workers,
+                busy_nanos,
+                busy_ns,
+                worker_items,
+                ..
+            } => {
+                st.stages.entry(stage.clone()).or_default().absorb(
+                    *items,
+                    *workers,
+                    *busy_nanos,
+                    busy_ns,
+                    worker_items,
+                );
+            }
             Event::EvalBatch {
                 label, n, workers, ..
             } => {
@@ -171,5 +273,54 @@ mod tests {
         assert_eq!(st.bo_trials_since_round, 0);
         assert_eq!(st.counters[counters::EPISODES], 4);
         assert!(!st.spans.is_empty());
+    }
+
+    #[test]
+    fn par_stage_events_aggregate_per_stage() {
+        let s = StderrSummary::new();
+        for iter in 0..2u64 {
+            s.record(&Event::ParStage {
+                stage: "rollout".into(),
+                scope: "train/initial".into(),
+                items: 10,
+                workers: 2,
+                busy_nanos: 30,
+                busy_ns: vec![10, 20],
+                worker_items: vec![5, 5],
+                imbalance: 4.0 / 3.0,
+            });
+            let _ = iter;
+        }
+        s.record(&Event::ParStage {
+            stage: "ppo-update".into(),
+            scope: "train/initial".into(),
+            items: 100,
+            workers: 1,
+            busy_nanos: 7,
+            busy_ns: vec![7],
+            worker_items: vec![100],
+            imbalance: 1.0,
+        });
+        let st = s.state.lock().unwrap();
+        assert_eq!(st.stages.len(), 2);
+        let rollout = &st.stages["rollout"];
+        assert_eq!(rollout.items, 20);
+        assert_eq!(rollout.batches, 2);
+        assert_eq!(rollout.max_workers, 2);
+        assert_eq!(rollout.busy_nanos, 60);
+        assert_eq!(rollout.worker_busy, vec![20, 40]);
+        assert_eq!(rollout.worker_items, vec![10, 10]);
+        assert!((rollout.imbalance() - 40.0 / 30.0).abs() < 1e-12);
+        let rate = rollout.items_per_sec().unwrap();
+        assert!((rate - 20.0 / (60.0 / 1e9)).abs() < 1.0);
+        drop(st);
+        s.finish(); // prints the utilization table without panicking
+    }
+
+    #[test]
+    fn stage_agg_edge_cases() {
+        let agg = StageAgg::default();
+        assert_eq!(agg.imbalance(), 1.0);
+        assert!(agg.items_per_sec().is_none());
     }
 }

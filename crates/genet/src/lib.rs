@@ -48,7 +48,9 @@ pub mod prelude {
         genet_train, genet_train_from, genet_train_instrumented, genet_train_with, GenetConfig,
         GenetResult, SelectionCriterion,
     };
-    pub use genet_core::metrics::{bench_out_dir, fmt, TsvWriter};
+    pub use genet_core::metrics::{
+        bench_json_path, bench_out_dir, fmt, perf_history_path, telemetry_dir, TsvWriter,
+    };
     pub use genet_core::robustify::{robustify_abr_train, RobustifyConfig};
     pub use genet_core::train::{
         make_agent, train_rl, train_rl_with, ConfigSource, FixedSetSource, MixtureSource,

@@ -55,7 +55,6 @@ impl AbrAlgorithm for Bba {
             N_LEVELS - 1
         } else {
             let frac = (ctx.buffer_s - reservoir) / (upper - reservoir);
-            // genet-lint: allow(truncating-cast) BBA's bucket index: frac >= 0 here, explicit floor, clamped to the top level
             ((frac * (N_LEVELS - 1) as f64).floor() as usize).min(N_LEVELS - 1)
         }
     }

@@ -38,7 +38,6 @@ impl VideoModel {
             video_len_s > 0.0 && chunk_len_s > 0.0,
             "lengths must be positive"
         );
-        // genet-lint: allow(truncating-cast) chunk count: explicit round, >= 1 by the max
         let n_chunks = (video_len_s / chunk_len_s).round().max(1.0) as usize;
         let vbr = (0..n_chunks)
             .map(|i| {

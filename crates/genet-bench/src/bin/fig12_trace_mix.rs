@@ -48,7 +48,6 @@ fn main() {
         for ratio in [0.05_f64, 0.1, 0.2, 0.5, 1.0] {
             let tag = format!(
                 "cc_mix{}_it{}_s{}",
-                // genet-lint: allow(truncating-cast) percent label for a display/file tag; explicit round, ratio in [0,1]
                 (ratio * 100.0).round() as u32,
                 cfg.total_iters(),
                 args.seed
@@ -70,7 +69,6 @@ fn main() {
             out.row(&vec![
                 "cc".into(),
                 "traditional".into(),
-                // genet-lint: allow(truncating-cast) percent label for a display/file tag; explicit round, ratio in [0,1]
                 format!("{}%", (ratio * 100.0).round() as u32),
                 fmt(eval(&agent)),
             ]);
@@ -105,7 +103,6 @@ fn main() {
         for ratio in [0.05_f64, 0.1, 0.2, 0.5, 1.0] {
             let tag = format!(
                 "abr_mix{}_it{}_s{}",
-                // genet-lint: allow(truncating-cast) percent label for a display/file tag; explicit round, ratio in [0,1]
                 (ratio * 100.0).round() as u32,
                 cfg.total_iters(),
                 args.seed
@@ -127,7 +124,6 @@ fn main() {
             out.row(&vec![
                 "abr".into(),
                 "traditional".into(),
-                // genet-lint: allow(truncating-cast) percent label for a display/file tag; explicit round, ratio in [0,1]
                 format!("{}%", (ratio * 100.0).round() as u32),
                 fmt(eval(&agent)),
             ]);

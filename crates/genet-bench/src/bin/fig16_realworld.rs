@@ -39,7 +39,6 @@ struct PathProfile {
 
 fn path_trace(p: &PathProfile, seed: u64, duration: f64) -> BandwidthTrace {
     let mut rng = StdRng::seed_from_u64(seed);
-    // genet-lint: allow(truncating-cast) trace step count: explicit ceil of a positive duration
     let steps = duration.ceil() as usize;
     let mut ts = Vec::with_capacity(steps);
     let mut bw = Vec::with_capacity(steps);

@@ -19,7 +19,6 @@ use genet::telemetry::{SpanTree, StageAgg};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
-// genet-lint: allow(wall-clock-in-result-path) observation-only perf sink; no timing feeds back into results
 use std::time::Instant;
 
 /// Format version of `BENCH_<figure>.json`. v2 adds the `stages` object
@@ -42,7 +41,6 @@ pub struct BenchJsonSink {
     figure: String,
     seed: u64,
     full: bool,
-    // genet-lint: allow(wall-clock-in-result-path) observation-only perf file; results never read it
     started: Instant,
     state: Mutex<State>,
 }

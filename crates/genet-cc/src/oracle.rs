@@ -20,7 +20,6 @@ pub fn oracle_reward(
     mi_s: f64,
 ) -> f64 {
     assert!(mi_s > 0.0 && duration_s > 0.0);
-    // genet-lint: allow(truncating-cast) MI count: explicit ceil, both operands positive (asserted above)
     let n = (duration_s / mi_s).ceil() as usize;
     let mut total = 0.0;
     for i in 0..n {

@@ -69,7 +69,6 @@ pub struct RobustifyResult {
 /// occasional jumps — jagged enough to stress ABR, smooth enough to survive
 /// the ρ penalty sometimes (the scorer decides).
 fn candidate_trace(rng: &mut StdRng, duration_s: f64) -> BandwidthTrace {
-    // genet-lint: allow(truncating-cast) trace step count: explicit ceil of a positive duration
     let steps = duration_s.ceil() as usize;
     let mut ts = Vec::with_capacity(steps);
     let mut bw = Vec::with_capacity(steps);
@@ -187,8 +186,7 @@ mod tests {
                 .enumerate()
                 .max_by(|(i, a), (j, b)| {
                     score_trace(a, &agent, rho, *i as u64)
-                        .partial_cmp(&score_trace(b, &agent, rho, *j as u64))
-                        .unwrap()
+                        .total_cmp(&score_trace(b, &agent, rho, *j as u64))
                 })
                 .map(|(_, t)| t.non_smoothness())
                 .unwrap()

@@ -90,7 +90,6 @@ impl LbParams {
             service_rate: cfg.get_named(&space, names::SERVICE_RATE),
             job_size_kb: cfg.get_named(&space, names::JOB_SIZE),
             job_interval_ms: cfg.get_named(&space, names::JOB_INTERVAL),
-            // genet-lint: allow(truncating-cast) job count from a positive config value: explicit round
             num_jobs: cfg.get_named(&space, names::NUM_JOBS).round() as usize,
             shuffle_prob: cfg.get_named(&space, names::SHUFFLE_PROB),
         }

@@ -1,0 +1,234 @@
+//! Diagnostic emitters: plain text, JSON, SARIF 2.1.0 and GitHub Actions
+//! workflow commands. All hand-rolled (the lint is zero-dependency by
+//! design — the dependency-hygiene rule applies to its own crate).
+
+use crate::rules::{Diagnostic, RuleId};
+use std::fmt::Write as _;
+
+/// Output format selected by `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    Text,
+    Json,
+    Sarif,
+    Github,
+}
+
+impl Format {
+    pub fn from_name(name: &str) -> Option<Format> {
+        match name {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            "sarif" => Some(Format::Sarif),
+            "github" => Some(Format::Github),
+            _ => None,
+        }
+    }
+}
+
+/// Renders diagnostics in the chosen format. Text/github end with a
+/// trailing newline per finding; json/sarif are single documents.
+pub fn render(format: Format, diagnostics: &[Diagnostic]) -> String {
+    match format {
+        Format::Text => text(diagnostics),
+        Format::Json => json(diagnostics),
+        Format::Sarif => sarif(diagnostics),
+        Format::Github => github(diagnostics),
+    }
+}
+
+fn text(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diagnostics {
+        let _ = writeln!(out, "{d}");
+    }
+    out
+}
+
+/// Minimal JSON string escaping (control chars, quotes, backslash).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            esc(&d.file),
+            d.line,
+            d.col,
+            d.rule.name(),
+            esc(&d.message)
+        );
+    }
+    if !diagnostics.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// SARIF 2.1.0, minimal profile: one run, one rule descriptor per distinct
+/// rule, one result per diagnostic. Valid for GitHub code scanning upload.
+fn sarif(diagnostics: &[Diagnostic]) -> String {
+    let mut rules: Vec<RuleId> = Vec::new();
+    for d in diagnostics {
+        if !rules.contains(&d.rule) {
+            rules.push(d.rule);
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"genet-lint\",\n");
+    out.push_str("          \"informationUri\": \"DESIGN.md\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, r) in rules.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "            {{\"id\": \"{}\"}}{}",
+            r.name(),
+            if i + 1 < rules.len() { "," } else { "" }
+        );
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, d) in diagnostics.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \"{}\"}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}{}",
+            d.rule.name(),
+            esc(&d.message),
+            esc(&d.file),
+            d.line,
+            d.col,
+            if i + 1 < diagnostics.len() { "," } else { "" }
+        );
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// GitHub Actions workflow commands: `::error file=…,line=…,col=…::…`
+/// renders as inline PR annotations. Newlines/percent in the message use
+/// the Actions escaping rules.
+fn github(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diagnostics {
+        let msg = d
+            .message
+            .replace('%', "%25")
+            .replace('\r', "%0D")
+            .replace('\n', "%0A");
+        let _ = writeln!(
+            out,
+            "::error file={},line={},col={},title=genet-lint {}::{}",
+            d.file,
+            d.line,
+            d.col,
+            d.rule.name(),
+            msg
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                col: 7,
+                rule: RuleId::WallClock,
+                message: "Instant::now \"quoted\"".into(),
+            },
+            Diagnostic {
+                file: "crates/x/src/lib.rs".into(),
+                line: 9,
+                col: 1,
+                rule: RuleId::UnusedAllow,
+                message: "stale".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn text_matches_display() {
+        let t = render(Format::Text, &sample());
+        assert!(t.contains("crates/x/src/lib.rs:3:7: [wall-clock-in-result-path]"));
+        assert_eq!(t.lines().count(), 2);
+    }
+
+    #[test]
+    fn json_escapes_and_lists_all() {
+        let j = render(Format::Json, &sample());
+        assert!(j.contains("\\\"quoted\\\""), "{j}");
+        assert!(j.contains("\"line\": 3"));
+        assert!(j.contains("\"rule\": \"unused-allow\""));
+        // Must not contain a raw interior quote sequence that breaks JSON.
+        assert!(!j.contains(": \"Instant::now \""));
+    }
+
+    #[test]
+    fn empty_json_is_an_empty_array() {
+        assert_eq!(render(Format::Json, &[]), "[]\n");
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let s = render(Format::Sarif, &sample());
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"id\": \"wall-clock-in-result-path\""));
+        assert!(s.contains("\"startLine\": 3"));
+        assert!(s.contains("\"startColumn\": 7"));
+        assert!(s.contains("\"uri\": \"crates/x/src/lib.rs\""));
+    }
+
+    #[test]
+    fn github_commands_escape_newlines() {
+        let mut d = sample();
+        d[0].message = "a\nb%c".into();
+        let g = render(Format::Github, &d);
+        assert!(g.starts_with("::error file=crates/x/src/lib.rs,line=3,col=7"));
+        assert!(g.contains("a%0Ab%25c"));
+    }
+
+    #[test]
+    fn format_names_resolve() {
+        for (n, f) in [
+            ("text", Format::Text),
+            ("json", Format::Json),
+            ("sarif", Format::Sarif),
+            ("github", Format::Github),
+        ] {
+            assert_eq!(Format::from_name(n), Some(f));
+        }
+        assert_eq!(Format::from_name("xml"), None);
+    }
+}

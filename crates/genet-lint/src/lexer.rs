@@ -1,0 +1,652 @@
+//! A real (zero-dependency) Rust lexer: turns source text into a token
+//! stream with line/column spans, plus the comment stream the annotation
+//! parser feeds on.
+//!
+//! This is still not a full parser — there is no AST — but unlike the old
+//! per-line cleaner it produces genuine tokens: raw strings with hash
+//! fences, byte/char literals vs lifetimes, nested block comments, compound
+//! operators (`+=`, `::`, `=>`, …) and delimiter tokens that the
+//! [`crate::model`] layer brace-matches into a token tree. Literal *text*
+//! is preserved on the token (rules like `thread-count-branching` must see
+//! `"GENET_THREADS"` inside a string), but string/char contents can never
+//! be mistaken for code because they are distinct token kinds.
+
+/// Delimiter flavor of an [`TokKind::Open`]/[`TokKind::Close`] token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    Paren,
+    Bracket,
+    Brace,
+}
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `let`, `HashMap`, …).
+    Ident,
+    /// Lifetime tick + name (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal (including hex/octal/binary and suffixed forms).
+    NumInt,
+    /// Float literal (`1.0`, `2.`, `1e-3`, `0.5f64`).
+    NumFloat,
+    /// String-ish literal (normal, raw, byte, byte-raw). Text keeps the
+    /// full source spelling including quotes/hashes.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation, possibly compound (`+=`, `::`, `=>`, `..=`, `|`).
+    Punct,
+    Open(Delim),
+    Close(Delim),
+}
+
+/// One lexed token with its 1-based source position (char columns).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+#[allow(clippy::len_without_is_empty)] // a lexed token is never empty
+impl Tok {
+    /// Char length of the token in source (raw strings included).
+    pub fn len(&self) -> usize {
+        self.text.chars().count()
+    }
+
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+}
+
+/// One comment (or one line of a multi-line block comment).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: usize,
+    pub text: String,
+    /// Doc comments (`///`, `//!`, `/** */`) never carry annotations.
+    pub doc: bool,
+}
+
+/// Lexer output: the token stream plus comments and the line count.
+#[derive(Debug, Default)]
+pub struct LexOut {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+    pub line_count: usize,
+}
+
+/// Compound operators, longest first (single chars fall through).
+const COMPOUND_PUNCTS: [&str; 22] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "..",
+];
+
+/// Lexes a whole file. Unterminated literals/comments are closed at EOF
+/// (the lint must degrade gracefully, never panic, on odd input).
+pub fn lex(source: &str) -> LexOut {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = LexOut {
+        line_count: source.lines().count(),
+        ..LexOut::default()
+    };
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+
+        // Line comment (incl. doc).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let doc = matches!(chars.get(i + 2), Some(&'/') | Some(&'!'))
+                // `////…` dividers are plain comments, not docs.
+                && chars.get(i + 3) != Some(&'/');
+            let mut text = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                bump!();
+            }
+            let body = text.trim_start_matches('/').trim_start_matches('!');
+            out.comments.push(Comment {
+                line: tline,
+                text: body.to_string(),
+                doc,
+            });
+            continue;
+        }
+
+        // Block comment (nested), one Comment entry per source line.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let doc = chars.get(i + 2) == Some(&'*') && chars.get(i + 3) != Some(&'*');
+            let mut depth = 0usize;
+            let mut text = String::new();
+            let mut text_line = tline;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if chars[i] == '\n' {
+                        out.comments.push(Comment {
+                            line: text_line,
+                            text: std::mem::take(&mut text),
+                            doc,
+                        });
+                        text_line = line + 1;
+                    } else {
+                        text.push(chars[i]);
+                    }
+                    bump!();
+                }
+            }
+            if !text.trim().is_empty() {
+                out.comments.push(Comment {
+                    line: text_line,
+                    text,
+                    doc,
+                });
+            }
+            continue;
+        }
+
+        // Raw / byte string starts: r"…", r#"…"#, br"…", b"…".
+        if let Some((prefix_len, hashes)) = raw_string_start(&chars, i) {
+            let mut text = String::new();
+            for _ in 0..prefix_len {
+                text.push(chars[i]);
+                bump!();
+            }
+            // Consume until `"` followed by `hashes` hashes.
+            while i < chars.len() {
+                if chars[i] == '"' && (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
+                    for _ in 0..=hashes {
+                        text.push(chars[i]);
+                        bump!();
+                    }
+                    break;
+                }
+                text.push(chars[i]);
+                bump!();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"')) {
+            let mut text = String::new();
+            if c == 'b' {
+                text.push('b');
+                bump!();
+            }
+            text.push(chars[i]);
+            bump!(); // opening quote
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    text.push(chars[i]);
+                    bump!();
+                    if i < chars.len() {
+                        text.push(chars[i]);
+                        bump!();
+                    }
+                } else if chars[i] == '"' {
+                    text.push(chars[i]);
+                    bump!();
+                    break;
+                } else {
+                    text.push(chars[i]);
+                    bump!();
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Byte-char literal b'x'.
+        if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+            if let Some(consumed) = char_literal(&chars, i + 1) {
+                let text: String = chars[i..i + 1 + consumed].iter().collect();
+                for _ in 0..1 + consumed {
+                    bump!();
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line: tline,
+                    col: tcol,
+                });
+                continue;
+            }
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if let Some(consumed) = char_literal(&chars, i) {
+                let text: String = chars[i..i + consumed].iter().collect();
+                for _ in 0..consumed {
+                    bump!();
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line: tline,
+                    col: tcol,
+                });
+            } else {
+                // Lifetime: tick plus ident chars.
+                let mut text = String::from('\'');
+                bump!();
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    text.push(chars[i]);
+                    bump!();
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            let mut float = false;
+            let radix_prefixed = c == '0'
+                && matches!(
+                    chars.get(i + 1),
+                    Some(&'x') | Some(&'o') | Some(&'b') | Some(&'X') | Some(&'O') | Some(&'B')
+                );
+            if radix_prefixed {
+                text.push(chars[i]);
+                bump!();
+                text.push(chars[i]);
+                bump!();
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    bump!();
+                }
+            } else {
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    bump!();
+                }
+                // Fractional part: `.` NOT followed by `.` or an ident start
+                // (so `1..n` stays a range and `1.max(2)` a method call).
+                if i < chars.len()
+                    && chars[i] == '.'
+                    && chars.get(i + 1) != Some(&'.')
+                    && !chars.get(i + 1).copied().is_some_and(is_ident_start)
+                {
+                    float = true;
+                    text.push(chars[i]);
+                    bump!();
+                    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        text.push(chars[i]);
+                        bump!();
+                    }
+                }
+                // Exponent.
+                if i < chars.len()
+                    && (chars[i] == 'e' || chars[i] == 'E')
+                    && (chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                        || (matches!(chars.get(i + 1), Some(&'+') | Some(&'-'))
+                            && chars.get(i + 2).is_some_and(|c| c.is_ascii_digit())))
+                {
+                    float = true;
+                    text.push(chars[i]);
+                    bump!();
+                    if matches!(chars.get(i), Some(&'+') | Some(&'-')) {
+                        text.push(chars[i]);
+                        bump!();
+                    }
+                    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        text.push(chars[i]);
+                        bump!();
+                    }
+                }
+                // Suffix (`f64`, `u32`, …).
+                let suffix_at = text.len();
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    text.push(chars[i]);
+                    bump!();
+                }
+                if text[suffix_at..].starts_with("f32") || text[suffix_at..].starts_with("f64") {
+                    float = true;
+                }
+            }
+            out.toks.push(Tok {
+                kind: if float {
+                    TokKind::NumFloat
+                } else {
+                    TokKind::NumInt
+                },
+                text,
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                text.push(chars[i]);
+                bump!();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Delimiters.
+        let delim = match c {
+            '(' => Some((TokKind::Open(Delim::Paren), "(")),
+            ')' => Some((TokKind::Close(Delim::Paren), ")")),
+            '[' => Some((TokKind::Open(Delim::Bracket), "[")),
+            ']' => Some((TokKind::Close(Delim::Bracket), "]")),
+            '{' => Some((TokKind::Open(Delim::Brace), "{")),
+            '}' => Some((TokKind::Close(Delim::Brace), "}")),
+            _ => None,
+        };
+        if let Some((kind, text)) = delim {
+            out.toks.push(Tok {
+                kind,
+                text: text.to_string(),
+                line: tline,
+                col: tcol,
+            });
+            bump!();
+            continue;
+        }
+
+        // Compound punctuation, longest match first.
+        let mut matched = None;
+        for p in COMPOUND_PUNCTS {
+            let pl = p.chars().count();
+            if chars[i..].len() >= pl && chars[i..i + pl].iter().collect::<String>() == p {
+                matched = Some(p);
+                break;
+            }
+        }
+        if let Some(p) = matched {
+            for _ in 0..p.chars().count() {
+                bump!();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: p.to_string(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: tline,
+            col: tcol,
+        });
+        bump!();
+    }
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Matches `r"`, `r#"`, `br"`, `br##"` … at `i`; returns `(chars through the
+/// opening quote, hash count)`.
+fn raw_string_start(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((j + 1 - i, hashes))
+    } else {
+        None
+    }
+}
+
+/// Matches a char literal `'x'`, `'\n'`, `'\u{1F600}'` at `i`; returns its
+/// char length, or `None` for a lifetime tick.
+fn char_literal(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    match chars.get(j)? {
+        '\\' => {
+            j += 1;
+            if chars.get(j) == Some(&'u') {
+                while j < chars.len() && chars[j] != '\'' {
+                    j += 1;
+                }
+                j -= 1; // the loop stops ON the quote; rewind for the +1 below
+            }
+            j += 1;
+        }
+        '\'' => return None, // '' is not a char literal
+        _ => j += 1,
+    }
+    if chars.get(j) == Some(&'\'') {
+        Some(j + 1 - i)
+    } else {
+        None // lifetime like 'a or 'static
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let out = lex("let x = 1; // HashMap here\nlet y = /* HashSet */ 2;\n");
+        assert!(!idents("let x = 1; // HashMap here\n").contains(&"HashMap".to_string()));
+        assert!(out.comments.iter().any(|c| c.text.contains("HashMap")));
+        assert!(!out
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "HashSet"));
+    }
+
+    #[test]
+    fn string_contents_are_not_idents() {
+        let out = lex("let s = \"HashMap in a string\"; let t = 5;\n");
+        assert!(!out
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "HashMap"));
+        let s = out.toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert!(s.text.contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let out = lex("let s = r#\"Instant::now \"quoted\" {\"#; let ok = 1;\n");
+        assert!(!out.toks.iter().any(|t| t.is_ident("Instant")));
+        // The `{` inside the raw string must not open a group.
+        assert!(!out
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Open(Delim::Brace)));
+        assert!(out.toks.iter().any(|t| t.is_ident("ok")));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let out = lex("let c = '{'; let q = '\"'; let l: &'static str = \"x\"; fn f<'a>() {}\n");
+        let chars: Vec<&str> = out
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'{'", "'\"'"]);
+        let lifes: Vec<&str> = out
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifes, vec!["'static", "'a"]);
+        // The '{' char literal must not unbalance braces: exactly one
+        // open/close pair from `{}`.
+        let opens = out
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Open(Delim::Brace))
+            .count();
+        assert_eq!(opens, 1);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let out = lex(r"let a = '\''; let b = '\n'; let c = '\u{1F600}';");
+        let chars = out.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("/* outer /* inner HashMap */ still */ let ok = 1;\n");
+        assert!(!out.toks.iter().any(|t| t.is_ident("HashMap")));
+        assert!(out.toks.iter().any(|t| t.is_ident("ok")));
+    }
+
+    #[test]
+    fn multiline_block_comment_and_string() {
+        let out =
+            lex("/* start\nHashMap\n*/ let a = 1;\nlet s = \"multi\nInstant::now\n line\"; let b = 2;\n");
+        assert!(!out.toks.iter().any(|t| t.is_ident("HashMap")));
+        assert!(!out.toks.iter().any(|t| t.is_ident("Instant")));
+        assert!(out.toks.iter().any(|t| t.is_ident("a")));
+        assert!(out.toks.iter().any(|t| t.is_ident("b")));
+        // Comment text is recorded per line.
+        assert!(out
+            .comments
+            .iter()
+            .any(|c| c.line == 2 && c.text.contains("HashMap")));
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        let kinds: Vec<(String, TokKind)> =
+            lex("1 1.0 2. 1e-3 0x1F 0b10 1_000 0.5f64 3usize 1..n 4.max(5)")
+                .toks
+                .iter()
+                .filter(|t| matches!(t.kind, TokKind::NumInt | TokKind::NumFloat))
+                .map(|t| (t.text.clone(), t.kind))
+                .collect();
+        let float = |s: &str| kinds.iter().any(|(t, k)| t == s && *k == TokKind::NumFloat);
+        let int = |s: &str| kinds.iter().any(|(t, k)| t == s && *k == TokKind::NumInt);
+        assert!(int("1") && float("1.0") && float("2.") && float("1e-3"));
+        assert!(int("0x1F") && int("0b10") && int("1_000"));
+        assert!(float("0.5f64") && int("3usize"));
+        // range and method-call dots stay out of the number token
+        assert!(int("4") && int("5"));
+    }
+
+    #[test]
+    fn compound_puncts_lexed_whole() {
+        let puncts: Vec<String> = lex("a += b; c ..= d; x == y; p -> q; m => n; v <<= w;")
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        for p in ["+=", "..=", "==", "->", "=>", "<<="] {
+            assert!(puncts.iter().any(|t| t == p), "missing {p}: {puncts:?}");
+        }
+    }
+
+    #[test]
+    fn doc_comments_are_marked() {
+        let out =
+            lex("/// doc with genet-lint: allow(x) words\n//! inner doc\n// plain\nfn f() {}\n");
+        assert_eq!(out.comments.len(), 3);
+        assert!(out.comments[0].doc);
+        assert!(out.comments[1].doc);
+        assert!(!out.comments[2].doc);
+    }
+
+    #[test]
+    fn positions_are_one_based_chars() {
+        let out = lex("let x = 1;\n  let y = 2;\n");
+        let y = out.toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!((y.line, y.col), (2, 7));
+    }
+}

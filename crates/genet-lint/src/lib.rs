@@ -1,12 +1,23 @@
 //! Determinism & numeric-safety static analysis for the Genet workspace.
+//!
+//! Pipeline: [`lexer`] (real Rust tokens) → [`model`] (brace-matched token
+//! tree, items, closures, captures, annotations) → [`rules`] (scope-aware
+//! scanners) → [`scan`] (workspace walk + suppression) → [`emit`]
+//! (text/json/sarif/github). Rule specs live in DESIGN.md §13.
 #![forbid(unsafe_code)]
+// Token-tree walking is index-based throughout (`match_of` jumps need the
+// indices); iterator rewrites would obscure the cursor arithmetic.
+#![allow(clippy::needless_range_loop)]
 
 pub mod config;
+pub mod emit;
+pub mod lexer;
 pub mod manifest;
+pub mod model;
 pub mod rules;
 pub mod scan;
-pub mod tokenizer;
 
 pub use config::LintConfig;
+pub use emit::Format;
 pub use rules::{Diagnostic, RuleId, TargetKind};
-pub use scan::{find_workspace_root, lint_source, lint_workspace};
+pub use scan::{find_workspace_root, lint_crate, lint_source, lint_workspace};

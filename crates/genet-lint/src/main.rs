@@ -1,10 +1,17 @@
 //! CLI for the Genet determinism & numeric-safety lint.
 //!
-//! Usage: `cargo run -p genet-lint --release -- --workspace [--root <dir>]`
+//! Usage: `cargo run -p genet-lint --release -- --workspace
+//!         [--root <dir>] [--format text|json|sarif|github]
+//!         [--output <path> [--output-format <fmt>]]`
 //!
-//! Exits 0 on a clean tree, 1 with `file:line: [rule] message` diagnostics
-//! on violations, 2 on usage/IO errors.
+//! Exits 0 on a clean tree, 1 with diagnostics on violations, 2 on
+//! usage/IO errors. `--format` picks the stdout rendering; `--output`
+//! additionally writes a report to a file, in `--output-format` (default:
+//! the stdout format). CI uses `--format github --output genet-lint.sarif
+//! --output-format sarif` — inline PR annotations plus a SARIF artifact
+//! from a single scan.
 
+use genet_lint::emit::{render, Format};
 use genet_lint::lint_workspace;
 use genet_lint::scan::find_workspace_root;
 use std::path::PathBuf;
@@ -14,6 +21,9 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut workspace = false;
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut output: Option<PathBuf> = None;
+    let mut output_format: Option<Format> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
@@ -21,12 +31,26 @@ fn main() -> ExitCode {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage("--root needs a directory argument"),
             },
+            "--format" => match args.next().as_deref().map(Format::from_name) {
+                Some(Some(f)) => format = f,
+                _ => return usage("--format needs one of: text, json, sarif, github"),
+            },
+            "--output" => match args.next() {
+                Some(path) => output = Some(PathBuf::from(path)),
+                None => return usage("--output needs a file argument"),
+            },
+            "--output-format" => match args.next().as_deref().map(Format::from_name) {
+                Some(Some(f)) => output_format = Some(f),
+                _ => return usage("--output-format needs one of: text, json, sarif, github"),
+            },
             "--help" | "-h" => {
                 println!(
                     "genet-lint: determinism & numeric-safety static analysis\n\n\
-                     USAGE:\n    genet-lint --workspace [--root <dir>]\n\n\
+                     USAGE:\n    genet-lint --workspace [--root <dir>]\n\
+                     \x20                [--format text|json|sarif|github]\n\
+                     \x20                [--output <path> [--output-format <fmt>]]\n\n\
                      Scans crates/*/src/**/*.rs and every Cargo.toml for violations of\n\
-                     the workspace determinism invariants (see DESIGN.md). Rules:\n"
+                     the workspace determinism invariants (see DESIGN.md §13). Rules:\n"
                 );
                 for rule in genet_lint::RuleId::ALL {
                     println!("    {}", rule.name());
@@ -54,16 +78,25 @@ fn main() -> ExitCode {
     };
 
     match lint_workspace(&root) {
-        Ok(diagnostics) if diagnostics.is_empty() => {
-            eprintln!("genet-lint: clean ({})", root.display());
-            ExitCode::SUCCESS
-        }
         Ok(diagnostics) => {
-            for d in &diagnostics {
-                println!("{d}");
+            if let Some(path) = &output {
+                let file_report = render(output_format.unwrap_or(format), &diagnostics);
+                if let Err(e) = std::fs::write(path, &file_report) {
+                    eprintln!("genet-lint: error: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
             }
-            eprintln!("genet-lint: {} violation(s)", diagnostics.len());
-            ExitCode::FAILURE
+            let report = render(format, &diagnostics);
+            if !(report.is_empty() || (format == Format::Text && diagnostics.is_empty())) {
+                print!("{report}");
+            }
+            if diagnostics.is_empty() {
+                eprintln!("genet-lint: clean ({})", root.display());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("genet-lint: {} violation(s)", diagnostics.len());
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("genet-lint: error: {e}");
@@ -73,6 +106,9 @@ fn main() -> ExitCode {
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("genet-lint: {msg}\nusage: genet-lint --workspace [--root <dir>]");
+    eprintln!(
+        "genet-lint: {msg}\nusage: genet-lint --workspace [--root <dir>] \
+         [--format text|json|sarif|github] [--output <path> [--output-format <fmt>]]"
+    );
     ExitCode::from(2)
 }

@@ -40,6 +40,7 @@ pub fn check_member_manifest(path: &Path, text: &str) -> Vec<Diagnostic> {
                     out.push(Diagnostic {
                         file: file.clone(),
                         line: idx + 1,
+                        col: 1,
                         rule: RuleId::DependencyHygiene,
                         message: format!(
                             "dependency `{name}` must be `{{ workspace = true }}` (or an \
@@ -60,6 +61,7 @@ pub fn check_member_manifest(path: &Path, text: &str) -> Vec<Diagnostic> {
                     out.push(Diagnostic {
                         file: file.clone(),
                         line: idx + 1,
+                        col: 1,
                         rule: RuleId::DependencyHygiene,
                         message: format!(
                             "dependency `{dep}` uses `{key}`: registry/git dependencies \
@@ -89,6 +91,7 @@ pub fn check_workspace_manifest(path: &Path, text: &str) -> Vec<Diagnostic> {
                 out.push(Diagnostic {
                     file: file.clone(),
                     line: idx + 1,
+                    col: 1,
                     rule: RuleId::DependencyHygiene,
                     message: "[patch] sections are forbidden; vendor the crate under \
                               third_party/ instead"
@@ -110,6 +113,7 @@ pub fn check_workspace_manifest(path: &Path, text: &str) -> Vec<Diagnostic> {
                     out.push(Diagnostic {
                         file: file.clone(),
                         line: idx + 1,
+                        col: 1,
                         rule: RuleId::DependencyHygiene,
                         message: format!(
                             "workspace dependency `{name}` must resolve to an in-tree \

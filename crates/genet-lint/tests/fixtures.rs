@@ -13,6 +13,12 @@ const UNSEEDED: &str = include_str!("fixtures/unseeded_rng.rs");
 const TRUNCATING: &str = include_str!("fixtures/truncating_cast.rs");
 const PANIC: &str = include_str!("fixtures/panic_in_library.rs");
 const ANNOTATIONS: &str = include_str!("fixtures/annotations.rs");
+const PAR_CAPTURE: &str = include_str!("fixtures/par_shared_mutable_capture.rs");
+const FLOAT_REDUCTION: &str = include_str!("fixtures/unordered_float_reduction.rs");
+const THREAD_BRANCH: &str = include_str!("fixtures/thread_count_branching.rs");
+const ENV_READ: &str = include_str!("fixtures/env_read_in_result_path.rs");
+const SORT: &str = include_str!("fixtures/nonreproducible_sort.rs");
+const LEXER_EDGE: &str = include_str!("fixtures/lexer_edge_cases.rs");
 
 /// Lines carrying a `POSITIVE line N` marker; panics if a marker's stated
 /// number disagrees with its actual position (stale fixture).
@@ -40,17 +46,11 @@ fn positive_lines(src: &str) -> Vec<usize> {
     out
 }
 
-/// Lints a fixture as library code with no per-crate config and checks the
-/// flagged lines against the markers: exactly the marked lines, exactly the
-/// expected rule, no annotation complaints.
-fn check_rule_fixture(name: &str, src: &str, rule: RuleId) {
-    let diags = lint_source(
-        name,
-        "genet-fixture",
-        TargetKind::Lib,
-        src,
-        &LintConfig::default(),
-    );
+/// Lints a fixture with no per-crate config and checks the flagged lines
+/// against the markers: exactly the marked lines, exactly the expected
+/// rule, no annotation complaints.
+fn check_rule_fixture_as(name: &str, src: &str, rule: RuleId, kind: TargetKind) {
+    let diags = lint_source(name, "genet-fixture", kind, src, &LintConfig::default());
     for d in &diags {
         assert_eq!(d.rule, rule, "unexpected rule in {name}: {d}");
     }
@@ -59,8 +59,12 @@ fn check_rule_fixture(name: &str, src: &str, rule: RuleId) {
     assert_eq!(
         flagged,
         positive_lines(src),
-        "flagged lines mismatch in {name}"
+        "flagged lines mismatch in {name}: {diags:?}"
     );
+}
+
+fn check_rule_fixture(name: &str, src: &str, rule: RuleId) {
+    check_rule_fixture_as(name, src, rule, TargetKind::Lib);
 }
 
 #[test]
@@ -79,8 +83,8 @@ fn wall_clock_fixture() {
 
 #[test]
 fn unseeded_rng_fixture() {
-    // The unseeded-rng rule is the one rule that also fires inside
-    // `#[cfg(test)]` regions; the fixture's last POSITIVE marker sits in one.
+    // The unseeded-rng rule also fires inside `#[cfg(test)]` regions; the
+    // fixture's last POSITIVE marker sits in one.
     check_rule_fixture("unseeded_rng.rs", UNSEEDED, RuleId::UnseededRng);
 }
 
@@ -92,6 +96,78 @@ fn truncating_cast_fixture() {
 #[test]
 fn panic_in_library_fixture() {
     check_rule_fixture("panic_in_library.rs", PANIC, RuleId::PanicInLibrary);
+}
+
+#[test]
+fn par_shared_mutable_capture_fixture() {
+    check_rule_fixture(
+        "par_shared_mutable_capture.rs",
+        PAR_CAPTURE,
+        RuleId::ParSharedMutableCapture,
+    );
+}
+
+#[test]
+fn unordered_float_reduction_fixture() {
+    check_rule_fixture(
+        "unordered_float_reduction.rs",
+        FLOAT_REDUCTION,
+        RuleId::UnorderedFloatReduction,
+    );
+}
+
+#[test]
+fn thread_count_branching_fixture() {
+    check_rule_fixture(
+        "thread_count_branching.rs",
+        THREAD_BRANCH,
+        RuleId::ThreadCountBranching,
+    );
+}
+
+#[test]
+fn env_read_in_result_path_fixture() {
+    check_rule_fixture(
+        "env_read_in_result_path.rs",
+        ENV_READ,
+        RuleId::EnvReadInResultPath,
+    );
+}
+
+#[test]
+fn nonreproducible_sort_fixture() {
+    // Linted as Bin so the `.unwrap()` inside the comparators exercises the
+    // sort rule alone (panic-in-library is Lib-only); the last POSITIVE
+    // marker proves the rule fires inside `#[cfg(test)]` regions too.
+    check_rule_fixture_as(
+        "nonreproducible_sort.rs",
+        SORT,
+        RuleId::NonreproducibleSort,
+        TargetKind::Bin,
+    );
+}
+
+#[test]
+fn lexer_edge_cases_fixture() {
+    // Raw strings, tricky char literals and nested block comments must all
+    // lex cleanly; exactly the one marked wall-clock read survives.
+    check_rule_fixture("lexer_edge_cases.rs", LEXER_EDGE, RuleId::WallClock);
+}
+
+#[test]
+fn env_read_sanctioned_file_is_exempt() {
+    // The same env fixture linted under the genet-telemetry paths.rs label:
+    // every env read is sanctioned, which in turn makes the fixture's allow
+    // annotation stale — and staleness is itself reported.
+    let diags = lint_source(
+        "crates/genet-telemetry/src/paths.rs",
+        "genet-telemetry",
+        TargetKind::Lib,
+        ENV_READ,
+        &LintConfig::default(),
+    );
+    let hits: Vec<(usize, RuleId)> = diags.iter().map(|d| (d.line, d.rule)).collect();
+    assert_eq!(hits, vec![(21, RuleId::UnusedAllow)], "{diags:?}");
 }
 
 #[test]
@@ -126,7 +202,7 @@ fn crate_config_suppresses_whole_fixture() {
         &cfg,
     );
     let hits: Vec<(usize, RuleId)> = diags.iter().map(|d| (d.line, d.rule)).collect();
-    assert_eq!(hits, vec![(19, RuleId::UnusedAllow)], "{diags:?}");
+    assert_eq!(hits, vec![(29, RuleId::UnusedAllow)], "{diags:?}");
     // …and the config only applies to the named crate.
     let diags = lint_source(
         "wall_clock.rs",

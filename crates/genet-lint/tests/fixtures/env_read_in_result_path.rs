@@ -1,0 +1,30 @@
+// Fixture: env-read-in-result-path positives, negatives, allow cases.
+
+pub fn positive() -> Option<String> {
+    std::env::var("SOME_KNOB").ok() // POSITIVE line 4
+}
+
+pub fn positive_var_os() -> Option<std::ffi::OsString> {
+    std::env::var_os("OTHER_KNOB") // POSITIVE line 8
+}
+
+pub fn genet_threads_env() -> Option<usize> {
+    // The sanctioned GENET_THREADS parser may read the environment.
+    std::env::var("GENET_THREADS").ok().and_then(|v| v.parse().ok())
+}
+
+pub fn negative_args() -> Vec<String> {
+    std::env::args().collect() // args() is CLI parsing, not an env read
+}
+
+pub fn allowed() -> Option<String> {
+    // genet-lint: allow(env-read-in-result-path) observation-only metadata recorded beside results
+    std::env::var("GIT_SHA").ok()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn env_ok_in_tests() -> Option<String> {
+        std::env::var("TEST_KNOB").ok()
+    }
+}

@@ -1,0 +1,33 @@
+// Fixture: lexer edge cases the v1 line cleaner mishandled — raw strings,
+// char literals that look like delimiters/quotes, nested block comments.
+// Exactly one wall-clock finding (the marked line) must survive.
+
+pub fn raw_strings() -> usize {
+    // Quotes and comment markers inside raw strings are literal text.
+    let s = r#"contains "quotes" and // no comment and Instant::now("#;
+    let t = r##"nested "# hash fence stays inside"##;
+    let b = br"byte raw";
+    s.len() + t.len() + b.len()
+}
+
+pub fn char_literals(c: char) -> u32 {
+    let open = '{'; // a brace char must not unbalance the token tree
+    let quote = '"'; // a quote char must not open a string
+    let escaped = '\'';
+    let uni = '\u{1F600}';
+    match c {
+        '}' => 1,
+        _ if c == open || c == quote || c == escaped || c == uni => 2,
+        _ => 0,
+    }
+}
+
+/* outer /* nested block comment: Instant::now() stays commented */ still out */
+pub fn after_comments() -> f64 {
+    let t0 = std::time::Instant::now(); // POSITIVE line 27 — scanning resumed correctly
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn lifetimes<'a>(x: &'a str) -> &'a str {
+    x // lifetime ticks must not be parsed as char literals
+}

@@ -1,0 +1,41 @@
+// Fixture: nonreproducible-sort positives, negatives, allow cases.
+// Linted as Bin (the rule applies to every target kind; Bin keeps the
+// panic-in-library rule out of the `.unwrap()` comparators).
+
+pub fn positive_partial_cmp(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // POSITIVE line 6 — NaN panics; use total_cmp
+}
+
+pub fn positive_partial_cmp_expect(xs: &mut [f64]) {
+    let _ = xs
+        .iter()
+        .max_by(|a, b| a.partial_cmp(b).expect("no NaN")); // POSITIVE line 12
+}
+
+pub fn positive_unstable_float(pairs: &mut [(f64, usize)]) {
+    pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0)); // POSITIVE line 16 — ties land in arbitrary order
+}
+
+pub fn positive_unstable_by_key(xs: &mut [f32]) {
+    xs.sort_unstable_by_key(|x: &f32| x.to_bits()); // POSITIVE line 20
+}
+
+pub fn negative_stable_total(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b)); // stable + total order: deterministic
+}
+
+pub fn negative_unstable_ints(xs: &mut [u64]) {
+    xs.sort_unstable(); // ints are Ord; unstable is fine
+}
+
+pub fn allowed(xs: &mut [(f64, usize)]) {
+    // genet-lint: allow(nonreproducible-sort) keys are unique by construction (index appended)
+    xs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn positive_in_tests(xs: &mut [f64]) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // POSITIVE line 39 — flaky comparators flagged in tests too
+    }
+}

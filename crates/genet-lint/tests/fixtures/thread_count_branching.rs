@@ -1,0 +1,45 @@
+// Fixture: thread-count-branching positives, negatives, allow cases.
+use genet_par::par_map; // imports are not reads
+
+pub fn positive_if(n: usize) -> usize {
+    if genet_par::worker_count(n) <= 1 { // POSITIVE line 5 — result path forks on the count
+        serial(n)
+    } else {
+        parallel(n)
+    }
+}
+
+pub fn positive_compare(len: usize) -> bool {
+    let single = genet_par::worker_count(len) == 1; // POSITIVE line 13
+    single
+}
+
+pub fn positive_env_name() -> &'static str {
+    "GENET_THREADS" // POSITIVE line 18 — the knob's name in result code
+}
+
+pub fn negative_shaping(items: usize) -> usize {
+    // Reading the count to size shards is fine; only branching/compares fire.
+    let w = genet_par::worker_count(items);
+    items / w.max(1)
+}
+
+pub fn genet_threads_env() -> Option<usize> {
+    // The sanctioned parser: may read and branch on the env knob.
+    match std::env::var("GENET_THREADS") {
+        Ok(v) => v.parse().ok(),
+        Err(_) => None,
+    }
+}
+
+pub fn allowed(shards: usize) -> bool {
+    // genet-lint: allow(thread-count-branching) serial fast path is bit-identical by construction
+    genet_par::worker_count(shards) <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn branching_ok_in_tests(n: usize) -> bool {
+        genet_par::worker_count(n) == 1
+    }
+}

@@ -4,8 +4,20 @@ pub fn positive(x_s: f64) -> usize {
     (x_s / 0.5) as usize // POSITIVE line 4
 }
 
-pub fn positive_method(r: f64) -> i64 {
-    (r.floor()) as i64 // POSITIVE line 8 — explicit floor still needs a justification
+pub fn positive_sqrt(r: f64) -> u64 {
+    r.sqrt() as u64 // POSITIVE line 8 — float method, no rounding step
+}
+
+pub fn positive_rounding_buried(x: f64) -> usize {
+    (x.round() * 2.0) as usize // POSITIVE line 12 — the *2.0 reintroduces a fraction
+}
+
+pub fn negative_rounded(r: f64) -> i64 {
+    r.round() as i64 // explicit rounding: the truncation is deliberate
+}
+
+pub fn negative_floor_clamped(v: f64, hi: f64) -> usize {
+    v.floor().max(0.0).min(hi) as usize // max/min are rounding-transparent
 }
 
 pub fn negative(items: &[u8]) -> u64 {
@@ -16,9 +28,9 @@ pub fn negative_elapsed(nanos: u128) -> u64 {
     nanos as u64
 }
 
-pub fn allowed(rank: f64) -> usize {
-    // genet-lint: allow(truncating-cast) rank is a non-negative in-range index by construction
-    rank.floor() as usize
+pub fn allowed(buffer_s: f64) -> i64 {
+    // genet-lint: allow(truncating-cast) truncation IS the bucketing: floor to the 0.25s bin
+    (buffer_s / 0.25) as i64
 }
 
 #[cfg(test)]

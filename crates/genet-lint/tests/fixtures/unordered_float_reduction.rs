@@ -1,0 +1,65 @@
+// Fixture: unordered-float-reduction positives, negatives, allow cases.
+
+pub fn positive_compound(n: usize) -> f64 {
+    let mut total = 0.0f64;
+    genet_par::par_map(n, |i| {
+        total += i as f64; // POSITIVE line 6 — float accumulation across items
+        i
+    });
+    total
+}
+
+pub fn positive_spawn(xs: &[f64], out: &mut f64) {
+    scope(|s| {
+        s.spawn(|_| {
+            for x in xs {
+                *out += *x; // POSITIVE line 16 — captured f64 accumulation in a spawn closure
+            }
+        });
+    });
+}
+
+pub fn positive_sum(rows: &[f64], n: usize) -> Vec<f64> {
+    genet_par::par_map(n, |_i| {
+        let s: f64 = rows.iter().sum(); // POSITIVE line 24 — reduction over captured floats
+        s
+    })
+}
+
+pub fn negative_local_sum(n: usize) -> Vec<f64> {
+    genet_par::par_map(n, |i| {
+        let xs = vec![i as f64; 4];
+        let s: f64 = xs.iter().sum(); // per-item serial reduction over a local
+        s
+    })
+}
+
+pub fn fold_rows_ordered(out: &mut [f64], row: &[f64]) {
+    // The sanctioned fold: replays the serial reduction order exactly.
+    scope(|s| {
+        s.spawn(|_| {
+            out[0] += row[0] * 1.0;
+        });
+    });
+}
+
+pub fn allowed(n: usize) -> f32 {
+    let mut acc = 0.0f32;
+    genet_par::par_map(n, |i| {
+        // genet-lint: allow(unordered-float-reduction) demo accumulator; value never reaches results
+        acc += i as f32;
+        i
+    });
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn reduction_ok_in_tests(n: usize) {
+        let mut acc = 0.0f32;
+        genet_par::par_map(n, |i| {
+            acc += i as f32;
+            i
+        });
+    }
+}

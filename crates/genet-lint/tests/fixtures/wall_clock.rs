@@ -1,13 +1,23 @@
 // Fixture: wall-clock-in-result-path positives, negatives, and allow cases.
-use std::time::Instant; // POSITIVE line 2
+use std::time::Instant; // negative under v2: imports cannot tick
+
+pub struct Profiler {
+    pub started: Instant, // negative: a stored Instant is data, not a read
+}
 
 pub fn positive() -> f64 {
-    let t0 = Instant::now(); // POSITIVE line 5
+    let t0 = Instant::now(); // POSITIVE line 9
     t0.elapsed().as_secs_f64()
 }
 
 pub fn positive_systemtime() {
-    let _ = std::time::SystemTime::now(); // POSITIVE line 10
+    let _ = std::time::SystemTime::now(); // POSITIVE line 14
+}
+
+pub fn negative_gated(timed: bool) -> Option<Instant> {
+    // The sanctioned telemetry idiom: the clock read is gated behind the
+    // profiling flag, passed as a constructor to `.then`.
+    timed.then(Instant::now)
 }
 
 pub fn negative() -> u64 {

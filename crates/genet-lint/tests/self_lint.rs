@@ -1,0 +1,32 @@
+//! The analyzer must hold itself (and the perf tooling that shares its
+//! diagnostics style) to its own rules: both crates lint clean with the
+//! real workspace config, annotations included. A regression here means a
+//! new rule fired on its own implementation — fix the code or justify an
+//! allow, never weaken the rule.
+
+use genet_lint::{find_workspace_root, lint_crate};
+use std::path::Path;
+
+fn assert_crate_clean(name: &str) {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let diags = lint_crate(&root, name).expect("lint run");
+    assert!(
+        diags.is_empty(),
+        "{name} fails its own analyzer:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn genet_lint_passes_its_own_analyzer() {
+    assert_crate_clean("genet-lint");
+}
+
+#[test]
+fn genet_perf_passes_the_analyzer() {
+    assert_crate_clean("genet-perf");
+}

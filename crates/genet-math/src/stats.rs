@@ -40,9 +40,8 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     let mut sorted = xs.to_vec();
     sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
-    // genet-lint: allow(truncating-cast) rank is in [0, len-1] by the asserts above; floor/ceil then truncate is the textbook order-statistic index
     let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize; // genet-lint: allow(truncating-cast) same in-range rank as `lo`
+    let hi = rank.ceil() as usize;
     if lo == hi {
         sorted[lo]
     } else {

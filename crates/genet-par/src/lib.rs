@@ -15,7 +15,6 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
-// genet-lint: allow(wall-clock-in-result-path) Instant here feeds telemetry busy-time spans only; results never read it
 use std::time::Instant;
 
 /// Upper bound on any configured worker count (a sanity rail for
@@ -195,7 +194,6 @@ where
     let threads = worker_count(n);
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let profile = if threads <= 1 {
-        // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
         let t0 = timed.then(Instant::now);
         for (i, slot) in slots.iter_mut().enumerate() {
             *slot = Some(f(i));
@@ -221,7 +219,6 @@ where
             {
                 let f = &f;
                 s.spawn(move |_| {
-                    // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
                     let t0 = timed.then(Instant::now);
                     *item_slot = slice.len() as u64;
                     for (j, slot) in slice.iter_mut().enumerate() {
@@ -255,7 +252,6 @@ where
 /// for engines with a dedicated serial fast path (e.g. the PPO update's
 /// direct-accumulation branch).
 pub fn time_serial<T>(timed: bool, f: impl FnOnce() -> T) -> (T, u64) {
-    // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
     let t0 = timed.then(Instant::now);
     let out = f();
     (out, t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64))
@@ -294,7 +290,6 @@ pub fn fold_rows_ordered(rows: &[&[f32]], out: &mut [f32], timed: bool) -> Batch
     let threads = worker_count(out.len());
     let small = rows.len().saturating_mul(out.len()) < FOLD_PAR_THRESHOLD;
     if threads <= 1 || small {
-        // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
         let t0 = timed.then(Instant::now);
         for row in rows {
             for (o, v) in out.iter_mut().zip(row.iter()) {
@@ -325,7 +320,6 @@ pub fn fold_rows_ordered(rows: &[&[f32]], out: &mut [f32], timed: bool) -> Batch
             .zip(items.iter_mut())
         {
             s.spawn(move |_| {
-                // genet-lint: allow(wall-clock-in-result-path) telemetry busy-time measurement (observation-only)
                 let t0 = timed.then(Instant::now);
                 let lo = wi * chunk;
                 let hi = lo + slice.len();

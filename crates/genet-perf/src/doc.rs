@@ -170,7 +170,6 @@ impl BenchDoc {
 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 pub fn ms_to_nanos(ms: f64) -> u64 {
     if ms.is_finite() && ms > 0.0 {
-        // genet-lint: allow(truncating-cast) clamped non-negative display/compare conversion; never feeds results
         (ms * 1e6).round() as u64
     } else {
         0

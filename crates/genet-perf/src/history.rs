@@ -156,6 +156,7 @@ pub fn load(path: &Path) -> Result<Vec<HistoryEntry>, String> {
 /// The short git sha for archive keys: `$GENET_GIT_SHA` when set (CI passes
 /// it explicitly), else `git rev-parse --short HEAD`, else `unknown`.
 pub fn resolve_git_sha() -> String {
+    // genet-lint: allow(env-read-in-result-path) archive-key metadata only; never steers benchmark numbers
     if let Ok(sha) = std::env::var("GENET_GIT_SHA") {
         let sha = sha.trim().to_string();
         if !sha.is_empty() {

@@ -306,6 +306,7 @@ impl PpoAgent {
                 let mut mb_value_loss = 0.0f32;
                 let mut mb_entropy = 0.0f32;
                 let mut mb_kl = 0.0f32;
+                // genet-lint: allow(thread-count-branching) serial fast path is bit-identical to the sharded replay (update_thread_invariance proves it)
                 if genet_par::worker_count(shards.len()) <= 1 {
                     // Serial fast path: one worker would replay the sample
                     // order anyway, so skip the sharding, the per-sample

@@ -172,7 +172,6 @@ impl Corpus {
 /// multiplicative noise.
 fn gen_fcc(duration_s: f64, rng: &mut StdRng) -> BandwidthTrace {
     let base: f64 = rng.random_range(0.8..6.0);
-    // genet-lint: allow(truncating-cast) trace step count: explicit ceil of a positive duration
     let steps = duration_s.ceil() as usize;
     let mut ts = Vec::with_capacity(steps);
     let mut bw = Vec::with_capacity(steps);
@@ -195,7 +194,6 @@ fn gen_fcc(duration_s: f64, rng: &mut StdRng) -> BandwidthTrace {
 /// (tunnels / dead zones).
 fn gen_norway(duration_s: f64, rng: &mut StdRng) -> BandwidthTrace {
     let base: f64 = rng.random_range(0.5..3.5);
-    // genet-lint: allow(truncating-cast) trace step count: explicit ceil of a positive duration
     let steps = duration_s.ceil() as usize;
     let mut ts = Vec::with_capacity(steps);
     let mut bw = Vec::with_capacity(steps);
@@ -225,7 +223,6 @@ fn gen_norway(duration_s: f64, rng: &mut StdRng) -> BandwidthTrace {
 fn gen_cellular(duration_s: f64, rng: &mut StdRng) -> BandwidthTrace {
     let base: f64 = rng.random_range(0.3..6.0);
     let step = 0.5f64;
-    // genet-lint: allow(truncating-cast) trace step count: explicit ceil of a positive duration
     let steps = (duration_s / step).ceil() as usize;
     let mut ts = Vec::with_capacity(steps);
     let mut bw = Vec::with_capacity(steps);
@@ -245,7 +242,6 @@ fn gen_cellular(duration_s: f64, rng: &mut StdRng) -> BandwidthTrace {
 /// Pantheon Ethernet: near-constant high bandwidth with rare brief dips.
 fn gen_ethernet(duration_s: f64, rng: &mut StdRng) -> BandwidthTrace {
     let base: f64 = rng.random_range(10.0..90.0);
-    // genet-lint: allow(truncating-cast) trace step count: explicit ceil of a positive duration
     let steps = duration_s.ceil() as usize;
     let mut ts = Vec::with_capacity(steps);
     let mut bw = Vec::with_capacity(steps);

@@ -86,7 +86,6 @@ pub fn gen_cc_trace(params: &CcTraceParams, rng: &mut StdRng) -> BandwidthTrace 
     assert!(params.duration_s > 0.0, "duration must be positive");
     let lo = 1.0f64.min(params.max_bw_mbps.max(0.05));
     let hi = params.max_bw_mbps.max(lo);
-    // genet-lint: allow(truncating-cast) trace step count: explicit ceil of a positive duration
     let steps = (params.duration_s / CC_TRACE_STEP_S).ceil() as usize;
     let mut timestamps = Vec::with_capacity(steps);
     let mut bws = Vec::with_capacity(steps);

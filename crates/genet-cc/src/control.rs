@@ -1,0 +1,389 @@
+//! The pluggable [`CongestionControl`] trait of the event-driven core.
+//!
+//! Modelled on srt-rs's congestion-control interface (SNIPPETS.md 1–2):
+//! per-event hooks — `on_ack`, `on_loss`, `on_timeout`, `on_packet_sent` —
+//! each receiving an immutable [`FlowState`] snapshot and a mutable
+//! [`CcVariables`] it may adjust. An extra `on_mi` hook fires at monitor
+//! interval boundaries for MI-paced controllers (the RL policy and the
+//! oracle); per-ack controllers simply ignore it.
+//!
+//! Three adapter families implement the trait:
+//!
+//! * [`RuleCc`] — wraps any [`CcAlgorithm`] baseline (BBR, Cubic, Vivace,
+//!   Copa), aggregating per-ack feedback into the control-interval
+//!   [`CtrlFeedback`] those laws were written against,
+//! * [`PolicyCc`] — the RL adapter: Aurora features from each closed MI,
+//!   one discrete rate-multiplier action per MI,
+//! * [`OracleCc`] — tracks the ground-truth fair share of the bottleneck,
+//! * [`ExternalCc`] — inert; an outer environment drives the rate directly
+//!   (the agent-facing flow of the multi-flow `Env`).
+
+use crate::baselines::{baseline_by_name, CcAlgorithm, CtrlFeedback};
+use crate::env::{aurora_features, fill_history_obs, CC_OBS_DIM, FEATS, HISTORY, RATE_MULTIPLIERS};
+use crate::sim::{MiStats, MAX_RATE_MBPS, MIN_RATE_MBPS, PACKET_BITS};
+use genet_env::{Policy, PolicyScratch};
+use genet_traces::BandwidthTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Immutable per-flow view handed to every hook — what a real sender's
+/// transport layer knows about its own connection (never the network's
+/// ground truth).
+#[derive(Debug, Clone, Copy)]
+pub struct FlowState {
+    /// Flow index within the simulation.
+    pub flow_id: usize,
+    /// Current simulation time (s).
+    pub now_s: f64,
+    /// This flow's monitor-interval length (s).
+    pub mi_s: f64,
+    /// Propagation RTT of this flow's path (s).
+    pub base_rtt_s: f64,
+    /// Minimum full RTT observed so far (s); `base_rtt_s` until the first
+    /// ACK arrives.
+    pub min_rtt_s: f64,
+    /// Smoothed RTT estimate (s); `base_rtt_s` until the first sample.
+    pub srtt_s: f64,
+    /// Packets sent but neither acked nor reported lost.
+    pub inflight_pkts: u64,
+    /// Cumulative packets sent.
+    pub sent_pkts: u64,
+    /// Cumulative packets the receiver has acknowledged.
+    pub delivered_pkts: u64,
+    /// Cumulative packets the receiver has reported lost.
+    pub lost_pkts: u64,
+}
+
+/// The variables a congestion controller owns and mutates.
+#[derive(Debug, Clone, Copy)]
+pub struct CcVariables {
+    /// Pacing rate (Mbps); the simulator clamps into
+    /// [`MIN_RATE_MBPS`, `MAX_RATE_MBPS`] when scheduling sends.
+    pub pacing_rate_mbps: f64,
+    /// Retransmission-timeout interval (s) the simulator arms after each
+    /// ACK; a controller may lengthen or shorten it.
+    pub rto_s: f64,
+}
+
+/// One ACK as seen by the sender.
+#[derive(Debug, Clone, Copy)]
+pub struct AckInfo {
+    /// Highest sequence number this ACK covers.
+    pub ack_seq: u32,
+    /// RTT sample carried by this ACK (s).
+    pub rtt_s: f64,
+    /// Packets newly acknowledged (cumulative-counter delta).
+    pub newly_acked: u64,
+}
+
+/// One loss report as seen by the sender.
+#[derive(Debug, Clone)]
+pub struct LossInfo {
+    /// Packets newly reported lost (cumulative-counter delta — survives
+    /// dropped ACKs).
+    pub newly_lost: u64,
+    /// Decoded NAK ranges from this report (may be empty when the detailed
+    /// report rode an ACK that was itself lost).
+    pub ranges: Vec<(u32, u32)>,
+}
+
+/// A congestion-control law driven by the event core.
+pub trait CongestionControl {
+    /// Called once before the first send; sets the starting rate/RTO.
+    fn on_init(&mut self, _state: &FlowState, _vars: &mut CcVariables) {}
+
+    /// A packet was handed to the pacer.
+    fn on_packet_sent(&mut self, _state: &FlowState, _vars: &mut CcVariables) {}
+
+    /// An ACK arrived.
+    fn on_ack(&mut self, _ack: &AckInfo, _state: &FlowState, _vars: &mut CcVariables) {}
+
+    /// A loss report (NAK) arrived.
+    fn on_loss(&mut self, _loss: &LossInfo, _state: &FlowState, _vars: &mut CcVariables) {}
+
+    /// The retransmission timer fired with data still in flight.
+    fn on_timeout(&mut self, _state: &FlowState, _vars: &mut CcVariables) {}
+
+    /// A monitor interval closed (MI-paced controllers act here).
+    fn on_mi(&mut self, _mi: &MiStats, _state: &FlowState, _vars: &mut CcVariables) {}
+}
+
+/// Adapter running a rule-based [`CcAlgorithm`] on the event core: per-ACK
+/// events aggregate into one [`CtrlFeedback`] per control interval, exactly
+/// the cadence `run_cc` feeds the fluid simulator's baselines.
+pub struct RuleCc {
+    algo: Box<dyn CcAlgorithm>,
+    ctrl_s: f64,
+    interval_start_s: f64,
+    snap_sent: u64,
+    snap_delivered: u64,
+    snap_lost: u64,
+    rtt_weighted: f64,
+    rtt_weight: f64,
+}
+
+impl RuleCc {
+    /// Wraps an algorithm instance.
+    pub fn new(algo: Box<dyn CcAlgorithm>) -> Self {
+        Self {
+            algo,
+            ctrl_s: 0.05,
+            interval_start_s: 0.0,
+            snap_sent: 0,
+            snap_delivered: 0,
+            snap_lost: 0,
+            rtt_weighted: 0.0,
+            rtt_weight: 0.0,
+        }
+    }
+
+    /// Wraps a baseline by its paper name (`"bbr"`, `"cubic"`, …).
+    ///
+    /// # Panics
+    /// Panics on an unknown name (same contract as `baseline_by_name`).
+    pub fn by_name(name: &str) -> Self {
+        Self::new(baseline_by_name(name))
+    }
+
+    fn reset_interval(&mut self, state: &FlowState) {
+        self.interval_start_s = state.now_s;
+        self.snap_sent = state.sent_pkts;
+        self.snap_delivered = state.delivered_pkts;
+        self.snap_lost = state.lost_pkts;
+        self.rtt_weighted = 0.0;
+        self.rtt_weight = 0.0;
+    }
+}
+
+impl CongestionControl for RuleCc {
+    fn on_init(&mut self, state: &FlowState, vars: &mut CcVariables) {
+        self.ctrl_s = self.algo.control_interval_s(state.base_rtt_s);
+        self.reset_interval(state);
+        vars.pacing_rate_mbps = self.algo.start_rate_mbps();
+    }
+
+    fn on_ack(&mut self, ack: &AckInfo, state: &FlowState, vars: &mut CcVariables) {
+        let w = ack.newly_acked as f64;
+        self.rtt_weighted += ack.rtt_s * w;
+        self.rtt_weight += w;
+        let dt = state.now_s - self.interval_start_s;
+        if dt < self.ctrl_s - 1e-9 {
+            return;
+        }
+        let sent = (state.sent_pkts - self.snap_sent) as f64;
+        let delivered = (state.delivered_pkts - self.snap_delivered) as f64;
+        let lost = (state.lost_pkts - self.snap_lost) as f64;
+        let rtt = if self.rtt_weight > 0.0 {
+            self.rtt_weighted / self.rtt_weight
+        } else {
+            state.srtt_s
+        };
+        let fb = CtrlFeedback {
+            now_s: state.now_s,
+            dt_s: dt,
+            sent_pkts: sent,
+            delivered_pkts: delivered,
+            lost_pkts: lost,
+            // A sender without ECN cannot attribute losses to congestion;
+            // the laws' loss-fraction thresholds carry that burden here.
+            congestion_loss: false,
+            rtt_s: rtt,
+            base_rtt_s: state.min_rtt_s,
+            queue_delay_s: (rtt - state.min_rtt_s).max(0.0),
+            delivery_mbps: delivered * PACKET_BITS / 1e6 / dt.max(1e-9),
+        };
+        let rate = self.algo.on_feedback(&fb);
+        vars.pacing_rate_mbps = rate.clamp(MIN_RATE_MBPS, MAX_RATE_MBPS);
+        self.reset_interval(state);
+    }
+
+    fn on_timeout(&mut self, _state: &FlowState, vars: &mut CcVariables) {
+        // RTO with data in flight: drastic multiplicative backoff, the
+        // universal response of window- and rate-based laws alike.
+        vars.pacing_rate_mbps = (vars.pacing_rate_mbps * 0.5).max(MIN_RATE_MBPS);
+    }
+}
+
+/// The RL policy adapter: one discrete rate-multiplier action per closed
+/// monitor interval, observing the same Aurora feature history as `CcEnv`.
+pub struct PolicyCc<P> {
+    policy: P,
+    rng: StdRng,
+    scratch: PolicyScratch,
+    history: Vec<[f32; FEATS]>,
+}
+
+impl<P: Policy> PolicyCc<P> {
+    /// Wraps a policy; `seed` derives the action-sampling stream (greedy
+    /// policies ignore it).
+    pub fn new(policy: P, seed: u64) -> Self {
+        Self {
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+            scratch: PolicyScratch::new(),
+            history: Vec::new(),
+        }
+    }
+}
+
+impl<P: Policy> CongestionControl for PolicyCc<P> {
+    fn on_mi(&mut self, mi: &MiStats, state: &FlowState, vars: &mut CcVariables) {
+        self.history
+            .push(aurora_features(mi, state.base_rtt_s, state.min_rtt_s));
+        if self.history.len() > HISTORY {
+            self.history.remove(0);
+        }
+        let mut obs = [0.0f32; CC_OBS_DIM];
+        fill_history_obs(&self.history, &mut obs);
+        let action = self.policy.act_with(&obs, &mut self.rng, &mut self.scratch);
+        vars.pacing_rate_mbps =
+            (vars.pacing_rate_mbps * RATE_MULTIPLIERS[action]).clamp(MIN_RATE_MBPS, MAX_RATE_MBPS);
+    }
+}
+
+/// Ground-truth oracle controller: paces at its fair share of the known
+/// bottleneck trace (capacity / flow count) at every MI boundary.
+pub struct OracleCc {
+    trace: BandwidthTrace,
+    share: f64,
+}
+
+impl OracleCc {
+    /// Oracle for a bottleneck shared by `n_flows` flows.
+    pub fn new(trace: BandwidthTrace, n_flows: usize) -> Self {
+        Self {
+            trace,
+            share: 1.0 / n_flows.max(1) as f64,
+        }
+    }
+
+    fn fair_rate(&self, now_s: f64) -> f64 {
+        (self.trace.bw_at(now_s) * self.share).clamp(MIN_RATE_MBPS, MAX_RATE_MBPS)
+    }
+}
+
+impl CongestionControl for OracleCc {
+    fn on_init(&mut self, state: &FlowState, vars: &mut CcVariables) {
+        vars.pacing_rate_mbps = self.fair_rate(state.now_s);
+    }
+
+    fn on_mi(&mut self, _mi: &MiStats, state: &FlowState, vars: &mut CcVariables) {
+        vars.pacing_rate_mbps = self.fair_rate(state.now_s);
+    }
+}
+
+/// Inert controller: every hook is a no-op. The multi-flow environment uses
+/// it for the agent-driven flow, scaling the pacing rate from `Env::step`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExternalCc;
+
+impl CongestionControl for ExternalCc {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(now_s: f64) -> FlowState {
+        FlowState {
+            flow_id: 0,
+            now_s,
+            mi_s: 0.15,
+            base_rtt_s: 0.1,
+            min_rtt_s: 0.1,
+            srtt_s: 0.12,
+            inflight_pkts: 10,
+            sent_pkts: 100,
+            delivered_pkts: 80,
+            lost_pkts: 5,
+        }
+    }
+
+    fn vars() -> CcVariables {
+        CcVariables {
+            pacing_rate_mbps: 2.0,
+            rto_s: 0.5,
+        }
+    }
+
+    #[test]
+    fn rule_cc_initializes_from_the_wrapped_algorithm() {
+        let mut cc = RuleCc::by_name("cubic");
+        let mut v = vars();
+        cc.on_init(&state(0.0), &mut v);
+        assert!((v.pacing_rate_mbps - 1.0).abs() < 1e-9, "{v:?}");
+        assert!((cc.ctrl_s - 0.05).abs() < 1e-9, "rtt/2 for a 100 ms path");
+    }
+
+    #[test]
+    fn rule_cc_acts_once_per_control_interval() {
+        let mut cc = RuleCc::by_name("bbr");
+        let mut v = vars();
+        cc.on_init(&state(0.0), &mut v);
+        let r0 = v.pacing_rate_mbps;
+        // Mid-interval ACK: no decision yet.
+        let ack = AckInfo {
+            ack_seq: 10,
+            rtt_s: 0.11,
+            newly_acked: 5,
+        };
+        cc.on_ack(&ack, &state(0.02), &mut v);
+        assert_eq!(v.pacing_rate_mbps, r0);
+        // Interval boundary: BBR's startup doubles its rate.
+        let mut s = state(0.06);
+        s.delivered_pkts = 130;
+        cc.on_ack(&ack, &s, &mut v);
+        assert!(v.pacing_rate_mbps > r0, "{} vs {r0}", v.pacing_rate_mbps);
+    }
+
+    #[test]
+    fn rule_cc_timeout_halves_the_rate() {
+        let mut cc = RuleCc::by_name("cubic");
+        let mut v = vars();
+        cc.on_timeout(&state(1.0), &mut v);
+        assert!((v.pacing_rate_mbps - 1.0).abs() < 1e-9);
+        for _ in 0..100 {
+            cc.on_timeout(&state(1.0), &mut v);
+        }
+        assert!(v.pacing_rate_mbps >= MIN_RATE_MBPS);
+    }
+
+    #[test]
+    fn policy_cc_applies_the_chosen_multiplier_per_mi() {
+        // A constant policy that always picks the 2.0x multiplier.
+        let double = |_: &[f32], _: &mut StdRng| RATE_MULTIPLIERS.len() - 1;
+        let mut cc = PolicyCc::new(double, 7);
+        let mut v = vars();
+        let mi = MiStats {
+            start_s: 0.0,
+            dur_s: 0.15,
+            sent_pkts: 10.0,
+            delivered_pkts: 10.0,
+            lost_pkts: 0.0,
+            avg_latency_s: 0.1,
+            throughput_mbps: 1.0,
+            loss_frac: 0.0,
+        };
+        cc.on_mi(&mi, &state(0.15), &mut v);
+        assert!((v.pacing_rate_mbps - 4.0).abs() < 1e-9);
+        cc.on_mi(&mi, &state(0.30), &mut v);
+        assert!((v.pacing_rate_mbps - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_cc_paces_at_fair_share() {
+        let trace = BandwidthTrace::constant(9.0, 30.0);
+        let mut cc = OracleCc::new(trace, 3);
+        let mut v = vars();
+        cc.on_init(&state(0.0), &mut v);
+        assert!((v.pacing_rate_mbps - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn external_cc_never_touches_the_variables() {
+        let mut cc = ExternalCc;
+        let mut v = vars();
+        cc.on_init(&state(0.0), &mut v);
+        cc.on_timeout(&state(0.0), &mut v);
+        assert!((v.pacing_rate_mbps - 2.0).abs() < 1e-12);
+    }
+}

@@ -21,10 +21,42 @@ pub const CC_ACTIONS: usize = RATE_MULTIPLIERS.len();
 pub const HISTORY: usize = 5;
 
 /// Features per monitor interval.
-const FEATS: usize = 4;
+pub const FEATS: usize = 4;
 
 /// Observation dimensionality.
 pub const CC_OBS_DIM: usize = HISTORY * FEATS;
+
+/// The four Aurora observation features of one monitor interval — latency
+/// inflation, latency ratio, send ratio, loss — each squashed into [0, 1].
+/// Shared by the single-flow [`CcEnv`], the multi-flow environment and the
+/// event-core RL policy adapter so every surface observes identically.
+pub fn aurora_features(mi: &MiStats, base_rtt_s: f64, min_latency_s: f64) -> [f32; FEATS] {
+    let lat_inflation = ((mi.avg_latency_s - base_rtt_s) / base_rtt_s).clamp(0.0, 10.0) / 10.0;
+    let lat_ratio = (mi.avg_latency_s / min_latency_s.max(1e-6) - 1.0).clamp(0.0, 10.0) / 10.0;
+    let send_ratio = if mi.delivered_pkts > 1e-9 {
+        (mi.sent_pkts / mi.delivered_pkts - 1.0).clamp(0.0, 10.0) / 10.0
+    } else {
+        1.0
+    };
+    let loss = mi.loss_frac.clamp(0.0, 1.0);
+    [
+        lat_inflation as f32,
+        lat_ratio as f32,
+        send_ratio as f32,
+        loss as f32,
+    ]
+}
+
+/// Writes a [`HISTORY`]-deep feature history into an observation buffer,
+/// newest last, zero-padded at the front while history is short.
+pub fn fill_history_obs(history: &[[f32; FEATS]], out: &mut [f32]) {
+    out.iter_mut().for_each(|v| *v = 0.0);
+    let n = history.len().min(HISTORY);
+    for (slot, feats) in history[history.len() - n..].iter().enumerate() {
+        let off = (HISTORY - n + slot) * FEATS;
+        out[off..off + FEATS].copy_from_slice(feats);
+    }
+}
 
 /// The CC simulator wrapped as a `genet_env::Env`.
 #[derive(Debug, Clone)]
@@ -48,22 +80,7 @@ impl CcEnv {
     }
 
     fn features(&self, mi: &MiStats) -> [f32; FEATS] {
-        let base = self.sim.path().base_rtt_s;
-        let min_lat = self.sim.min_latency_s();
-        let lat_inflation = ((mi.avg_latency_s - base) / base).clamp(0.0, 10.0) / 10.0;
-        let lat_ratio = (mi.avg_latency_s / min_lat.max(1e-6) - 1.0).clamp(0.0, 10.0) / 10.0;
-        let send_ratio = if mi.delivered_pkts > 1e-9 {
-            (mi.sent_pkts / mi.delivered_pkts - 1.0).clamp(0.0, 10.0) / 10.0
-        } else {
-            1.0
-        };
-        let loss = mi.loss_frac.clamp(0.0, 1.0);
-        [
-            lat_inflation as f32,
-            lat_ratio as f32,
-            send_ratio as f32,
-            loss as f32,
-        ]
+        aurora_features(mi, self.sim.path().base_rtt_s, self.sim.min_latency_s())
     }
 }
 
@@ -77,12 +94,7 @@ impl Env for CcEnv {
     }
 
     fn observe(&self, out: &mut [f32]) {
-        out.iter_mut().for_each(|v| *v = 0.0);
-        let n = self.history.len().min(HISTORY);
-        for (slot, feats) in self.history[self.history.len() - n..].iter().enumerate() {
-            let off = (HISTORY - n + slot) * FEATS;
-            out[off..off + FEATS].copy_from_slice(feats);
-        }
+        fill_history_obs(&self.history, out);
     }
 
     fn step(&mut self, action: usize) -> StepOutcome {

@@ -1,0 +1,182 @@
+//! The deterministic event queue at the heart of the event-driven CC core.
+//!
+//! Events are keyed by `(time_ns, tie_break_seq)` — **integer nanoseconds,
+//! never floats**, so ordering is total and platform-independent, and a
+//! monotone sequence number breaks same-timestamp ties in schedule order
+//! (FIFO). A `BTreeMap` gives O(log n) schedule/cancel/pop with fully
+//! deterministic iteration order; cancellation (an RTO timer descheduled by
+//! a late ACK) is keyed removal, no tombstones.
+//!
+//! See DESIGN.md §14 for the event model and the determinism argument.
+
+use std::collections::BTreeMap;
+
+/// Simulation clock value: integer nanoseconds since episode start.
+pub type TimeNs = u64;
+
+/// Nanoseconds per second, as f64 for conversions.
+pub const NS_PER_S: f64 = 1e9;
+
+/// Converts non-negative seconds to integer nanoseconds (round-to-nearest).
+///
+/// # Panics
+/// Panics (debug) on negative or non-finite input — simulation times are
+/// always forward offsets.
+pub fn secs_to_ns(s: f64) -> TimeNs {
+    debug_assert!(s.is_finite() && s >= 0.0, "secs_to_ns({s})");
+    (s.max(0.0) * NS_PER_S).round() as TimeNs
+}
+
+/// Converts integer nanoseconds back to seconds.
+pub fn ns_to_secs(ns: TimeNs) -> f64 {
+    ns as f64 / NS_PER_S
+}
+
+/// Handle to a scheduled event — the total order `(time_ns, seq)` and the
+/// key for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// Dispatch time (integer nanoseconds).
+    pub time_ns: TimeNs,
+    /// Tie-break sequence number: monotone per queue, so events scheduled
+    /// earlier dispatch earlier at equal timestamps.
+    pub seq: u64,
+}
+
+/// A deterministic discrete-event queue.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    map: BTreeMap<EventKey, E>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            map: BTreeMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time_ns`; returns the key that cancels it.
+    pub fn schedule(&mut self, time_ns: TimeNs, event: E) -> EventKey {
+        let key = EventKey {
+            time_ns,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.map.insert(key, event);
+        key
+    }
+
+    /// Removes a scheduled event by key; returns it if it was still pending
+    /// (an already-dispatched or already-cancelled key is a no-op `None`).
+    pub fn cancel(&mut self, key: EventKey) -> Option<E> {
+        self.map.remove(&key)
+    }
+
+    /// Dispatches the earliest event (smallest `(time_ns, seq)`).
+    pub fn pop(&mut self) -> Option<(EventKey, E)> {
+        self.map.pop_first()
+    }
+
+    /// Dispatch time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<TimeNs> {
+        self.map.first_key_value().map(|(k, _)| k.time_ns)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(300, "c");
+        q.schedule(100, "a");
+        q.schedule(200, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_timestamp_ties_break_in_schedule_order() {
+        let mut q = EventQueue::new();
+        q.schedule(50, "first");
+        q.schedule(50, "second");
+        q.schedule(50, "third");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn interleaved_schedules_keep_fifo_at_equal_times() {
+        // Scheduling at an *earlier* time after a later one must not disturb
+        // FIFO among equal timestamps.
+        let mut q = EventQueue::new();
+        q.schedule(90, "x1");
+        q.schedule(10, "early");
+        q.schedule(90, "x2");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["early", "x1", "x2"]);
+    }
+
+    #[test]
+    fn cancel_removes_pending_event_once() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.cancel(a), Some("a"));
+        assert_eq!(q.cancel(a), None, "double-cancel is a no-op");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_of_dispatched_key_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(10, "a");
+        assert!(q.pop().is_some());
+        assert_eq!(q.cancel(a), None);
+    }
+
+    #[test]
+    fn peek_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(7, ());
+        q.schedule(3, ());
+        assert_eq!(q.peek_time(), Some(3));
+        assert_eq!(q.len(), 2);
+        let (k, ()) = q.pop().unwrap();
+        assert_eq!(k.time_ns, 3);
+    }
+
+    #[test]
+    fn time_conversions_round_trip_on_ns_grid() {
+        for s in [0.0, 0.001, 0.02, 1.5, 30.0] {
+            let ns = secs_to_ns(s);
+            assert!((ns_to_secs(ns) - s).abs() < 1e-9, "{s}");
+        }
+        assert_eq!(secs_to_ns(1.0), 1_000_000_000);
+        assert_eq!(secs_to_ns(0.5e-9), 1, "rounds to nearest nanosecond");
+    }
+}

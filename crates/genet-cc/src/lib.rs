@@ -19,15 +19,27 @@
 #![forbid(unsafe_code)]
 
 pub mod baselines;
+pub mod control;
 pub mod env;
+pub mod event;
+pub mod loss;
+pub mod multienv;
+pub mod multiflow;
 pub mod oracle;
 pub mod scenario;
 pub mod sim;
 pub mod space;
 
 pub use baselines::{Bbr, CcAlgorithm, Copa, Cubic, Vivace};
+pub use control::{
+    CcVariables, CongestionControl, ExternalCc, FlowState, OracleCc, PolicyCc, RuleCc,
+};
 pub use env::{CcEnv, CC_ACTIONS, CC_OBS_DIM};
-pub use oracle::oracle_reward;
+pub use event::{EventKey, EventQueue, TimeNs};
+pub use loss::{compress_loss_ranges, decompress_loss_ranges};
+pub use multienv::{CcMultiFlowEnv, CcMultiFlowScenario};
+pub use multiflow::{FlowSpec, MultiFlowPath, MultiFlowSim};
+pub use oracle::{fair_share_oracle_reward, oracle_reward};
 pub use scenario::CcScenario;
 pub use sim::{CcPath, CcSim, MiStats};
-pub use space::{cc_space, CcParams};
+pub use space::{cc_multiflow_space, cc_space, CcMultiFlowParams, CcParams};

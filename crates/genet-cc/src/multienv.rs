@@ -1,0 +1,358 @@
+//! The multi-flow CC environment and its `Scenario` adapter.
+//!
+//! The agent drives flow 0 of a [`MultiFlowSim`] (an inert
+//! [`ExternalCc`] whose pacing rate `Env::step` scales directly — the same
+//! Aurora action as the single-flow env), while background flows run a
+//! rule-based law via [`RuleCc`]. Observation and reward are flow 0's
+//! Aurora feature history and Table-1 MI reward, produced by the *shared*
+//! feature pipeline (`aurora_features` / `fill_history_obs`), so a policy
+//! trained single-flow reads multi-flow observations without translation.
+//!
+//! [`CcMultiFlowScenario`] glues this into Genet: paired baseline
+//! evaluation swaps flow 0's controller for the named baseline on the
+//! *same* path, flows and seed; the oracle is the analytic fair-share bound
+//! ([`fair_share_oracle_reward`]). With `flow_count = 1`, no ACK loss and
+//! no jitter, the scenario degenerates to a single sender on the event
+//! core — the configuration the single-flow equivalence test pins against
+//! the fluid `CcScenario` (DESIGN.md §14).
+
+use crate::baselines::BASELINE_NAMES;
+use crate::control::{CongestionControl, ExternalCc, RuleCc};
+use crate::env::{
+    aurora_features, fill_history_obs, CC_ACTIONS, CC_OBS_DIM, FEATS, HISTORY, RATE_MULTIPLIERS,
+};
+use crate::multiflow::{FlowSpec, MultiFlowPath, MultiFlowSim};
+use crate::oracle::fair_share_oracle_reward;
+use crate::space::{cc_multiflow_defaults, cc_multiflow_space_at, CcMultiFlowParams, CC_EPISODE_S};
+use genet_env::{Env, EnvConfig, ParamSpace, RangeLevel, Scenario, StepOutcome};
+use genet_math::{derive_seed, jain_fairness, mean};
+use genet_traces::{gen_cc_trace, CcTraceParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A multi-flow simulation wrapped as a `genet_env::Env`; the policy is
+/// flow 0.
+pub struct CcMultiFlowEnv {
+    sim: MultiFlowSim,
+    history: Vec<[f32; FEATS]>,
+}
+
+impl CcMultiFlowEnv {
+    /// Wraps a fresh simulation whose flow 0 uses [`ExternalCc`].
+    pub fn new(sim: MultiFlowSim) -> Self {
+        Self {
+            sim,
+            history: Vec::new(),
+        }
+    }
+
+    /// Read access to the simulation (for metric breakdowns).
+    pub fn sim(&self) -> &MultiFlowSim {
+        &self.sim
+    }
+
+    fn flow_throughputs(&self) -> Vec<f64> {
+        (0..self.sim.n_flows())
+            .map(|f| {
+                let mis = self.sim.completed_mis(f);
+                mean(&mis.iter().map(|m| m.throughput_mbps).collect::<Vec<_>>())
+            })
+            .collect()
+    }
+}
+
+impl Env for CcMultiFlowEnv {
+    fn obs_dim(&self) -> usize {
+        CC_OBS_DIM
+    }
+
+    fn action_count(&self) -> usize {
+        CC_ACTIONS
+    }
+
+    fn observe(&self, out: &mut [f32]) {
+        fill_history_obs(&self.history, out);
+    }
+
+    fn step(&mut self, action: usize) -> StepOutcome {
+        self.sim.scale_flow_rate(0, RATE_MULTIPLIERS[action]);
+        let mi = self.sim.step_flow_mi(0);
+        let feats = aurora_features(&mi, self.sim.flow_base_rtt_s(0), self.sim.flow_min_rtt_s(0));
+        self.history.push(feats);
+        if self.history.len() > HISTORY {
+            self.history.remove(0);
+        }
+        StepOutcome {
+            reward: mi.reward(),
+            done: self.sim.finished(),
+        }
+    }
+
+    fn diagnostics(&self) -> Vec<(&'static str, f64)> {
+        let tputs = self.flow_throughputs();
+        if tputs.iter().any(|t| t.is_nan()) {
+            // No flow has closed an MI yet.
+            return Vec::new();
+        }
+        vec![
+            ("flow_count", self.sim.n_flows() as f64),
+            ("jain_fairness", jain_fairness(&tputs)),
+            ("agg_throughput_mbps", tputs.iter().sum()),
+        ]
+    }
+}
+
+/// The multi-flow congestion-control use case.
+#[derive(Clone)]
+pub struct CcMultiFlowScenario {
+    /// Baseline law the background flows run.
+    pub background: &'static str,
+    /// Fixed gaussian delay noise applied to all flows (0 by default).
+    pub delay_noise_s: f64,
+}
+
+impl Default for CcMultiFlowScenario {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CcMultiFlowScenario {
+    /// BBR background traffic, no delay noise.
+    pub fn new() -> Self {
+        Self {
+            background: "bbr",
+            delay_noise_s: 0.0,
+        }
+    }
+
+    /// Uses a different background law.
+    pub fn with_background(mut self, name: &'static str) -> Self {
+        self.background = name;
+        self
+    }
+
+    /// Builds the shared path for an environment instance. Uses the same
+    /// `derive_seed(seed, 0xCC7)` trace stream as the single-flow
+    /// scenario, so equal `(bw, interval)` parameters yield the same trace.
+    pub fn build_path(&self, cfg: &EnvConfig, seed: u64) -> MultiFlowPath {
+        let p = CcMultiFlowParams::from_config(cfg);
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0xCC7));
+        let trace = gen_cc_trace(
+            &CcTraceParams {
+                max_bw_mbps: p.base.max_bw_mbps,
+                change_interval_s: p.base.bw_interval_s,
+                duration_s: CC_EPISODE_S,
+            },
+            &mut rng,
+        );
+        MultiFlowPath {
+            trace,
+            queue_cap_pkts: p.base.queue_pkts.max(2.0),
+            loss_rate: p.base.loss_rate,
+            ack_loss_rate: p.ack_loss_rate,
+            delay_noise_s: self.delay_noise_s,
+            duration_s: CC_EPISODE_S,
+        }
+    }
+
+    /// Builds the simulation with `agent` as flow 0 and background flows
+    /// running [`Self::background`]. Flow 0 keeps the exact configured RTT;
+    /// background flow `i ≥ 1` gets `rtt + u_i · jitter` from the shared
+    /// config-derived stream, so paired evaluations see identical
+    /// competitors.
+    pub fn build_sim(
+        &self,
+        cfg: &EnvConfig,
+        seed: u64,
+        agent: Box<dyn CongestionControl>,
+    ) -> MultiFlowSim {
+        let p = CcMultiFlowParams::from_config(cfg);
+        let path = self.build_path(cfg, seed);
+        // Jitter draws come after the trace draws on an independent stream,
+        // keeping the trace identical to the single-flow scenario's.
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0xCCF1));
+        let mut specs = vec![FlowSpec {
+            cc: agent,
+            base_rtt_s: p.base.rtt_s,
+            start_rate_mbps: None,
+        }];
+        for _ in 1..p.flow_count {
+            let jitter: f64 = rng.random::<f64>() * p.rtt_jitter_s;
+            specs.push(FlowSpec {
+                cc: Box::new(RuleCc::by_name(self.background)),
+                base_rtt_s: p.base.rtt_s + jitter,
+                start_rate_mbps: None,
+            });
+        }
+        MultiFlowSim::new(path, specs, seed)
+    }
+}
+
+impl Scenario for CcMultiFlowScenario {
+    fn name(&self) -> &'static str {
+        "cc_mf"
+    }
+
+    fn full_space(&self) -> ParamSpace {
+        cc_multiflow_space_at(RangeLevel::Rl3)
+    }
+
+    fn space(&self, level: RangeLevel) -> ParamSpace {
+        cc_multiflow_space_at(level)
+    }
+
+    fn obs_dim(&self) -> usize {
+        CC_OBS_DIM
+    }
+
+    fn action_count(&self) -> usize {
+        CC_ACTIONS
+    }
+
+    fn make_env(&self, cfg: &EnvConfig, seed: u64) -> Box<dyn Env> {
+        Box::new(CcMultiFlowEnv::new(self.build_sim(
+            cfg,
+            seed,
+            Box::new(ExternalCc),
+        )))
+    }
+
+    fn baseline_names(&self) -> &'static [&'static str] {
+        BASELINE_NAMES
+    }
+
+    fn default_baseline(&self) -> &'static str {
+        "bbr"
+    }
+
+    fn eval_baseline(&self, name: &str, cfg: &EnvConfig, seed: u64) -> f64 {
+        let mut sim = self.build_sim(cfg, seed, Box::new(RuleCc::by_name(name)));
+        sim.run();
+        sim.flow_reward(0)
+    }
+
+    fn eval_oracle(&self, cfg: &EnvConfig, seed: u64) -> f64 {
+        let p = CcMultiFlowParams::from_config(cfg);
+        let path = self.build_path(cfg, seed);
+        let mi_s = (1.5 * p.base.rtt_s).clamp(0.02, 1.0);
+        fair_share_oracle_reward(
+            &path.trace,
+            p.base.rtt_s,
+            p.base.loss_rate,
+            path.duration_s,
+            mi_s,
+            p.flow_count,
+        )
+    }
+
+    fn reward_scale(&self) -> f64 {
+        100.0
+    }
+
+    fn env_non_smoothness(&self, cfg: &EnvConfig, seed: u64) -> f64 {
+        self.build_path(cfg, seed).trace.non_smoothness()
+    }
+}
+
+/// The multi-flow default configuration (Table-4 defaults, two flows).
+pub fn default_multiflow_config() -> EnvConfig {
+    cc_multiflow_defaults()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paired_evaluation_is_deterministic() {
+        let s = CcMultiFlowScenario::new();
+        let cfg = default_multiflow_config();
+        assert_eq!(
+            s.eval_baseline("bbr", &cfg, 3),
+            s.eval_baseline("bbr", &cfg, 3)
+        );
+        assert_eq!(s.eval_oracle(&cfg, 3), s.eval_oracle(&cfg, 3));
+    }
+
+    #[test]
+    fn env_episode_runs_to_completion_with_diagnostics() {
+        let s = CcMultiFlowScenario::new();
+        let cfg = default_multiflow_config();
+        let mut env = s.make_env(&cfg, 1);
+        let mut steps = 0;
+        loop {
+            if env.step(4).done {
+                break;
+            }
+            steps += 1;
+            assert!(steps < 5000);
+        }
+        assert!(steps > 50, "30 s / 0.15 s MI gives many steps, got {steps}");
+        let diag = env.diagnostics();
+        let get = |name: &str| {
+            diag.iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("flow_count"), 2.0);
+        let jain = get("jain_fairness");
+        assert!((0.0..=1.0 + 1e-9).contains(&jain), "{jain}");
+        assert!(get("agg_throughput_mbps") > 0.0);
+    }
+
+    #[test]
+    fn fair_share_oracle_dominates_baselines_on_defaults() {
+        let s = CcMultiFlowScenario::new();
+        let cfg = default_multiflow_config();
+        for seed in 0..2 {
+            let oracle = s.eval_oracle(&cfg, seed);
+            for name in BASELINE_NAMES {
+                let r = s.eval_baseline(name, &cfg, seed);
+                assert!(oracle >= r - 2.0, "seed {seed} {name}: {oracle} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn background_flows_actually_compete() {
+        // One flow vs. two flows on the same path: the agent's share drops.
+        let s = CcMultiFlowScenario::new();
+        let solo_cfg = {
+            let mut v = cc_multiflow_defaults().values().to_vec();
+            let space = crate::space::cc_multiflow_space();
+            v[space.index_of(crate::space::mf_names::FLOW_COUNT).unwrap()] = 1.0;
+            EnvConfig::from_values(v)
+        };
+        let duo_cfg = default_multiflow_config();
+        let tput = |cfg: &EnvConfig| {
+            let mut sim = s.build_sim(cfg, 5, Box::new(RuleCc::by_name("bbr")));
+            sim.run();
+            let mis = sim.completed_mis(0);
+            mean(&mis.iter().map(|m| m.throughput_mbps).collect::<Vec<_>>())
+        };
+        let solo = tput(&solo_cfg);
+        let duo = tput(&duo_cfg);
+        assert!(duo < solo, "sharing must cost throughput: {duo} vs {solo}");
+    }
+
+    #[test]
+    fn rtt_jitter_spreads_background_rtts() {
+        let s = CcMultiFlowScenario::new();
+        let space = crate::space::cc_multiflow_space();
+        let mut v = cc_multiflow_defaults().values().to_vec();
+        v[space.index_of(crate::space::mf_names::FLOW_COUNT).unwrap()] = 4.0;
+        v[space
+            .index_of(crate::space::mf_names::RTT_JITTER_MS)
+            .unwrap()] = 80.0;
+        let cfg = EnvConfig::from_values(v);
+        let sim = s.build_sim(&cfg, 2, Box::new(ExternalCc));
+        assert_eq!(sim.flow_base_rtt_s(0), 0.1, "agent keeps the exact RTT");
+        let spread: Vec<f64> = (1..4).map(|f| sim.flow_base_rtt_s(f)).collect();
+        assert!(spread.iter().any(|&r| r > 0.1 + 1e-6), "{spread:?}");
+        assert!(spread
+            .iter()
+            .all(|&r| (0.1..0.1 + 0.08 + 1e-9).contains(&r)));
+    }
+}

@@ -19,7 +19,24 @@ pub fn oracle_reward(
     duration_s: f64,
     mi_s: f64,
 ) -> f64 {
-    assert!(mi_s > 0.0 && duration_s > 0.0);
+    fair_share_oracle_reward(trace, base_rtt_s, loss_rate, duration_s, mi_s, 1)
+}
+
+/// Mean per-MI oracle reward of one flow among `n_flows` sharing the
+/// bottleneck: every flow transmits exactly its fair share `bw/n` of the
+/// instantaneous capacity at every instant, so the queue stays empty
+/// (latency = base RTT) and only the unavoidable random loss remains. With
+/// `n_flows = 1` this is exactly [`oracle_reward`].
+pub fn fair_share_oracle_reward(
+    trace: &BandwidthTrace,
+    base_rtt_s: f64,
+    loss_rate: f64,
+    duration_s: f64,
+    mi_s: f64,
+    n_flows: usize,
+) -> f64 {
+    assert!(mi_s > 0.0 && duration_s > 0.0 && n_flows >= 1);
+    let share = 1.0 / n_flows as f64;
     let n = (duration_s / mi_s).ceil() as usize;
     let mut total = 0.0;
     for i in 0..n {
@@ -31,7 +48,7 @@ pub fn oracle_reward(
             bw += trace.bw_at(start + mi_s * (k as f64 + 0.5) / samples as f64);
         }
         bw /= samples as f64;
-        let reward = REWARD_TPUT * bw * (1.0 - loss_rate)
+        let reward = REWARD_TPUT * (bw * share) * (1.0 - loss_rate)
             - REWARD_LAT * base_rtt_s
             - REWARD_LOSS * loss_rate;
         total += reward;

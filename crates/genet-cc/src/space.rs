@@ -69,6 +69,78 @@ pub fn cc_defaults() -> EnvConfig {
     EnvConfig::from_values(vec![3.16, 100.0, 7.5, 0.0, 10.0])
 }
 
+/// Index-stable parameter names the multi-flow space adds after the base
+/// five dimensions.
+pub mod mf_names {
+    /// Number of concurrent flows sharing the bottleneck.
+    pub const FLOW_COUNT: &str = "flow_count";
+    /// Random loss rate on the reverse (ACK) path.
+    pub const ACK_LOSS_RATE: &str = "ack_loss_rate";
+    /// Per-flow RTT jitter span (milliseconds): background flow `i` gets
+    /// `rtt + u_i · jitter` for a seeded uniform `u_i`.
+    pub const RTT_JITTER_MS: &str = "rtt_jitter_ms";
+}
+
+/// The multi-flow CC parameter space: the five Table-4 dimensions plus
+/// flow count, ACK-loss rate and per-flow RTT jitter. Levels are nested
+/// (RL1 ⊂ RL2 ⊂ RL3) like the base space.
+pub fn cc_multiflow_space_at(level: RangeLevel) -> ParamSpace {
+    let r = |lo1: f64, hi1: f64, lo2: f64, hi2: f64, lo3: f64, hi3: f64| match level {
+        RangeLevel::Rl1 => (lo1, hi1),
+        RangeLevel::Rl2 => (lo2, hi2),
+        RangeLevel::Rl3 => (lo3, hi3),
+    };
+    let (fc_lo, fc_hi) = r(2.0, 3.0, 2.0, 6.0, 1.0, 8.0);
+    let (al_lo, al_hi) = r(0.0, 0.02, 0.0, 0.1, 0.0, 0.3);
+    let (j_lo, j_hi) = r(0.0, 10.0, 0.0, 40.0, 0.0, 120.0);
+    let mut dims = cc_space_at(level).dims().to_vec();
+    dims.push(ParamDim::int(mf_names::FLOW_COUNT, fc_lo, fc_hi));
+    dims.push(ParamDim::new(mf_names::ACK_LOSS_RATE, al_lo, al_hi));
+    dims.push(ParamDim::new(mf_names::RTT_JITTER_MS, j_lo, j_hi));
+    ParamSpace::new(dims)
+}
+
+/// The full (RL3) multi-flow CC space.
+pub fn cc_multiflow_space() -> ParamSpace {
+    cc_multiflow_space_at(RangeLevel::Rl3)
+}
+
+/// Multi-flow defaults: the Table-4 defaults plus two flows, no ACK loss,
+/// no RTT jitter.
+pub fn cc_multiflow_defaults() -> EnvConfig {
+    let mut values = cc_defaults().values().to_vec();
+    values.extend([2.0, 0.0, 0.0]);
+    EnvConfig::from_values(values)
+}
+
+/// Typed view of a multi-flow CC configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcMultiFlowParams {
+    /// The five shared-path parameters (bandwidth, RTT, …).
+    pub base: CcParams,
+    /// Number of concurrent flows.
+    pub flow_count: usize,
+    /// Reverse-path random loss rate.
+    pub ack_loss_rate: f64,
+    /// RTT jitter span (seconds — converted from the config's ms).
+    pub rtt_jitter_s: f64,
+}
+
+impl CcMultiFlowParams {
+    /// Decodes a configuration sampled from [`cc_multiflow_space`]. The
+    /// first five dimensions coincide with the base space, so
+    /// [`CcParams::from_config`] decodes them unchanged.
+    pub fn from_config(cfg: &EnvConfig) -> Self {
+        let space = cc_multiflow_space();
+        Self {
+            base: CcParams::from_config(cfg),
+            flow_count: (cfg.get_named(&space, mf_names::FLOW_COUNT).round() as usize).max(1),
+            ack_loss_rate: cfg.get_named(&space, mf_names::ACK_LOSS_RATE),
+            rtt_jitter_s: cfg.get_named(&space, mf_names::RTT_JITTER_MS) / 1000.0,
+        }
+    }
+}
+
 /// Typed view of a CC configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CcParams {
@@ -134,5 +206,61 @@ mod tests {
     #[test]
     fn defaults_lie_in_full_space() {
         assert!(cc_space().contains(&cc_defaults()));
+    }
+
+    #[test]
+    fn multiflow_space_extends_the_base_dims_in_order() {
+        let base = cc_space();
+        let mf = cc_multiflow_space();
+        assert_eq!(mf.len(), base.len() + 3);
+        for (b, m) in base.dims().iter().zip(mf.dims()) {
+            assert_eq!(b, m, "base dims must stay index-stable");
+        }
+        assert_eq!(mf.index_of(mf_names::FLOW_COUNT), Some(base.len()));
+    }
+
+    #[test]
+    fn multiflow_levels_are_nested() {
+        let rl1 = cc_multiflow_space_at(RangeLevel::Rl1);
+        let rl2 = cc_multiflow_space_at(RangeLevel::Rl2);
+        let rl3 = cc_multiflow_space_at(RangeLevel::Rl3);
+        for ((d1, d2), d3) in rl1.dims().iter().zip(rl2.dims()).zip(rl3.dims()) {
+            assert!(d1.min >= d2.min && d1.max <= d2.max, "{}", d1.name);
+            assert!(d2.min >= d3.min && d2.max <= d3.max, "{}", d2.name);
+        }
+    }
+
+    #[test]
+    fn multiflow_defaults_decode_and_lie_in_space() {
+        let cfg = cc_multiflow_defaults();
+        assert!(cc_multiflow_space().contains(&cfg));
+        let p = CcMultiFlowParams::from_config(&cfg);
+        assert_eq!(p.flow_count, 2);
+        assert_eq!(p.ack_loss_rate, 0.0);
+        assert_eq!(p.rtt_jitter_s, 0.0);
+        // The base five decode exactly like the single-flow space.
+        assert_eq!(p.base, CcParams::from_config(&cc_defaults()));
+    }
+
+    #[test]
+    fn multiflow_sampling_is_deterministic_and_quantized() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = cc_multiflow_space();
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..64).map(|_| s.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9), "equal seeds must sample equal configs");
+        assert_ne!(draw(9), draw(10));
+        for cfg in draw(9) {
+            assert!(s.contains(&cfg), "{cfg}");
+            let fc = cfg.get_named(&s, mf_names::FLOW_COUNT);
+            assert_eq!(fc, fc.round(), "flow count is an integer dim");
+            assert!((1.0..=8.0).contains(&fc));
+            let p = CcMultiFlowParams::from_config(&cfg);
+            assert!((0.0..=0.3).contains(&p.ack_loss_rate));
+            assert!((0.0..=0.12).contains(&p.rtt_jitter_s));
+        }
     }
 }

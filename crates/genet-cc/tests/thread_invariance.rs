@@ -1,0 +1,94 @@
+//! N-flow episodes are bit-identical at any worker count.
+//!
+//! The multi-flow event simulator is a pure function of `(path, specs,
+//! seed)`; `genet-par` only decides *which thread* runs each episode. A
+//! batch of heterogeneous N-flow episodes fanned out over 1 vs. 8 workers
+//! must therefore produce bit-identical rewards, MI series and event
+//! counts (DESIGN.md §14).
+//!
+//! One `#[test]` only: the worker-count override is process-global.
+
+use genet_cc::control::RuleCc;
+use genet_cc::multiflow::{FlowSpec, MultiFlowPath, MultiFlowSim};
+use genet_cc::CcMultiFlowScenario;
+use genet_env::Scenario;
+use genet_par::{override_worker_threads, par_map};
+use genet_traces::BandwidthTrace;
+
+/// Bit-exact fingerprint of one finished episode.
+#[derive(PartialEq, Debug)]
+struct EpisodeFingerprint {
+    reward_bits: Vec<u64>,
+    mi_reward_bits: Vec<u64>,
+    events: u64,
+}
+
+/// Runs episode `i` of the batch — flow count, RTTs and seed all derive
+/// from the index alone, so the batch covers 2–5 flows with mixed laws.
+fn run_episode(i: usize) -> EpisodeFingerprint {
+    let n_flows = 2 + i % 4;
+    let laws = ["bbr", "cubic", "vivace", "copa"];
+    let mut sim = MultiFlowSim::new(
+        MultiFlowPath {
+            trace: BandwidthTrace::constant(3.0 + i as f64, 9.0),
+            queue_cap_pkts: 40.0,
+            loss_rate: 0.005 * (i % 3) as f64,
+            ack_loss_rate: 0.02 * (i % 2) as f64,
+            delay_noise_s: 0.002,
+            duration_s: 8.0,
+        },
+        (0..n_flows)
+            .map(|f| FlowSpec {
+                cc: Box::new(RuleCc::by_name(laws[(i + f) % laws.len()])),
+                base_rtt_s: 0.05 + 0.02 * f as f64,
+                start_rate_mbps: None,
+            })
+            .collect(),
+        1000 + i as u64,
+    );
+    sim.run();
+    EpisodeFingerprint {
+        reward_bits: (0..n_flows).map(|f| sim.flow_reward(f).to_bits()).collect(),
+        mi_reward_bits: sim
+            .completed_mis(0)
+            .iter()
+            .map(|m| m.reward().to_bits())
+            .collect(),
+        events: sim.events_dispatched(),
+    }
+}
+
+#[test]
+fn n_flow_episodes_are_bit_identical_at_any_worker_count() {
+    const EPISODES: usize = 8;
+    let batch = |threads: Option<usize>| {
+        override_worker_threads(threads);
+        let out = par_map(EPISODES, run_episode);
+        override_worker_threads(None);
+        out
+    };
+    let serial = batch(Some(1));
+    let eight = batch(Some(8));
+    assert!(
+        serial.iter().all(|e| !e.mi_reward_bits.is_empty()),
+        "degenerate episodes"
+    );
+    assert_eq!(
+        serial, eight,
+        "1 vs 8 workers diverged — an episode read shared or thread-local state"
+    );
+
+    // The Scenario surface too: paired eval through make_env/eval_baseline
+    // must not depend on the worker count either.
+    let scenario = CcMultiFlowScenario::new();
+    let cfg = genet_cc::space::cc_multiflow_defaults();
+    let eval = |threads: Option<usize>| {
+        override_worker_threads(threads);
+        let out: Vec<u64> = par_map(4, |i| {
+            scenario.eval_baseline("bbr", &cfg, i as u64).to_bits()
+        });
+        override_worker_threads(None);
+        out
+    };
+    assert_eq!(eval(Some(1)), eval(Some(8)));
+}

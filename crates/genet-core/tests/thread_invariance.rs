@@ -8,11 +8,58 @@
 //! Both scenarios run inside a single `#[test]` so the global
 //! `override_worker_threads` hook is never mutated by two tests at once.
 
-use genet_cc::CcScenario;
+use genet_cc::{CcMultiFlowScenario, CcScenario};
 use genet_core::evaluate::override_worker_threads;
 use genet_core::train::{make_agent, train_rl, TrainConfig, UniformSource};
-use genet_env::{RangeLevel, Scenario};
+use genet_env::{Env, EnvConfig, ParamDim, ParamSpace, RangeLevel, Scenario};
 use genet_lb::LbScenario;
+
+/// The multi-flow CC scenario on a narrowed space — low bandwidth, fixed
+/// two flows — so the three-way thread sweep over packet-level episodes
+/// stays affordable in debug builds. Everything but the space delegates.
+struct NarrowMultiFlow(CcMultiFlowScenario);
+
+impl Scenario for NarrowMultiFlow {
+    fn name(&self) -> &'static str {
+        "cc_mf_narrow"
+    }
+    fn full_space(&self) -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamDim::log_scale("max_bw_mbps", 1.0, 2.0),
+            ParamDim::log_scale("rtt_ms", 120.0, 250.0),
+            ParamDim::new("bw_interval_s", 5.0, 15.0),
+            ParamDim::new("loss_rate", 0.0, 0.005),
+            ParamDim::log_int("queue_pkts", 10.0, 50.0),
+            ParamDim::int("flow_count", 2.0, 2.0),
+            ParamDim::new("ack_loss_rate", 0.0, 0.02),
+            ParamDim::new("rtt_jitter_ms", 0.0, 10.0),
+        ])
+    }
+    fn obs_dim(&self) -> usize {
+        self.0.obs_dim()
+    }
+    fn action_count(&self) -> usize {
+        self.0.action_count()
+    }
+    fn make_env(&self, cfg: &EnvConfig, seed: u64) -> Box<dyn Env> {
+        self.0.make_env(cfg, seed)
+    }
+    fn baseline_names(&self) -> &'static [&'static str] {
+        self.0.baseline_names()
+    }
+    fn default_baseline(&self) -> &'static str {
+        self.0.default_baseline()
+    }
+    fn eval_baseline(&self, name: &str, cfg: &EnvConfig, seed: u64) -> f64 {
+        self.0.eval_baseline(name, cfg, seed)
+    }
+    fn eval_oracle(&self, cfg: &EnvConfig, seed: u64) -> f64 {
+        self.0.eval_oracle(cfg, seed)
+    }
+    fn reward_scale(&self) -> f64 {
+        self.0.reward_scale()
+    }
+}
 
 /// Bit-exact fingerprint of a trained agent + its log.
 #[derive(PartialEq, Debug)]
@@ -55,9 +102,13 @@ fn train_fingerprint(scenario: &dyn Scenario, threads: Option<usize>) -> RunFing
 #[test]
 fn trained_weights_and_log_are_thread_count_invariant() {
     // LB plus CC — two different simulators, reward scales and episode
-    // lengths, per the acceptance bar (LB + one of ABR/CC). Scenarios run
-    // sequentially in one test because the worker-count override is global.
-    let scenarios: [&dyn Scenario; 2] = [&LbScenario, &CcScenario::new()];
+    // lengths, per the acceptance bar (LB + one of ABR/CC) — plus the
+    // multi-flow event-driven CC scenario, whose per-flow RNG streams
+    // (`derive_seed3(seed, stream, flow)`, DESIGN.md §14) must keep N-flow
+    // training rollouts bit-identical too. Scenarios run sequentially in
+    // one test because the worker-count override is global.
+    let mf = NarrowMultiFlow(CcMultiFlowScenario::new());
+    let scenarios: [&dyn Scenario; 3] = [&LbScenario, &CcScenario::new(), &mf];
     for scenario in scenarios {
         let serial = train_fingerprint(scenario, Some(1));
         let two = train_fingerprint(scenario, Some(2));

@@ -35,6 +35,14 @@ pub trait Env {
     ///
     /// Must not be called after an outcome with `done == true`.
     fn step(&mut self, action: usize) -> StepOutcome;
+
+    /// Scenario-specific diagnostic observables of the current episode
+    /// state, as `(name, value)` pairs — e.g. a multi-flow CC environment
+    /// reports its Jain fairness index and aggregate throughput. Purely
+    /// observational (never consulted by training); defaults to none.
+    fn diagnostics(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
 }
 
 /// Opaque per-rollout scratch storage for [`Policy::act_with`].

@@ -34,6 +34,6 @@ pub use samplers::{
     sample_standard_gaussian,
 };
 pub use stats::{
-    erf, fraction_below, mean, median, normal_cdf, normal_pdf, pearson, percentile, std_dev,
-    variance, OnlineStats, Summary,
+    convergence_time, erf, fraction_below, jain_fairness, mean, median, normal_cdf, normal_pdf,
+    pearson, percentile, std_dev, variance, OnlineStats, Summary,
 };

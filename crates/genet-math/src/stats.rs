@@ -97,6 +97,55 @@ pub fn fraction_below(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b.iter()).filter(|(x, y)| x < y).count() as f64 / a.len() as f64
 }
 
+/// Jain's fairness index `(Σx)² / (n · Σx²)` over per-flow allocations.
+///
+/// 1.0 when every flow receives the same share, approaching `1/n` when one
+/// flow starves the rest. Degenerate inputs (empty slice, all-zero
+/// allocations) report 1.0 — no flow is being treated unfairly when there
+/// is nothing to divide.
+///
+/// # Panics
+/// Panics on negative allocations: the index is only defined for
+/// non-negative resource shares, and a negative throughput is a bug in the
+/// caller's accounting.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    assert!(
+        xs.iter().all(|&x| x >= 0.0),
+        "jain_fairness needs non-negative allocations"
+    );
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sum_sq)
+}
+
+/// Earliest time from which a metric stays at or above `threshold` for the
+/// rest of the series — the convergence time of a fairness (or utilization)
+/// trajectory. Returns `None` when the series never converges (including
+/// the empty series).
+///
+/// # Panics
+/// Panics when `times` and `values` have different lengths.
+pub fn convergence_time(times: &[f64], values: &[f64], threshold: f64) -> Option<f64> {
+    assert_eq!(
+        times.len(),
+        values.len(),
+        "convergence_time requires paired samples"
+    );
+    // Scan backwards: the suffix [i..] must sit entirely above threshold.
+    let mut first = None;
+    for i in (0..values.len()).rev() {
+        if values[i] >= threshold {
+            first = Some(times[i]);
+        } else {
+            break;
+        }
+    }
+    first
+}
+
 /// Standard normal probability density.
 pub fn normal_pdf(x: f64) -> f64 {
     (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
@@ -340,6 +389,59 @@ mod tests {
     #[should_panic(expected = "Summary::of empty slice")]
     fn summary_rejects_empty() {
         let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn jain_equal_allocations_are_perfectly_fair() {
+        assert_eq!(jain_fairness(&[3.0, 3.0, 3.0, 3.0]), 1.0);
+        assert_eq!(jain_fairness(&[7.5]), 1.0);
+    }
+
+    #[test]
+    fn jain_starvation_approaches_one_over_n() {
+        let idx = jain_fairness(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12, "{idx}");
+    }
+
+    #[test]
+    fn jain_known_textbook_value() {
+        // Jain's original example: allocations (1, 2, 3) → 36 / (3·14).
+        let idx = jain_fairness(&[1.0, 2.0, 3.0]);
+        assert!((idx - 36.0 / 42.0).abs() < 1e-12, "{idx}");
+    }
+
+    #[test]
+    fn jain_degenerate_inputs_are_fair() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn jain_rejects_negative_allocations() {
+        let _ = jain_fairness(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn convergence_time_finds_the_last_crossing() {
+        let times = [0.0, 1.0, 2.0, 3.0, 4.0];
+        // Dips back below threshold at t=2, converges for good at t=3.
+        let values = [0.2, 0.96, 0.5, 0.97, 0.99];
+        assert_eq!(convergence_time(&times, &values, 0.95), Some(3.0));
+    }
+
+    #[test]
+    fn convergence_time_immediate_and_never() {
+        let times = [0.0, 1.0, 2.0];
+        assert_eq!(convergence_time(&times, &[1.0, 1.0, 1.0], 0.9), Some(0.0));
+        assert_eq!(convergence_time(&times, &[0.1, 0.2, 0.3], 0.9), None);
+        assert_eq!(convergence_time(&[], &[], 0.9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples")]
+    fn convergence_time_rejects_mismatched_lengths() {
+        let _ = convergence_time(&[0.0], &[1.0, 2.0], 0.5);
     }
 
     #[test]

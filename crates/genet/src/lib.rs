@@ -36,7 +36,7 @@ pub use genet_traces as traces;
 /// The most common imports in one place.
 pub mod prelude {
     pub use genet_abr::AbrScenario;
-    pub use genet_cc::CcScenario;
+    pub use genet_cc::{CcMultiFlowScenario, CcScenario};
     pub use genet_core::curricula::{cl1_train, IntrinsicSchedule};
     pub use genet_core::evaluate::{
         eval_baseline_many, eval_baseline_many_with, eval_oracle_many, eval_oracle_many_with,
@@ -61,7 +61,9 @@ pub mod prelude {
         Scenario,
     };
     pub use genet_lb::LbScenario;
-    pub use genet_math::{mean, pearson, percentile, std_dev, Summary};
+    pub use genet_math::{
+        convergence_time, jain_fairness, mean, pearson, percentile, std_dev, Summary,
+    };
     pub use genet_rl::{
         EpisodeBuffer, FrozenPolicy, PolicyMode, PpoAgent, PpoConfig, PpoPolicy, RolloutBuffer,
         StepMeta, UpdateProfile,

@@ -32,5 +32,92 @@ fn bench_gap(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gap);
+/// Cold-vs-warm memo cache (DESIGN.md §15): cold rebuilds the cache every
+/// iteration and pays all `2k` env simulations; warm answers every task
+/// from the shared cache, so the measured gap between the two cases is the
+/// memoization win per criterion evaluation.
+fn bench_memo(c: &mut Criterion) {
+    let lb = LbScenario;
+    let agent = make_agent(&lb, 0);
+    let policy = agent.policy(PolicyMode::Greedy);
+    let cfg = genet::lb::scenario::default_config();
+    c.bench_function("gap_memo_cold_lb_k4", |b| {
+        b.iter(|| {
+            let mut cache = GapEvalCache::new();
+            black_box(gap_to_baseline_with(
+                &lb,
+                &policy,
+                "llf",
+                &cfg,
+                4,
+                0,
+                Some(&mut cache),
+                noop(),
+            ))
+        })
+    });
+    let mut warm = GapEvalCache::new();
+    let _ = gap_to_baseline_with(&lb, &policy, "llf", &cfg, 4, 0, Some(&mut warm), noop());
+    c.bench_function("gap_memo_warm_lb_k4", |b| {
+        b.iter(|| {
+            black_box(gap_to_baseline_with(
+                &lb,
+                &policy,
+                "llf",
+                &cfg,
+                4,
+                0,
+                Some(&mut warm),
+                noop(),
+            ))
+        })
+    });
+}
+
+/// Serial vs sharded EI candidate scoring inside `BayesOpt::propose`.
+/// Both cases run the identical pre-sample + score + first-max pipeline and
+/// produce bit-identical proposals; only the worker count differs, so on a
+/// multi-core host the delta is the sharding win at the default 256-point
+/// candidate pool.
+fn bench_ei(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let space = ParamSpace::new(vec![
+        ParamDim::new("a", 0.0, 10.0),
+        ParamDim::new("b", -5.0, 5.0),
+        ParamDim::log_scale("c", 1.0, 100.0),
+    ]);
+    // 12 observations: a GP posterior of realistic round size (paper:
+    // NboTrials = 15 per round).
+    let seeded = || {
+        let mut bo = BayesOpt::new(space.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        for step in 0..12 {
+            let cfg = bo.propose(&mut rng);
+            let y = -((cfg.get(0) - 7.0).powi(2) / 4.0 + (cfg.get(1) - 2.0).powi(2))
+                + (cfg.get(2) / 10.0 + step as f64).sin();
+            bo.observe(cfg, y);
+        }
+        bo
+    };
+    let mut bo_serial = seeded();
+    c.bench_function("ei_propose_serial_256", |b| {
+        b.iter(|| {
+            override_worker_threads(Some(1));
+            let mut rng = StdRng::seed_from_u64(99);
+            let p = bo_serial.propose(&mut rng);
+            override_worker_threads(None);
+            black_box(p)
+        })
+    });
+    let mut bo_sharded = seeded();
+    c.bench_function("ei_propose_sharded_256", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(99);
+            black_box(bo_sharded.propose(&mut rng))
+        })
+    });
+}
+
+criterion_group!(benches, bench_gap, bench_memo, bench_ei);
 criterion_main!(benches);

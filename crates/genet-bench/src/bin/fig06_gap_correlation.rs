@@ -28,13 +28,15 @@ fn run_for(scenario: &dyn Scenario, args: &Args, out: &mut TsvWriter) {
     // Genet-based training").
     let mut agent = make_agent(scenario, args.seed);
     let src = UniformSource(scenario.space(RangeLevel::Rl3));
-    train_rl(
+    train_rl_with(
         &mut agent,
         scenario,
         &src,
         cfg.train,
         cfg.initial_iters,
         args.seed,
+        args.collector(),
+        "train/initial",
     );
     let policy = agent.policy(PolicyMode::Greedy);
     let baseline = scenario.default_baseline();
@@ -42,13 +44,35 @@ fn run_for(scenario: &dyn Scenario, args: &Args, out: &mut TsvWriter) {
     let space = scenario.space(RangeLevel::Rl3);
     let configs = test_configs(&space, n_configs, args.seed ^ 0x66);
 
+    // Both gap measurements for a config share `(cfg, seed)`, so the memo
+    // cache answers `gap_to_optimum`'s k policy rollouts from
+    // `gap_to_baseline`'s — 25% of the figure's gap evaluations — while
+    // keeping every value bit-identical (plan layer, DESIGN.md §15).
+    let mut cache = GapEvalCache::new();
     let mut gaps_base = Vec::new();
     let mut gaps_opt = Vec::new();
     let mut improvements = Vec::new();
     for (i, cfgp) in configs.iter().enumerate() {
         let seed = args.seed ^ ((i as u64) << 20);
-        let gb = gap_to_baseline(scenario, &policy, baseline, cfgp, k, seed);
-        let go = gap_to_optimum(scenario, &policy, cfgp, k, seed);
+        let gb = gap_to_baseline_with(
+            scenario,
+            &policy,
+            baseline,
+            cfgp,
+            k,
+            seed,
+            Some(&mut cache),
+            args.collector(),
+        );
+        let go = gap_to_optimum_with(
+            scenario,
+            &policy,
+            cfgp,
+            k,
+            seed,
+            Some(&mut cache),
+            args.collector(),
+        );
         // Train a clone on this configuration alone.
         let mut clone = agent.clone();
         let one = FixedSetSource(vec![cfgp.clone()]);

@@ -16,6 +16,7 @@ use genet_bench::harness::{self, Args};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+#[allow(clippy::too_many_arguments)]
 fn run_search(
     scenario: &dyn Scenario,
     policy: &PpoPolicy,
@@ -24,13 +25,24 @@ fn run_search(
     steps: usize,
     k: usize,
     seed: u64,
+    cache: &mut GapEvalCache,
+    collector: &dyn Collector,
 ) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut best_so_far = Vec::with_capacity(steps);
     let mut best = f64::NEG_INFINITY;
     for t in 0..steps {
-        let cfg = proposer.propose(&mut rng);
-        let gap = gap_to_baseline(scenario, policy, baseline, &cfg, k, seed ^ (t as u64) << 8);
+        let cfg = proposer.propose_with(&mut rng, collector);
+        let gap = gap_to_baseline_with(
+            scenario,
+            policy,
+            baseline,
+            &cfg,
+            k,
+            seed ^ (t as u64) << 8,
+            Some(cache),
+            collector,
+        );
         proposer.observe(cfg, gap);
         best = best.max(gap);
         best_so_far.push(best);
@@ -43,13 +55,15 @@ fn run_for(scenario: &dyn Scenario, args: &Args, out: &mut TsvWriter) {
     let cfg = harness::genet_config(scenario, args.full);
     let mut agent = make_agent(scenario, args.seed);
     let src = UniformSource(scenario.space(RangeLevel::Rl3));
-    train_rl(
+    train_rl_with(
         &mut agent,
         scenario,
         &src,
         cfg.train,
         cfg.initial_iters,
         args.seed,
+        args.collector(),
+        "train/initial",
     );
     let policy = agent.policy(PolicyMode::Greedy);
     let baseline = scenario.default_baseline();
@@ -60,6 +74,12 @@ fn run_for(scenario: &dyn Scenario, args: &Args, out: &mut TsvWriter) {
     // single search run is noise-dominated: average the best-so-far curves
     // over repeated searches, as one would when plotting the figure.
     let repeats = if args.full { 5 } else { 3 };
+    // One gap-eval memo cache across every search strategy and repeat: the
+    // intermediate policy is fixed for the whole figure, so entries never
+    // need invalidating. (Each step draws a fresh gap seed, so hits only
+    // occur if a strategy re-proposes a config at the same step across
+    // repeats — the counters report whatever actually happened.)
+    let mut cache = GapEvalCache::new();
 
     for label in ["bo", "random", "grid"] {
         let mut avg = vec![0.0f64; steps];
@@ -77,6 +97,8 @@ fn run_for(scenario: &dyn Scenario, args: &Args, out: &mut TsvWriter) {
                 steps,
                 k,
                 args.seed ^ 0x20 ^ ((rep as u64) << 32),
+                &mut cache,
+                args.collector(),
             );
             for (t, best) in curve.iter().enumerate() {
                 avg[t] += best / repeats as f64;

@@ -12,7 +12,12 @@ use crate::acquisition::expected_improvement;
 use crate::gp::{GaussianProcess, GpParams, GpScratch};
 use crate::Proposer;
 use genet_env::{EnvConfig, ParamSpace};
+use genet_par::par_map_sharded;
+use genet_telemetry::{Collector, Event};
 use rand::rngs::StdRng;
+
+/// Telemetry stage name of the sharded EI candidate-scoring batch.
+pub const EI_SCORE_STAGE: &str = "ei_score";
 
 /// Bayesian optimization over a [`ParamSpace`].
 #[derive(Debug, Clone)]
@@ -27,6 +32,9 @@ pub struct BayesOpt {
     xi: f64,
     obs_x: Vec<EnvConfig>,
     obs_y: Vec<f64>,
+    /// Unit-cube images of `obs_x`, maintained incrementally by `observe`
+    /// so `propose` refits the GP without re-normalizing the history.
+    norm_x: Vec<Vec<f64>>,
     /// The proposal waiting for its observation (to pair them up safely).
     pending: Option<EnvConfig>,
     /// EI of the latest proposal (`None` during the random-init probes).
@@ -45,6 +53,7 @@ impl BayesOpt {
             xi: 0.01,
             obs_x: Vec::new(),
             obs_y: Vec::new(),
+            norm_x: Vec::new(),
             pending: None,
             last_ei: None,
         }
@@ -71,36 +80,80 @@ impl BayesOpt {
     pub fn history(&self) -> impl Iterator<Item = (&EnvConfig, f64)> {
         self.obs_x.iter().zip(self.obs_y.iter().copied())
     }
-}
 
-impl Proposer for BayesOpt {
-    fn propose(&mut self, rng: &mut StdRng) -> EnvConfig {
+    /// The proposal logic behind both [`Proposer::propose`] entry points.
+    ///
+    /// The whole candidate pool is drawn from `rng` *before* any scoring
+    /// (fallback first, then `n_candidates` — the exact call sequence of the
+    /// historical sample-score-interleaved loop, so the RNG stream is
+    /// unchanged), then scored in one sharded batch with a per-worker
+    /// [`GpScratch`] (`predict_into` is bit-identical to `predict`
+    /// regardless of scratch history). The winner is the **first** index
+    /// attaining the maximum EI, which is exactly what the serial strict
+    /// `ei > best_ei` update selected — so proposals are bit-identical at
+    /// any thread count.
+    fn propose_impl(&mut self, rng: &mut StdRng, collector: &dyn Collector) -> EnvConfig {
         let cfg = if self.obs_y.len() < self.n_init {
             self.last_ei = None;
             self.space.sample(rng)
         } else {
-            let x: Vec<Vec<f64>> = self.obs_x.iter().map(|c| self.space.normalize(c)).collect();
-            let gp = GaussianProcess::fit(&x, &self.obs_y, self.gp_params);
+            let gp = GaussianProcess::fit(&self.norm_x, &self.obs_y, self.gp_params);
             let best = self.obs_y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            let mut best_cfg = self.space.sample(rng);
+            let fallback = self.space.sample(rng);
+            let mut cands: Vec<EnvConfig> = (0..self.n_candidates)
+                .map(|_| self.space.sample(rng))
+                .collect();
+            let space = &self.space;
+            let xi = self.xi;
+            let (eis, profile) = par_map_sharded(
+                cands.len(),
+                GpScratch::default,
+                |i, scratch| {
+                    let (m, v) = gp.predict_into(&space.normalize(&cands[i]), scratch);
+                    expected_improvement(m, v, best, xi)
+                },
+                collector.enabled(),
+            );
+            if collector.enabled() && !eis.is_empty() {
+                collector.record(&Event::ParStage {
+                    stage: EI_SCORE_STAGE.to_string(),
+                    scope: String::new(),
+                    items: eis.len() as u64,
+                    workers: profile.workers as u64,
+                    busy_nanos: profile.busy_nanos,
+                    busy_ns: profile.worker_busy.clone(),
+                    worker_items: profile.worker_items.clone(),
+                    imbalance: profile.imbalance(),
+                });
+            }
+            let mut best_i = None;
             let mut best_ei = f64::NEG_INFINITY;
-            // One scratch across the whole candidate pool: `predict_into` is
-            // bit-identical to `predict` but skips 2 allocations per query.
-            let mut scratch = GpScratch::default();
-            for _ in 0..self.n_candidates {
-                let cand = self.space.sample(rng);
-                let (m, v) = gp.predict_into(&self.space.normalize(&cand), &mut scratch);
-                let ei = expected_improvement(m, v, best, self.xi);
+            for (i, &ei) in eis.iter().enumerate() {
                 if ei > best_ei {
                     best_ei = ei;
-                    best_cfg = cand;
+                    best_i = Some(i);
                 }
             }
             self.last_ei = Some(best_ei);
-            best_cfg
+            match best_i {
+                Some(i) => cands.swap_remove(i),
+                // Empty candidate pool (n_candidates == 0) — the serial
+                // loop returned its pre-drawn random fallback here too.
+                None => fallback,
+            }
         };
         self.pending = Some(cfg.clone());
         cfg
+    }
+}
+
+impl Proposer for BayesOpt {
+    fn propose(&mut self, rng: &mut StdRng) -> EnvConfig {
+        self.propose_impl(rng, genet_telemetry::noop())
+    }
+
+    fn propose_with(&mut self, rng: &mut StdRng, collector: &dyn Collector) -> EnvConfig {
+        self.propose_impl(rng, collector)
     }
 
     fn observe(&mut self, cfg: EnvConfig, value: f64) {
@@ -109,6 +162,7 @@ impl Proposer for BayesOpt {
             "BO observation must be finite, got {value}"
         );
         self.pending = None;
+        self.norm_x.push(self.space.normalize(&cfg));
         self.obs_x.push(cfg);
         self.obs_y.push(value);
     }

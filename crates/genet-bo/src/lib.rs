@@ -29,17 +29,28 @@ pub mod gp;
 pub mod search;
 
 pub use acquisition::expected_improvement;
-pub use bayes::BayesOpt;
+pub use bayes::{BayesOpt, EI_SCORE_STAGE};
 pub use gp::{GaussianProcess, GpScratch};
 pub use search::{GridSearch, RandomSearch};
 
 use genet_env::EnvConfig;
+use genet_telemetry::Collector;
 use rand::rngs::StdRng;
 
 /// A sequential blackbox-maximization strategy over environment configs.
 pub trait Proposer {
     /// Proposes the next configuration to evaluate.
     fn propose(&mut self, rng: &mut StdRng) -> EnvConfig;
+
+    /// [`Proposer::propose`] with an attached telemetry collector.
+    /// Strategies with a parallel scoring stage (EI over the candidate
+    /// pool) report it here as a `ParStage`; the default ignores the
+    /// collector. Observation-only: the proposal is bit-identical to
+    /// [`Proposer::propose`] with any collector attached.
+    fn propose_with(&mut self, rng: &mut StdRng, collector: &dyn Collector) -> EnvConfig {
+        let _ = collector;
+        self.propose(rng)
+    }
 
     /// Feeds back the measured objective for a proposed configuration.
     fn observe(&mut self, cfg: EnvConfig, value: f64);

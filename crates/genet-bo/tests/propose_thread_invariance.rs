@@ -1,0 +1,59 @@
+//! Sharded EI scoring must keep `BayesOpt` proposals bit-identical at any
+//! worker count: candidates are pre-sampled serially (RNG stream unchanged),
+//! scored with per-worker `GpScratch` (scratch-history-independent), and the
+//! winner is the first index attaining the maximum EI — exactly the serial
+//! strict-greater update.
+//!
+//! One `#[test]` only: the worker-count override is process-global.
+
+use genet_bo::{BayesOpt, Proposer};
+use genet_env::{ParamDim, ParamSpace};
+use genet_par::override_worker_threads;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn space3() -> ParamSpace {
+    ParamSpace::new(vec![
+        ParamDim::new("a", 0.0, 10.0),
+        ParamDim::new("b", -5.0, 5.0),
+        ParamDim::log_scale("c", 1.0, 100.0),
+    ])
+}
+
+/// Bit-patterns of every proposed config and every post-init EI value over
+/// a full 12-step BO run (3 random probes + 9 GP/EI proposals).
+fn propose_fingerprint(threads: Option<usize>) -> (Vec<Vec<u64>>, Vec<Option<u64>>) {
+    override_worker_threads(threads);
+    let mut bo = BayesOpt::new(space3());
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut configs = Vec::new();
+    let mut eis = Vec::new();
+    for step in 0..12 {
+        let cfg = bo.propose(&mut rng);
+        configs.push(cfg.values().iter().map(|v| v.to_bits()).collect());
+        eis.push(bo.last_acquisition().map(|e| e.to_bits()));
+        // A bumpy but deterministic objective so the GP posterior is
+        // non-trivial and EI ties are unlikely yet possible.
+        let y = -((cfg.get(0) - 7.0).powi(2) / 4.0 + (cfg.get(1) - 2.0).powi(2))
+            + (cfg.get(2) / 10.0 + step as f64).sin();
+        bo.observe(cfg, y);
+    }
+    override_worker_threads(None);
+    (configs, eis)
+}
+
+#[test]
+fn propose_sequence_is_thread_count_invariant() {
+    let serial = propose_fingerprint(Some(1));
+    assert!(
+        serial.1.iter().skip(3).all(Option::is_some),
+        "steps past the init probes must carry an EI value"
+    );
+    for (label, threads) in [("2", Some(2)), ("8", Some(8)), ("default", None)] {
+        let other = propose_fingerprint(threads);
+        assert_eq!(
+            serial, other,
+            "BO propose sequence diverged between 1 worker and {label}"
+        );
+    }
+}

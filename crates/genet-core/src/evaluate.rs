@@ -16,7 +16,7 @@ use genet_telemetry::{counters, Collector, Event};
 // keep every pre-existing `genet_core::evaluate::*` path working.
 pub use genet_par::{
     configured_threads, fold_rows_ordered, override_worker_threads, par_map, par_map_profiled,
-    worker_count, BatchProfile,
+    par_map_sharded, worker_count, BatchProfile,
 };
 
 /// [`par_map`] with an attached telemetry collector: emits one

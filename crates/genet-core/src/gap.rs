@@ -6,12 +6,15 @@
 //! and the RL policy always evaluated on the *same* environment instance
 //! (paired comparison, §4.2).
 
-use crate::evaluate::par_map;
+use crate::plan::{self, GapEvalCache};
 use genet_env::{EnvConfig, Policy, Scenario};
-use genet_math::derive_seed;
+use genet_telemetry::Collector;
 
 /// Expected gap-to-baseline of configuration `cfg` for the given policy,
-/// estimated over `k` paired environments.
+/// estimated over `k` paired environments. Routed through the fused
+/// eval-plan layer ([`crate::plan`]): both evaluations of all `k` pairs run
+/// in one `2k`-wide parallel batch, bit-identical to the historical
+/// `k`-wide paired loop.
 pub fn gap_to_baseline<P: Policy + Sync>(
     scenario: &dyn Scenario,
     policy: &P,
@@ -20,12 +23,32 @@ pub fn gap_to_baseline<P: Policy + Sync>(
     k: usize,
     seed: u64,
 ) -> f64 {
-    assert!(k >= 1);
-    let gaps = par_map(k, |i| {
-        let s = derive_seed(seed, i as u64);
-        scenario.eval_baseline(baseline, cfg, s) - scenario.eval_policy(policy, cfg, s)
-    });
-    genet_math::mean(&gaps)
+    gap_to_baseline_with(
+        scenario,
+        policy,
+        baseline,
+        cfg,
+        k,
+        seed,
+        None,
+        genet_telemetry::noop(),
+    )
+}
+
+/// [`gap_to_baseline`] with an optional memo cache and a telemetry
+/// collector (`gap_eval` stage + `gap_cache_{hit,miss}` counters).
+#[allow(clippy::too_many_arguments)]
+pub fn gap_to_baseline_with<P: Policy + Sync>(
+    scenario: &dyn Scenario,
+    policy: &P,
+    baseline: &str,
+    cfg: &EnvConfig,
+    k: usize,
+    seed: u64,
+    cache: Option<&mut GapEvalCache>,
+    collector: &dyn Collector,
+) -> f64 {
+    plan::gap_to_baseline_planned(scenario, policy, baseline, cfg, k, seed, cache, collector)
 }
 
 /// Strawman 3 / CL3 objective: expected gap to the ground-truth oracle.
@@ -36,12 +59,28 @@ pub fn gap_to_optimum<P: Policy + Sync>(
     k: usize,
     seed: u64,
 ) -> f64 {
-    assert!(k >= 1);
-    let gaps = par_map(k, |i| {
-        let s = derive_seed(seed, i as u64);
-        scenario.eval_oracle(cfg, s) - scenario.eval_policy(policy, cfg, s)
-    });
-    genet_math::mean(&gaps)
+    gap_to_optimum_with(
+        scenario,
+        policy,
+        cfg,
+        k,
+        seed,
+        None,
+        genet_telemetry::noop(),
+    )
+}
+
+/// [`gap_to_optimum`] with an optional memo cache and a collector.
+pub fn gap_to_optimum_with<P: Policy + Sync>(
+    scenario: &dyn Scenario,
+    policy: &P,
+    cfg: &EnvConfig,
+    k: usize,
+    seed: u64,
+    cache: Option<&mut GapEvalCache>,
+    collector: &dyn Collector,
+) -> f64 {
+    plan::gap_to_optimum_planned(scenario, policy, cfg, k, seed, cache, collector)
 }
 
 /// Strawman 2 / CL2 objective: how badly the rule-based baseline itself
@@ -53,11 +92,28 @@ pub fn baseline_badness(
     k: usize,
     seed: u64,
 ) -> f64 {
-    assert!(k >= 1);
-    let rewards = par_map(k, |i| {
-        scenario.eval_baseline(baseline, cfg, derive_seed(seed, i as u64))
-    });
-    -genet_math::mean(&rewards)
+    baseline_badness_with(
+        scenario,
+        baseline,
+        cfg,
+        k,
+        seed,
+        None,
+        genet_telemetry::noop(),
+    )
+}
+
+/// [`baseline_badness`] with an optional memo cache and a collector.
+pub fn baseline_badness_with(
+    scenario: &dyn Scenario,
+    baseline: &str,
+    cfg: &EnvConfig,
+    k: usize,
+    seed: u64,
+    cache: Option<&mut GapEvalCache>,
+    collector: &dyn Collector,
+) -> f64 {
+    plan::baseline_badness_planned(scenario, baseline, cfg, k, seed, cache, collector)
 }
 
 #[cfg(test)]

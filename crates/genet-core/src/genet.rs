@@ -10,10 +10,10 @@
 //! paper's comparators: CL2 (baseline performance), CL3 (gap-to-optimum)
 //! and the Robustify-objective BO variants of Figure 19.
 
-use crate::gap::{baseline_badness, gap_to_baseline, gap_to_optimum};
+use crate::plan::{self, GapEvalCache};
 use crate::train::{make_agent, train_rl_with, TrainConfig, TrainLog};
 use genet_bo::{BayesOpt, Proposer};
-use genet_env::{CurriculumDist, EnvConfig, ParamSpace, Scenario};
+use genet_env::{CurriculumDist, EnvConfig, ParamSpace, Policy, Scenario};
 use genet_math::derive_seed;
 use genet_rl::{PolicyMode, PpoAgent, PpoPolicy};
 use genet_telemetry::{counters, Collector, Event};
@@ -62,31 +62,53 @@ impl SelectionCriterion {
         k: usize,
         seed: u64,
     ) -> f64 {
+        self.evaluate_with(
+            scenario,
+            policy,
+            cfg,
+            k,
+            seed,
+            None,
+            genet_telemetry::noop(),
+        )
+    }
+
+    /// [`SelectionCriterion::evaluate`] through the fused eval-plan layer
+    /// (DESIGN.md §15) with an optional memo cache and telemetry collector.
+    ///
+    /// Every criterion compiles to one deduplicated task list executed as a
+    /// single `gap_eval` parallel batch: `2k` wide for the gap criteria,
+    /// `3k` for `RobustifyReward` (its historical second non-smoothness
+    /// barrier is fused away), `(B+1)·k` for `GapToEnsemble` (the `k`
+    /// policy evals are planned once, not once per baseline). Values are
+    /// bit-identical to the unfused implementation, cache or no cache.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_with<P: Policy + Sync>(
+        &self,
+        scenario: &dyn Scenario,
+        policy: &P,
+        cfg: &EnvConfig,
+        k: usize,
+        seed: u64,
+        cache: Option<&mut GapEvalCache>,
+        collector: &dyn Collector,
+    ) -> f64 {
         match self {
-            SelectionCriterion::GapToBaseline { baseline } => {
-                gap_to_baseline(scenario, policy, baseline, cfg, k, seed)
+            SelectionCriterion::GapToBaseline { baseline } => plan::gap_to_baseline_planned(
+                scenario, policy, baseline, cfg, k, seed, cache, collector,
+            ),
+            SelectionCriterion::GapToOptimum => {
+                plan::gap_to_optimum_planned(scenario, policy, cfg, k, seed, cache, collector)
             }
-            SelectionCriterion::GapToOptimum => gap_to_optimum(scenario, policy, cfg, k, seed),
             SelectionCriterion::BaselineBadness { baseline } => {
-                baseline_badness(scenario, baseline, cfg, k, seed)
+                plan::baseline_badness_planned(scenario, baseline, cfg, k, seed, cache, collector)
             }
-            SelectionCriterion::RobustifyReward { rho } => {
-                let gap = gap_to_optimum(scenario, policy, cfg, k, seed);
-                let ns = crate::evaluate::par_map(k, |i| {
-                    scenario.env_non_smoothness(cfg, derive_seed(seed, i as u64))
-                });
-                gap - rho * genet_math::mean(&ns)
-            }
-            SelectionCriterion::GapToEnsemble { baselines } => {
-                assert!(
-                    !baselines.is_empty(),
-                    "ensemble needs at least one baseline"
-                );
-                baselines
-                    .iter()
-                    .map(|b| gap_to_baseline(scenario, policy, b, cfg, k, seed))
-                    .fold(f64::NEG_INFINITY, f64::max)
-            }
+            SelectionCriterion::RobustifyReward { rho } => plan::robustify_reward_planned(
+                scenario, policy, *rho, cfg, k, seed, cache, collector,
+            ),
+            SelectionCriterion::GapToEnsemble { baselines } => plan::gap_to_ensemble_planned(
+                scenario, policy, baselines, cfg, k, seed, cache, collector,
+            ),
         }
     }
 
@@ -245,6 +267,12 @@ where
         "train/initial",
     );
     on_phase(0, &agent);
+    // One gap-eval memo cache for the whole run: policy-independent entries
+    // (baseline / oracle / non-smoothness rewards) persist across rounds,
+    // policy entries are invalidated per round since training moved the
+    // weights. Purely an execution-layer optimization — values are
+    // bit-identical with the cache detached (plan::tests, DESIGN.md §15).
+    let mut gap_cache = GapEvalCache::new();
     for round in 0..cfg.rounds {
         let round_scope = format!("train/sequencing/round-{round}");
         let _round_span = collector.span(round_scope.clone());
@@ -254,15 +282,18 @@ where
         let policy = agent.policy(PolicyMode::Greedy);
         let mut bo = BayesOpt::new(space.clone());
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x2000 + round as u64));
+        gap_cache.begin_round();
         for trial in 0..cfg.bo_trials {
             let _trial_span = collector.span(format!("{round_scope}/bo/trial-{trial}"));
-            let p = bo.propose(&mut rng);
-            let obj = cfg.criterion.evaluate(
+            let p = bo.propose_with(&mut rng, collector);
+            let obj = cfg.criterion.evaluate_with(
                 scenario,
                 &policy,
                 &p,
                 cfg.k_envs,
                 derive_seed(seed, ((round as u64) << 16) | trial as u64),
+                Some(&mut gap_cache),
+                collector,
             );
             if collector.enabled() {
                 collector.counter_add(counters::BO_TRIALS, 1);

@@ -15,6 +15,8 @@
 //!   sets (the `Test` API of Figure 8),
 //! * [`train`] — traditional RL training, Algorithm 1 (the `Train` API),
 //! * [`gap`] — the `CalcBaselineGap` estimator and its strawman variants,
+//! * [`plan`] — the fused gap-eval plan layer + deterministic memo cache
+//!   every criterion routes through (DESIGN.md §15),
 //! * [`genet`] — the Genet loop with pluggable selection criteria
 //!   ([`genet::SelectionCriterion`]) covering Genet itself, CL2
 //!   (baseline-performance), CL3 (gap-to-optimum) and the
@@ -31,10 +33,12 @@ pub mod evaluate;
 pub mod gap;
 pub mod genet;
 pub mod metrics;
+pub mod plan;
 pub mod robustify;
 pub mod train;
 
 pub use evaluate::{eval_baseline_many, eval_policy_many, par_map, test_configs};
 pub use gap::{gap_to_baseline, gap_to_optimum};
 pub use genet::{GenetConfig, GenetResult, SelectionCriterion};
+pub use plan::{GapEvalCache, GAP_EVAL_STAGE};
 pub use train::{train_rl, ConfigSource, TrainConfig, TrainLog, UniformSource};

@@ -1,0 +1,128 @@
+//! Regression test for the `GapToEnsemble` policy-eval duplication (fixed
+//! by the eval-plan layer, DESIGN.md §15).
+//!
+//! Historically the ensemble criterion evaluated `gap_to_baseline` once per
+//! member, re-measuring the policy's reward on the same `(cfg, seed)` pairs
+//! every time — `2·B·k` environment rollouts for `B` baselines. The plan
+//! layer emits the `k` policy evaluations exactly once, so the total is
+//! `(B+1)·k`. A call-counting `Scenario` wrapper pins that down.
+
+use genet_core::genet::SelectionCriterion;
+use genet_env::{Env, EnvConfig, ParamSpace, Policy, Scenario};
+use genet_lb::LbScenario;
+use genet_telemetry::noop;
+use rand::rngs::StdRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Wraps a scenario and counts evaluation calls (atomics: the fused batch
+/// may invoke these from several workers).
+struct CountingScenario<'a> {
+    inner: &'a dyn Scenario,
+    policy_evals: AtomicUsize,
+    baseline_evals: AtomicUsize,
+    oracle_evals: AtomicUsize,
+}
+
+impl<'a> CountingScenario<'a> {
+    fn new(inner: &'a dyn Scenario) -> Self {
+        Self {
+            inner,
+            policy_evals: AtomicUsize::new(0),
+            baseline_evals: AtomicUsize::new(0),
+            oracle_evals: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Scenario for CountingScenario<'_> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn full_space(&self) -> ParamSpace {
+        self.inner.full_space()
+    }
+    fn obs_dim(&self) -> usize {
+        self.inner.obs_dim()
+    }
+    fn action_count(&self) -> usize {
+        self.inner.action_count()
+    }
+    fn make_env(&self, cfg: &EnvConfig, seed: u64) -> Box<dyn Env> {
+        self.inner.make_env(cfg, seed)
+    }
+    fn baseline_names(&self) -> &'static [&'static str] {
+        self.inner.baseline_names()
+    }
+    fn default_baseline(&self) -> &'static str {
+        self.inner.default_baseline()
+    }
+    fn eval_baseline(&self, name: &str, cfg: &EnvConfig, seed: u64) -> f64 {
+        self.baseline_evals.fetch_add(1, Ordering::Relaxed);
+        self.inner.eval_baseline(name, cfg, seed)
+    }
+    fn eval_oracle(&self, cfg: &EnvConfig, seed: u64) -> f64 {
+        self.oracle_evals.fetch_add(1, Ordering::Relaxed);
+        self.inner.eval_oracle(cfg, seed)
+    }
+    // `eval_policy` is a default trait method — the override is what lets
+    // us observe (and count) each policy rollout the criterion triggers.
+    fn eval_policy(&self, policy: &dyn Policy, cfg: &EnvConfig, seed: u64) -> f64 {
+        self.policy_evals.fetch_add(1, Ordering::Relaxed);
+        self.inner.eval_policy(policy, cfg, seed)
+    }
+}
+
+fn probe_policy() -> impl Policy + Sync {
+    |obs: &[f32], _: &mut StdRng| if obs[1] > obs[2] { 1usize } else { 2usize }
+}
+
+#[test]
+fn ensemble_runs_exactly_k_policy_evals_for_b_baselines() {
+    let (b, k) = (3usize, 5usize);
+    let s = CountingScenario::new(&LbScenario);
+    let criterion = SelectionCriterion::GapToEnsemble {
+        baselines: vec!["llf".into(), "rr".into(), "random".into()],
+    };
+    let cfg = genet_lb::scenario::default_config();
+    let v = criterion.evaluate_with(&s, &probe_policy(), &cfg, k, 21, None, noop());
+    assert!(v.is_finite());
+    assert_eq!(
+        s.policy_evals.load(Ordering::Relaxed),
+        k,
+        "policy must be rolled out exactly k times, not B·k"
+    );
+    assert_eq!(s.baseline_evals.load(Ordering::Relaxed), b * k);
+    assert_eq!(s.oracle_evals.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn robustify_and_gap_criteria_eval_counts() {
+    // RobustifyReward: k oracle + k policy (+ k non-smoothness, uncounted
+    // here) in one fused batch; GapToBaseline: k + k.
+    let k = 4usize;
+    let cfg = genet_lb::scenario::default_config();
+
+    let s = CountingScenario::new(&LbScenario);
+    let v = SelectionCriterion::RobustifyReward { rho: 0.5 }.evaluate_with(
+        &s,
+        &probe_policy(),
+        &cfg,
+        k,
+        3,
+        None,
+        noop(),
+    );
+    assert!(v.is_finite());
+    assert_eq!(s.policy_evals.load(Ordering::Relaxed), k);
+    assert_eq!(s.oracle_evals.load(Ordering::Relaxed), k);
+    assert_eq!(s.baseline_evals.load(Ordering::Relaxed), 0);
+
+    let s = CountingScenario::new(&LbScenario);
+    let v = SelectionCriterion::GapToBaseline {
+        baseline: "llf".into(),
+    }
+    .evaluate_with(&s, &probe_policy(), &cfg, k, 3, None, noop());
+    assert!(v.is_finite());
+    assert_eq!(s.policy_evals.load(Ordering::Relaxed), k);
+    assert_eq!(s.baseline_evals.load(Ordering::Relaxed), k);
+}

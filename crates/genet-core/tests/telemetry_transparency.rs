@@ -110,6 +110,9 @@ fn collector_does_not_perturb_genet_training() {
     let par_stages = sink.events_of("par_stage");
     let mut rollout_stages = 0usize;
     let mut update_stages = 0usize;
+    let mut gap_stages = 0usize;
+    let mut gap_items = 0u64;
+    let mut ei_stages = 0usize;
     for event in &par_stages {
         let Event::ParStage {
             stage,
@@ -139,11 +142,33 @@ fn collector_does_not_perturb_genet_training() {
                 assert_eq!(worker_items.iter().sum::<u64>(), *items, "{stage}");
             }
             "ppo-update" => update_stages += 1,
+            genet_core::plan::GAP_EVAL_STAGE => {
+                gap_stages += 1;
+                gap_items += *items;
+                assert_eq!(worker_items.iter().sum::<u64>(), *items, "{stage}");
+            }
+            "ei_score" => {
+                ei_stages += 1;
+                assert_eq!(worker_items.iter().sum::<u64>(), *items, "{stage}");
+            }
             other => panic!("unexpected stage {other} during training"),
         }
     }
     assert_eq!(rollout_stages, iters);
     assert_eq!(update_stages, iters);
+
+    // Fused gap-eval batches: at most one per BO trial (fully-cached plans
+    // emit none), and the cache counters partition the criterion's task
+    // volume — every miss is exactly one executed gap_eval item, and
+    // hit + miss covers all 2k tasks of every trial's gap-to-baseline plan.
+    let trials = cfg.rounds * cfg.bo_trials;
+    assert!(gap_stages >= 1 && gap_stages <= trials, "{gap_stages}");
+    let hits = sink.counter(counters::GAP_CACHE_HIT);
+    let misses = sink.counter(counters::GAP_CACHE_MISS);
+    assert_eq!(misses, gap_items);
+    assert_eq!(hits + misses, (trials * 2 * cfg.k_envs) as u64);
+    // EI scoring shards: only post-init BO trials propose via the GP.
+    assert!(ei_stages >= 1 && ei_stages <= trials, "{ei_stages}");
     assert_eq!(sink.counter(counters::EPISODES), episodes as u64);
     assert!(sink.counter(counters::ROLLOUT_BUSY_NANOS) > 0);
     assert!(sink.counter(counters::UPDATE_BUSY_NANOS) > 0);

@@ -10,6 +10,7 @@
 
 use genet_cc::{CcMultiFlowScenario, CcScenario};
 use genet_core::evaluate::override_worker_threads;
+use genet_core::genet::{genet_train, GenetConfig, SelectionCriterion};
 use genet_core::train::{make_agent, train_rl, TrainConfig, UniformSource};
 use genet_env::{Env, EnvConfig, ParamDim, ParamSpace, RangeLevel, Scenario};
 use genet_lb::LbScenario;
@@ -130,5 +131,71 @@ fn trained_weights_and_log_are_thread_count_invariant() {
             "{}: 1 worker vs hardware default diverged",
             scenario.name()
         );
+    }
+
+    // The full Genet loop — training phases, fused gap-eval plans with the
+    // run-wide memo cache, and sharded EI scoring inside `BayesOpt` — must
+    // promote the same configurations and train the same weights at every
+    // worker count. `bo_trials > 3` so at least one proposal per round goes
+    // through the GP/EI path rather than the random-init probes.
+    let serial = genet_fingerprint(Some(1));
+    for (label, threads) in [("2", Some(2)), ("8", Some(8)), ("default", None)] {
+        let other = genet_fingerprint(threads);
+        assert_eq!(
+            serial, other,
+            "genet loop: 1 worker vs {label} diverged — promoted configs or weights depend on thread count"
+        );
+    }
+    assert!(
+        !serial.promoted_bits.is_empty() && !serial.reward_bits.is_empty(),
+        "degenerate genet fingerprint"
+    );
+}
+
+/// Bit-exact fingerprint of a whole Genet (Algorithm 2) run: the promoted
+/// curriculum (configs + criterion values, in order), the training log and
+/// the final actor weights.
+#[derive(PartialEq, Debug)]
+struct GenetFingerprint {
+    promoted_bits: Vec<Vec<u64>>,
+    value_bits: Vec<u64>,
+    reward_bits: Vec<u64>,
+    actor_bits: Vec<u32>,
+}
+
+fn genet_fingerprint(threads: Option<usize>) -> GenetFingerprint {
+    override_worker_threads(threads);
+    let s = LbScenario;
+    let cfg = GenetConfig {
+        rounds: 2,
+        iters_per_round: 2,
+        initial_iters: 2,
+        bo_trials: 4,
+        k_envs: 2,
+        w: 0.3,
+        train: TrainConfig {
+            configs_per_iter: 4,
+            envs_per_config: 2,
+        },
+        criterion: SelectionCriterion::GapToBaseline {
+            baseline: "llf".into(),
+        },
+    };
+    let res = genet_train(&s, s.space(RangeLevel::Rl1), &cfg, 11);
+    override_worker_threads(None);
+    GenetFingerprint {
+        promoted_bits: res
+            .promoted
+            .iter()
+            .map(|(c, _)| c.values().iter().map(|v| v.to_bits()).collect())
+            .collect(),
+        value_bits: res.promoted.iter().map(|(_, v)| v.to_bits()).collect(),
+        reward_bits: res.log.iter_rewards.iter().map(|r| r.to_bits()).collect(),
+        actor_bits: res
+            .agent
+            .actor_params()
+            .iter()
+            .map(|p| p.to_bits())
+            .collect(),
     }
 }

@@ -247,6 +247,91 @@ where
     (results, profile)
 }
 
+/// [`par_map_profiled`] with per-worker scratch state: each worker calls
+/// `make_state` exactly once and threads the resulting value through every
+/// item of its contiguous index range. This is the engine under scoring
+/// loops whose per-item work needs reusable buffers (the EI candidate pool
+/// keeps one `GpScratch` per worker, DESIGN.md §15).
+///
+/// Determinism contract: `f(i, state)` must produce bit-identical results
+/// for any prior state history — the state is a *scratch*, fully
+/// overwritten per item, never an accumulator. Under that contract the
+/// shard boundaries (which follow [`worker_count`], the sanctioned
+/// shard-shaper) cannot alter a single output bit, so the worker count
+/// stays a pure performance knob.
+pub fn par_map_sharded<T, S, I, F>(
+    n: usize,
+    make_state: I,
+    f: F,
+    timed: bool,
+) -> (Vec<T>, BatchProfile)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    if n == 0 {
+        return (Vec::new(), BatchProfile::default());
+    }
+    let threads = worker_count(n);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let profile = if threads <= 1 {
+        let t0 = timed.then(Instant::now);
+        let mut state = make_state();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(i, &mut state));
+        }
+        let busy = t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+        BatchProfile {
+            workers: 1,
+            busy_nanos: busy,
+            worker_busy: if timed { vec![busy] } else { Vec::new() },
+            worker_items: if timed { vec![n as u64] } else { Vec::new() },
+        }
+    } else {
+        let chunk = n.div_ceil(threads);
+        let workers = n.div_ceil(chunk);
+        let mut busy = vec![0u64; workers];
+        let mut items = vec![0u64; workers];
+        crossbeam::scope(|s| {
+            for (((ti, slice), busy_slot), item_slot) in slots
+                .chunks_mut(chunk)
+                .enumerate()
+                .zip(busy.iter_mut())
+                .zip(items.iter_mut())
+            {
+                let f = &f;
+                let make_state = &make_state;
+                s.spawn(move |_| {
+                    let t0 = timed.then(Instant::now);
+                    *item_slot = slice.len() as u64;
+                    let mut state = make_state();
+                    for (j, slot) in slice.iter_mut().enumerate() {
+                        *slot = Some(f(ti * chunk + j, &mut state));
+                    }
+                    if let Some(t0) = t0 {
+                        *busy_slot = t0.elapsed().as_nanos() as u64;
+                    }
+                });
+            }
+        })
+        // genet-lint: allow(panic-in-library) re-raises a child-thread panic on the caller; not a new failure mode
+        .expect("parallel worker panicked");
+        BatchProfile {
+            workers,
+            busy_nanos: busy.iter().sum(),
+            worker_busy: if timed { busy } else { Vec::new() },
+            worker_items: if timed { items } else { Vec::new() },
+        }
+    };
+    let results = slots
+        .into_iter()
+        // genet-lint: allow(panic-in-library) every index in 0..n is written exactly once by the loops above
+        .map(|slot| slot.expect("par_map worker left a slot unfilled"))
+        .collect();
+    (results, profile)
+}
+
 /// Runs `f` on the calling thread, measuring its busy time only when
 /// `timed` — the 1-worker analogue of [`par_map_profiled`]'s accounting,
 /// for engines with a dedicated serial fast path (e.g. the PPO update's
@@ -403,6 +488,46 @@ mod tests {
             let b: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
             assert_eq!(a, b, "fold diverged at threads={threads:?}");
         }
+    }
+
+    #[test]
+    fn par_map_sharded_matches_unsharded_at_any_thread_count() {
+        // A scratch-using map (the scratch buffer is fully overwritten per
+        // item) must give identical results for every worker count.
+        let reference: Vec<u64> = (0..97).map(|i| (i as u64) * 3 + 1).collect();
+        for threads in [Some(1), Some(2), Some(8), None] {
+            override_worker_threads(threads);
+            let (out, profile) = par_map_sharded(
+                97,
+                || vec![0u64; 4],
+                |i, scratch| {
+                    for (j, s) in scratch.iter_mut().enumerate() {
+                        *s = i as u64 + j as u64;
+                    }
+                    scratch[0] * 3 + 1
+                },
+                true,
+            );
+            override_worker_threads(None);
+            assert_eq!(out, reference, "diverged at threads={threads:?}");
+            assert_eq!(profile.worker_items.iter().sum::<u64>(), 97);
+            assert_eq!(profile.worker_busy.len(), profile.workers);
+        }
+    }
+
+    #[test]
+    fn par_map_sharded_empty_and_state_per_worker() {
+        let (out, profile) = par_map_sharded(0, || (), |i, _| i, true);
+        assert!(out.is_empty());
+        assert_eq!(profile.workers, 0);
+        // Each worker creates exactly one state: with 3 forced workers over
+        // 9 items, item results see a fresh (zeroed) scratch only at shard
+        // starts if f were stateful — our contract forbids relying on that,
+        // but the engine must still hand every item *some* state.
+        override_worker_threads(Some(3));
+        let (out, _) = par_map_sharded(9, || 0usize, |i, _| i, false);
+        override_worker_threads(None);
+        assert_eq!(out, (0..9).collect::<Vec<_>>());
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub mod counters {
     /// `eval_envs / (eval_busy_nanos / 1e9)` is the evaluation throughput
     /// in decisions over whole environments per second.
     pub const EVAL_BUSY_NANOS: &str = "eval_busy_nanos";
+    /// Gap-eval-plan tasks answered from the deterministic memo cache
+    /// (DESIGN.md §15) instead of re-simulating the environment.
+    pub const GAP_CACHE_HIT: &str = "gap_cache_hit";
+    /// Gap-eval-plan tasks that missed the memo cache (or ran with no cache
+    /// attached) and were simulated in the fused `gap_eval` batch.
+    pub const GAP_CACHE_MISS: &str = "gap_cache_miss";
 }
 
 /// A telemetry sink. Implementations must be cheap and `&self`-threadsafe

@@ -36,14 +36,18 @@ pub use genet_traces as traces;
 /// The most common imports in one place.
 pub mod prelude {
     pub use genet_abr::AbrScenario;
+    pub use genet_bo::{BayesOpt, GpScratch, Proposer, EI_SCORE_STAGE};
     pub use genet_cc::{CcMultiFlowScenario, CcScenario};
     pub use genet_core::curricula::{cl1_train, IntrinsicSchedule};
     pub use genet_core::evaluate::{
         eval_baseline_many, eval_baseline_many_with, eval_oracle_many, eval_oracle_many_with,
         eval_policy_many, eval_policy_many_with, override_worker_threads, par_map,
-        par_map_profiled, par_map_with, test_configs, worker_count, BatchProfile,
+        par_map_profiled, par_map_sharded, par_map_with, test_configs, worker_count, BatchProfile,
     };
-    pub use genet_core::gap::{baseline_badness, gap_to_baseline, gap_to_optimum};
+    pub use genet_core::gap::{
+        baseline_badness, baseline_badness_with, gap_to_baseline, gap_to_baseline_with,
+        gap_to_optimum, gap_to_optimum_with,
+    };
     pub use genet_core::genet::{
         genet_train, genet_train_from, genet_train_instrumented, genet_train_with, GenetConfig,
         GenetResult, SelectionCriterion,
@@ -51,6 +55,7 @@ pub mod prelude {
     pub use genet_core::metrics::{
         bench_json_path, bench_out_dir, fmt, perf_history_path, telemetry_dir, TsvWriter,
     };
+    pub use genet_core::plan::{GapEvalCache, GAP_EVAL_STAGE};
     pub use genet_core::robustify::{robustify_abr_train, RobustifyConfig};
     pub use genet_core::train::{
         make_agent, train_rl, train_rl_with, ConfigSource, FixedSetSource, MixtureSource,

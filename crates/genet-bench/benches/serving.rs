@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the serving decision path: scalar
+//! `FrozenPolicy::act_greedy_with` vs `act_batch` at serving batch sizes
+//! 1 / 8 / 64 / 512 (DESIGN.md §16). This isolates the per-decision kernel
+//! cost the `figS1_serving` load bench measures end-to-end: the batched
+//! path amortizes the layer walk and keeps weights hot across rows while
+//! producing bit-identical decisions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genet::env::PolicyScratch;
+use genet::rl::{PpoAgent, PpoConfig};
+use genet::serve::{SessionSource, SyntheticSource, WorkloadKind};
+use std::hint::black_box;
+
+const BATCHES: [usize; 4] = [1, 8, 64, 512];
+
+fn bench_act(c: &mut Criterion) {
+    // The CC flavor: the widest observation (20) and action (9) space.
+    let src = SyntheticSource::new(WorkloadKind::CcFlow);
+    let dim = src.obs_dim();
+    let agent = PpoAgent::new(dim, src.action_count(), PpoConfig::default(), 7);
+    let policy = agent.frozen();
+
+    let max = BATCHES[BATCHES.len() - 1];
+    let mut obs = vec![0.0f32; max * dim];
+    for (s, row) in obs.chunks_mut(dim).enumerate() {
+        src.observe(s as u64, (s % 31) as u64, s % 9, row);
+    }
+
+    for &batch in &BATCHES {
+        let rows = &obs[..batch * dim];
+        c.bench_function(&format!("serve_act_scalar_x{batch}"), |b| {
+            let mut scratch = PolicyScratch::new();
+            b.iter(|| {
+                let mut acc = 0usize;
+                for row in rows.chunks_exact(dim) {
+                    acc += policy.act_greedy_with(black_box(row), &mut scratch);
+                }
+                black_box(acc)
+            })
+        });
+        c.bench_function(&format!("serve_act_batch_x{batch}"), |b| {
+            let mut scratch = PolicyScratch::new();
+            let mut out = Vec::with_capacity(batch);
+            b.iter(|| {
+                policy.act_batch(black_box(rows), batch, &mut scratch, &mut out);
+                black_box(out[0])
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_act);
+criterion_main!(benches);

@@ -1,0 +1,209 @@
+//! Figure S1 (supplementary): traffic-scale policy-serving load bench on
+//! the `genet-serve` engine (DESIGN.md §16).
+//!
+//! An open-loop workload generator drives one [`ServeEngine`] per traffic
+//! flavor (ABR players, CC flows, LB routers): a seeded initial population
+//! plus a steady admission wave every tick, per-session lifetimes
+//! hash-drawn from the engine seed, so the live set churns while the
+//! engine serves every live session one decision per tick. Each flavor
+//! runs twice — through the scalar reference path and through
+//! `FrozenPolicy::act_batch` — and the binary asserts the two decision
+//! streams are identical before reporting the batched/scalar throughput
+//! ratio.
+//!
+//! Outputs:
+//!
+//! * `bench_out/figS1_serving.tsv` — thread-*invariant* integer aggregates
+//!   (arrivals, departures, decisions, the order-free decision checksum
+//!   and a digest checksum over every session's decision chain). CI
+//!   byte-compares this file across `GENET_THREADS=1/8`.
+//! * `bench_out/figS1_serving_perf.tsv` — thread-*dependent* measurements:
+//!   decisions/sec, decision-latency percentiles (batched, decision-
+//!   weighted; see DESIGN.md §16 for the shared-runner caveats), batch
+//!   occupancy. Never byte-compared.
+//! * `BENCH_figS1_serving.json` under `--telemetry` — `serve_batch` stage
+//!   with per-worker busy/items accounting, archived and gated by CI's
+//!   perf-smoke job.
+//!
+//! Policies are freshly initialized (seeded, untrained) MLPs of the real
+//! scenario shapes — serving throughput does not depend on the weights,
+//! so the bench needs no model cache.
+//!
+//! ```sh
+//! cargo run --release -p genet-bench --bin figS1_serving [-- --full --sessions N]
+//! ```
+
+use genet::prelude::*;
+use genet_bench::harness::{self, Args};
+
+/// SplitMix64 finalizer for the digest-checksum fold.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Order-free checksum of the canonical decision stream: a wrapping sum of
+/// a hash of every `(sid, steps, digest)` triple.
+fn digest_checksum(digests: &[(u64, u64, u64)]) -> u64 {
+    digests.iter().fold(0u64, |acc, &(sid, steps, digest)| {
+        acc.wrapping_add(mix(sid ^ mix(steps ^ digest)))
+    })
+}
+
+/// One serving run: `ticks` rounds of admission churn + full service.
+struct RunOutcome {
+    stats: ServeStats,
+    latency: LatencyReport,
+    digests: Vec<(u64, u64, u64)>,
+    wall_ns: u64,
+    shards: usize,
+}
+
+fn run_workload(
+    kind: WorkloadKind,
+    batched: bool,
+    sessions: usize,
+    ticks: u64,
+    args: &Args,
+) -> RunOutcome {
+    let src = SyntheticSource::new(kind);
+    let agent = PpoAgent::new(
+        src.obs_dim(),
+        src.action_count(),
+        PpoConfig::default(),
+        genet::math::derive_seed(args.seed, kind.label().len() as u64),
+    );
+    let cfg = ServeConfig {
+        batched,
+        timed: true,
+        ..ServeConfig::default()
+    };
+    let mut eng = ServeEngine::new(agent.frozen(), src, cfg, args.seed);
+    // Open-loop churn: lifetimes span half to double the run length, and a
+    // fresh wave arrives every tick, so the live set departs and regrows
+    // across batch boundaries instead of staying a fixed block.
+    let min_life = (ticks / 2).max(1) as u32;
+    let max_life = (ticks * 2) as u32;
+    let wave = (sessions / (ticks as usize * 2)).max(1);
+    let shards = eng.shard_count();
+    // genet-lint: allow(wall-clock-in-result-path) decisions/sec feeds the observation-only perf TSV; the deterministic TSV never reads the clock
+    let t0 = std::time::Instant::now();
+    eng.admit(sessions, min_life, max_life);
+    for _ in 0..ticks {
+        eng.tick(args.collector());
+        eng.admit(wave, min_life, max_life);
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    RunOutcome {
+        stats: eng.stats(),
+        latency: eng.latency(),
+        digests: eng.session_digests(),
+        wall_ns,
+        shards,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let sessions = args
+        .sessions
+        .unwrap_or(if args.full { 100_000 } else { 10_000 });
+    let ticks: u64 = if args.full { 60 } else { 25 };
+
+    let mut det = harness::tsv("figS1_serving");
+    det.header(&[
+        "workload",
+        "sessions",
+        "ticks",
+        "arrivals",
+        "departures",
+        "decisions",
+        "checksum",
+        "digest_checksum",
+    ]);
+    let mut perf = harness::tsv("figS1_serving_perf");
+    perf.header(&[
+        "workload",
+        "mode",
+        "threads",
+        "shards",
+        "decisions",
+        "wall_ms",
+        "kdecisions_per_sec",
+        "speedup_vs_scalar",
+        "lat_mean_us",
+        "lat_p50_us",
+        "lat_p99_us",
+        "lat_p999_us",
+        "batches",
+        "mean_occupancy",
+    ]);
+
+    let threads = genet::core::evaluate::worker_count(usize::MAX);
+    let us = |ns: u64| fmt(ns as f64 / 1e3);
+    for kind in [
+        WorkloadKind::AbrPlayer,
+        WorkloadKind::CcFlow,
+        WorkloadKind::LbRouter,
+    ] {
+        let _span = args.collector().span(format!("serve/{}", kind.label()));
+        let scalar = run_workload(kind, false, sessions, ticks, &args);
+        let batched = run_workload(kind, true, sessions, ticks, &args);
+        // The engine's core claim, enforced on every run: batching changes
+        // throughput, never a decision.
+        assert_eq!(
+            scalar.stats.checksum,
+            batched.stats.checksum,
+            "{}: scalar and batched serving disagree",
+            kind.label()
+        );
+        assert_eq!(
+            scalar.digests,
+            batched.digests,
+            "{}: scalar and batched digests disagree",
+            kind.label()
+        );
+
+        det.row(&[
+            kind.label().to_string(),
+            sessions.to_string(),
+            ticks.to_string(),
+            batched.stats.arrivals.to_string(),
+            batched.stats.departures.to_string(),
+            batched.stats.decisions.to_string(),
+            format!("{:016x}", batched.stats.checksum),
+            format!("{:016x}", digest_checksum(&batched.digests)),
+        ]);
+
+        let speedup = scalar.wall_ns as f64 / batched.wall_ns.max(1) as f64;
+        for (mode, run, rel) in [("scalar", &scalar, 1.0), ("batched", &batched, speedup)] {
+            let occ_mean = run.stats.decisions as f64 / run.stats.batches.max(1) as f64;
+            perf.row(&[
+                kind.label().to_string(),
+                mode.to_string(),
+                threads.to_string(),
+                run.shards.to_string(),
+                run.stats.decisions.to_string(),
+                fmt(run.wall_ns as f64 / 1e6),
+                fmt(run.stats.decisions as f64 / (run.wall_ns.max(1) as f64 / 1e6)),
+                fmt(rel),
+                us(run.latency.mean_ns),
+                us(run.latency.p50_ns),
+                us(run.latency.p99_ns),
+                us(run.latency.p999_ns),
+                run.stats.batches.to_string(),
+                fmt(occ_mean),
+            ]);
+        }
+        eprintln!(
+            "[figS1] {}: {} decisions, batched {:.0}k dec/s vs scalar {:.0}k dec/s ({speedup:.2}x), p99 {:.1}us",
+            kind.label(),
+            batched.stats.decisions,
+            batched.stats.decisions as f64 / (batched.wall_ns.max(1) as f64 / 1e6),
+            scalar.stats.decisions as f64 / (scalar.wall_ns.max(1) as f64 / 1e6),
+            batched.latency.p99_ns as f64 / 1e3,
+        );
+    }
+}

@@ -28,6 +28,8 @@ OPTIONS:
     --seed <N>         master seed, unsigned integer (default 42)
     --full             paper-scale budgets (default: quick mode)
     --fresh            retrain even when a cached model exists
+    --sessions <N>     figS1_serving only: concurrent-session count
+                       (default 10000, or 100000 with --full)
     --telemetry[=DIR]  write structured JSONL telemetry to DIR (default
                        bench_out/telemetry/) and narrate progress on
                        stderr; skips model-cache loads so per-iteration
@@ -49,6 +51,9 @@ pub struct Args {
     pub fresh: bool,
     /// Telemetry output directory (`None` = telemetry off).
     pub telemetry: Option<PathBuf>,
+    /// `--sessions` override for the serving load bench (`None` = budget
+    /// default).
+    pub sessions: Option<usize>,
     /// Active collector: JSONL + stderr narration under `--telemetry`,
     /// otherwise a no-op.
     pub collector: Arc<dyn Collector>,
@@ -73,6 +78,18 @@ fn parse_seed(value: Option<&str>) -> u64 {
         }),
         None => {
             eprintln!("error: --seed needs a value, e.g. --seed 42 (try --help)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_sessions(value: Option<&str>) -> usize {
+    match value.map(str::parse) {
+        Some(Ok(n)) if n > 0 => n,
+        _ => {
+            eprintln!(
+                "error: --sessions needs a positive integer, e.g. --sessions 10000 (try --help)"
+            );
             std::process::exit(2);
         }
     }
@@ -154,6 +171,7 @@ impl Args {
             .to_string();
         let (mut seed, mut full, mut fresh) = (42u64, false, false);
         let mut telemetry: Option<PathBuf> = None;
+        let mut sessions: Option<usize> = None;
         while let Some(a) = raw.next() {
             match a.as_str() {
                 "-h" | "--help" => {
@@ -163,10 +181,13 @@ impl Args {
                 "--full" | "full" => full = true,
                 "--fresh" => fresh = true,
                 "--seed" => seed = parse_seed(raw.next().as_deref()),
+                "--sessions" => sessions = Some(parse_sessions(raw.next().as_deref())),
                 "--telemetry" => telemetry = Some(telemetry_dir()),
                 other => {
                     if let Some(v) = other.strip_prefix("--seed=") {
                         seed = parse_seed(Some(v));
+                    } else if let Some(v) = other.strip_prefix("--sessions=") {
+                        sessions = Some(parse_sessions(Some(v)));
                     } else if let Some(dir) = other.strip_prefix("--telemetry=") {
                         telemetry = Some(PathBuf::from(dir));
                     } else {
@@ -184,6 +205,7 @@ impl Args {
             full,
             fresh,
             telemetry,
+            sessions,
             collector,
         }
     }

@@ -94,7 +94,7 @@ pub fn fmt(v: f64) -> String {
 // `genet_telemetry::paths` — so TSVs, model cache, telemetry streams and
 // perf summaries can never disagree about the root.
 pub use genet_telemetry::paths::{
-    bench_json_path, bench_out_dir, perf_history_path, telemetry_dir,
+    bench_json_path, bench_out_dir, figure_tsv_path, perf_history_path, telemetry_dir,
 };
 
 #[cfg(test)]
@@ -141,6 +141,13 @@ mod tests {
         assert_eq!(
             perf_history_path(),
             PathBuf::from("custom_out/perf_history.jsonl")
+        );
+        // TsvWriter targets (harness::tsv joins bench_out_dir with
+        // `<figure>.tsv`) and the canonical helper must agree, so relocated
+        // runs keep TSVs next to their BENCH json.
+        assert_eq!(
+            figure_tsv_path("figS1_serving"),
+            bench_out_dir().join("figS1_serving.tsv")
         );
         std::env::set_var("GENET_BENCH_OUT", "");
         assert_eq!(bench_out_dir(), PathBuf::from("bench_out"));

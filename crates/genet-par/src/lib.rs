@@ -332,6 +332,107 @@ where
     (results, profile)
 }
 
+/// Maps session id `sid` onto one of `shards` shards — the canonical
+/// shard-shaping function of the policy-serving engine (`genet-serve`,
+/// DESIGN.md §16). A pure function of `(sid, shards)`: a Fibonacci
+/// multiplicative hash decorrelates structured id streams (sequential
+/// admission, strided tenants) before the modulo, and nothing else — no
+/// clock, no RNG, no load feedback — so a session's home shard is
+/// reproducible from its id alone at any fixed shard count.
+///
+/// Determinism across *different* shard counts is the caller's contract:
+/// per-session results must depend only on per-session state (the serving
+/// engine guarantees this via the batched kernels' per-row bit-equality),
+/// so re-sharding regroups work without altering any decision.
+///
+/// # Panics
+/// Panics if `shards == 0`.
+pub fn session_shard(sid: u64, shards: usize) -> usize {
+    assert!(shards > 0, "session_shard needs at least one shard");
+    let mixed = sid.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    // The remainder is < shards ≤ MAX_THREADS, so the cast is lossless.
+    (mixed % (shards as u64)) as usize
+}
+
+/// The mutable-shard analogue of [`par_map_profiled`]: applies `f` to every
+/// element of `items` **in place** — `f(i, &mut items[i])` — across
+/// [`worker_count`] threads, returning `f`'s outputs in input order plus a
+/// [`BatchProfile`]. This is the fan-out under engines whose per-shard
+/// state is long-lived and mutated every batch (the serving engine's
+/// session stores), where [`par_map`]'s `Fn(usize) -> T` shape would force
+/// interior mutability.
+///
+/// Determinism: element `i` is visited by exactly one worker (disjoint
+/// `chunks_mut` slices), `f` receives only the index and that element, and
+/// outputs are collected in index order — so the worker count remains a
+/// pure performance knob provided `f` itself is index/element-pure.
+pub fn par_map_mut_profiled<T, R, F>(items: &mut [T], f: F, timed: bool) -> (Vec<R>, BatchProfile)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return (Vec::new(), BatchProfile::default());
+    }
+    let threads = worker_count(n);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let profile = if threads <= 1 {
+        let t0 = timed.then(Instant::now);
+        for (i, (item, slot)) in items.iter_mut().zip(slots.iter_mut()).enumerate() {
+            *slot = Some(f(i, item));
+        }
+        let busy = t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+        BatchProfile {
+            workers: 1,
+            busy_nanos: busy,
+            worker_busy: if timed { vec![busy] } else { Vec::new() },
+            worker_items: if timed { vec![n as u64] } else { Vec::new() },
+        }
+    } else {
+        let chunk = n.div_ceil(threads);
+        let workers = n.div_ceil(chunk);
+        let mut busy = vec![0u64; workers];
+        let mut wi = vec![0u64; workers];
+        crossbeam::scope(|s| {
+            for ((((ti, islice), oslice), busy_slot), item_slot) in items
+                .chunks_mut(chunk)
+                .enumerate()
+                .zip(slots.chunks_mut(chunk))
+                .zip(busy.iter_mut())
+                .zip(wi.iter_mut())
+            {
+                let f = &f;
+                s.spawn(move |_| {
+                    let t0 = timed.then(Instant::now);
+                    *item_slot = islice.len() as u64;
+                    for (j, (item, slot)) in islice.iter_mut().zip(oslice.iter_mut()).enumerate() {
+                        *slot = Some(f(ti * chunk + j, item));
+                    }
+                    if let Some(t0) = t0 {
+                        *busy_slot = t0.elapsed().as_nanos() as u64;
+                    }
+                });
+            }
+        })
+        // genet-lint: allow(panic-in-library) re-raises a child-thread panic on the caller; not a new failure mode
+        .expect("parallel worker panicked");
+        BatchProfile {
+            workers,
+            busy_nanos: busy.iter().sum(),
+            worker_busy: if timed { busy } else { Vec::new() },
+            worker_items: if timed { wi } else { Vec::new() },
+        }
+    };
+    let results = slots
+        .into_iter()
+        // genet-lint: allow(panic-in-library) every index in 0..n is written exactly once by the loops above
+        .map(|slot| slot.expect("par_map worker left a slot unfilled"))
+        .collect();
+    (results, profile)
+}
+
 /// Runs `f` on the calling thread, measuring its busy time only when
 /// `timed` — the 1-worker analogue of [`par_map_profiled`]'s accounting,
 /// for engines with a dedicated serial fast path (e.g. the PPO update's
@@ -528,6 +629,69 @@ mod tests {
         let (out, _) = par_map_sharded(9, || 0usize, |i, _| i, false);
         override_worker_threads(None);
         assert_eq!(out, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_mut_visits_every_item_once_at_any_thread_count() {
+        for threads in [Some(1), Some(2), Some(8), None] {
+            override_worker_threads(threads);
+            let mut items: Vec<u64> = (0..101).map(|i| i as u64).collect();
+            let (outs, profile) = par_map_mut_profiled(
+                &mut items,
+                |i, item| {
+                    *item += 1;
+                    (i as u64) * 2
+                },
+                true,
+            );
+            override_worker_threads(None);
+            let expect_items: Vec<u64> = (1..=101).collect();
+            let expect_outs: Vec<u64> = (0..101).map(|i| i * 2).collect();
+            assert_eq!(items, expect_items, "mutation diverged at {threads:?}");
+            assert_eq!(outs, expect_outs, "outputs diverged at {threads:?}");
+            assert_eq!(profile.worker_items.iter().sum::<u64>(), 101);
+            assert_eq!(profile.worker_busy.len(), profile.workers);
+            assert_eq!(profile.worker_busy.iter().sum::<u64>(), profile.busy_nanos);
+        }
+    }
+
+    #[test]
+    fn par_map_mut_empty_and_untimed() {
+        let mut items: Vec<u8> = Vec::new();
+        let (outs, profile) = par_map_mut_profiled(&mut items, |i, _| i, true);
+        assert!(outs.is_empty());
+        assert_eq!(profile.workers, 0);
+        let mut items = vec![0u8; 5];
+        let (_, profile) = par_map_mut_profiled(&mut items, |_, v| *v = 1, false);
+        assert_eq!(items, vec![1u8; 5]);
+        assert_eq!(profile.busy_nanos, 0);
+        assert!(profile.worker_busy.is_empty());
+        assert!(profile.worker_items.is_empty());
+    }
+
+    #[test]
+    fn session_shard_is_pure_bounded_and_balanced() {
+        for shards in [1usize, 2, 7, 8, 64] {
+            let mut counts = vec![0u64; shards];
+            for sid in 0..10_000u64 {
+                let s = session_shard(sid, shards);
+                assert!(s < shards);
+                assert_eq!(s, session_shard(sid, shards), "not pure");
+                counts[s] += 1;
+            }
+            // The Fibonacci hash keeps sequential ids roughly uniform: no
+            // shard more than 2x the ideal share.
+            let ideal = 10_000u64 / shards as u64;
+            for (s, c) in counts.iter().enumerate() {
+                assert!(*c <= ideal * 2, "shard {s}/{shards} got {c} of {ideal}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn session_shard_rejects_zero_shards() {
+        session_shard(1, 0);
     }
 
     #[test]

@@ -661,6 +661,68 @@ impl FrozenPolicy<'_> {
         }
         episode
     }
+
+    /// Observation width the actor was built for.
+    pub fn obs_dim(&self) -> usize {
+        self.actor.input_dim()
+    }
+
+    /// Size of the discrete action space (actor logit count).
+    pub fn action_count(&self) -> usize {
+        self.actor.output_dim()
+    }
+
+    /// Greedy scalar decision for one observation: one actor forward pass,
+    /// then a logit argmax — the exact decision core of a
+    /// [`PolicyMode::Greedy`] [`PpoPolicy`], without cloning the actor.
+    /// The forward-pass buffer is cached in `scratch` through the same
+    /// slot-reuse path as [`Policy::act_with`], so a serving loop that
+    /// threads one [`PolicyScratch`] per shard allocates nothing in steady
+    /// state.
+    pub fn act_greedy_with(&self, obs: &[f32], scratch: &mut PolicyScratch) -> usize {
+        let cached = scratch.get_or_insert_with(
+            // A scratch cached by a different-shape policy is re-allocated.
+            |s: &MlpScratch| self.actor.scratch_fits(s),
+            || self.actor.scratch(),
+        );
+        softmax::argmax(self.actor.forward(obs, cached))
+    }
+
+    /// Batched greedy decisions over `batch` observations stored row-major
+    /// in `obs` (`batch × obs_dim`), appended to `out` (cleared first).
+    /// Routed through the same zero-alloc [`PolicyScratch`] slot-cache as
+    /// [`Policy::act_with`]: the [`MlpBatchScratch`] lives in `scratch` and
+    /// is reused across calls (growing on demand, so mixed batch sizes and
+    /// policy shapes are safe).
+    ///
+    /// Bit-compatibility: [`Mlp::forward_batch`] computes each row with the
+    /// exact floating-point sequence of the scalar forward pass, and the
+    /// argmax is per-row — so `out[s]` is identical to
+    /// [`FrozenPolicy::act_greedy_with`] (and to a greedy
+    /// [`PpoPolicy`]'s `act`/`act_with`) on row `s` alone, for any batch
+    /// composition. This is what lets a serving engine regroup sessions
+    /// into arbitrary batches without perturbing a single decision.
+    ///
+    /// # Panics
+    /// Panics if `batch == 0` or `obs.len() != batch * obs_dim`.
+    pub fn act_batch(
+        &self,
+        obs: &[f32],
+        batch: usize,
+        scratch: &mut PolicyScratch,
+        out: &mut Vec<usize>,
+    ) {
+        let cached = scratch.get_or_insert_with(
+            // `MlpBatchScratch::ensure` re-shapes on any mismatch, so a
+            // cached batch scratch is reusable as-is.
+            |_: &MlpBatchScratch| true,
+            MlpBatchScratch::default,
+        );
+        let logits = self.actor.forward_batch(obs, batch, cached);
+        let dim = self.actor.output_dim();
+        out.clear();
+        out.extend(logits.chunks_exact(dim).map(softmax::argmax));
+    }
 }
 
 /// How a [`PpoPolicy`] picks actions.
@@ -1003,5 +1065,48 @@ mod tests {
         assert!(stats.policy_loss.is_finite());
         assert!(stats.value_loss.is_finite());
         assert!(stats.entropy > 0.0);
+    }
+
+    /// The serving-side decision paths must agree bit-for-bit with the
+    /// evaluation-side ones, per session: `act_batch` row `s` ==
+    /// `act_greedy_with` == a greedy `PpoPolicy`'s `act`/`act_with` on the
+    /// same observation (companion to the forward_batch bit-equality tests
+    /// in `mlp.rs`).
+    #[test]
+    fn act_batch_rows_bit_equal_scalar_act() {
+        let (obs_dim, actions) = (6, 5);
+        let agent = PpoAgent::new(obs_dim, actions, PpoConfig::default(), 99);
+        let frozen = agent.frozen();
+        let policy = agent.policy(PolicyMode::Greedy);
+        // Full 8-lane blocks plus a ragged tail.
+        let batch = 37;
+        let obs: Vec<f32> = (0..batch * obs_dim)
+            .map(|i| ((i * 37) % 100) as f32 * 0.02 - 1.0)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut scalar_scratch = PolicyScratch::new();
+        let mut batch_scratch = PolicyScratch::new();
+        let mut decisions = Vec::new();
+        frozen.act_batch(&obs, batch, &mut batch_scratch, &mut decisions);
+        assert_eq!(decisions.len(), batch);
+        for (s, row) in obs.chunks_exact(obs_dim).enumerate() {
+            assert_eq!(decisions[s], policy.act(row, &mut rng), "row {s} vs act");
+            assert_eq!(
+                decisions[s],
+                policy.act_with(row, &mut rng, &mut scalar_scratch),
+                "row {s} vs act_with"
+            );
+            assert_eq!(
+                decisions[s],
+                frozen.act_greedy_with(row, &mut scalar_scratch),
+                "row {s} vs act_greedy_with"
+            );
+        }
+        // A smaller follow-up batch reuses the cached scratch (the serving
+        // hot loop regroups sessions into batches of varying occupancy) and
+        // still matches the per-row decisions of the larger batch.
+        let head: Vec<usize> = decisions[..8].to_vec();
+        frozen.act_batch(&obs[..8 * obs_dim], 8, &mut batch_scratch, &mut decisions);
+        assert_eq!(decisions, head, "regrouped batch changed decisions");
     }
 }

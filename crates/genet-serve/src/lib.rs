@@ -1,0 +1,41 @@
+//! # genet-serve
+//!
+//! The production half of the reproduction: a deterministic, batching
+//! policy-serving engine that multiplexes very many concurrent sessions
+//! (ABR players, CC flows, LB routers — 1e4 to 1e6 of them) through one
+//! trained policy ([`genet_rl::FrozenPolicy`]) using the batched MLP
+//! kernels ([`genet_rl::Mlp::forward_batch`]).
+//!
+//! Architecture (DESIGN.md §16):
+//!
+//! * **Sessions live in arena-backed per-shard stores** — parallel flat
+//!   vectors (id, seed, step, last action, remaining lifetime, digest), no
+//!   per-session allocation, compacted in admission order when sessions
+//!   depart.
+//! * **Shards fan out over `genet-par`** ([`genet_par::par_map_mut_profiled`]);
+//!   a session's home shard is [`genet_par::session_shard`]`(sid, shards)`,
+//!   a pure function of the id and the shard count resolved at engine
+//!   construction.
+//! * **Each shard stages observations into a reusable arena** and decides
+//!   in sub-batches through [`genet_rl::FrozenPolicy::act_batch`], whose
+//!   `MlpBatchScratch` is cached in the shard's
+//!   [`genet_env::PolicyScratch`] — the steady-state hot loop allocates
+//!   nothing.
+//! * **Decision streams are bit-identical at any thread count**: batch
+//!   rows are bit-equal to the scalar forward pass and decisions are
+//!   per-row, so regrouping sessions into different shards/batches cannot
+//!   change any decision (`tests/serve_thread_invariance.rs`).
+//!
+//! Timing (per-batch decision latency, worker busy time) is opt-in via
+//! [`ServeConfig::timed`] and observation-only: the clocked and unclocked
+//! engines produce identical decisions.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod source;
+
+pub use engine::{
+    LatencyReport, ServeConfig, ServeEngine, ServeStats, TickStats, OCC_BUCKETS, SERVE_STAGE,
+};
+pub use source::{SessionSource, SyntheticSource, WorkloadKind};

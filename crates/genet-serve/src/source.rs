@@ -1,0 +1,207 @@
+//! Where observations come from: the session-side half of the serving
+//! engine.
+//!
+//! A [`SessionSource`] synthesizes the per-step observation of a session as
+//! a pure function of `(session seed, step, last action)`. That purity is
+//! what lets the engine regroup sessions into arbitrary shards and batches:
+//! nothing about a session's observation depends on *where* it is served.
+//!
+//! [`SyntheticSource`] is the load-generator implementation: three workload
+//! flavors whose observation shapes mirror the real scenario envs (ABR
+//! player, CC flow, LB router) and whose features mix seeded hash noise
+//! with last-action feedback — enough structure that the policy's decisions
+//! vary across sessions and steps, at a per-observation cost far below a
+//! forward pass. Serving throughput numbers therefore measure the engine
+//! and the kernels, not an environment simulator.
+
+/// Synthesizes observations for simulated sessions. Implementations must be
+/// `Sync` (sharded serving calls them from many workers) and **pure**: the
+/// written observation may depend only on the arguments.
+pub trait SessionSource: Sync {
+    /// Observation width, fixed for the source's lifetime.
+    fn obs_dim(&self) -> usize;
+    /// Action-space size of the policy being served.
+    fn action_count(&self) -> usize;
+    /// Fills `out` (`obs_dim` long) with the observation of the session
+    /// with per-session `seed` at `step`, after it was last served
+    /// `last_action`.
+    fn observe(&self, seed: u64, step: u64, last_action: usize, out: &mut [f32]);
+}
+
+/// The three traffic flavors of the paper's use cases, as synthetic
+/// serving workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Video player picking bitrates: slow per-session bandwidth drift plus
+    /// a buffer-like feature fed back from the last decision.
+    AbrPlayer,
+    /// Congestion-control flow: fast-moving network signals, strong
+    /// last-action feedback (the chosen rate shapes the next measurement).
+    CcFlow,
+    /// Load-balancer router: mostly static per-session server profile plus
+    /// a fast-varying job feature.
+    LbRouter,
+}
+
+impl WorkloadKind {
+    /// Short label for TSV cells and bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::AbrPlayer => "abr",
+            WorkloadKind::CcFlow => "cc",
+            WorkloadKind::LbRouter => "lb",
+        }
+    }
+}
+
+/// SplitMix64 finalizer: the deterministic per-feature noise generator
+/// (also the engine's digest/checksum mixer).
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One hash-derived feature in `[-1, 1)`: 24 mantissa bits of
+/// `mix64(seed, tick, lane)`, exactly representable in `f32`.
+fn unit(seed: u64, tick: u64, lane: u64) -> f32 {
+    let h = mix64(
+        seed ^ tick.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ lane.wrapping_mul(0xA24B_AED4_963E_E407),
+    );
+    (h >> 40) as f32 / 8_388_608.0 - 1.0
+}
+
+/// Deterministic synthetic workload matching a [`WorkloadKind`]. See the
+/// module docs for what each flavor models.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticSource {
+    kind: WorkloadKind,
+    obs_dim: usize,
+    actions: usize,
+}
+
+impl SyntheticSource {
+    /// A source whose observation/action shape mirrors the real scenario
+    /// envs: ABR 16×6 (`ABR_OBS_DIM`/`N_LEVELS`), CC 20×9
+    /// (`CC_OBS_DIM`/`CC_ACTIONS`), LB 8×3 (`LB_OBS_DIM`/`N_SERVERS`).
+    pub fn new(kind: WorkloadKind) -> Self {
+        let (obs_dim, actions) = match kind {
+            WorkloadKind::AbrPlayer => (16, 6),
+            WorkloadKind::CcFlow => (20, 9),
+            WorkloadKind::LbRouter => (8, 3),
+        };
+        Self {
+            kind,
+            obs_dim,
+            actions,
+        }
+    }
+
+    /// The workload flavor.
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+}
+
+impl SessionSource for SyntheticSource {
+    fn obs_dim(&self) -> usize {
+        self.obs_dim
+    }
+
+    fn action_count(&self) -> usize {
+        self.actions
+    }
+
+    fn observe(&self, seed: u64, step: u64, last_action: usize, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.obs_dim);
+        // Feature 0 everywhere: the last decision, normalized to [-1, 1] —
+        // the feedback loop that makes serving stateful.
+        let span = (self.actions - 1).max(1) as f32;
+        out[0] = last_action as f32 / span * 2.0 - 1.0;
+        match self.kind {
+            WorkloadKind::AbrPlayer => {
+                // Slow bandwidth drift (changes every 8 chunks), a chunk
+                // phase, and noisy throughput history.
+                out[1] = unit(seed, step / 8, 1);
+                out[2] = (step % 48) as f32 / 24.0 - 1.0;
+                for (j, v) in out.iter_mut().enumerate().skip(3) {
+                    *v = unit(seed, step, j as u64);
+                }
+            }
+            WorkloadKind::CcFlow => {
+                // Half the features move every step (packet-timescale
+                // signals), half every 4 steps (RTT-timescale averages),
+                // all shifted by the served rate decision.
+                let rate = out[0];
+                for (j, v) in out.iter_mut().enumerate().skip(1) {
+                    let tick = if j % 2 == 0 { step } else { step / 4 };
+                    *v = unit(seed, tick, j as u64) * 0.8 + rate * 0.2;
+                }
+            }
+            WorkloadKind::LbRouter => {
+                // Static per-session server profile (hashes at tick 0) plus
+                // one fast-varying job-size feature.
+                out[1] = unit(seed, step, 1);
+                for (j, v) in out.iter_mut().enumerate().skip(2) {
+                    *v = unit(seed, 0, j as u64);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_is_pure_and_in_range() {
+        for kind in [
+            WorkloadKind::AbrPlayer,
+            WorkloadKind::CcFlow,
+            WorkloadKind::LbRouter,
+        ] {
+            let src = SyntheticSource::new(kind);
+            let mut a = vec![0.0f32; src.obs_dim()];
+            let mut b = vec![7.0f32; src.obs_dim()];
+            src.observe(0xBEEF, 13, 2, &mut a);
+            src.observe(0xBEEF, 13, 2, &mut b);
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a), bits(&b), "{kind:?} not pure");
+            for v in &a {
+                assert!(v.is_finite() && (-1.5..=1.5).contains(v), "{kind:?}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn observations_vary_across_sessions_steps_and_actions() {
+        let src = SyntheticSource::new(WorkloadKind::CcFlow);
+        let mut base = vec![0.0f32; src.obs_dim()];
+        let mut other = vec![0.0f32; src.obs_dim()];
+        src.observe(1, 5, 0, &mut base);
+        src.observe(2, 5, 0, &mut other);
+        assert_ne!(base, other, "sessions indistinguishable");
+        src.observe(1, 6, 0, &mut other);
+        assert_ne!(base, other, "steps indistinguishable");
+        src.observe(1, 5, 3, &mut other);
+        assert_ne!(base, other, "actions indistinguishable");
+    }
+
+    #[test]
+    fn shapes_mirror_the_real_scenarios() {
+        assert_eq!(SyntheticSource::new(WorkloadKind::AbrPlayer).obs_dim(), 16);
+        assert_eq!(
+            SyntheticSource::new(WorkloadKind::AbrPlayer).action_count(),
+            6
+        );
+        assert_eq!(SyntheticSource::new(WorkloadKind::CcFlow).obs_dim(), 20);
+        assert_eq!(SyntheticSource::new(WorkloadKind::CcFlow).action_count(), 9);
+        assert_eq!(SyntheticSource::new(WorkloadKind::LbRouter).obs_dim(), 8);
+        assert_eq!(
+            SyntheticSource::new(WorkloadKind::LbRouter).action_count(),
+            3
+        );
+    }
+}

@@ -36,6 +36,13 @@ pub mod counters {
     /// Gap-eval-plan tasks that missed the memo cache (or ran with no cache
     /// attached) and were simulated in the fused `gap_eval` batch.
     pub const GAP_CACHE_MISS: &str = "gap_cache_miss";
+    /// Policy decisions served by the serving engine (`genet-serve`,
+    /// DESIGN.md §16) — one per session per tick.
+    pub const SERVE_DECISIONS: &str = "serve_decisions";
+    /// Summed worker busy time of the `serve_batch` stage, nanoseconds.
+    /// `serve_decisions / (serve_busy_nanos / 1e9)` is the aggregate
+    /// serving throughput in decisions/sec.
+    pub const SERVE_BUSY_NANOS: &str = "serve_busy_nanos";
 }
 
 /// A telemetry sink. Implementations must be cheap and `&self`-threadsafe

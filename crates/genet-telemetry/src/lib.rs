@@ -40,7 +40,9 @@ pub use collector::{counters, noop, Collector, NoopCollector, SpanGuard};
 pub use event::Event;
 pub use json::JsonValue;
 pub use jsonl::JsonlSink;
-pub use paths::{bench_json_path, bench_out_dir, perf_history_path, telemetry_dir};
+pub use paths::{
+    bench_json_path, bench_out_dir, figure_tsv_path, perf_history_path, telemetry_dir,
+};
 pub use sinks::{MemorySink, Tee};
 pub use spans::{SpanNode, SpanTree};
 pub use summary::{StageAgg, StderrSummary};

@@ -30,6 +30,15 @@ pub fn bench_json_path(figure: &str) -> PathBuf {
     bench_out_dir().join(format!("BENCH_{figure}.json"))
 }
 
+/// Where a figure's result TSV lands (`bench_out/<figure>.tsv`) — the path
+/// `TsvWriter`-producing binaries resolve through, so `GENET_BENCH_OUT`
+/// relocates TSVs together with every other output. Figures with secondary
+/// sinks (e.g. `figS1_serving`'s thread-dependent perf companion,
+/// `figS1_serving_perf`) name each sink as its own figure here.
+pub fn figure_tsv_path(figure: &str) -> PathBuf {
+    bench_out_dir().join(format!("{figure}.tsv"))
+}
+
 /// The cross-run perf-trajectory archive appended by `genet-perf archive`
 /// and consulted by `genet-perf gate`.
 pub fn perf_history_path() -> PathBuf {
@@ -50,6 +59,21 @@ mod tests {
         assert_eq!(telemetry_dir(), root.join("telemetry"));
         assert_eq!(bench_json_path("fig04"), root.join("BENCH_fig04.json"));
         assert_eq!(perf_history_path(), root.join("perf_history.jsonl"));
+        // The serving bench's sinks relocate with the tree too: the
+        // deterministic decision TSV, its perf companion, and the BENCH
+        // perf summary all resolve through this module.
+        assert_eq!(
+            figure_tsv_path("figS1_serving"),
+            root.join("figS1_serving.tsv")
+        );
+        assert_eq!(
+            figure_tsv_path("figS1_serving_perf"),
+            root.join("figS1_serving_perf.tsv")
+        );
+        assert_eq!(
+            bench_json_path("figS1_serving"),
+            root.join("BENCH_figS1_serving.json")
+        );
         std::env::set_var("GENET_BENCH_OUT", "");
         assert_eq!(bench_out_dir(), PathBuf::from("bench_out"));
         std::env::remove_var("GENET_BENCH_OUT");

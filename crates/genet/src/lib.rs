@@ -30,6 +30,7 @@ pub use genet_env as env;
 pub use genet_lb as lb;
 pub use genet_math as math;
 pub use genet_rl as rl;
+pub use genet_serve as serve;
 pub use genet_telemetry as telemetry;
 pub use genet_traces as traces;
 
@@ -53,7 +54,8 @@ pub mod prelude {
         GenetResult, SelectionCriterion,
     };
     pub use genet_core::metrics::{
-        bench_json_path, bench_out_dir, fmt, perf_history_path, telemetry_dir, TsvWriter,
+        bench_json_path, bench_out_dir, figure_tsv_path, fmt, perf_history_path, telemetry_dir,
+        TsvWriter,
     };
     pub use genet_core::plan::{GapEvalCache, GAP_EVAL_STAGE};
     pub use genet_core::robustify::{robustify_abr_train, RobustifyConfig};
@@ -72,6 +74,10 @@ pub mod prelude {
     pub use genet_rl::{
         EpisodeBuffer, FrozenPolicy, PolicyMode, PpoAgent, PpoConfig, PpoPolicy, RolloutBuffer,
         StepMeta, UpdateProfile,
+    };
+    pub use genet_serve::{
+        LatencyReport, ServeConfig, ServeEngine, ServeStats, SessionSource, SyntheticSource,
+        TickStats, WorkloadKind, OCC_BUCKETS, SERVE_STAGE,
     };
     pub use genet_telemetry::{
         noop, Collector, Event, JsonlSink, MemorySink, NoopCollector, StderrSummary, Tee,
